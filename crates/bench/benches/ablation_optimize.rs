@@ -1,0 +1,58 @@
+//! Ablation **A4** (DESIGN.md): effect of the compiler's TAC optimization
+//! passes (constant folding, copy coalescing, dead-code elimination) on
+//! the generated design — the "new optimization technique" scenario the
+//! paper's infrastructure exists for. Both variants must pass functional
+//! verification; the optimized one should need fewer operators, fewer
+//! control steps, and less simulation time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpgatest::flow::{FlowOptions, TestFlow};
+use fpgatest::stimulus::Stimulus;
+use fpgatest::workloads;
+use nenya::CompileOptions;
+use std::hint::black_box;
+
+fn fdct_flow(pixels: usize, optimize: bool) -> TestFlow {
+    TestFlow::new(
+        if optimize { "fdct1_opt" } else { "fdct1" },
+        workloads::fdct_source(pixels),
+    )
+    .with_options(FlowOptions {
+        compile: CompileOptions {
+            width: 32,
+            optimize,
+            ..CompileOptions::default()
+        },
+        ..FlowOptions::default()
+    })
+    .stimulus("img", Stimulus::from_values(workloads::test_image(pixels)))
+}
+
+fn ablation_optimize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_optimize");
+    group.sample_size(10);
+    for (label, optimize) in [("baseline", false), ("optimized", true)] {
+        group.bench_function(BenchmarkId::new("fdct1_128px", label), |b| {
+            let flow = fdct_flow(128, optimize);
+            b.iter(|| black_box(bench::run_checked(&flow)));
+        });
+    }
+    group.finish();
+
+    let plain = bench::run_checked(&fdct_flow(128, false));
+    let optimized = bench::run_checked(&fdct_flow(128, true));
+    println!(
+        "operators: {} -> {} | cycles: {} -> {} | sim: {:.4}s -> {:.4}s",
+        plain.metrics.total_operators(),
+        optimized.metrics.total_operators(),
+        plain.metrics.total_cycles(),
+        optimized.metrics.total_cycles(),
+        plain.metrics.total_sim_seconds(),
+        optimized.metrics.total_sim_seconds(),
+    );
+    assert!(optimized.metrics.total_operators() <= plain.metrics.total_operators());
+    assert!(optimized.metrics.total_cycles() < plain.metrics.total_cycles());
+}
+
+criterion_group!(benches, ablation_optimize);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation **A2** (DESIGN.md): monolithic vs temporally partitioned
+//! simulation cost — the paper's FDCT1 (6.9 s) vs FDCT2 (2 × 2.9 s)
+//! effect: each configuration of the partitioned design simulates faster
+//! than the monolithic one because its datapath has roughly half the
+//! operators (fewer components to evaluate per event).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nenya::schedule::SchedulePolicy;
+use std::hint::black_box;
+
+fn ablation_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_partition");
+    group.sample_size(10);
+
+    for (label, partitions) in [("fdct1", 1usize), ("fdct2", 2)] {
+        group.bench_function(BenchmarkId::new("flow_128px", label), |b| {
+            let flow = bench::fdct_flow(128, partitions, SchedulePolicy::List);
+            b.iter(|| black_box(bench::run_checked(&flow)));
+        });
+    }
+    group.finish();
+
+    // The paper's headline shape: per-configuration time of FDCT2 is well
+    // below FDCT1's single-configuration time.
+    let fdct1 = bench::run_checked(&bench::fdct_flow(128, 1, SchedulePolicy::List));
+    let fdct2 = bench::run_checked(&bench::fdct_flow(128, 2, SchedulePolicy::List));
+    let t1 = fdct1.metrics.total_sim_seconds();
+    for config in &fdct2.metrics.configs {
+        println!(
+            "fdct2 config '{}': {:.4}s vs fdct1 {:.4}s",
+            config.name, config.sim_seconds, t1
+        );
+        assert!(config.sim_seconds < t1, "per-config time must beat monolithic");
+    }
+}
+
+criterion_group!(benches, ablation_partition);
+criterion_main!(benches);

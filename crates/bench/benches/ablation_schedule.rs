@@ -1,0 +1,39 @@
+//! Ablation **A1** (DESIGN.md): effect of the scheduling policy — greedy
+//! list scheduling vs the naive one-op-per-state baseline — on simulated
+//! cycle count and wall-clock simulation time. This is the kind of
+//! "new optimization technique" whose functional correctness the paper's
+//! infrastructure exists to re-verify.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nenya::schedule::SchedulePolicy;
+use std::hint::black_box;
+
+fn ablation_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_schedule");
+    group.sample_size(10);
+
+    for (label, policy) in [
+        ("one-op-per-state", SchedulePolicy::OneOpPerState),
+        ("list", SchedulePolicy::List),
+    ] {
+        group.bench_function(BenchmarkId::new("fdct1_128px", label), |b| {
+            let flow = bench::fdct_flow(128, 1, policy);
+            b.iter(|| black_box(bench::run_checked(&flow)));
+        });
+    }
+    group.finish();
+
+    // One non-statistical comparison printed for the record.
+    let naive = bench::run_checked(&bench::fdct_flow(128, 1, SchedulePolicy::OneOpPerState));
+    let packed = bench::run_checked(&bench::fdct_flow(128, 1, SchedulePolicy::List));
+    println!(
+        "cycles: one-op-per-state = {}, list = {} ({:.2}x fewer)",
+        naive.metrics.total_cycles(),
+        packed.metrics.total_cycles(),
+        naive.metrics.total_cycles() as f64 / packed.metrics.total_cycles() as f64
+    );
+    assert!(packed.metrics.total_cycles() < naive.metrics.total_cycles());
+}
+
+criterion_group!(benches, ablation_schedule);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench behind the **in-text scaling figure**: FDCT1
+//! simulation time vs image size (the paper: 4,096 px → 6.9 s,
+//! 65,536 px → ~1 min, 345,600 px → ~6.5 min; linear in pixels).
+//!
+//! Throughput is reported in pixels so criterion's `Elements/s` column
+//! directly exposes the (expected constant) per-pixel cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nenya::schedule::SchedulePolicy;
+use std::hint::black_box;
+
+fn scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+
+    for pixels in [64usize, 128, 256, 512] {
+        group.throughput(Throughput::Elements(pixels as u64));
+        group.bench_with_input(BenchmarkId::new("fdct1", pixels), &pixels, |b, &pixels| {
+            let flow = bench::fdct_flow(pixels, 1, SchedulePolicy::List);
+            b.iter(|| black_box(bench::run_checked(&flow)));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench behind **Table I**: end-to-end test-flow time for the
+//! three designs of the paper's evaluation (compile → XML → transform →
+//! simulate → compare). Statistical sampling uses scaled-down workloads;
+//! the `table1` binary reproduces the full-size table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nenya::schedule::SchedulePolicy;
+use std::hint::black_box;
+
+fn table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("fdct1", "128px"), |b| {
+        let flow = bench::fdct_flow(128, 1, SchedulePolicy::List);
+        b.iter(|| black_box(bench::run_checked(&flow)));
+    });
+    group.bench_function(BenchmarkId::new("fdct2", "128px"), |b| {
+        let flow = bench::fdct_flow(128, 2, SchedulePolicy::List);
+        b.iter(|| black_box(bench::run_checked(&flow)));
+    });
+    group.bench_function(BenchmarkId::new("hamming", "32w"), |b| {
+        let flow = bench::hamming_flow(32);
+        b.iter(|| black_box(bench::run_checked(&flow)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Regenerates **Figure 1** of the paper — the diagram of the test
+//! infrastructure — as Graphviz dot, generated from the flow the code
+//! actually executes (see [`fpgatest::dot::flow_diagram`]).
+//!
+//! Usage: `cargo run -p bench --bin figure1 [> figure1.dot]`
+//! Render with: `dot -Tpng figure1.dot -o figure1.png`
+
+fn main() {
+    print!("{}", fpgatest::dot::flow_diagram());
+}

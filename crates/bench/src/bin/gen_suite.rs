@@ -1,0 +1,58 @@
+//! Regenerates the shippable example suite under `examples/suite/`
+//! (sources, stimulus files, and the manifest). Run from the workspace
+//! root after changing the workload generators:
+//! `cargo run -p bench --bin gen_suite`.
+
+fn main() {
+    use std::fmt::Write as _;
+    let dir = std::path::Path::new("examples/suite");
+    std::fs::create_dir_all(dir).unwrap();
+    std::fs::write(dir.join("fdct.src"), fpgatest::workloads::fdct_source(256)).unwrap();
+    std::fs::write(dir.join("hamming.src"), fpgatest::workloads::hamming_source(32)).unwrap();
+    std::fs::write(dir.join("sort.src"), fpgatest::workloads::sort_source(16)).unwrap();
+    let mut img = String::from("@mem img\n@size 256\n");
+    for (a, v) in fpgatest::workloads::test_image(256).iter().enumerate() {
+        writeln!(img, "{a}: {v}").unwrap();
+    }
+    std::fs::write(dir.join("img.stim"), img).unwrap();
+    let mut code = String::from("@mem code\n@size 32\n");
+    for (a, v) in fpgatest::workloads::hamming_codewords(32).iter().enumerate() {
+        writeln!(code, "{a}: {v}").unwrap();
+    }
+    std::fs::write(dir.join("code.stim"), code).unwrap();
+    let mut data = String::from("@mem data\n@size 16\n");
+    for a in 0..16i64 {
+        writeln!(data, "{a}: {}", (a * 37 + 11) % 60 - 25).unwrap();
+    }
+    std::fs::write(dir.join("data.stim"), data).unwrap();
+    std::fs::write(dir.join("suite.manifest"), "\
+# The paper's workloads plus a data-dependent sort, runnable with:
+#   cargo run -p fpgatest --bin fpgatest -- run examples/suite/suite.manifest
+
+case fdct1
+  source fdct.src
+  stimulus img img.stim
+  width 32
+
+case fdct2
+  source fdct.src
+  stimulus img img.stim
+  width 32
+  partitions 2
+
+case fdct1_optimized
+  source fdct.src
+  stimulus img img.stim
+  width 32
+  optimize
+
+case hamming
+  source hamming.src
+  stimulus code code.stim
+
+case sort
+  source sort.src
+  stimulus data data.stim
+").unwrap();
+    println!("suite files written");
+}

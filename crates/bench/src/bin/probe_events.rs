@@ -1,0 +1,29 @@
+//! Diagnostic utility: kernel event statistics for the FDCT workload
+//! (events per cycle, events per second). Useful when tuning the kernel.
+//!
+//! Usage: `cargo run --release -p bench --bin probe_events [pixels]`
+
+fn main() {
+    let pixels: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("pixels must be an integer"))
+        .unwrap_or(256);
+    let report = bench::run_checked(&bench::fdct_flow(
+        pixels,
+        1,
+        nenya::schedule::SchedulePolicy::List,
+    ));
+    for run in &report.runs {
+        println!(
+            "{}: cycles={} events={} updates={} evals={} wall={:.3}s -> {:.1} Mev/s, {:.0} events/cycle",
+            run.name,
+            run.cycles,
+            run.summary.events,
+            run.summary.updates,
+            run.summary.evals,
+            run.summary.wall_seconds,
+            run.summary.events as f64 / run.summary.wall_seconds / 1e6,
+            run.summary.events as f64 / run.cycles as f64
+        );
+    }
+}

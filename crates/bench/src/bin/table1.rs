@@ -1,0 +1,126 @@
+//! Regenerates **Table I** of the paper: FDCT1 (one configuration),
+//! FDCT2 (two configurations), and the Hamming decoder — reporting
+//! `loJava`, `loXML FSM`, `loXML datapath`, `loJava FSM` (behavioral
+//! lines), operator counts, and simulation time.
+//!
+//! Usage: `cargo run --release -p bench --bin table1 [pixels] [hamming_words]`
+//! (defaults: 4096 pixels = the paper's 64 DCT blocks, 64 codewords).
+
+use bench::{fdct_flow, hamming_flow, render_comparisons, run_checked, Comparison};
+use fpgatest::metrics::render_table1;
+use nenya::schedule::SchedulePolicy;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let pixels: usize = args
+        .next()
+        .map(|a| a.parse().expect("pixels must be an integer"))
+        .unwrap_or(fpgatest::workloads::FDCT_BASE_PIXELS);
+    let words: usize = args
+        .next()
+        .map(|a| a.parse().expect("words must be an integer"))
+        .unwrap_or(64);
+
+    println!("regenerating Table I (fdct over {pixels} pixels, hamming over {words} words)\n");
+
+    let fdct1 = run_checked(&fdct_flow(pixels, 1, SchedulePolicy::List));
+    let fdct2 = run_checked(&fdct_flow(pixels, 2, SchedulePolicy::List));
+    let hamming = run_checked(&hamming_flow(words));
+
+    println!(
+        "{}",
+        render_table1(&[
+            fdct1.metrics.clone(),
+            fdct2.metrics.clone(),
+            hamming.metrics.clone()
+        ])
+    );
+
+    // Paper values (Pentium 4 @ 2.8 GHz, Windows XP, Java/Hades) for
+    // shape comparison. Absolute times are expected to differ by orders
+    // of magnitude; orderings and rough factors are the reproduction
+    // target.
+    let rows = vec![
+        Comparison {
+            label: "fdct1 operators".into(),
+            paper: Some(169.0),
+            measured: fdct1.metrics.total_operators() as f64,
+            unit: "FUs",
+        },
+        Comparison {
+            label: "fdct2 operators (per config avg)".into(),
+            paper: Some(90.0),
+            measured: fdct2.metrics.total_operators() as f64 / fdct2.metrics.configs.len() as f64,
+            unit: "FUs",
+        },
+        Comparison {
+            label: "hamming operators".into(),
+            paper: Some(37.0),
+            measured: hamming.metrics.total_operators() as f64,
+            unit: "FUs",
+        },
+        Comparison {
+            label: "fdct1 sim time".into(),
+            paper: Some(6.9),
+            measured: fdct1.metrics.total_sim_seconds(),
+            unit: "s",
+        },
+        Comparison {
+            label: "fdct2 sim time (total)".into(),
+            paper: Some(5.8),
+            measured: fdct2.metrics.total_sim_seconds(),
+            unit: "s",
+        },
+        Comparison {
+            label: "hamming sim time".into(),
+            paper: Some(1.5),
+            measured: hamming.metrics.total_sim_seconds(),
+            unit: "s",
+        },
+        Comparison {
+            label: "fdct1 loJava".into(),
+            paper: Some(138.0),
+            measured: fdct1.metrics.lo_java as f64,
+            unit: "lines",
+        },
+        Comparison {
+            label: "hamming loJava".into(),
+            paper: Some(45.0),
+            measured: hamming.metrics.lo_java as f64,
+            unit: "lines",
+        },
+    ];
+    println!("{}", render_comparisons("Table I: paper vs measured", &rows));
+
+    // Shape assertions the reproduction must satisfy.
+    let t_fdct1 = fdct1.metrics.total_sim_seconds();
+    let t_fdct2 = fdct2.metrics.total_sim_seconds();
+    let t_ham = hamming.metrics.total_sim_seconds();
+    let shape_checks = [
+        ("hamming is the cheapest simulation", t_ham < t_fdct1 && t_ham < t_fdct2),
+        (
+            "each fdct2 configuration is cheaper than fdct1",
+            fdct2.metrics.configs.iter().all(|c| c.sim_seconds < t_fdct1),
+        ),
+        (
+            "fdct2 per-config operators ~ half of fdct1",
+            {
+                let per = fdct2.metrics.total_operators() / 2;
+                per * 3 > fdct1.metrics.total_operators()
+                    && per * 2 < fdct1.metrics.total_operators() * 3
+            },
+        ),
+        (
+            "hamming has far fewer operators than fdct1",
+            hamming.metrics.total_operators() * 3 < fdct1.metrics.total_operators(),
+        ),
+    ];
+    let mut ok = true;
+    for (what, holds) in shape_checks {
+        println!("shape: {:<46} {}", what, if holds { "OK" } else { "VIOLATED" });
+        ok &= holds;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,324 @@
+//! `fpgatest` — the command-line front end of the test infrastructure.
+//!
+//! ```text
+//! fpgatest run <suite.manifest>            run a whole suite (the ANT-build role)
+//! fpgatest test <prog.src> [options]       run one program through the flow
+//! fpgatest compile <prog.src> --out <dir>  emit XML/hds/dot/behavior artifacts
+//! fpgatest figure1                         print the infrastructure diagram (dot)
+//! ```
+//!
+//! `test` options:
+//!
+//! ```text
+//! --stimulus <mem>=<file>   initial memory contents (repeatable)
+//! --width <bits>            design data width (default 16)
+//! --partitions <k>          temporal partitions (default 1)
+//! --policy <list|one-op-per-state>
+//! --optimize                enable the compiler's TAC optimizations
+//! --trace                   print where the VCD of each configuration went
+//! --artifacts <dir>         write XML/hds/dot/behavior/VCD files
+//! ```
+//!
+//! Exit code 0 = everything passed; 1 = verification failed; 2 = usage or
+//! flow error.
+
+use fpgatest::flow::{FlowOptions, TestFlow};
+use fpgatest::{stimulus, suite};
+use nenya::schedule::SchedulePolicy;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("test") => cmd_test(&args[1..]),
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("figure1") => {
+            print!("{}", fpgatest::dot::flow_diagram());
+            ExitCode::SUCCESS
+        }
+        Some("--help") | Some("-h") | None => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n");
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "fpgatest — functional testing of compiler-generated FPGA designs
+
+USAGE:
+  fpgatest run <suite.manifest>
+  fpgatest test <prog.src> [--stimulus mem=file]... [--width N]
+                [--partitions K] [--policy list|one-op-per-state]
+                [--optimize] [--trace] [--artifacts DIR]
+  fpgatest compile <prog.src> --out DIR [--width N] [--partitions K] [--optimize]
+  fpgatest figure1 > figure1.dot"
+    );
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some(manifest) = args.first() else {
+        eprintln!("'run' needs a manifest path");
+        return ExitCode::from(2);
+    };
+    let suite = match suite::load_manifest(manifest) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = suite.run();
+    print!("{}", report.render());
+    if report.all_passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+struct TestArgs {
+    source: PathBuf,
+    stimuli: Vec<(String, PathBuf)>,
+    options: FlowOptions,
+    artifacts: Option<PathBuf>,
+}
+
+fn parse_test_args(args: &[String]) -> Result<TestArgs, String> {
+    let mut source = None;
+    let mut stimuli = Vec::new();
+    let mut options = FlowOptions::default();
+    let mut artifacts = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("'{what}' needs a value"))
+        };
+        match arg.as_str() {
+            "--stimulus" => {
+                let v = value("--stimulus")?;
+                let (mem, file) = v
+                    .split_once('=')
+                    .ok_or_else(|| "--stimulus takes mem=file".to_string())?;
+                stimuli.push((mem.to_string(), PathBuf::from(file)));
+            }
+            "--width" => {
+                options.compile.width = value("--width")?
+                    .parse()
+                    .map_err(|_| "--width needs an integer".to_string())?;
+            }
+            "--partitions" => {
+                options.compile.partitions = value("--partitions")?
+                    .parse()
+                    .map_err(|_| "--partitions needs an integer".to_string())?;
+            }
+            "--policy" => {
+                options.compile.policy = match value("--policy")?.as_str() {
+                    "list" => SchedulePolicy::List,
+                    "one-op-per-state" => SchedulePolicy::OneOpPerState,
+                    other => return Err(format!("unknown policy '{other}'")),
+                };
+            }
+            "--optimize" => options.compile.optimize = true,
+            "--trace" => options.trace = true,
+            "--artifacts" => artifacts = Some(PathBuf::from(value("--artifacts")?)),
+            other if source.is_none() && !other.starts_with("--") => {
+                source = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    Ok(TestArgs {
+        source: source.ok_or_else(|| "missing source file".to_string())?,
+        stimuli,
+        options,
+        artifacts,
+    })
+}
+
+fn cmd_test(args: &[String]) -> ExitCode {
+    let parsed = match parse_test_args(args) {
+        Ok(p) => p,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match std::fs::read_to_string(&parsed.source) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", parsed.source.display());
+            return ExitCode::from(2);
+        }
+    };
+    let name = parsed
+        .source
+        .file_stem()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_else(|| "design".to_string());
+    let mut flow = TestFlow::new(&name, source).with_options(parsed.options.clone());
+    for (mem, file) in &parsed.stimuli {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        match stimulus::parse(&text) {
+            Ok(s) => flow = flow.stimulus(mem, s),
+            Err(e) => {
+                eprintln!("stimulus {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match flow.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("flow error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render());
+    println!("{}", report.metrics);
+
+    if let Some(dir) = &parsed.artifacts {
+        if let Err(e) = write_artifacts(dir, &report) {
+            eprintln!("cannot write artifacts: {e}");
+            return ExitCode::from(2);
+        }
+        println!("artifacts written to {}", dir.display());
+    }
+    if report.passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn write_artifacts(dir: &Path, report: &fpgatest::TestReport) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    if let Some(artifacts) = &report.artifacts {
+        std::fs::write(dir.join("rtg.xml"), &artifacts.rtg_xml)?;
+        std::fs::write(dir.join("rtg.dot"), &artifacts.rtg_dot)?;
+        std::fs::write(dir.join("rtg_controller.java"), &artifacts.controller_src)?;
+        for config in &artifacts.configs {
+            std::fs::write(dir.join(format!("{}_datapath.xml", config.name)), &config.datapath_xml)?;
+            std::fs::write(dir.join(format!("{}_fsm.xml", config.name)), &config.fsm_xml)?;
+            std::fs::write(dir.join(format!("{}.hds", config.name)), &config.hds)?;
+            std::fs::write(dir.join(format!("{}_fsm.java", config.name)), &config.behavior_src)?;
+            std::fs::write(dir.join(format!("{}_datapath.dot", config.name)), &config.datapath_dot)?;
+            std::fs::write(dir.join(format!("{}_fsm.dot", config.name)), &config.fsm_dot)?;
+        }
+    }
+    for run in &report.runs {
+        if let Some(vcd) = &run.vcd {
+            std::fs::write(dir.join(format!("{}.vcd", run.name)), vcd)?;
+        }
+    }
+    for (mem, image) in &report.sim_mems {
+        std::fs::write(dir.join(format!("{mem}.mem")), stimulus::emit(mem, image))?;
+    }
+    Ok(())
+}
+
+fn cmd_compile(args: &[String]) -> ExitCode {
+    // Reuse the test parser; --out is mandatory and doubles as artifacts.
+    let mut rewritten: Vec<String> = Vec::new();
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--out" {
+            match it.next() {
+                Some(dir) => out = Some(dir.clone()),
+                None => {
+                    eprintln!("'--out' needs a directory");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            rewritten.push(arg.clone());
+        }
+    }
+    let Some(out) = out else {
+        eprintln!("'compile' needs --out DIR");
+        return ExitCode::from(2);
+    };
+    rewritten.push("--artifacts".to_string());
+    rewritten.push(out);
+
+    // Compile-only: run the flow with no stimuli; designs that read
+    // uninitialized inputs would fail the golden run, so emit artifacts
+    // straight from the compiler instead of the full flow.
+    let parsed = match parse_test_args(&rewritten) {
+        Ok(p) => p,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match std::fs::read_to_string(&parsed.source) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", parsed.source.display());
+            return ExitCode::from(2);
+        }
+    };
+    let name = parsed
+        .source
+        .file_stem()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_else(|| "design".to_string());
+    let design = match nenya::compile(&name, &source, &parsed.options.compile) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let dir = parsed.artifacts.expect("--out mapped to artifacts");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return ExitCode::from(2);
+    }
+    let rtg_doc = nenya::xml::emit_rtg(&design.rtg);
+    let mut files = vec![("rtg.xml".to_string(), rtg_doc.to_pretty_string())];
+    for config in &design.configs {
+        let dp_doc = nenya::xml::emit_datapath(&config.datapath);
+        let fsm_doc = nenya::xml::emit_fsm(&config.fsm);
+        let hds = xform::apply(&xform::stylesheets::datapath_to_hds(), dp_doc.root())
+            .unwrap_or_default();
+        let behavior = xform::apply(&xform::stylesheets::fsm_to_behavior(), fsm_doc.root())
+            .unwrap_or_default();
+        files.push((format!("{}_datapath.xml", config.name), dp_doc.to_pretty_string()));
+        files.push((format!("{}_fsm.xml", config.name), fsm_doc.to_pretty_string()));
+        files.push((format!("{}.hds", config.name), hds));
+        files.push((format!("{}_fsm.java", config.name), behavior));
+        println!(
+            "{}: {} operators, {} states",
+            config.name,
+            config.datapath.operator_count(),
+            config.fsm.state_count()
+        );
+    }
+    for (file, contents) in files {
+        if let Err(e) = std::fs::write(dir.join(&file), contents) {
+            eprintln!("cannot write {file}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    println!("artifacts written to {}", dir.display());
+    ExitCode::SUCCESS
+}

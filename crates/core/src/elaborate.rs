@@ -1,0 +1,379 @@
+//! Elaboration: turning the XML artifacts into a live simulation.
+//!
+//! This follows the paper's arrows literally: the datapath XML is first
+//! translated by the `datapath→hds` stylesheet into `.hds` text, which is
+//! then parsed by the simulator's netlist loader — the structural path.
+//! The FSM XML is converted into a behavioral control table executed by
+//! an [`eventsim::ops::ControlUnit`] — the behavioral path (the paper's
+//! generated Java).
+
+use eventsim::netlist::ElabMap;
+use eventsim::ops::{ControlUnit, FsmState, FsmTable, FsmTransition};
+use eventsim::{MemHandle, SignalId, Simulator};
+use nenya::fsm::Fsm;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use xmlite::Document;
+
+/// Errors raised while elaborating a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElaborateConfigError {
+    /// The datapath/fsm XML did not match its dialect.
+    Dialect(String),
+    /// The stylesheet failed (internal error — stock sheets always apply).
+    Stylesheet(String),
+    /// The generated `.hds` text failed to parse.
+    Hds(String),
+    /// The netlist failed to elaborate.
+    Netlist(String),
+    /// The FSM references signals the datapath does not provide, or is
+    /// structurally invalid.
+    Fsm(String),
+}
+
+impl fmt::Display for ElaborateConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElaborateConfigError::Dialect(m) => write!(f, "dialect error: {m}"),
+            ElaborateConfigError::Stylesheet(m) => write!(f, "stylesheet error: {m}"),
+            ElaborateConfigError::Hds(m) => write!(f, "hds error: {m}"),
+            ElaborateConfigError::Netlist(m) => write!(f, "netlist error: {m}"),
+            ElaborateConfigError::Fsm(m) => write!(f, "fsm binding error: {m}"),
+        }
+    }
+}
+
+impl Error for ElaborateConfigError {}
+
+/// A fully elaborated configuration, ready to run.
+pub struct ConfigSim {
+    /// The simulator holding the structural datapath plus the behavioral
+    /// control unit.
+    pub sim: Simulator,
+    /// SRAM content handles by memory (instance) name.
+    pub mems: HashMap<String, MemHandle>,
+    /// The `done` flag signal.
+    pub done: SignalId,
+    /// The clock signal.
+    pub clk: SignalId,
+    /// The clock period in ticks (fixed by the datapath generator).
+    pub clock_period: u64,
+    /// The intermediate `.hds` text (kept as a test artifact).
+    pub hds_text: String,
+}
+
+/// Elaborates one configuration from its two XML documents.
+///
+/// # Errors
+///
+/// Returns [`ElaborateConfigError`] when any stage of the
+/// XML→hds→netlist→simulator or XML→table→control-unit path fails.
+pub fn elaborate_config(
+    dp_doc: &Document,
+    fsm_doc: &Document,
+) -> Result<ConfigSim, ElaborateConfigError> {
+    elaborate_config_with(dp_doc, fsm_doc, true)
+}
+
+/// [`elaborate_config`] with control over whether reaching the FSM's
+/// terminal state stops the run. Pass `false` for co-simulation benches
+/// where another component (e.g. a CPU) owns the end of simulation.
+///
+/// # Errors
+///
+/// As for [`elaborate_config`].
+pub fn elaborate_config_with(
+    dp_doc: &Document,
+    fsm_doc: &Document,
+    stop_when_done: bool,
+) -> Result<ConfigSim, ElaborateConfigError> {
+    // Structural path: datapath.xml → .hds → netlist → simulator.
+    let sheet = xform::stylesheets::datapath_to_hds();
+    let hds_text = xform::apply(&sheet, dp_doc.root())
+        .map_err(|e| ElaborateConfigError::Stylesheet(e.to_string()))?;
+    let netlist =
+        eventsim::hds::parse(&hds_text).map_err(|e| ElaborateConfigError::Hds(e.to_string()))?;
+    let mut sim = Simulator::new();
+    let map = netlist
+        .elaborate(&mut sim)
+        .map_err(|e| ElaborateConfigError::Netlist(e.to_string()))?;
+
+    // Behavioral path: fsm.xml → control table → ControlUnit.
+    let fsm = nenya::xml::parse_fsm(fsm_doc)
+        .map_err(|e| ElaborateConfigError::Dialect(e.to_string()))?;
+    let clock_name = dp_doc
+        .root()
+        .attr("clock")
+        .ok_or_else(|| ElaborateConfigError::Dialect("datapath lacks clock attribute".into()))?;
+    let clk = lookup(&map, clock_name)?;
+    let done = lookup(&map, "done")?;
+    attach_control_unit_with(&mut sim, &map, &fsm, clk, stop_when_done)?;
+
+    Ok(ConfigSim {
+        sim,
+        mems: map.mems.clone(),
+        done,
+        clk,
+        clock_period: 10,
+        hds_text,
+    })
+}
+
+fn lookup(map: &ElabMap, name: &str) -> Result<SignalId, ElaborateConfigError> {
+    map.signal(name)
+        .map_err(|e| ElaborateConfigError::Fsm(e.to_string()))
+}
+
+/// Converts a name-based FSM description into an index-based
+/// [`FsmTable`], returning the table plus the condition and output signal
+/// names in table order. Both the event-driven path and the cycle-based
+/// baseline build their control units from this.
+///
+/// # Errors
+///
+/// Returns [`ElaborateConfigError::Fsm`] for dangling state references or
+/// inconsistent tables.
+#[allow(clippy::type_complexity)] // (table, condition names, output names)
+pub fn fsm_to_table(
+    fsm: &Fsm,
+) -> Result<(FsmTable, Vec<String>, Vec<(String, u32)>), ElaborateConfigError> {
+    // Order states with the initial state first (the kernel's FsmTable
+    // starts in state 0), preserving relative order otherwise.
+    let initial_index = fsm
+        .states
+        .iter()
+        .position(|s| s.name == fsm.initial)
+        .ok_or_else(|| {
+            ElaborateConfigError::Fsm(format!("initial state '{}' missing", fsm.initial))
+        })?;
+    let mut order: Vec<usize> = (0..fsm.states.len()).collect();
+    order.swap(0, initial_index);
+    let index_of: HashMap<&str, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (fsm.states[old].name.as_str(), new))
+        .collect();
+
+    let output_index: HashMap<&str, usize> = fsm
+        .outputs
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| (name.as_str(), i))
+        .collect();
+    let cond_index: HashMap<&str, usize> = fsm
+        .inputs
+        .iter()
+        .enumerate()
+        .map(|(i, name)| (name.as_str(), i))
+        .collect();
+
+    let mut states = Vec::with_capacity(fsm.states.len());
+    for &old in &order {
+        let desc = &fsm.states[old];
+        let mut outputs = Vec::with_capacity(desc.asserts.len());
+        for (signal, value) in &desc.asserts {
+            let index = *output_index.get(signal.as_str()).ok_or_else(|| {
+                ElaborateConfigError::Fsm(format!(
+                    "state '{}' asserts undeclared output '{}'",
+                    desc.name, signal
+                ))
+            })?;
+            outputs.push((index, *value));
+        }
+        let mut transitions = Vec::with_capacity(desc.transitions.len());
+        for t in &desc.transitions {
+            let target = *index_of.get(t.target.as_str()).ok_or_else(|| {
+                ElaborateConfigError::Fsm(format!(
+                    "state '{}' transitions to missing state '{}'",
+                    desc.name, t.target
+                ))
+            })?;
+            let condition = match &t.cond {
+                None => None,
+                Some((signal, when)) => {
+                    let index = *cond_index.get(signal.as_str()).ok_or_else(|| {
+                        ElaborateConfigError::Fsm(format!(
+                            "state '{}' tests undeclared condition '{}'",
+                            desc.name, signal
+                        ))
+                    })?;
+                    Some((index, *when))
+                }
+            };
+            transitions.push(FsmTransition { condition, target });
+        }
+        states.push(FsmState {
+            name: desc.name.clone(),
+            outputs,
+            transitions,
+            terminal: desc.terminal,
+        });
+    }
+
+    let table = FsmTable::new(states, fsm.inputs.len(), fsm.outputs.len())
+        .map_err(|e| ElaborateConfigError::Fsm(e.to_string()))?;
+    Ok((table, fsm.inputs.clone(), fsm.outputs.clone()))
+}
+
+/// Builds the control table for `fsm`, binds its signals in `map`, and
+/// registers the [`ControlUnit`] with the simulator.
+///
+/// # Errors
+///
+/// Returns [`ElaborateConfigError::Fsm`] for dangling signal or state
+/// references.
+pub fn attach_control_unit(
+    sim: &mut Simulator,
+    map: &ElabMap,
+    fsm: &Fsm,
+    clk: SignalId,
+) -> Result<(), ElaborateConfigError> {
+    attach_control_unit_with(sim, map, fsm, clk, true)
+}
+
+/// [`attach_control_unit`] with control over the stop-on-done behaviour.
+///
+/// # Errors
+///
+/// As for [`attach_control_unit`].
+pub fn attach_control_unit_with(
+    sim: &mut Simulator,
+    map: &ElabMap,
+    fsm: &Fsm,
+    clk: SignalId,
+    stop_when_done: bool,
+) -> Result<(), ElaborateConfigError> {
+    let (table, condition_names, output_names) = fsm_to_table(fsm)?;
+    let mut conditions = Vec::with_capacity(condition_names.len());
+    for name in &condition_names {
+        conditions.push(lookup_signal(map, name)?);
+    }
+    let mut outputs = Vec::with_capacity(output_names.len());
+    let mut widths = Vec::with_capacity(output_names.len());
+    for (name, width) in &output_names {
+        outputs.push(lookup_signal(map, name)?);
+        widths.push(*width);
+    }
+
+    sim.add_component(
+        ControlUnit::new(fsm.name.clone(), clk, conditions, outputs, widths, table)
+            .with_stop_when_done(stop_when_done),
+    );
+    Ok(())
+}
+
+fn lookup_signal(map: &ElabMap, name: &str) -> Result<SignalId, ElaborateConfigError> {
+    map.signal(name)
+        .map_err(|e| ElaborateConfigError::Fsm(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventsim::{RunOutcome, SimTime};
+    use nenya::{compile, CompileOptions};
+
+    fn elaborate_source(src: &str) -> ConfigSim {
+        let design = compile("t", src, &CompileOptions::default()).unwrap();
+        let config = &design.configs[0];
+        let dp_doc = nenya::xml::emit_datapath(&config.datapath);
+        let fsm_doc = nenya::xml::emit_fsm(&config.fsm);
+        elaborate_config(&dp_doc, &fsm_doc).unwrap()
+    }
+
+    #[test]
+    fn trivial_design_runs_to_done() {
+        let mut cs = elaborate_source("mem out[4]; void main() { out[1] = 42; }");
+        let summary = cs.sim.run(SimTime(100_000)).unwrap();
+        assert!(
+            matches!(summary.outcome, RunOutcome::Stopped(ref m) if m.contains("done")),
+            "{:?}",
+            summary.outcome
+        );
+        assert_eq!(cs.mems["out"].load(1), Some(42));
+        assert!(cs.sim.value(cs.done).is_true());
+    }
+
+    #[test]
+    fn loop_design_computes_squares() {
+        let mut cs = elaborate_source(
+            "mem out[8]; void main() { int i; for (i = 0; i < 8; i = i + 1) { out[i] = i * i; } }",
+        );
+        let summary = cs.sim.run(SimTime(1_000_000)).unwrap();
+        assert!(summary.outcome.is_ok());
+        let got: Vec<Option<i64>> = cs.mems["out"].snapshot();
+        assert_eq!(
+            got,
+            (0..8).map(|i| Some(i * i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn hds_artifact_is_kept_and_parses() {
+        let cs = elaborate_source("mem out[4]; void main() { out[0] = 1; }");
+        assert!(cs.hds_text.contains("hds t"));
+        assert!(eventsim::hds::parse(&cs.hds_text).is_ok());
+    }
+
+    #[test]
+    fn broken_fsm_reference_is_reported() {
+        let design = compile("t", "mem out[4]; void main() { out[0] = 1; }", &CompileOptions::default())
+            .unwrap();
+        let config = &design.configs[0];
+        let dp_doc = nenya::xml::emit_datapath(&config.datapath);
+        let mut fsm = config.fsm.clone();
+        fsm.outputs.push(("phantom_signal".to_string(), 1));
+        let fsm_doc = nenya::xml::emit_fsm(&fsm);
+        let err = match elaborate_config(&dp_doc, &fsm_doc) {
+            Ok(_) => panic!("expected elaboration to fail"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, ElaborateConfigError::Fsm(_)), "{err}");
+    }
+
+    #[test]
+    fn fsm_table_reorders_initial_state_first() {
+        use nenya::fsm::{Fsm, FsmStateDesc, FsmTransitionDesc};
+        // Initial state declared *last*: conversion must still start there.
+        let fsm = Fsm {
+            name: "ctrl".into(),
+            inputs: vec![],
+            outputs: vec![("o".into(), 8)],
+            initial: "start".into(),
+            states: vec![
+                FsmStateDesc {
+                    name: "end".into(),
+                    asserts: vec![("o".into(), 9)],
+                    transitions: vec![],
+                    terminal: true,
+                },
+                FsmStateDesc {
+                    name: "start".into(),
+                    asserts: vec![("o".into(), 5)],
+                    transitions: vec![FsmTransitionDesc {
+                        cond: None,
+                        target: "end".into(),
+                    }],
+                    terminal: false,
+                },
+            ],
+        };
+        let (table, conds, outs) = fsm_to_table(&fsm).unwrap();
+        assert!(conds.is_empty());
+        assert_eq!(outs, vec![("o".to_string(), 8)]);
+        assert_eq!(table.states()[0].name, "start");
+        assert_eq!(table.states()[0].outputs, vec![(0, 5)]);
+        assert_eq!(table.states()[0].transitions[0].target, 1);
+        assert!(table.states()[1].terminal);
+    }
+
+    #[test]
+    fn conditional_design_follows_data() {
+        let mut cs = elaborate_source(
+            "mem out[2]; void main() { int a = 3; if (a > 2) { out[0] = 1; } else { out[0] = 2; } }",
+        );
+        cs.sim.run(SimTime(100_000)).unwrap();
+        assert_eq!(cs.mems["out"].load(0), Some(1));
+    }
+}

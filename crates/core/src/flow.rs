@@ -1,0 +1,697 @@
+//! The test flow: the orchestration the paper's ANT build performs.
+//!
+//! One [`TestFlow::run`] executes the entire Figure 1 pipeline:
+//!
+//! 1. compile the source program (the compiler-under-test),
+//! 2. emit the XML dialects (`datapath.xml`, `fsm.xml`, `rtg.xml`),
+//! 3. translate them with the stock stylesheets (`.hds`, behavioral
+//!    source, `dot`),
+//! 4. execute the golden software reference over the stimulus files,
+//! 5. elaborate and simulate every configuration in RTG order, carrying
+//!    SRAM contents across reconfigurations,
+//! 6. compare final memory contents and produce a [`TestReport`].
+
+use crate::elaborate::{elaborate_config, ElaborateConfigError};
+use crate::memcmp::{diff_images, render_mismatches, Mismatch};
+use crate::metrics::{ConfigMetrics, DesignMetrics};
+use crate::stimulus::{MemImage, Stimulus};
+use eventsim::{RunOutcome, SimError, SimTime};
+use nenya::schedule::SchedulePolicy;
+use nenya::{compile, CompileError, CompileOptions, Design};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+/// Options controlling a test-flow run.
+#[derive(Debug, Clone)]
+pub struct FlowOptions {
+    /// Compiler options (width, scheduling policy, partitions).
+    pub compile: CompileOptions,
+    /// Simulation watchdog in kernel ticks per configuration.
+    pub max_ticks: u64,
+    /// Step budget for the golden reference execution.
+    pub golden_step_limit: u64,
+    /// Record a VCD of clock/done/conditions per configuration.
+    pub trace: bool,
+    /// Keep textual artifacts (XML, hds, behavioral source, dot) in the
+    /// report.
+    pub keep_artifacts: bool,
+    /// Datapath signals to record ("access to values on certain
+    /// connections"): every change is captured per configuration and
+    /// returned in [`ConfigRun::probes`].
+    pub probes: Vec<String>,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            compile: CompileOptions::default(),
+            max_ticks: 2_000_000_000,
+            golden_step_limit: 200_000_000,
+            trace: false,
+            keep_artifacts: true,
+            probes: Vec::new(),
+        }
+    }
+}
+
+/// Textual artifacts of one configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigArtifacts {
+    /// Configuration name.
+    pub name: String,
+    /// `datapath.xml`.
+    pub datapath_xml: String,
+    /// `fsm.xml`.
+    pub fsm_xml: String,
+    /// The `.hds` netlist produced by the stylesheet.
+    pub hds: String,
+    /// The behavioral control-unit source (Java-flavoured).
+    pub behavior_src: String,
+    /// Graphviz dot of the datapath.
+    pub datapath_dot: String,
+    /// Graphviz dot of the FSM.
+    pub fsm_dot: String,
+}
+
+/// Textual artifacts of a whole run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifacts {
+    /// `rtg.xml`.
+    pub rtg_xml: String,
+    /// Graphviz dot of the RTG.
+    pub rtg_dot: String,
+    /// The reconfiguration-controller source.
+    pub controller_src: String,
+    /// Per-configuration artifacts in RTG order.
+    pub configs: Vec<ConfigArtifacts>,
+}
+
+/// Result of simulating one configuration.
+#[derive(Debug, Clone)]
+pub struct ConfigRun {
+    /// Configuration name.
+    pub name: String,
+    /// Kernel summary.
+    pub summary: eventsim::RunSummary,
+    /// Clock cycles executed.
+    pub cycles: u64,
+    /// VCD text when tracing was requested.
+    pub vcd: Option<String>,
+    /// Recorded `(tick, value)` histories of the probed signals
+    /// (`None` = `X`).
+    pub probes: BTreeMap<String, Vec<(u64, Option<i64>)>>,
+}
+
+/// The outcome of a full test-flow run.
+#[derive(Debug, Clone)]
+pub struct TestReport {
+    /// Design name.
+    pub design: String,
+    /// Whether simulation completed and every memory word matched.
+    pub passed: bool,
+    /// A design-level failure (assertion, X condition, bad write) that
+    /// aborted simulation, if any.
+    pub failure: Option<String>,
+    /// Word-level disagreements between golden and simulated memories.
+    pub mismatches: Vec<Mismatch>,
+    /// Golden execution statistics.
+    pub golden: nenya::interp::ExecStats,
+    /// Per-configuration simulation results, in RTG order.
+    pub runs: Vec<ConfigRun>,
+    /// Table I metrics.
+    pub metrics: DesignMetrics,
+    /// Textual artifacts (when requested).
+    pub artifacts: Option<Artifacts>,
+    /// Final simulated memory contents.
+    pub sim_mems: BTreeMap<String, MemImage>,
+    /// Final golden memory contents.
+    pub golden_mems: BTreeMap<String, MemImage>,
+}
+
+impl TestReport {
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "design '{}': {}\n",
+            self.design,
+            if self.passed { "PASS" } else { "FAIL" }
+        ));
+        if let Some(failure) = &self.failure {
+            out.push_str(&format!("  simulation failure: {failure}\n"));
+        }
+        if !self.mismatches.is_empty() {
+            out.push_str(&format!("  {} memory mismatches:\n", self.mismatches.len()));
+            out.push_str(&render_mismatches(&self.mismatches, 10));
+        }
+        for run in &self.runs {
+            out.push_str(&format!(
+                "  config '{}': {} cycles, {} events, {:.4}s\n",
+                run.name, run.cycles, run.summary.events, run.summary.wall_seconds
+            ));
+        }
+        out.push_str(&format!(
+            "  golden: {} instructions, {} stores\n",
+            self.golden.instructions, self.golden.stores
+        ));
+        out
+    }
+}
+
+/// Errors that prevent the flow from producing a verdict (distinct from a
+/// failing verdict, which is a [`TestReport`] with `passed == false`).
+#[derive(Debug)]
+pub enum FlowError {
+    /// The compiler rejected the source.
+    Compile(CompileError),
+    /// A stimulus did not apply to its memory.
+    Stimulus(String),
+    /// The golden reference itself failed — the test case (not the
+    /// compiler) is broken.
+    Golden(String),
+    /// XML→simulator elaboration failed.
+    Elaborate(ElaborateConfigError),
+    /// The kernel detected a model error (zero-delay loop).
+    Kernel(SimError),
+    /// A configuration exceeded the tick watchdog.
+    Timeout {
+        /// Configuration name.
+        config: String,
+        /// The watchdog value.
+        max_ticks: u64,
+    },
+    /// The RTG was inconsistent.
+    Rtg(String),
+    /// A probe names a signal the datapath does not have.
+    Probe {
+        /// Configuration name.
+        config: String,
+        /// The unknown signal.
+        signal: String,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Compile(e) => write!(f, "compile: {e}"),
+            FlowError::Stimulus(m) => write!(f, "stimulus: {m}"),
+            FlowError::Golden(m) => write!(f, "golden reference: {m}"),
+            FlowError::Elaborate(e) => write!(f, "elaborate: {e}"),
+            FlowError::Kernel(e) => write!(f, "kernel: {e}"),
+            FlowError::Timeout { config, max_ticks } => {
+                write!(f, "configuration '{config}' exceeded {max_ticks} ticks")
+            }
+            FlowError::Rtg(m) => write!(f, "rtg: {m}"),
+            FlowError::Probe { config, signal } => {
+                write!(f, "configuration '{config}' has no signal '{signal}' to probe")
+            }
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+impl From<CompileError> for FlowError {
+    fn from(e: CompileError) -> Self {
+        FlowError::Compile(e)
+    }
+}
+
+impl From<ElaborateConfigError> for FlowError {
+    fn from(e: ElaborateConfigError) -> Self {
+        FlowError::Elaborate(e)
+    }
+}
+
+impl From<SimError> for FlowError {
+    fn from(e: SimError) -> Self {
+        FlowError::Kernel(e)
+    }
+}
+
+/// Builder for one test-flow run.
+///
+/// ```
+/// use fpgatest::flow::TestFlow;
+/// use fpgatest::stimulus::Stimulus;
+///
+/// # fn main() -> Result<(), fpgatest::flow::FlowError> {
+/// let report = TestFlow::new(
+///     "double",
+///     "mem inp[4]; mem out[4];
+///      void main() { int i; for (i = 0; i < 4; i = i + 1) { out[i] = inp[i] * 2; } }",
+/// )
+/// .stimulus("inp", Stimulus::from_values([1, 2, 3, 4]))
+/// .run()?;
+/// assert!(report.passed);
+/// assert_eq!(report.sim_mems["out"][3], Some(8));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TestFlow {
+    name: String,
+    source: String,
+    options: FlowOptions,
+    stimuli: Vec<(String, Stimulus)>,
+}
+
+impl TestFlow {
+    /// Creates a flow for a named source program.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> Self {
+        TestFlow {
+            name: name.into(),
+            source: source.into(),
+            options: FlowOptions::default(),
+            stimuli: Vec::new(),
+        }
+    }
+
+    /// Replaces the whole option block.
+    pub fn with_options(mut self, options: FlowOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the number of temporal partitions.
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.options.compile.partitions = partitions;
+        self
+    }
+
+    /// Sets the design data width.
+    pub fn with_width(mut self, width: u32) -> Self {
+        self.options.compile.width = width;
+        self
+    }
+
+    /// Sets the scheduling policy.
+    pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
+        self.options.compile.policy = policy;
+        self
+    }
+
+    /// Enables the compiler's TAC optimization passes.
+    pub fn with_optimize(mut self, optimize: bool) -> Self {
+        self.options.compile.optimize = optimize;
+        self
+    }
+
+    /// Enables VCD tracing of clock/done per configuration.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.options.trace = trace;
+        self
+    }
+
+    /// Records every change of a datapath signal (by name). Temps live in
+    /// registers named `t<N>_q`; memory ports are `<mem>_addr`,
+    /// `<mem>_dout`, …; the completion flag is `done`.
+    pub fn probe(mut self, signal: impl Into<String>) -> Self {
+        self.options.probes.push(signal.into());
+        self
+    }
+
+    /// Adds initial contents for a memory.
+    pub fn stimulus(mut self, mem: impl Into<String>, stimulus: Stimulus) -> Self {
+        self.stimuli.push((mem.into(), stimulus));
+        self
+    }
+
+    /// Runs the full flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError`] when the flow cannot produce a verdict;
+    /// compiler bugs manifest as `Ok(report)` with `passed == false`.
+    pub fn run(&self) -> Result<TestReport, FlowError> {
+        let design = compile(&self.name, &self.source, &self.options.compile)?;
+        run_design(&design, &self.stimuli, &self.options)
+    }
+}
+
+/// Runs the verification flow over an already-compiled design.
+///
+/// # Errors
+///
+/// See [`TestFlow::run`].
+pub fn run_design(
+    design: &Design,
+    stimuli: &[(String, Stimulus)],
+    options: &FlowOptions,
+) -> Result<TestReport, FlowError> {
+    // Initial memory images shared by both executions.
+    let mut initial = design.blank_images();
+    for (mem, stimulus) in stimuli {
+        let image = initial
+            .get_mut(mem)
+            .ok_or_else(|| FlowError::Stimulus(format!("no memory named '{mem}'")))?;
+        stimulus
+            .apply(image)
+            .map_err(|m| FlowError::Stimulus(format!("memory '{mem}': {m}")))?;
+    }
+
+    // Golden software execution.
+    let golden_started = Instant::now();
+    let mut golden_mems = initial.clone();
+    let golden = design
+        .execute_golden(&mut golden_mems, options.golden_step_limit)
+        .map_err(FlowError::Golden)?;
+    let golden_seconds = golden_started.elapsed().as_secs_f64();
+
+    // Artifact generation (XML + stylesheet translations + metrics).
+    let rtg_doc = nenya::xml::emit_rtg(&design.rtg);
+    let mut config_artifacts = Vec::new();
+    let mut config_metrics = Vec::new();
+    let mut docs = Vec::new();
+    for config in &design.configs {
+        let dp_doc = nenya::xml::emit_datapath(&config.datapath);
+        let fsm_doc = nenya::xml::emit_fsm(&config.fsm);
+        let behavior =
+            xform::apply(&xform::stylesheets::fsm_to_behavior(), fsm_doc.root())
+                .map_err(|e| FlowError::Elaborate(ElaborateConfigError::Stylesheet(e.to_string())))?;
+        let hds = xform::apply(&xform::stylesheets::datapath_to_hds(), dp_doc.root())
+            .map_err(|e| FlowError::Elaborate(ElaborateConfigError::Stylesheet(e.to_string())))?;
+        let dp_dot = xform::apply(&xform::stylesheets::datapath_to_dot(), dp_doc.root())
+            .map_err(|e| FlowError::Elaborate(ElaborateConfigError::Stylesheet(e.to_string())))?;
+        let fsm_dot = xform::apply(&xform::stylesheets::fsm_to_dot(), fsm_doc.root())
+            .map_err(|e| FlowError::Elaborate(ElaborateConfigError::Stylesheet(e.to_string())))?;
+        config_metrics.push(ConfigMetrics {
+            name: config.name.clone(),
+            lo_xml_fsm: xmlite::loc(&fsm_doc),
+            lo_xml_datapath: xmlite::loc(&dp_doc),
+            lo_behav_fsm: behavior.lines().filter(|l| !l.trim().is_empty()).count(),
+            operators: config.datapath.operator_count(),
+            fsm_states: config.fsm.state_count(),
+            cycles: 0,
+            events: 0,
+            sim_seconds: 0.0,
+        });
+        config_artifacts.push(ConfigArtifacts {
+            name: config.name.clone(),
+            datapath_xml: dp_doc.to_pretty_string(),
+            fsm_xml: fsm_doc.to_pretty_string(),
+            hds,
+            behavior_src: behavior,
+            datapath_dot: dp_dot,
+            fsm_dot,
+        });
+        docs.push((config.name.clone(), dp_doc, fsm_doc));
+    }
+
+    // Simulation in RTG order, SRAM contents carried across
+    // reconfigurations.
+    let mut sim_mems = initial;
+    let mut runs = Vec::new();
+    let mut failure = None;
+    let order = design
+        .rtg
+        .execution_order()
+        .map_err(|e| FlowError::Rtg(e.to_string()))?;
+    for node in order {
+        let config = design
+            .configs
+            .iter()
+            .position(|c| c.datapath.name == node.datapath)
+            .ok_or_else(|| FlowError::Rtg(format!("unknown datapath '{}'", node.datapath)))?;
+        let (config_name, dp_doc, fsm_doc) = &docs[config];
+        let mut cs = elaborate_config(dp_doc, fsm_doc)?;
+
+        // Preload SRAM contents. A size disagreement between the design's
+        // memory map and the elaborated netlist is itself a compiler bug
+        // worth reporting as a failing verdict.
+        for (mem_name, handle) in &cs.mems {
+            let image = sim_mems
+                .get(mem_name)
+                .ok_or_else(|| FlowError::Stimulus(format!("memory '{mem_name}' missing from design")))?;
+            if image.len() != handle.size() {
+                failure = Some(format!(
+                    "configuration '{config_name}': memory '{mem_name}' has {} words in the netlist but {} in the design",
+                    handle.size(),
+                    image.len()
+                ));
+                break;
+            }
+            for (addr, word) in image.iter().enumerate() {
+                if let Some(v) = word {
+                    handle.store(addr, *v);
+                }
+            }
+        }
+        if failure.is_some() {
+            break;
+        }
+
+        if options.trace {
+            cs.sim.trace_signal(cs.clk);
+            cs.sim.trace_signal(cs.done);
+        }
+
+        // Attach the requested probes.
+        let mut probe_handles = Vec::new();
+        for name in &options.probes {
+            let signal = cs.sim.find_signal(name).ok_or_else(|| FlowError::Probe {
+                config: config_name.clone(),
+                signal: name.clone(),
+            })?;
+            let handle = eventsim::probe::ProbeHandle::new();
+            cs.sim.add_component(eventsim::probe::Probe::new(
+                format!("probe_{name}"),
+                signal,
+                handle.clone(),
+            ));
+            probe_handles.push((name.clone(), handle));
+        }
+
+        let summary = cs.sim.run(SimTime(options.max_ticks))?;
+        match &summary.outcome {
+            RunOutcome::Stopped(_) => {}
+            RunOutcome::Failed(message) => {
+                failure = Some(format!("configuration '{config_name}': {message}"));
+            }
+            RunOutcome::TimeLimit => {
+                return Err(FlowError::Timeout {
+                    config: config_name.clone(),
+                    max_ticks: options.max_ticks,
+                });
+            }
+            RunOutcome::QueueEmpty => {
+                failure = Some(format!(
+                    "configuration '{config_name}': simulation went quiet before done"
+                ));
+            }
+        }
+
+        let cycles = summary.end_time.ticks() / cs.clock_period;
+        config_metrics[config].cycles = cycles;
+        config_metrics[config].events = summary.events;
+        config_metrics[config].sim_seconds = summary.wall_seconds;
+        let vcd = options
+            .trace
+            .then(|| eventsim::vcd::render(&cs.sim, config_name));
+        let probes = probe_handles
+            .into_iter()
+            .map(|(name, handle)| {
+                let history = handle
+                    .history()
+                    .into_iter()
+                    .map(|(time, value)| (time.ticks(), value.try_i64()))
+                    .collect();
+                (name, history)
+            })
+            .collect();
+        runs.push(ConfigRun {
+            name: config_name.clone(),
+            summary,
+            cycles,
+            vcd,
+            probes,
+        });
+
+        if failure.is_some() {
+            break;
+        }
+
+        // Write back memory contents for the next configuration.
+        for (mem_name, handle) in &cs.mems {
+            sim_mems.insert(mem_name.clone(), handle.snapshot());
+        }
+    }
+
+    // Comparison of data content.
+    let mut mismatches = Vec::new();
+    if failure.is_none() {
+        for (name, golden_image) in &golden_mems {
+            let sim_image = &sim_mems[name];
+            mismatches.extend(diff_images(name, golden_image, sim_image));
+        }
+    }
+
+    let passed = failure.is_none() && mismatches.is_empty();
+    Ok(TestReport {
+        design: design.name.clone(),
+        passed,
+        failure,
+        mismatches,
+        golden,
+        runs,
+        metrics: DesignMetrics {
+            design: design.name.clone(),
+            lo_java: design.source_lines,
+            configs: config_metrics,
+            golden_seconds,
+        },
+        artifacts: options.keep_artifacts.then(|| Artifacts {
+            rtg_xml: rtg_doc.to_pretty_string(),
+            rtg_dot: xform::apply(&xform::stylesheets::rtg_to_dot(), rtg_doc.root())
+                .unwrap_or_default(),
+            controller_src: xform::apply(
+                &xform::stylesheets::rtg_to_controller(),
+                rtg_doc.root(),
+            )
+            .unwrap_or_default(),
+            configs: config_artifacts,
+        }),
+        sim_mems,
+        golden_mems,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_flow_passes() {
+        let report = TestFlow::new(
+            "sum",
+            "mem inp[4]; mem out[1];
+             void main() { int s = 0; int i; for (i = 0; i < 4; i = i + 1) { s = s + inp[i]; } out[0] = s; }",
+        )
+        .stimulus("inp", Stimulus::from_values([10, 20, 30, 40]))
+        .run()
+        .unwrap();
+        assert!(report.passed, "{}", report.render());
+        assert_eq!(report.sim_mems["out"][0], Some(100));
+        assert_eq!(report.golden_mems["out"][0], Some(100));
+        assert!(report.runs[0].cycles > 0);
+        assert!(report.metrics.configs[0].operators > 0);
+        assert!(report.artifacts.is_some());
+    }
+
+    #[test]
+    fn partitioned_flow_passes() {
+        let report = TestFlow::new(
+            "twophase",
+            "mem a[8]; mem b[8];
+             void main() {
+                 int i;
+                 for (i = 0; i < 8; i = i + 1) { a[i] = i * 3; }
+                 int j;
+                 for (j = 0; j < 8; j = j + 1) { b[j] = a[j] + 1; }
+             }",
+        )
+        .with_partitions(2)
+        .run()
+        .unwrap();
+        assert!(report.passed, "{}", report.render());
+        assert_eq!(report.runs.len(), 2);
+        assert_eq!(report.sim_mems["b"][7], Some(22));
+    }
+
+    #[test]
+    fn golden_failure_is_a_flow_error() {
+        let err = TestFlow::new("bad", "mem out[1]; void main() { int z = 0; out[0] = 1 / z; }")
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, FlowError::Golden(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_stimulus_memory_rejected() {
+        let err = TestFlow::new("s", "mem out[1]; void main() { out[0] = 1; }")
+            .stimulus("nope", Stimulus::from_values([1]))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, FlowError::Stimulus(_)));
+    }
+
+    #[test]
+    fn tracing_produces_vcd() {
+        let report = TestFlow::new("t", "mem out[1]; void main() { out[0] = 5; }")
+            .with_trace(true)
+            .run()
+            .unwrap();
+        let vcd = report.runs[0].vcd.as_ref().unwrap();
+        assert!(vcd.contains("$var wire 1"));
+    }
+
+    #[test]
+    fn probes_record_signal_histories() {
+        let report = TestFlow::new(
+            "p",
+            "mem out[4]; void main() { int i; for (i = 0; i < 4; i = i + 1) { out[i] = i; } }",
+        )
+        .probe("done")
+        .probe("out_we")
+        .run()
+        .unwrap();
+        let probes = &report.runs[0].probes;
+        // done goes 0 then 1 at the end.
+        let done = &probes["done"];
+        assert_eq!(done.first().map(|(_, v)| *v), Some(Some(0)));
+        assert_eq!(done.last().map(|(_, v)| *v), Some(Some(-1))); // 1-bit true
+        // The write enable pulsed once per store.
+        let we_rises = probes["out_we"]
+            .iter()
+            .filter(|(_, v)| *v == Some(-1))
+            .count();
+        assert_eq!(we_rises, 4);
+    }
+
+    #[test]
+    fn unknown_probe_signal_is_an_error() {
+        let err = TestFlow::new("p", "mem out[1]; void main() { out[0] = 1; }")
+            .probe("no_such_signal")
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, FlowError::Probe { .. }), "{err}");
+    }
+
+    #[test]
+    fn report_renders() {
+        let report = TestFlow::new("r", "mem out[1]; void main() { out[0] = 1; }")
+            .run()
+            .unwrap();
+        let text = report.render();
+        assert!(text.contains("PASS"));
+        assert!(text.contains("config"));
+    }
+
+    #[test]
+    fn both_policies_pass_the_same_program() {
+        for policy in [SchedulePolicy::OneOpPerState, SchedulePolicy::List] {
+            let report = TestFlow::new(
+                "p",
+                "mem out[4]; void main() { int i; for (i = 0; i < 4; i = i + 1) { out[i] = i + 7; } }",
+            )
+            .with_policy(policy)
+            .run()
+            .unwrap();
+            assert!(report.passed, "policy {policy}: {}", report.render());
+        }
+    }
+
+    #[test]
+    fn uninitialized_input_matches_on_both_sides() {
+        // Program copies an uninitialized word: both golden and simulation
+        // fail identically (store of X) — so the flow reports the golden
+        // failure as a test-case error.
+        let err = TestFlow::new("x", "mem a[2]; mem out[2]; void main() { out[0] = a[0]; }")
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, FlowError::Golden(_)));
+    }
+}

@@ -1,0 +1,121 @@
+//! Result verification: comparing simulated memory contents against the
+//! golden software execution ("a simple comparison of data content is
+//! performed to verify results").
+
+use crate::stimulus::MemImage;
+use std::fmt;
+
+/// One disagreement between golden and simulated memory contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Memory name.
+    pub mem: String,
+    /// Word address.
+    pub addr: usize,
+    /// Golden value (`None` = uninitialized).
+    pub expected: Option<i64>,
+    /// Simulated value.
+    pub got: Option<i64>,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn word(w: Option<i64>) -> String {
+            match w {
+                Some(v) => v.to_string(),
+                None => "X".to_string(),
+            }
+        }
+        write!(
+            f,
+            "{}[{}]: expected {}, got {}",
+            self.mem,
+            self.addr,
+            word(self.expected),
+            word(self.got)
+        )
+    }
+}
+
+/// Compares two images of the same memory, returning every mismatching
+/// address. Uninitialized (`X`) words must agree exactly: hardware and
+/// golden reference share the "unwritten stays unknown" semantics.
+///
+/// # Panics
+///
+/// Panics when the image lengths differ — that is a harness bug, not a
+/// test failure.
+pub fn diff_images(mem: &str, expected: &MemImage, got: &MemImage) -> Vec<Mismatch> {
+    assert_eq!(
+        expected.len(),
+        got.len(),
+        "images of '{mem}' have different sizes"
+    );
+    expected
+        .iter()
+        .zip(got.iter())
+        .enumerate()
+        .filter(|(_, (e, g))| e != g)
+        .map(|(addr, (e, g))| Mismatch {
+            mem: mem.to_string(),
+            addr,
+            expected: *e,
+            got: *g,
+        })
+        .collect()
+}
+
+/// Formats mismatches for a report, truncating long lists.
+pub fn render_mismatches(mismatches: &[Mismatch], limit: usize) -> String {
+    let mut out = String::new();
+    for m in mismatches.iter().take(limit) {
+        out.push_str(&format!("  {m}\n"));
+    }
+    if mismatches.len() > limit {
+        out.push_str(&format!(
+            "  … and {} more mismatches\n",
+            mismatches.len() - limit
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_have_no_mismatches() {
+        let a = vec![Some(1), None, Some(3)];
+        assert!(diff_images("m", &a, &a.clone()).is_empty());
+    }
+
+    #[test]
+    fn value_and_initialization_mismatches() {
+        let expected = vec![Some(1), None, Some(3), None];
+        let got = vec![Some(1), Some(9), None, None];
+        let diffs = diff_images("m", &expected, &got);
+        assert_eq!(diffs.len(), 2);
+        assert_eq!(diffs[0].addr, 1);
+        assert_eq!(diffs[0].expected, None);
+        assert_eq!(diffs[0].got, Some(9));
+        assert_eq!(diffs[1].addr, 2);
+        assert_eq!(diffs[0].to_string(), "m[1]: expected X, got 9");
+    }
+
+    #[test]
+    #[should_panic(expected = "different sizes")]
+    fn size_mismatch_is_a_harness_bug() {
+        let _ = diff_images("m", &vec![None; 2], &vec![None; 3]);
+    }
+
+    #[test]
+    fn rendering_truncates() {
+        let expected = vec![Some(0); 10];
+        let got = vec![Some(1); 10];
+        let diffs = diff_images("m", &expected, &got);
+        let text = render_mismatches(&diffs, 3);
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("7 more"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Design and run metrics — the columns of the paper's Table I.
+
+use std::fmt;
+
+/// Metrics of one configuration (one row group of Table I has one line
+/// per configuration; FDCT2 has two).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigMetrics {
+    /// Configuration name.
+    pub name: String,
+    /// `loXML FSM`: lines of the FSM XML description.
+    pub lo_xml_fsm: usize,
+    /// `loXML datapath`: lines of the datapath XML description.
+    pub lo_xml_datapath: usize,
+    /// `loJava FSM`: lines of the generated behavioral control-unit
+    /// source (our Java-flavoured rendering).
+    pub lo_behav_fsm: usize,
+    /// Datapath functional units.
+    pub operators: usize,
+    /// Control-FSM states.
+    pub fsm_states: usize,
+    /// Clock cycles simulated.
+    pub cycles: u64,
+    /// Kernel events processed.
+    pub events: u64,
+    /// Wall-clock seconds spent simulating this configuration.
+    pub sim_seconds: f64,
+}
+
+/// Metrics of a whole design run (one Table I row group).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignMetrics {
+    /// Design (example) name.
+    pub design: String,
+    /// `loJava`: lines of the input source program.
+    pub lo_java: usize,
+    /// Per-configuration metrics, in RTG order.
+    pub configs: Vec<ConfigMetrics>,
+    /// Wall-clock seconds of the golden software execution.
+    pub golden_seconds: f64,
+}
+
+impl DesignMetrics {
+    /// Total simulation seconds across configurations.
+    pub fn total_sim_seconds(&self) -> f64 {
+        self.configs.iter().map(|c| c.sim_seconds).sum()
+    }
+
+    /// Total operators across configurations.
+    pub fn total_operators(&self) -> usize {
+        self.configs.iter().map(|c| c.operators).sum()
+    }
+
+    /// Total cycles across configurations.
+    pub fn total_cycles(&self) -> u64 {
+        self.configs.iter().map(|c| c.cycles).sum()
+    }
+}
+
+/// Renders design metrics as the paper's Table I (one line per
+/// configuration, design totals in the first line's `loJava` column).
+///
+/// ```text
+/// example   loJava  loXML-FSM  loXML-dp  loBehav-FSM  operators  sim-time(s)
+/// fdct1        131        512      1708         1175        169       0.012
+/// ```
+pub fn render_table1(rows: &[DesignMetrics]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>7} {:>10} {:>9} {:>12} {:>10} {:>12}\n",
+        "example", "loJava", "loXML-FSM", "loXML-dp", "loBehav-FSM", "operators", "sim-time(s)"
+    ));
+    for design in rows {
+        for (i, config) in design.configs.iter().enumerate() {
+            let (name, lo_java) = if i == 0 {
+                (design.design.as_str(), design.lo_java.to_string())
+            } else {
+                ("", String::new())
+            };
+            out.push_str(&format!(
+                "{:<12} {:>7} {:>10} {:>9} {:>12} {:>10} {:>12.4}\n",
+                name,
+                lo_java,
+                config.lo_xml_fsm,
+                config.lo_xml_datapath,
+                config.lo_behav_fsm,
+                config.operators,
+                config.sim_seconds,
+            ));
+        }
+    }
+    out
+}
+
+impl fmt::Display for DesignMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&render_table1(std::slice::from_ref(self)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DesignMetrics {
+        DesignMetrics {
+            design: "fdct2".into(),
+            lo_java: 131,
+            configs: vec![
+                ConfigMetrics {
+                    name: "fdct2_c0".into(),
+                    lo_xml_fsm: 258,
+                    lo_xml_datapath: 860,
+                    lo_behav_fsm: 667,
+                    operators: 90,
+                    fsm_states: 40,
+                    cycles: 1000,
+                    events: 50_000,
+                    sim_seconds: 0.5,
+                },
+                ConfigMetrics {
+                    name: "fdct2_c1".into(),
+                    lo_xml_fsm: 256,
+                    lo_xml_datapath: 891,
+                    lo_behav_fsm: 606,
+                    operators: 90,
+                    fsm_states: 41,
+                    cycles: 1100,
+                    events: 51_000,
+                    sim_seconds: 0.4,
+                },
+            ],
+            golden_seconds: 0.001,
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let m = sample();
+        assert_eq!(m.total_operators(), 180);
+        assert_eq!(m.total_cycles(), 2100);
+        assert!((m.total_sim_seconds() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_layout_matches_paper_shape() {
+        let text = render_table1(&[sample()]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3); // header + two configuration rows
+        assert!(lines[0].contains("loXML-FSM"));
+        assert!(lines[1].starts_with("fdct2"));
+        assert!(lines[1].contains("131"));
+        // Continuation row leaves design columns blank.
+        assert!(lines[2].starts_with(' '));
+        assert!(lines[2].contains("891"));
+    }
+
+    #[test]
+    fn display_delegates_to_table() {
+        assert!(sample().to_string().contains("fdct2"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Memory-content and stimulus files.
+//!
+//! The paper stores memory contents and I/O data in files shared by the
+//! golden software execution and the simulation. The format is
+//! line-oriented text:
+//!
+//! ```text
+//! # input image, 64 pixels
+//! @mem frame
+//! @size 64
+//! 0: 12
+//! 1: -3
+//! 5: 0x1f      # hex accepted
+//! ```
+//!
+//! `@mem`/`@size` headers are optional; addresses may be sparse (words
+//! not listed stay uninitialized). [`emit`] writes the canonical form.
+
+use std::error::Error;
+use std::fmt;
+
+/// A memory image: one optional word per address, `None` =
+/// uninitialized. (Re-exported alias of the interpreter's image type.)
+pub type MemImage = Vec<Option<i64>>;
+
+/// Error produced when parsing a malformed stimulus file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStimulusError {
+    message: String,
+    line: usize,
+}
+
+impl ParseStimulusError {
+    fn new(message: impl Into<String>, line: usize) -> Self {
+        ParseStimulusError {
+            message: message.into(),
+            line,
+        }
+    }
+
+    /// 1-based line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseStimulusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (line {})", self.message, self.line)
+    }
+}
+
+impl Error for ParseStimulusError {}
+
+/// A parsed stimulus file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Stimulus {
+    /// Optional `@mem` header naming the target memory.
+    pub mem: Option<String>,
+    /// Optional `@size` header (validated against the design on load).
+    pub size: Option<usize>,
+    /// `(address, value)` pairs in file order.
+    pub words: Vec<(usize, i64)>,
+}
+
+impl Stimulus {
+    /// Builds a dense stimulus covering `values` from address 0.
+    pub fn from_values<I: IntoIterator<Item = i64>>(values: I) -> Self {
+        Stimulus {
+            mem: None,
+            size: None,
+            words: values.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Applies the stimulus to an image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when an address is outside the image or the
+    /// `@size` header disagrees with the image length.
+    pub fn apply(&self, image: &mut MemImage) -> Result<(), String> {
+        if let Some(size) = self.size {
+            if size != image.len() {
+                return Err(format!(
+                    "stimulus declares size {size}, memory has {}",
+                    image.len()
+                ));
+            }
+        }
+        let size = image.len();
+        for &(addr, value) in &self.words {
+            let slot = image
+                .get_mut(addr)
+                .ok_or_else(|| format!("address {addr} outside memory of size {size}"))?;
+            *slot = Some(value);
+        }
+        Ok(())
+    }
+}
+
+/// Parses stimulus text.
+///
+/// # Errors
+///
+/// Returns [`ParseStimulusError`] for malformed headers, addresses, or
+/// values.
+pub fn parse(text: &str) -> Result<Stimulus, ParseStimulusError> {
+    let mut stim = Stimulus::default();
+    for (index, raw) in text.lines().enumerate() {
+        let lineno = index + 1;
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("@mem") {
+            let name = rest.trim();
+            if name.is_empty() {
+                return Err(ParseStimulusError::new("@mem needs a name", lineno));
+            }
+            stim.mem = Some(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("@size") {
+            let size = rest
+                .trim()
+                .parse()
+                .map_err(|_| ParseStimulusError::new("@size needs an integer", lineno))?;
+            stim.size = Some(size);
+            continue;
+        }
+        let (addr_part, value_part) = line.split_once(':').ok_or_else(|| {
+            ParseStimulusError::new("expected 'address: value'", lineno)
+        })?;
+        let addr: usize = addr_part.trim().parse().map_err(|_| {
+            ParseStimulusError::new(format!("bad address '{}'", addr_part.trim()), lineno)
+        })?;
+        let value = parse_value(value_part.trim())
+            .ok_or_else(|| ParseStimulusError::new(format!("bad value '{}'", value_part.trim()), lineno))?;
+        stim.words.push((addr, value));
+    }
+    Ok(stim)
+}
+
+fn parse_value(text: &str) -> Option<i64> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()
+    } else if let Some(hex) = text.strip_prefix("-0x") {
+        i64::from_str_radix(hex, 16).ok().map(|v| -v)
+    } else {
+        text.parse().ok()
+    }
+}
+
+/// Renders a memory image in the canonical file form (initialized words
+/// only, decimal, with headers).
+pub fn emit(mem_name: &str, image: &MemImage) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("@mem {mem_name}\n@size {}\n", image.len()));
+    for (addr, word) in image.iter().enumerate() {
+        if let Some(value) = word {
+            out.push_str(&format!("{addr}: {value}\n"));
+        }
+    }
+    out
+}
+
+/// Renders an image memory as a text PGM (portable graymap), the
+/// substitution for the paper's Java GUI image display. Uninitialized
+/// pixels render as 0; values are clamped to `0..=maxval`.
+pub fn to_pgm(image: &MemImage, width: usize, maxval: i64) -> String {
+    assert!(width > 0, "image width must be positive");
+    let height = image.len().div_ceil(width);
+    let mut out = format!("P2\n{width} {height}\n{maxval}\n");
+    for row in 0..height {
+        let mut line = String::new();
+        for col in 0..width {
+            let value = image
+                .get(row * width + col)
+                .copied()
+                .flatten()
+                .unwrap_or(0)
+                .clamp(0, maxval);
+            if !line.is_empty() {
+                line.push(' ');
+            }
+            line.push_str(&value.to_string());
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_featured_file() {
+        let text = "# comment\n@mem frame\n@size 8\n0: 5\n3: -7\n4: 0x10  # hex\n";
+        let stim = parse(text).unwrap();
+        assert_eq!(stim.mem.as_deref(), Some("frame"));
+        assert_eq!(stim.size, Some(8));
+        assert_eq!(stim.words, vec![(0, 5), (3, -7), (4, 16)]);
+    }
+
+    #[test]
+    fn apply_and_sparse_semantics() {
+        let stim = parse("1: 9\n3: 4\n").unwrap();
+        let mut image = vec![None; 4];
+        stim.apply(&mut image).unwrap();
+        assert_eq!(image, vec![None, Some(9), None, Some(4)]);
+    }
+
+    #[test]
+    fn apply_validates_bounds_and_size() {
+        let stim = parse("9: 1\n").unwrap();
+        let mut image = vec![None; 4];
+        assert!(stim.apply(&mut image).unwrap_err().contains("address 9"));
+
+        let stim = parse("@size 8\n0: 1\n").unwrap();
+        assert!(stim.apply(&mut image).unwrap_err().contains("size 8"));
+    }
+
+    #[test]
+    fn parse_errors_carry_lines() {
+        assert_eq!(parse("0 5\n").unwrap_err().line(), 1);
+        assert_eq!(parse("# ok\nx: 5\n").unwrap_err().line(), 2);
+        assert_eq!(parse("0: pancake\n").unwrap_err().line(), 1);
+        assert_eq!(parse("@size big\n").unwrap_err().line(), 1);
+        assert_eq!(parse("@mem \n").unwrap_err().line(), 1);
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let image = vec![Some(1), None, Some(-5), Some(1000)];
+        let text = emit("m", &image);
+        let stim = parse(&text).unwrap();
+        assert_eq!(stim.mem.as_deref(), Some("m"));
+        let mut back = vec![None; 4];
+        stim.apply(&mut back).unwrap();
+        assert_eq!(back, image);
+    }
+
+    #[test]
+    fn from_values_is_dense() {
+        let stim = Stimulus::from_values([7, 8, 9]);
+        let mut image = vec![None; 3];
+        stim.apply(&mut image).unwrap();
+        assert_eq!(image, vec![Some(7), Some(8), Some(9)]);
+    }
+
+    #[test]
+    fn pgm_rendering() {
+        let image = vec![Some(0), Some(255), None, Some(999), Some(-4), Some(7)];
+        let pgm = to_pgm(&image, 3, 255);
+        let lines: Vec<&str> = pgm.lines().collect();
+        assert_eq!(lines[0], "P2");
+        assert_eq!(lines[1], "3 2");
+        assert_eq!(lines[2], "255");
+        assert_eq!(lines[3], "0 255 0");
+        assert_eq!(lines[4], "255 0 7");
+    }
+}

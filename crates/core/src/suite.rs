@@ -1,0 +1,399 @@
+//! The test-suite runner — the role the ANT build plays in the paper:
+//! "automation needed to test the results for all the set of test cases
+//! used during the test".
+//!
+//! A suite is a list of named cases, each a complete [`TestFlow`]
+//! description. Suites can be built programmatically or loaded from a
+//! manifest file:
+//!
+//! ```text
+//! # suite manifest
+//! case fdct1
+//!   source fdct.src          # path relative to the manifest
+//!   stimulus img fdct_img.stim
+//!   width 32
+//!   partitions 1
+//! case hamming
+//!   source hamming.src
+//!   stimulus code code.stim
+//! ```
+
+use crate::flow::{FlowError, FlowOptions, TestFlow, TestReport};
+use crate::stimulus::{self, Stimulus};
+use nenya::schedule::SchedulePolicy;
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One test case of a suite.
+#[derive(Debug, Clone)]
+pub struct TestCase {
+    /// Case name.
+    pub name: String,
+    /// Source program text.
+    pub source: String,
+    /// Initial memory contents.
+    pub stimuli: Vec<(String, Stimulus)>,
+    /// Flow options for this case.
+    pub options: FlowOptions,
+}
+
+impl TestCase {
+    /// Creates a case with default options and no stimuli.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> Self {
+        TestCase {
+            name: name.into(),
+            source: source.into(),
+            stimuli: Vec::new(),
+            options: FlowOptions::default(),
+        }
+    }
+
+    /// Builder-style stimulus.
+    pub fn with_stimulus(mut self, mem: impl Into<String>, stimulus: Stimulus) -> Self {
+        self.stimuli.push((mem.into(), stimulus));
+        self
+    }
+
+    /// Builder-style options.
+    pub fn with_options(mut self, options: FlowOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// Result of one case.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // one value per case; size is irrelevant
+pub enum CaseResult {
+    /// The flow produced a verdict.
+    Finished(TestReport),
+    /// The flow could not run (compile error, bad stimulus, …).
+    Errored(FlowError),
+}
+
+impl CaseResult {
+    /// Whether the case counts as passing.
+    pub fn passed(&self) -> bool {
+        matches!(self, CaseResult::Finished(r) if r.passed)
+    }
+}
+
+/// Aggregated results of a suite run.
+#[derive(Debug)]
+pub struct SuiteReport {
+    /// `(case name, result)` pairs in suite order.
+    pub results: Vec<(String, CaseResult)>,
+}
+
+impl SuiteReport {
+    /// Number of passing cases.
+    pub fn passed(&self) -> usize {
+        self.results.iter().filter(|(_, r)| r.passed()).count()
+    }
+
+    /// Number of failing or erroring cases.
+    pub fn failed(&self) -> usize {
+        self.results.len() - self.passed()
+    }
+
+    /// Whether every case passed.
+    pub fn all_passed(&self) -> bool {
+        self.failed() == 0
+    }
+
+    /// Renders a one-line-per-case summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, result) in &self.results {
+            let status = match result {
+                CaseResult::Finished(r) if r.passed => "PASS".to_string(),
+                CaseResult::Finished(r) => {
+                    let why = r
+                        .failure
+                        .clone()
+                        .unwrap_or_else(|| format!("{} memory mismatches", r.mismatches.len()));
+                    format!("FAIL ({why})")
+                }
+                CaseResult::Errored(e) => format!("ERROR ({e})"),
+            };
+            out.push_str(&format!("{name:<20} {status}\n"));
+        }
+        out.push_str(&format!(
+            "{} passed, {} failed, {} total\n",
+            self.passed(),
+            self.failed(),
+            self.results.len()
+        ));
+        out
+    }
+}
+
+/// A collection of test cases run as a unit.
+#[derive(Debug, Default)]
+pub struct Suite {
+    cases: Vec<TestCase>,
+}
+
+impl Suite {
+    /// Creates an empty suite.
+    pub fn new() -> Self {
+        Suite::default()
+    }
+
+    /// Adds a case.
+    pub fn push(&mut self, case: TestCase) {
+        self.cases.push(case);
+    }
+
+    /// Builder-style [`push`](Self::push).
+    pub fn with_case(mut self, case: TestCase) -> Self {
+        self.push(case);
+        self
+    }
+
+    /// The cases in order.
+    pub fn cases(&self) -> &[TestCase] {
+        &self.cases
+    }
+
+    /// Runs every case, never short-circuiting: a broken case must not
+    /// hide results of the others.
+    pub fn run(&self) -> SuiteReport {
+        let results = self
+            .cases
+            .iter()
+            .map(|case| {
+                let mut flow = TestFlow::new(&case.name, &case.source)
+                    .with_options(case.options.clone());
+                for (mem, stimulus) in &case.stimuli {
+                    flow = flow.stimulus(mem, stimulus.clone());
+                }
+                let result = match flow.run() {
+                    Ok(report) => CaseResult::Finished(report),
+                    Err(e) => CaseResult::Errored(e),
+                };
+                (case.name.clone(), result)
+            })
+            .collect();
+        SuiteReport { results }
+    }
+}
+
+/// Error produced when loading a suite manifest.
+#[derive(Debug)]
+pub enum LoadSuiteError {
+    /// The manifest or a referenced file could not be read.
+    Io(PathBuf, std::io::Error),
+    /// The manifest text is malformed.
+    Manifest {
+        /// 1-based manifest line.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+    /// A referenced stimulus file is malformed.
+    Stimulus(PathBuf, stimulus::ParseStimulusError),
+}
+
+impl fmt::Display for LoadSuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadSuiteError::Io(path, e) => write!(f, "cannot read {}: {e}", path.display()),
+            LoadSuiteError::Manifest { line, message } => {
+                write!(f, "manifest line {line}: {message}")
+            }
+            LoadSuiteError::Stimulus(path, e) => {
+                write!(f, "stimulus {}: {e}", path.display())
+            }
+        }
+    }
+}
+
+impl Error for LoadSuiteError {}
+
+/// Loads a suite from a manifest file; file references resolve relative
+/// to the manifest's directory.
+///
+/// # Errors
+///
+/// Returns [`LoadSuiteError`] for unreadable or malformed files.
+pub fn load_manifest(path: impl AsRef<Path>) -> Result<Suite, LoadSuiteError> {
+    let path = path.as_ref();
+    let text =
+        std::fs::read_to_string(path).map_err(|e| LoadSuiteError::Io(path.to_path_buf(), e))?;
+    let base = path.parent().unwrap_or_else(|| Path::new("."));
+    parse_manifest(&text, base)
+}
+
+/// Parses manifest text with `base` as the directory for file references.
+///
+/// # Errors
+///
+/// See [`load_manifest`].
+pub fn parse_manifest(text: &str, base: &Path) -> Result<Suite, LoadSuiteError> {
+    let mut suite = Suite::new();
+    let mut current: Option<TestCase> = None;
+    for (index, raw) in text.lines().enumerate() {
+        let lineno = index + 1;
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line");
+        let manifest_err = |message: String| LoadSuiteError::Manifest {
+            line: lineno,
+            message,
+        };
+        match keyword {
+            "case" => {
+                if let Some(done) = current.take() {
+                    suite.push(done);
+                }
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| manifest_err("'case' needs a name".into()))?;
+                current = Some(TestCase::new(name, String::new()));
+            }
+            _ => {
+                let case = current
+                    .as_mut()
+                    .ok_or_else(|| manifest_err(format!("'{keyword}' before any 'case'")))?;
+                match keyword {
+                    "source" => {
+                        let file = tokens
+                            .next()
+                            .ok_or_else(|| manifest_err("'source' needs a path".into()))?;
+                        let full = base.join(file);
+                        case.source = std::fs::read_to_string(&full)
+                            .map_err(|e| LoadSuiteError::Io(full.clone(), e))?;
+                    }
+                    "stimulus" => {
+                        let mem = tokens
+                            .next()
+                            .ok_or_else(|| manifest_err("'stimulus' needs a memory name".into()))?;
+                        let file = tokens
+                            .next()
+                            .ok_or_else(|| manifest_err("'stimulus' needs a path".into()))?;
+                        let full = base.join(file);
+                        let text = std::fs::read_to_string(&full)
+                            .map_err(|e| LoadSuiteError::Io(full.clone(), e))?;
+                        let stim = stimulus::parse(&text)
+                            .map_err(|e| LoadSuiteError::Stimulus(full.clone(), e))?;
+                        case.stimuli.push((mem.to_string(), stim));
+                    }
+                    "width" => {
+                        let w = tokens
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| manifest_err("'width' needs an integer".into()))?;
+                        case.options.compile.width = w;
+                    }
+                    "partitions" => {
+                        let k = tokens
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| manifest_err("'partitions' needs an integer".into()))?;
+                        case.options.compile.partitions = k;
+                    }
+                    "optimize" => {
+                        case.options.compile.optimize = true;
+                    }
+                    "policy" => {
+                        let p = tokens
+                            .next()
+                            .ok_or_else(|| manifest_err("'policy' needs a value".into()))?;
+                        case.options.compile.policy = match p {
+                            "list" => SchedulePolicy::List,
+                            "one-op-per-state" => SchedulePolicy::OneOpPerState,
+                            other => {
+                                return Err(manifest_err(format!("unknown policy '{other}'")))
+                            }
+                        };
+                    }
+                    other => {
+                        return Err(manifest_err(format!("unknown directive '{other}'")));
+                    }
+                }
+            }
+        }
+    }
+    if let Some(done) = current.take() {
+        suite.push(done);
+    }
+    Ok(suite)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn passing_case(name: &str) -> TestCase {
+        TestCase::new(
+            name,
+            "mem out[2]; void main() { out[0] = 1; out[1] = 2; }",
+        )
+    }
+
+    #[test]
+    fn suite_runs_all_cases() {
+        let report = Suite::new()
+            .with_case(passing_case("a"))
+            .with_case(TestCase::new("broken", "void main() {")) // parse error
+            .with_case(passing_case("b"))
+            .run();
+        assert_eq!(report.results.len(), 3);
+        assert_eq!(report.passed(), 2);
+        assert_eq!(report.failed(), 1);
+        assert!(!report.all_passed());
+        let text = report.render();
+        assert!(text.contains("a ") && text.contains("ERROR") && text.contains("2 passed"));
+    }
+
+    #[test]
+    fn manifest_parses_inline() {
+        let dir = std::env::temp_dir().join("fpgatest_suite_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("p.src"), "mem out[1]; mem inp[1]; void main() { out[0] = inp[0]; }").unwrap();
+        std::fs::write(dir.join("inp.stim"), "0: 9\n").unwrap();
+        let manifest = "\
+# demo suite
+case copy
+  source p.src
+  stimulus inp inp.stim
+  width 16
+  partitions 1
+  policy list
+";
+        let suite = parse_manifest(manifest, &dir).unwrap();
+        assert_eq!(suite.cases().len(), 1);
+        let report = suite.run();
+        assert!(report.all_passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn manifest_errors() {
+        let base = Path::new(".");
+        assert!(matches!(
+            parse_manifest("source x.src\n", base),
+            Err(LoadSuiteError::Manifest { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_manifest("case a\n  bogus 1\n", base),
+            Err(LoadSuiteError::Manifest { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_manifest("case a\n  source /no/such/file.src\n", base),
+            Err(LoadSuiteError::Io(_, _))
+        ));
+        assert!(matches!(
+            parse_manifest("case a\n  policy turbo\n", base),
+            Err(LoadSuiteError::Manifest { .. })
+        ));
+    }
+}

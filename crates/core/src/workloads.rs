@@ -1,0 +1,558 @@
+//! The paper's evaluation workloads: the fast DCT (FDCT) over 8×8 image
+//! blocks and a Hamming(7,4) decoder, plus deterministic stimulus
+//! generators and host-side reference math used by tests.
+//!
+//! The FDCT is the classic integer "islow" fast DCT (13-bit fixed-point
+//! constants, two passes: rows then columns), written in the source
+//! language. The two passes are two top-level loops, so compiling with
+//! `partitions = 2` splits exactly there — the paper's FDCT2. Three
+//! SRAMs hold the input, intermediate, and output images, matching the
+//! paper ("both implementations use three SRAMs to store input, output,
+//! and intermediate images").
+
+/// Number of pixels in the paper's primary FDCT experiment (64 blocks).
+pub const FDCT_BASE_PIXELS: usize = 4096;
+
+/// The FDCT source program for an image of `pixels` pixels.
+///
+/// `pixels` must be a positive multiple of 64 (whole 8×8 blocks); blocks
+/// are stored consecutively, row-major within each block.
+///
+/// # Panics
+///
+/// Panics if `pixels` is zero or not a multiple of 64.
+pub fn fdct_source(pixels: usize) -> String {
+    assert!(
+        pixels > 0 && pixels.is_multiple_of(64),
+        "pixel count {pixels} is not a positive multiple of 64"
+    );
+    let blocks = pixels / 64;
+    format!(
+        r#"// fast DCT (integer islow): 8x8 blocks, two passes
+mem img[{pixels}];
+mem tmp[{pixels}];
+mem out[{pixels}];
+void main() {{
+    // pass 1: 1-D DCT over the rows of every block
+    int b;
+    for (b = 0; b < {blocks}; b = b + 1) {{
+        int r;
+        for (r = 0; r < 8; r = r + 1) {{
+            int base = b * 64 + r * 8;
+            int x0 = img[base];
+            int x1 = img[base + 1];
+            int x2 = img[base + 2];
+            int x3 = img[base + 3];
+            int x4 = img[base + 4];
+            int x5 = img[base + 5];
+            int x6 = img[base + 6];
+            int x7 = img[base + 7];
+            int t0 = x0 + x7;
+            int t7 = x0 - x7;
+            int t1 = x1 + x6;
+            int t6 = x1 - x6;
+            int t2 = x2 + x5;
+            int t5 = x2 - x5;
+            int t3 = x3 + x4;
+            int t4 = x3 - x4;
+            int t10 = t0 + t3;
+            int t13 = t0 - t3;
+            int t11 = t1 + t2;
+            int t12 = t1 - t2;
+            tmp[base] = (t10 + t11) << 2;
+            tmp[base + 4] = (t10 - t11) << 2;
+            int z1 = (t12 + t13) * 4433;
+            tmp[base + 2] = (z1 + t13 * 6270 + 1024) >> 11;
+            tmp[base + 6] = (z1 - t12 * 15137 + 1024) >> 11;
+            int za = t4 + t7;
+            int zb = t5 + t6;
+            int zc = t4 + t6;
+            int zd = t5 + t7;
+            int z5 = (zc + zd) * 9633;
+            int u4 = t4 * 2446;
+            int u5 = t5 * 16819;
+            int u6 = t6 * 25172;
+            int u7 = t7 * 12299;
+            int v1 = 0 - za * 7373;
+            int v2 = 0 - zb * 20995;
+            int v3 = (0 - zc * 16069) + z5;
+            int v4 = (0 - zd * 3196) + z5;
+            tmp[base + 7] = (u4 + v1 + v3 + 1024) >> 11;
+            tmp[base + 5] = (u5 + v2 + v4 + 1024) >> 11;
+            tmp[base + 3] = (u6 + v2 + v3 + 1024) >> 11;
+            tmp[base + 1] = (u7 + v1 + v4 + 1024) >> 11;
+        }}
+    }}
+    // pass 2: 1-D DCT over the columns, with final descale
+    int c;
+    for (c = 0; c < {blocks}; c = c + 1) {{
+        int k;
+        for (k = 0; k < 8; k = k + 1) {{
+            int cbase = c * 64 + k;
+            int y0 = tmp[cbase];
+            int y1 = tmp[cbase + 8];
+            int y2 = tmp[cbase + 16];
+            int y3 = tmp[cbase + 24];
+            int y4 = tmp[cbase + 32];
+            int y5 = tmp[cbase + 40];
+            int y6 = tmp[cbase + 48];
+            int y7 = tmp[cbase + 56];
+            int s0 = y0 + y7;
+            int s7 = y0 - y7;
+            int s1 = y1 + y6;
+            int s6 = y1 - y6;
+            int s2 = y2 + y5;
+            int s5 = y2 - y5;
+            int s3 = y3 + y4;
+            int s4 = y3 - y4;
+            int s10 = s0 + s3;
+            int s13 = s0 - s3;
+            int s11 = s1 + s2;
+            int s12 = s1 - s2;
+            out[cbase] = (s10 + s11 + 2) >> 2;
+            out[cbase + 32] = (s10 - s11 + 2) >> 2;
+            int w1 = (s12 + s13) * 4433;
+            out[cbase + 16] = (w1 + s13 * 6270 + 16384) >> 15;
+            out[cbase + 48] = (w1 - s12 * 15137 + 16384) >> 15;
+            int wa = s4 + s7;
+            int wb = s5 + s6;
+            int wc = s4 + s6;
+            int wd = s5 + s7;
+            int w5 = (wc + wd) * 9633;
+            int p4 = s4 * 2446;
+            int p5 = s5 * 16819;
+            int p6 = s6 * 25172;
+            int p7 = s7 * 12299;
+            int q1 = 0 - wa * 7373;
+            int q2 = 0 - wb * 20995;
+            int q3 = (0 - wc * 16069) + w5;
+            int q4 = (0 - wd * 3196) + w5;
+            out[cbase + 56] = (p4 + q1 + q3 + 16384) >> 15;
+            out[cbase + 40] = (p5 + q2 + q4 + 16384) >> 15;
+            out[cbase + 24] = (p6 + q2 + q3 + 16384) >> 15;
+            out[cbase + 8] = (p7 + q1 + q4 + 16384) >> 15;
+        }}
+    }}
+}}
+"#
+    )
+}
+
+/// The Hamming(7,4) decoder source: corrects single-bit errors in `words`
+/// 7-bit codewords and extracts the 4 data bits.
+///
+/// Bit layout (LSB-first positions 1..=7): parity at 1, 2, 4; data at
+/// 3, 5, 6, 7.
+///
+/// # Panics
+///
+/// Panics if `words` is zero.
+pub fn hamming_source(words: usize) -> String {
+    assert!(words > 0, "need at least one codeword");
+    format!(
+        r#"// Hamming(7,4) decoder with single-bit correction
+mem code[{words}];
+mem data[{words}];
+void main() {{
+    int i;
+    for (i = 0; i < {words}; i = i + 1) {{
+        int w = code[i];
+        int b1 = w & 1;
+        int b2 = (w >> 1) & 1;
+        int b3 = (w >> 2) & 1;
+        int b4 = (w >> 3) & 1;
+        int b5 = (w >> 4) & 1;
+        int b6 = (w >> 5) & 1;
+        int b7 = (w >> 6) & 1;
+        int s1 = b1 ^ b3 ^ b5 ^ b7;
+        int s2 = b2 ^ b3 ^ b6 ^ b7;
+        int s3 = b4 ^ b5 ^ b6 ^ b7;
+        int pos = s1 + s2 * 2 + s3 * 4;
+        if (pos != 0) {{
+            w = w ^ (1 << (pos - 1));
+        }}
+        int d0 = (w >> 2) & 1;
+        int d1 = (w >> 4) & 1;
+        int d2 = (w >> 5) & 1;
+        int d3 = (w >> 6) & 1;
+        data[i] = d0 + d1 * 2 + d2 * 4 + d3 * 8;
+    }}
+}}
+"#
+    )
+}
+
+/// An `n x n` integer matrix multiply (`c = a * b`), row-major — a
+/// triple-nested-loop workload exercising deep loop nests and
+/// 2-D addressing.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn matmul_source(n: usize) -> String {
+    assert!(n > 0, "matrix dimension must be positive");
+    let cells = n * n;
+    format!(
+        r#"// {n}x{n} integer matrix multiply
+mem a[{cells}];
+mem b[{cells}];
+mem c[{cells}];
+void main() {{
+    int i;
+    for (i = 0; i < {n}; i = i + 1) {{
+        int j;
+        for (j = 0; j < {n}; j = j + 1) {{
+            int acc = 0;
+            int k;
+            for (k = 0; k < {n}; k = k + 1) {{
+                acc = acc + a[i * {n} + k] * b[k * {n} + j];
+            }}
+            c[i * {n} + j] = acc;
+        }}
+    }}
+}}
+"#
+    )
+}
+
+/// Host reference for [`matmul_source`] at the default 16-bit design
+/// width (accumulation wraps at every step, as in the generated design).
+pub fn matmul_reference(a: &[i64], b: &[i64], n: usize) -> Vec<i64> {
+    let wrap16 = |v: i64| (v as i16) as i64;
+    let mut c = vec![0i64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc: i64 = 0;
+            for k in 0..n {
+                acc = wrap16(acc + wrap16(a[i * n + k] * b[k * n + j]));
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// An in-place bubble sort over one SRAM — heavy **data-dependent**
+/// control flow (the swap branch depends on memory contents), the
+/// sharpest test of condition handling in generated control units.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn sort_source(n: usize) -> String {
+    assert!(n > 0, "need at least one element");
+    format!(
+        r#"// in-place bubble sort with data-dependent swaps
+mem data[{n}];
+void main() {{
+    int i;
+    for (i = 0; i < {n} - 1; i = i + 1) {{
+        int j;
+        for (j = 0; j < {n} - 1 - i; j = j + 1) {{
+            int x = data[j];
+            int y = data[j + 1];
+            if (y < x) {{
+                data[j] = y;
+                data[j + 1] = x;
+            }}
+        }}
+    }}
+}}
+"#
+    )
+}
+
+/// Deterministic pseudo-random grayscale image (values `0..=255`),
+/// xorshift-based so every run and machine agrees.
+pub fn test_image(pixels: usize) -> Vec<i64> {
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    (0..pixels)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 256) as i64
+        })
+        .collect()
+}
+
+/// Encodes a 4-bit nibble as a Hamming(7,4) codeword (LSB-first layout
+/// matching [`hamming_source`]).
+pub fn hamming_encode(nibble: u8) -> u8 {
+    let d = [
+        nibble & 1,
+        (nibble >> 1) & 1,
+        (nibble >> 2) & 1,
+        (nibble >> 3) & 1,
+    ];
+    // positions: 3 -> d0, 5 -> d1, 6 -> d2, 7 -> d3
+    let p1 = d[0] ^ d[1] ^ d[3]; // covers 1,3,5,7
+    let p2 = d[0] ^ d[2] ^ d[3]; // covers 2,3,6,7
+    let p4 = d[1] ^ d[2] ^ d[3]; // covers 4,5,6,7
+    p1 | (p2 << 1) | (d[0] << 2) | (p4 << 3) | (d[1] << 4) | (d[2] << 5) | (d[3] << 6)
+}
+
+/// Generates `words` codewords carrying the nibble sequence `0,1,2,…`,
+/// flipping one deterministic bit in every third word (the error pattern
+/// the decoder must correct).
+pub fn hamming_codewords(words: usize) -> Vec<i64> {
+    (0..words)
+        .map(|i| {
+            let mut w = hamming_encode((i % 16) as u8);
+            if i % 3 == 0 {
+                w ^= 1 << (i % 7);
+            }
+            w as i64
+        })
+        .collect()
+}
+
+/// The nibbles [`hamming_codewords`] encodes (the expected decoder
+/// output).
+pub fn hamming_expected(words: usize) -> Vec<i64> {
+    (0..words).map(|i| (i % 16) as i64).collect()
+}
+
+/// Host-side reference of the same integer FDCT (used by tests to check
+/// the *algorithm*, independent of compiler and simulator).
+pub fn fdct_reference(image: &[i64]) -> Vec<i64> {
+    assert_eq!(image.len() % 64, 0);
+    let mut tmp = vec![0i64; image.len()];
+    let mut out = vec![0i64; image.len()];
+    let wrap = |v: i64| -> i64 {
+        // width-32 two's-complement wrap, matching the design width used
+        // for FDCT flows.
+        (v as i32) as i64
+    };
+    for b in 0..image.len() / 64 {
+        for r in 0..8 {
+            let base = b * 64 + r * 8;
+            let x: Vec<i64> = (0..8).map(|j| image[base + j]).collect();
+            let row = fdct_1d(&x, 2, 11, 1024);
+            for (j, v) in row.into_iter().enumerate() {
+                tmp[base + j] = wrap(v);
+            }
+        }
+        for k in 0..8 {
+            let cbase = b * 64 + k;
+            let y: Vec<i64> = (0..8).map(|j| tmp[cbase + j * 8]).collect();
+            let col = fdct_1d(&y, -2, 15, 16384);
+            for (j, v) in col.into_iter().enumerate() {
+                out[cbase + j * 8] = wrap(v);
+            }
+        }
+    }
+    out
+}
+
+/// One 1-D islow butterfly. `even_shift` > 0 shifts the even terms left,
+/// < 0 shifts them right with rounding (`+2 >> 2`).
+fn fdct_1d(x: &[i64], even_shift: i32, odd_shift: u32, odd_round: i64) -> Vec<i64> {
+    let (t0, t7) = (x[0] + x[7], x[0] - x[7]);
+    let (t1, t6) = (x[1] + x[6], x[1] - x[6]);
+    let (t2, t5) = (x[2] + x[5], x[2] - x[5]);
+    let (t3, t4) = (x[3] + x[4], x[3] - x[4]);
+    let (t10, t13) = (t0 + t3, t0 - t3);
+    let (t11, t12) = (t1 + t2, t1 - t2);
+    let even = |v: i64| -> i64 {
+        if even_shift >= 0 {
+            v << even_shift
+        } else {
+            (v + 2) >> (-even_shift) as u32
+        }
+    };
+    let mut y = vec![0i64; 8];
+    y[0] = even(t10 + t11);
+    y[4] = even(t10 - t11);
+    let z1 = (t12 + t13) * 4433;
+    y[2] = (z1 + t13 * 6270 + odd_round) >> odd_shift;
+    y[6] = (z1 - t12 * 15137 + odd_round) >> odd_shift;
+    let (za, zb, zc, zd) = (t4 + t7, t5 + t6, t4 + t6, t5 + t7);
+    let z5 = (zc + zd) * 9633;
+    let (u4, u5, u6, u7) = (t4 * 2446, t5 * 16819, t6 * 25172, t7 * 12299);
+    let v1 = -za * 7373;
+    let v2 = -zb * 20995;
+    let v3 = -zc * 16069 + z5;
+    let v4 = -zd * 3196 + z5;
+    y[7] = (u4 + v1 + v3 + odd_round) >> odd_shift;
+    y[5] = (u5 + v2 + v4 + odd_round) >> odd_shift;
+    y[3] = (u6 + v2 + v3 + odd_round) >> odd_shift;
+    y[1] = (u7 + v1 + v4 + odd_round) >> odd_shift;
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nenya::interp::{blank_images, execute};
+    use nenya::{compile, lower, CompileOptions};
+
+    #[test]
+    fn fdct_source_parses_and_counts_lines() {
+        let src = fdct_source(FDCT_BASE_PIXELS);
+        let program = nenya::lang::parse(&src).unwrap();
+        assert_eq!(program.mems.len(), 3);
+        // The paper reports 138 lines of Java for the FDCT; our rendition
+        // is the same order of magnitude.
+        assert!(
+            (100..=160).contains(&program.source_lines),
+            "loJava = {}",
+            program.source_lines
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn fdct_rejects_partial_blocks() {
+        let _ = fdct_source(100);
+    }
+
+    #[test]
+    fn fdct_interpreter_matches_host_reference() {
+        let src = fdct_source(64); // one block, fast
+        let prog = lower(&nenya::lang::parse(&src).unwrap(), "fdct", 32).unwrap();
+        let mut mems = blank_images(&prog);
+        let image = test_image(64);
+        for (addr, &v) in image.iter().enumerate() {
+            mems[0][addr] = Some(v);
+        }
+        execute(&prog, &mut mems, 100_000_000).unwrap();
+        let expected = fdct_reference(&image);
+        let got: Vec<i64> = mems[2].iter().map(|w| w.unwrap()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn fdct_dc_coefficient_of_flat_block() {
+        // A flat block has all energy in DC: out[0] = 64 * value (the
+        // islow transform scales by 8 per pass), all ACs zero.
+        let src = fdct_source(64);
+        let prog = lower(&nenya::lang::parse(&src).unwrap(), "fdct", 32).unwrap();
+        let mut mems = blank_images(&prog);
+        for word in mems[0].iter_mut() {
+            *word = Some(100);
+        }
+        execute(&prog, &mut mems, 100_000_000).unwrap();
+        assert_eq!(mems[2][0], Some(100 * 64));
+        for (addr, word) in mems[2].iter().enumerate().skip(1) {
+            assert_eq!(*word, Some(0), "AC coefficient {addr}");
+        }
+    }
+
+    #[test]
+    fn fdct_partitions_cleanly_in_two() {
+        let design = compile(
+            "fdct2",
+            &fdct_source(64),
+            &CompileOptions {
+                width: 32,
+                partitions: 2,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(design.configs.len(), 2);
+        // The cut falls between the two passes: config 0 writes tmp,
+        // config 1 reads tmp and writes out.
+        let ops0 = design.configs[0].datapath.operator_count();
+        let ops1 = design.configs[1].datapath.operator_count();
+        let total = design.operator_count();
+        assert!(ops0 > total / 3 && ops1 > total / 3, "balanced: {ops0} vs {ops1}");
+        // No scalars cross the cut (loop variables are pass-local).
+        assert!(!design.mems.iter().any(|m| m.name == "__xfer"));
+    }
+
+    #[test]
+    fn hamming_roundtrip_with_and_without_errors() {
+        for nibble in 0..16u8 {
+            let clean = hamming_encode(nibble);
+            // Decode every single-bit corruption back to the nibble.
+            for bit in 0..7 {
+                let corrupted = clean ^ (1 << bit);
+                assert_eq!(
+                    decode_host(corrupted),
+                    nibble,
+                    "nibble {nibble} bit {bit}"
+                );
+            }
+            assert_eq!(decode_host(clean), nibble);
+        }
+    }
+
+    /// Host-side mirror of the decoder used for test validation.
+    fn decode_host(w: u8) -> u8 {
+        let bit = |w: u8, i: u8| (w >> i) & 1;
+        let s1 = bit(w, 0) ^ bit(w, 2) ^ bit(w, 4) ^ bit(w, 6);
+        let s2 = bit(w, 1) ^ bit(w, 2) ^ bit(w, 5) ^ bit(w, 6);
+        let s3 = bit(w, 3) ^ bit(w, 4) ^ bit(w, 5) ^ bit(w, 6);
+        let pos = s1 + s2 * 2 + s3 * 4;
+        let w = if pos != 0 { w ^ (1 << (pos - 1)) } else { w };
+        bit(w, 2) | bit(w, 4) << 1 | bit(w, 5) << 2 | bit(w, 6) << 3
+    }
+
+    #[test]
+    fn hamming_interpreter_decodes_generated_words() {
+        let words = 32;
+        let src = hamming_source(words);
+        let program = nenya::lang::parse(&src).unwrap();
+        // The paper reports 45 lines of Java for the Hamming decoder.
+        assert!(
+            (25..=60).contains(&program.source_lines),
+            "loJava = {}",
+            program.source_lines
+        );
+        let prog = lower(&program, "hamming", 16).unwrap();
+        let mut mems = blank_images(&prog);
+        for (addr, &v) in hamming_codewords(words).iter().enumerate() {
+            mems[0][addr] = Some(v);
+        }
+        execute(&prog, &mut mems, 10_000_000).unwrap();
+        let got: Vec<i64> = mems[1].iter().map(|w| w.unwrap()).collect();
+        assert_eq!(got, hamming_expected(words));
+    }
+
+    #[test]
+    fn matmul_interpreter_matches_host_reference() {
+        let n = 4;
+        let src = matmul_source(n);
+        let prog = lower(&nenya::lang::parse(&src).unwrap(), "mm", 16).unwrap();
+        let a: Vec<i64> = (0..(n * n) as i64).map(|v| v - 5).collect();
+        let b: Vec<i64> = (0..(n * n) as i64).map(|v| 3 - v).collect();
+        let mut mems = blank_images(&prog);
+        for (addr, &v) in a.iter().enumerate() {
+            mems[0][addr] = Some(v);
+        }
+        for (addr, &v) in b.iter().enumerate() {
+            mems[1][addr] = Some(v);
+        }
+        execute(&prog, &mut mems, 10_000_000).unwrap();
+        let got: Vec<i64> = mems[2].iter().map(|w| w.unwrap()).collect();
+        assert_eq!(got, matmul_reference(&a, &b, n));
+    }
+
+    #[test]
+    fn sort_interpreter_sorts() {
+        let n = 12;
+        let src = sort_source(n);
+        let prog = lower(&nenya::lang::parse(&src).unwrap(), "sort", 16).unwrap();
+        let mut values: Vec<i64> = (0..n as i64).map(|v| (v * 37 + 11) % 50 - 20).collect();
+        let mut mems = blank_images(&prog);
+        for (addr, &v) in values.iter().enumerate() {
+            mems[0][addr] = Some(v);
+        }
+        execute(&prog, &mut mems, 10_000_000).unwrap();
+        values.sort_unstable();
+        let got: Vec<i64> = mems[0].iter().map(|w| w.unwrap()).collect();
+        assert_eq!(got, values);
+    }
+
+    #[test]
+    fn test_image_is_deterministic_and_in_range() {
+        let a = test_image(256);
+        let b = test_image(256);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (0..=255).contains(&v)));
+        // Not constant.
+        assert!(a.iter().any(|&v| v != a[0]));
+    }
+}

@@ -1,0 +1,125 @@
+//! Integration tests of the `fpgatest` command-line binary.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fpgatest"))
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fpgatest_cli_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn write_demo(dir: &Path) {
+    std::fs::write(
+        dir.join("prog.src"),
+        "mem inp[4]; mem out[4];
+         void main() { int i; for (i = 0; i < 4; i = i + 1) { out[i] = inp[i] * 2; } }",
+    )
+    .unwrap();
+    std::fs::write(dir.join("inp.stim"), "0: 10\n1: 20\n2: 30\n3: 40\n").unwrap();
+}
+
+#[test]
+fn help_and_figure1() {
+    let out = bin().arg("--help").output().unwrap();
+    assert!(out.status.success());
+
+    let out = bin().arg("figure1").output().unwrap();
+    assert!(out.status.success());
+    let dot = String::from_utf8(out.stdout).unwrap();
+    assert!(dot.starts_with("digraph infrastructure"));
+}
+
+#[test]
+fn test_subcommand_passes_and_writes_artifacts() {
+    let dir = workdir("test");
+    write_demo(&dir);
+    let art = dir.join("art");
+    let out = bin()
+        .arg("test")
+        .arg(dir.join("prog.src"))
+        .arg("--stimulus")
+        .arg(format!("inp={}", dir.join("inp.stim").display()))
+        .arg("--trace")
+        .arg("--artifacts")
+        .arg(&art)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("PASS"));
+    for file in [
+        "prog_datapath.xml",
+        "prog_fsm.xml",
+        "prog.hds",
+        "prog_fsm.java",
+        "prog.vcd",
+        "out.mem",
+    ] {
+        assert!(art.join(file).exists(), "missing artifact {file}");
+    }
+    // The dumped result memory parses and holds the doubled inputs.
+    let text = std::fs::read_to_string(art.join("out.mem")).unwrap();
+    let stim = fpgatest::stimulus::parse(&text).unwrap();
+    let mut image = vec![None; 4];
+    stim.apply(&mut image).unwrap();
+    assert_eq!(image, vec![Some(20), Some(40), Some(60), Some(80)]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_subcommand_reports_suite_verdicts() {
+    let dir = workdir("run");
+    write_demo(&dir);
+    std::fs::write(
+        dir.join("suite.manifest"),
+        "case double\n  source prog.src\n  stimulus inp inp.stim\n\
+         case broken\n  source prog.src\n  stimulus nope inp.stim\n",
+    )
+    .unwrap();
+    let out = bin().arg("run").arg(dir.join("suite.manifest")).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "mixed suite must fail: {stdout}");
+    assert!(stdout.contains("double"));
+    assert!(stdout.contains("1 passed, 1 failed"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compile_subcommand_emits_dialects() {
+    let dir = workdir("compile");
+    write_demo(&dir);
+    let out_dir = dir.join("compiled");
+    let out = bin()
+        .arg("compile")
+        .arg(dir.join("prog.src"))
+        .arg("--out")
+        .arg(&out_dir)
+        .arg("--partitions")
+        .arg("2")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(out_dir.join("rtg.xml").exists());
+    assert!(out_dir.join("prog_c0_datapath.xml").exists());
+    assert!(out_dir.join("prog_c1_fsm.xml").exists());
+    // The emitted XML reparses under the dialect loaders.
+    let dp_text = std::fs::read_to_string(out_dir.join("prog_c0_datapath.xml")).unwrap();
+    let doc = xmlite::Document::parse(&dp_text).unwrap();
+    assert!(nenya::xml::parse_datapath(&doc).is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().arg("run").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().arg("test").arg("/no/such/file.src").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

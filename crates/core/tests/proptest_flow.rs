@@ -1,0 +1,149 @@
+//! Property tests over the full verification flow and the file formats.
+//!
+//! The heavyweight property: on *random programs*, the compiler-generated
+//! hardware, simulated event by event, must leave exactly the memory
+//! contents the golden software reference computes. Every pass is an
+//! independent end-to-end cross-check of compiler + stylesheets + netlist
+//! loader + simulator + control units.
+
+use fpgatest::flow::TestFlow;
+use fpgatest::stimulus::{self, Stimulus};
+use proptest::prelude::*;
+
+fn arb_expr(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (0i64..50).prop_map(|v| v.to_string()),
+        prop_oneof![Just("v0"), Just("v1"), Just("v2")].prop_map(str::to_string),
+        (0i64..8).prop_map(|i| format!("inp[{i}]")),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let sub = arb_expr(depth - 1);
+        prop_oneof![
+            leaf,
+            (
+                sub.clone(),
+                prop_oneof![
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("&"),
+                    Just("|"),
+                    Just("^"),
+                    Just(">>"),
+                ],
+                sub.clone()
+            )
+                .prop_map(|(a, op, b)| format!("({a} {op} {b})")),
+            sub.prop_map(|a| format!("(~{a})")),
+        ]
+        .boxed()
+    }
+}
+
+fn arb_stmt() -> BoxedStrategy<String> {
+    let var = prop_oneof![Just("v0"), Just("v1"), Just("v2")];
+    prop_oneof![
+        (var.clone(), arb_expr(2)).prop_map(|(v, e)| format!("{v} = {e};")),
+        (arb_expr(1), arb_expr(2)).prop_map(|(a, e)| format!("out[({a}) & 7] = {e};")),
+        (var, 1i64..4, arb_expr(1)).prop_map(|(v, n, e)| {
+            format!("for ({v} = 0; {v} < {n}; {v} = {v} + 1) {{ out[{v}] = {e}; }}")
+        }),
+        (arb_expr(1), arb_expr(1)).prop_map(|(a, b)| {
+            format!("if (({a}) < ({b})) {{ v0 = {a}; }} else {{ v1 = {b}; }}")
+        }),
+    ]
+    .boxed()
+}
+
+fn render(stmts: &[String]) -> String {
+    let mut src =
+        String::from("mem inp[8];\nmem out[8];\nvoid main() {\nint v0 = 1;\nint v1 = 2;\nint v2 = 3;\n");
+    for stmt in stmts {
+        src.push_str(stmt);
+        src.push('\n');
+    }
+    src.push('}');
+    src
+}
+
+fn flow(src: &str) -> TestFlow {
+    TestFlow::new("gen", src)
+        .stimulus("inp", Stimulus::from_values([9, -3, 14, 0, 27, -8, 5, 1]))
+        .stimulus("out", Stimulus::from_values([0; 8]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Generated hardware == golden software, word for word, on random
+    /// programs — through the complete XML/stylesheet/netlist path.
+    #[test]
+    fn hardware_matches_golden_on_random_programs(
+        stmts in proptest::collection::vec(arb_stmt(), 2..6)
+    ) {
+        let src = render(&stmts);
+        let report = flow(&src).run().expect("flow runs");
+        prop_assert!(report.passed, "flow failed for:\n{}\n{}", src, report.render());
+    }
+
+    /// The same holds with the optimizer enabled, and the memory contents
+    /// agree with the unoptimized run.
+    #[test]
+    fn optimized_hardware_matches_too(
+        stmts in proptest::collection::vec(arb_stmt(), 2..5)
+    ) {
+        let src = render(&stmts);
+        let plain = flow(&src).run().expect("flow runs");
+        let optimized = flow(&src).with_optimize(true).run().expect("flow runs");
+        prop_assert!(plain.passed && optimized.passed);
+        prop_assert_eq!(&plain.sim_mems["out"], &optimized.sim_mems["out"]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Stimulus files round-trip: emit(parse) preserves every word.
+    #[test]
+    fn stimulus_roundtrip(words in proptest::collection::vec(
+        proptest::option::of(-100_000i64..100_000), 1..64
+    )) {
+        let image: Vec<Option<i64>> = words;
+        let text = stimulus::emit("m", &image);
+        let parsed = stimulus::parse(&text).unwrap();
+        prop_assert_eq!(parsed.mem.as_deref(), Some("m"));
+        let mut back = vec![None; image.len()];
+        parsed.apply(&mut back).unwrap();
+        prop_assert_eq!(back, image);
+    }
+
+    /// The stimulus parser never panics on arbitrary text.
+    #[test]
+    fn stimulus_parser_never_panics(text in "\\PC{0,120}") {
+        let _ = stimulus::parse(&text);
+    }
+
+    /// Memory diffing is reflexive and complete.
+    #[test]
+    fn memcmp_properties(
+        a in proptest::collection::vec(proptest::option::of(-100i64..100), 1..32),
+        flips in proptest::collection::vec(any::<prop::sample::Index>(), 0..4)
+    ) {
+        use fpgatest::memcmp::diff_images;
+        prop_assert!(diff_images("m", &a, &a.clone()).is_empty());
+        let mut b = a.clone();
+        let mut flipped = std::collections::BTreeSet::new();
+        for index in flips {
+            let i = index.index(b.len());
+            b[i] = Some(b[i].map_or(0, |v| v + 1));
+            if b[i] != a[i] {
+                flipped.insert(i);
+            }
+        }
+        let diffs = diff_images("m", &a, &b);
+        let addrs: std::collections::BTreeSet<usize> = diffs.iter().map(|d| d.addr).collect();
+        prop_assert_eq!(addrs, flipped);
+    }
+}

@@ -1,0 +1,463 @@
+//! A behavioral microprocessor model for hardware/software co-simulation.
+//!
+//! The paper closes with: *"Further work will focus on functional
+//! simulation of a microprocessor tightly coupled to reconfigurable
+//! hardware components."* This module implements that extension: a small
+//! accumulator machine that runs as an ordinary [`Component`] in the same
+//! event kernel as the generated datapaths — one language for both sides,
+//! "without specialized co-simulation environments", exactly as the paper
+//! argues for.
+//!
+//! Coupling is *tight* in the architectural sense:
+//!
+//! * the CPU's data memory is a [`MemHandle`], so it can share an SRAM
+//!   with the reconfigurable fabric (shared-memory coupling);
+//! * `In`/`Out`/`WaitTrue` instructions read and drive kernel signals
+//!   (port/handshake coupling, e.g. polling the fabric's `done` flag).
+//!
+//! One instruction executes per clock cycle.
+//!
+//! ```
+//! use eventsim::{Simulator, SimTime, MemHandle, ops::Clock};
+//! use eventsim::cpu::{Cpu, CpuInstr};
+//!
+//! # fn main() -> Result<(), eventsim::SimError> {
+//! let mut sim = Simulator::new();
+//! let clk = sim.add_signal("clk", 1);
+//! let port = sim.add_signal("result", 16);
+//! sim.add_component(Clock::new("clk0", clk, 10));
+//! let mem = MemHandle::new("dmem", 8, 16);
+//! mem.fill([5, 7]);
+//! let program = vec![
+//!     CpuInstr::LdMem(0),   // acc = mem[0]
+//!     CpuInstr::AddMem(1),  // acc += mem[1]
+//!     CpuInstr::Out(0),     // result port <- acc
+//!     CpuInstr::Halt,
+//! ];
+//! sim.add_component(Cpu::new("cpu0", clk, program, mem, vec![], vec![(port, 16)]));
+//! sim.run(SimTime(1_000))?;
+//! assert_eq!(sim.value(port).as_i64(), 12);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::component::{Component, Sensitivity, SignalId};
+use crate::kernel::Context;
+use crate::memory::MemHandle;
+use crate::value::Value;
+
+/// The instruction set of the behavioral microprocessor.
+///
+/// `acc` is the accumulator, `x` the index register; both hold values at
+/// the CPU's data width. Memory operands address the CPU's data memory
+/// (shareable with the fabric); port operands index the `inputs`/`outputs`
+/// signal lists given to [`Cpu::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuInstr {
+    /// `acc = imm`
+    Ldi(i64),
+    /// `acc = mem[addr]`
+    LdMem(usize),
+    /// `mem[addr] = acc`
+    StMem(usize),
+    /// `acc += mem[addr]`
+    AddMem(usize),
+    /// `acc -= mem[addr]`
+    SubMem(usize),
+    /// `acc = mem[x]`
+    LdIdx,
+    /// `mem[x] = acc`
+    StIdx,
+    /// `acc += mem[x]`
+    AddIdx,
+    /// `x = imm`
+    SetX(i64),
+    /// `x += imm`
+    AddX(i64),
+    /// `acc += imm`
+    AddI(i64),
+    /// `if x != imm { pc = target }`
+    JmpIfXNe(i64, usize),
+    /// `if acc == 0 { pc = target }`
+    JmpIfAccZero(usize),
+    /// `pc = target`
+    Jmp(usize),
+    /// Stall (pc unchanged) until input port `port` reads true.
+    WaitTrue(usize),
+    /// `acc = inputs[port]` (an `X` port value stalls, like a bus wait).
+    In(usize),
+    /// `outputs[port] <- acc`
+    Out(usize),
+    /// Stop fetching; optionally stops the whole run (see
+    /// [`Cpu::with_stop_on_halt`]).
+    Halt,
+}
+
+/// The behavioral microprocessor component. See the [module docs](self).
+pub struct Cpu {
+    name: String,
+    clk: SignalId,
+    program: Vec<CpuInstr>,
+    mem: MemHandle,
+    inputs: Vec<SignalId>,
+    outputs: Vec<(SignalId, u32)>,
+    width: u32,
+    acc: i64,
+    x: i64,
+    pc: usize,
+    halted: bool,
+    stop_on_halt: bool,
+    executed: u64,
+}
+
+impl Cpu {
+    /// Creates a CPU clocked by `clk`, executing `program` over data
+    /// memory `mem`, with the given input and output ports
+    /// (`(signal, width)` for outputs).
+    ///
+    /// The CPU's data width is the memory's word width.
+    pub fn new(
+        name: impl Into<String>,
+        clk: SignalId,
+        program: Vec<CpuInstr>,
+        mem: MemHandle,
+        inputs: Vec<SignalId>,
+        outputs: Vec<(SignalId, u32)>,
+    ) -> Self {
+        let width = mem.width();
+        Cpu {
+            name: name.into(),
+            clk,
+            program,
+            mem,
+            inputs,
+            outputs,
+            width,
+            acc: 0,
+            x: 0,
+            pc: 0,
+            halted: false,
+            stop_on_halt: false,
+            executed: 0,
+        }
+    }
+
+    /// Builder-style: request a kernel stop when the CPU halts (for
+    /// CPU-driven test benches).
+    pub fn with_stop_on_halt(mut self, stop: bool) -> Self {
+        self.stop_on_halt = stop;
+        self
+    }
+
+    /// Number of instructions executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    fn mask(&self, v: i64) -> i64 {
+        Value::known(self.width, v).as_i64()
+    }
+
+    fn load(&mut self, ctx: &mut Context<'_>, addr: i64) -> Option<i64> {
+        let addr = addr as usize;
+        if addr >= self.mem.size() {
+            ctx.fail(format!("{}: load address {} out of range", self.name, addr));
+            return None;
+        }
+        match self.mem.load(addr) {
+            Some(v) => Some(v),
+            None => {
+                ctx.fail(format!(
+                    "{}: load of uninitialized word {}",
+                    self.name, addr
+                ));
+                None
+            }
+        }
+    }
+
+    fn store(&mut self, ctx: &mut Context<'_>, addr: i64, value: i64) -> bool {
+        let addr = addr as usize;
+        if addr >= self.mem.size() {
+            ctx.fail(format!("{}: store address {} out of range", self.name, addr));
+            return false;
+        }
+        self.mem.store(addr, value);
+        true
+    }
+}
+
+impl Component for Cpu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Sensitivity> {
+        vec![Sensitivity::rising(self.clk)]
+    }
+
+    fn react(&mut self, ctx: &mut Context<'_>) {
+        // One instruction per rising clock edge.
+        if self.halted {
+            return;
+        }
+        let Some(&instr) = self.program.get(self.pc) else {
+            ctx.fail(format!("{}: pc {} past end of program", self.name, self.pc));
+            return;
+        };
+        self.executed += 1;
+        let mut next_pc = self.pc + 1;
+        match instr {
+            CpuInstr::Ldi(v) => self.acc = self.mask(v),
+            CpuInstr::LdMem(a) => match self.load(ctx, a as i64) {
+                Some(v) => self.acc = v,
+                None => return,
+            },
+            CpuInstr::StMem(a) => {
+                if !self.store(ctx, a as i64, self.acc) {
+                    return;
+                }
+            }
+            CpuInstr::AddMem(a) => match self.load(ctx, a as i64) {
+                Some(v) => self.acc = self.mask(self.acc.wrapping_add(v)),
+                None => return,
+            },
+            CpuInstr::SubMem(a) => match self.load(ctx, a as i64) {
+                Some(v) => self.acc = self.mask(self.acc.wrapping_sub(v)),
+                None => return,
+            },
+            CpuInstr::LdIdx => {
+                let x = self.x;
+                match self.load(ctx, x) {
+                    Some(v) => self.acc = v,
+                    None => return,
+                }
+            }
+            CpuInstr::StIdx => {
+                let (x, acc) = (self.x, self.acc);
+                if !self.store(ctx, x, acc) {
+                    return;
+                }
+            }
+            CpuInstr::AddIdx => {
+                let x = self.x;
+                match self.load(ctx, x) {
+                    Some(v) => self.acc = self.mask(self.acc.wrapping_add(v)),
+                    None => return,
+                }
+            }
+            CpuInstr::SetX(v) => self.x = self.mask(v),
+            CpuInstr::AddX(v) => self.x = self.mask(self.x.wrapping_add(v)),
+            CpuInstr::AddI(v) => self.acc = self.mask(self.acc.wrapping_add(v)),
+            CpuInstr::JmpIfXNe(imm, target) => {
+                if self.x != self.mask(imm) {
+                    next_pc = target;
+                }
+            }
+            CpuInstr::JmpIfAccZero(target) => {
+                if self.acc == 0 {
+                    next_pc = target;
+                }
+            }
+            CpuInstr::Jmp(target) => next_pc = target,
+            CpuInstr::WaitTrue(port) => {
+                let Some(&signal) = self.inputs.get(port) else {
+                    ctx.fail(format!("{}: no input port {}", self.name, port));
+                    return;
+                };
+                if !ctx.get(signal).is_true() {
+                    next_pc = self.pc; // stall
+                    self.executed -= 1;
+                }
+            }
+            CpuInstr::In(port) => {
+                let Some(&signal) = self.inputs.get(port) else {
+                    ctx.fail(format!("{}: no input port {}", self.name, port));
+                    return;
+                };
+                match ctx.get(signal).try_i64() {
+                    Some(v) => self.acc = self.mask(v),
+                    None => {
+                        next_pc = self.pc; // bus wait on X
+                        self.executed -= 1;
+                    }
+                }
+            }
+            CpuInstr::Out(port) => {
+                let Some(&(signal, width)) = self.outputs.get(port) else {
+                    ctx.fail(format!("{}: no output port {}", self.name, port));
+                    return;
+                };
+                ctx.set(signal, Value::known(width, self.acc));
+            }
+            CpuInstr::Halt => {
+                self.halted = true;
+                if self.stop_on_halt {
+                    ctx.stop(format!("{}: halt", self.name));
+                }
+                return;
+            }
+        }
+        self.pc = next_pc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{RunOutcome, SimTime, Simulator};
+    use crate::ops::Clock;
+
+    fn run_cpu(program: Vec<CpuInstr>, mem: &MemHandle, ticks: u64) -> (Simulator, SignalId) {
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", 1);
+        let out = sim.add_signal("out", 16);
+        sim.add_component(Clock::new("clk0", clk, 10));
+        sim.add_component(
+            Cpu::new("cpu0", clk, program, mem.clone(), vec![], vec![(out, 16)])
+                .with_stop_on_halt(true),
+        );
+        sim.run(SimTime(ticks)).unwrap();
+        (sim, out)
+    }
+
+    #[test]
+    fn arithmetic_and_memory() {
+        let mem = MemHandle::new("d", 8, 16);
+        mem.fill([10, 20, 30]);
+        let (sim, out) = run_cpu(
+            vec![
+                CpuInstr::LdMem(0),
+                CpuInstr::AddMem(1),
+                CpuInstr::SubMem(2),
+                CpuInstr::AddI(2),
+                CpuInstr::StMem(3),
+                CpuInstr::Out(0),
+                CpuInstr::Halt,
+            ],
+            &mem,
+            1_000,
+        );
+        assert_eq!(sim.value(out).as_i64(), 2);
+        assert_eq!(mem.load(3), Some(2));
+    }
+
+    #[test]
+    fn indexed_loop_sums_memory() {
+        let mem = MemHandle::new("d", 16, 16);
+        mem.fill((1..=8).collect::<Vec<i64>>());
+        // sum = Σ mem[0..8], store at mem[15].
+        let program = vec![
+            CpuInstr::Ldi(0),
+            CpuInstr::SetX(0),
+            CpuInstr::AddIdx,          // 2: acc += mem[x]
+            CpuInstr::AddX(1),
+            CpuInstr::JmpIfXNe(8, 2),
+            CpuInstr::StMem(15),
+            CpuInstr::Out(0),
+            CpuInstr::Halt,
+        ];
+        let (sim, out) = run_cpu(program, &mem, 10_000);
+        assert_eq!(sim.value(out).as_i64(), 36);
+        assert_eq!(mem.load(15), Some(36));
+    }
+
+    #[test]
+    fn wait_true_stalls_until_signal() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", 1);
+        let flag = sim.add_signal("flag", 1);
+        let out = sim.add_signal("out", 16);
+        sim.add_component(Clock::new("clk0", clk, 10));
+        let mem = MemHandle::new("d", 2, 16);
+        sim.add_component(
+            Cpu::new(
+                "cpu0",
+                clk,
+                vec![CpuInstr::WaitTrue(0), CpuInstr::Ldi(99), CpuInstr::Out(0), CpuInstr::Halt],
+                mem,
+                vec![flag],
+                vec![(out, 16)],
+            )
+            .with_stop_on_halt(true),
+        );
+        // Raise the flag at t=175 (after ~17 stalled cycles).
+        struct Raise {
+            flag: SignalId,
+        }
+        impl Component for Raise {
+            fn name(&self) -> &str {
+                "raise"
+            }
+            fn inputs(&self) -> Vec<Sensitivity> {
+                Vec::new()
+            }
+            fn init(&mut self, ctx: &mut Context<'_>) {
+                ctx.set(self.flag, Value::bit(false));
+                ctx.wake_after(175);
+            }
+            fn react(&mut self, ctx: &mut Context<'_>) {
+                ctx.set(self.flag, Value::bit(true));
+            }
+        }
+        sim.add_component(Raise { flag });
+        let summary = sim.run(SimTime(100_000)).unwrap();
+        assert!(matches!(summary.outcome, RunOutcome::Stopped(ref m) if m.contains("halt")));
+        assert_eq!(sim.value(out).as_i64(), 99);
+        assert!(summary.end_time.ticks() > 175);
+    }
+
+    #[test]
+    fn failures_are_reported() {
+        let mem = MemHandle::new("d", 2, 16);
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", 1);
+        sim.add_component(Clock::new("clk0", clk, 10));
+        sim.add_component(Cpu::new(
+            "cpu0",
+            clk,
+            vec![CpuInstr::LdMem(9)],
+            mem.clone(),
+            vec![],
+            vec![],
+        ));
+        let summary = sim.run(SimTime(100)).unwrap();
+        assert!(matches!(summary.outcome, RunOutcome::Failed(ref m) if m.contains("out of range")));
+
+        // Uninitialized load.
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", 1);
+        sim.add_component(Clock::new("clk0", clk, 10));
+        sim.add_component(Cpu::new(
+            "cpu0",
+            clk,
+            vec![CpuInstr::LdMem(0)],
+            mem,
+            vec![],
+            vec![],
+        ));
+        let summary = sim.run(SimTime(100)).unwrap();
+        assert!(matches!(summary.outcome, RunOutcome::Failed(ref m) if m.contains("uninitialized")));
+    }
+
+    #[test]
+    fn halted_cpu_stays_halted_without_stop() {
+        let mem = MemHandle::new("d", 2, 16);
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", 1);
+        let out = sim.add_signal("out", 16);
+        sim.add_component(Clock::new("clk0", clk, 10));
+        sim.add_component(Cpu::new(
+            "cpu0",
+            clk,
+            vec![CpuInstr::Ldi(1), CpuInstr::Out(0), CpuInstr::Halt],
+            mem,
+            vec![],
+            vec![(out, 16)],
+        ));
+        let summary = sim.run(SimTime(1_000)).unwrap();
+        // Clock keeps running; CPU is quiet.
+        assert_eq!(summary.outcome, RunOutcome::TimeLimit);
+        assert_eq!(sim.value(out).as_i64(), 1);
+    }
+}

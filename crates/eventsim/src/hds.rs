@@ -1,0 +1,234 @@
+//! The `.hds` structural text format.
+//!
+//! In the paper the datapath XML is translated ("to hds") into the input
+//! format of the Hades simulator. Our equivalent is this line-oriented
+//! netlist format, which the `xform` stylesheets emit and this module
+//! parses back into a [`Netlist`]:
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! hds fdct1
+//! signal clk 1
+//! signal a 16
+//! inst clock0 clock period=10 y:clk
+//! inst add0 add width=16 a:a b:a y:a
+//! ```
+//!
+//! `key=value` pairs are parameters; `port:signal` pairs are connections.
+//!
+//! ```
+//! use eventsim::hds;
+//! # fn main() -> Result<(), hds::ParseHdsError> {
+//! let nl = hds::parse("hds t\nsignal a 4\ninst c0 const width=4 value=7 y:a\n")?;
+//! assert_eq!(nl.name, "t");
+//! assert_eq!(hds::parse(&hds::emit(&nl))?, nl);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::netlist::{Instance, Netlist};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing malformed `.hds` text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseHdsError {
+    message: String,
+    line: usize,
+}
+
+impl ParseHdsError {
+    fn new(message: impl Into<String>, line: usize) -> Self {
+        ParseHdsError {
+            message: message.into(),
+            line,
+        }
+    }
+
+    /// 1-based line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseHdsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (line {})", self.message, self.line)
+    }
+}
+
+impl Error for ParseHdsError {}
+
+/// Parses `.hds` text into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`ParseHdsError`] for missing headers, malformed directives, or
+/// tokens that are neither `key=value` nor `port:signal`.
+pub fn parse(input: &str) -> Result<Netlist, ParseHdsError> {
+    let mut netlist: Option<Netlist> = None;
+    for (index, raw_line) in input.lines().enumerate() {
+        let lineno = index + 1;
+        let line = match raw_line.find('#') {
+            Some(i) => &raw_line[..i],
+            None => raw_line,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let directive = tokens.next().expect("non-empty line has a token");
+        match directive {
+            "hds" => {
+                if netlist.is_some() {
+                    return Err(ParseHdsError::new("duplicate 'hds' header", lineno));
+                }
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| ParseHdsError::new("'hds' needs a design name", lineno))?;
+                netlist = Some(Netlist::new(name));
+            }
+            "signal" => {
+                let nl = netlist
+                    .as_mut()
+                    .ok_or_else(|| ParseHdsError::new("'signal' before 'hds' header", lineno))?;
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| ParseHdsError::new("'signal' needs a name", lineno))?;
+                let width: u32 = tokens
+                    .next()
+                    .ok_or_else(|| ParseHdsError::new("'signal' needs a width", lineno))?
+                    .parse()
+                    .map_err(|_| ParseHdsError::new("signal width must be an integer", lineno))?;
+                if tokens.next().is_some() {
+                    return Err(ParseHdsError::new("trailing tokens after signal", lineno));
+                }
+                nl.add_signal(name, width);
+            }
+            "inst" => {
+                let nl = netlist
+                    .as_mut()
+                    .ok_or_else(|| ParseHdsError::new("'inst' before 'hds' header", lineno))?;
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| ParseHdsError::new("'inst' needs a name", lineno))?;
+                let kind = tokens
+                    .next()
+                    .ok_or_else(|| ParseHdsError::new("'inst' needs a kind", lineno))?;
+                let mut instance = Instance::new(name, kind);
+                for token in tokens {
+                    if let Some((key, value)) = token.split_once('=') {
+                        instance = instance.with_param(key, value);
+                    } else if let Some((port, signal)) = token.split_once(':') {
+                        instance = instance.with_conn(port, signal);
+                    } else {
+                        return Err(ParseHdsError::new(
+                            format!("token '{token}' is neither key=value nor port:signal"),
+                            lineno,
+                        ));
+                    }
+                }
+                nl.add_instance(instance);
+            }
+            other => {
+                return Err(ParseHdsError::new(
+                    format!("unknown directive '{other}'"),
+                    lineno,
+                ));
+            }
+        }
+    }
+    netlist.ok_or_else(|| ParseHdsError::new("missing 'hds' header", input.lines().count().max(1)))
+}
+
+/// Renders a [`Netlist`] as `.hds` text (the inverse of [`parse`]).
+pub fn emit(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("hds {}\n", netlist.name));
+    for signal in netlist.signals() {
+        out.push_str(&format!("signal {} {}\n", signal.name, signal.width));
+    }
+    for instance in netlist.instances() {
+        out.push_str(&format!("inst {} {}", instance.name, instance.kind));
+        for (key, value) in instance.params() {
+            out.push_str(&format!(" {key}={value}"));
+        }
+        for (port, signal) in instance.conns() {
+            out.push_str(&format!(" {port}:{signal}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a small design
+hds demo
+signal clk 1
+signal a 8   # data
+signal y 8
+inst clock0 clock period=10 y:clk
+inst add0 add width=8 delay=1 a:a b:a y:y
+";
+
+    #[test]
+    fn parses_sample() {
+        let nl = parse(SAMPLE).unwrap();
+        assert_eq!(nl.name, "demo");
+        assert_eq!(nl.signals().len(), 3);
+        assert_eq!(nl.instances().len(), 2);
+        let add = &nl.instances()[1];
+        assert_eq!(add.param("delay"), Some("1"));
+        assert_eq!(add.conn("b"), Some("a"));
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let nl = parse(SAMPLE).unwrap();
+        let text = emit(&nl);
+        assert_eq!(parse(&text).unwrap(), nl);
+    }
+
+    #[test]
+    fn error_cases_report_lines() {
+        assert!(parse("").is_err());
+        assert_eq!(parse("signal a 4\n").unwrap_err().line(), 1);
+        assert_eq!(parse("hds t\nsignal a\n").unwrap_err().line(), 2);
+        assert_eq!(parse("hds t\nsignal a four\n").unwrap_err().line(), 2);
+        assert_eq!(parse("hds t\nbogus x\n").unwrap_err().line(), 2);
+        assert_eq!(parse("hds t\nhds u\n").unwrap_err().line(), 2);
+        assert_eq!(parse("hds t\ninst a add junk\n").unwrap_err().line(), 3 - 1);
+        assert_eq!(parse("hds t\nsignal a 4 extra\n").unwrap_err().line(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let nl = parse("\n# header only\nhds x\n\n# done\n").unwrap();
+        assert_eq!(nl.name, "x");
+        assert!(nl.signals().is_empty());
+    }
+
+    #[test]
+    fn parsed_netlist_elaborates() {
+        use crate::kernel::{SimTime, Simulator};
+        let text = "\
+hds sum
+signal a 8
+signal b 8
+signal y 8
+inst ca const width=8 value=20 y:a
+inst cb const width=8 value=22 y:b
+inst add0 add width=8 a:a b:b y:y
+";
+        let nl = parse(text).unwrap();
+        let mut sim = Simulator::new();
+        let map = nl.elaborate(&mut sim).unwrap();
+        sim.run(SimTime(5)).unwrap();
+        assert_eq!(sim.value(map.signal("y").unwrap()).as_u64(), 42);
+    }
+}

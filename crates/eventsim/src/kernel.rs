@@ -1,0 +1,800 @@
+//! The discrete-event simulation kernel.
+//!
+//! Equivalent to the event-based core of Hades: a time-ordered event queue
+//! with delta cycles. Signal updates scheduled for the same instant are
+//! separated into *delta* steps so that zero-delay combinational logic
+//! settles deterministically; a bounded delta count per instant detects
+//! zero-delay oscillation (one of the paper's required "stop mechanisms").
+
+use crate::component::{Component, ComponentId, SignalId};
+use crate::value::Value;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+/// Simulation timestamp in kernel ticks.
+///
+/// The infrastructure uses a 10-tick clock period by convention (see
+/// [`crate::ops::Clock`]); absolute tick meaning is up to the netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The zero timestamp.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Tick count.
+    pub fn ticks(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Why a run returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// No events remained (every generator went quiet).
+    QueueEmpty,
+    /// The time limit passed to [`Simulator::run`] was reached.
+    TimeLimit,
+    /// A component requested a stop (watchpoint hit, done flag, …).
+    Stopped(String),
+    /// A component reported a failure (assertion violation, bad memory
+    /// access, …).
+    Failed(String),
+}
+
+impl RunOutcome {
+    /// Whether the run ended without a reported failure.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, RunOutcome::Failed(_))
+    }
+}
+
+/// Summary statistics of one [`Simulator::run`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Why the run returned.
+    pub outcome: RunOutcome,
+    /// Final simulation time.
+    pub end_time: SimTime,
+    /// Number of events dequeued.
+    pub events: u64,
+    /// Number of effective signal updates (value actually changed).
+    pub updates: u64,
+    /// Number of component evaluations.
+    pub evals: u64,
+    /// Host wall-clock seconds spent inside the kernel loop.
+    pub wall_seconds: f64,
+}
+
+/// Kernel-level error: the model itself is broken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// More than the configured number of delta cycles elapsed at a single
+    /// instant — a zero-delay combinational loop.
+    DeltaOverflow {
+        /// Instant at which the loop was detected.
+        time: SimTime,
+        /// The configured limit that was exceeded.
+        limit: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DeltaOverflow { time, limit } => write!(
+                f,
+                "zero-delay loop: more than {limit} delta cycles at {time}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Update(SignalId, Value),
+    Eval(ComponentId),
+}
+
+/// A future-time event (same-instant delta events live in flat queues).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct SignalState {
+    name: String,
+    width: u32,
+    value: Value,
+    sinks: Vec<(ComponentId, crate::component::Sense)>,
+    traced: bool,
+}
+
+/// One recorded waveform change (used by the VCD writer and probes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Change {
+    /// Instant of the change.
+    pub time: SimTime,
+    /// The signal that changed.
+    pub signal: SignalId,
+    /// The new value.
+    pub value: Value,
+}
+
+pub(crate) struct SimCore {
+    signals: Vec<SignalState>,
+    /// Events of the instant currently being processed, drained in order.
+    current: Vec<EventKind>,
+    cursor: usize,
+    /// Events scheduled for the next delta cycle of the current instant.
+    next_delta: Vec<EventKind>,
+    /// Strictly later events (ordered by time, then insertion).
+    future: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    now: u64,
+    delta: u32,
+    stop: Option<RunOutcome>,
+    eval_marks: Vec<(u64, u32)>,
+    pub(crate) trace: Vec<Change>,
+    events: u64,
+    updates: u64,
+    evals: u64,
+}
+
+impl SimCore {
+    fn push_future(&mut self, time: u64, kind: EventKind) {
+        debug_assert!(time > self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.future.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn push_next_delta(&mut self, kind: EventKind) {
+        self.next_delta.push(kind);
+    }
+
+    /// Schedules an evaluation in the next delta of the current instant,
+    /// deduplicated: one evaluation per component per (time, delta) is
+    /// enough since react reads whole input state, not individual edges.
+    fn schedule_eval_next(&mut self, component: ComponentId) {
+        let mark = (self.now, self.delta + 1);
+        if self.eval_marks[component.0] == mark {
+            return;
+        }
+        self.eval_marks[component.0] = mark;
+        self.next_delta.push(EventKind::Eval(component));
+    }
+}
+
+/// The event-driven simulator: signals, components, and the event queue.
+///
+/// Build a model by adding signals and components, then call
+/// [`run`](Self::run):
+///
+/// ```
+/// use eventsim::{Simulator, Value, ops::{Clock, Counter}};
+///
+/// # fn main() -> Result<(), eventsim::SimError> {
+/// let mut sim = Simulator::new();
+/// let clk = sim.add_signal("clk", 1);
+/// let count = sim.add_signal("count", 8);
+/// sim.add_component(Clock::new("clk0", clk, 10));
+/// sim.add_component(Counter::new("cnt0", clk, count));
+/// sim.run(eventsim::SimTime(100))?;
+/// assert_eq!(sim.value(count).as_u64(), 10); // ten rising edges in 100 ticks
+/// # Ok(())
+/// # }
+/// ```
+pub struct Simulator {
+    core: SimCore,
+    components: Vec<Option<Box<dyn Component>>>,
+    component_names: Vec<String>,
+    delta_limit: u32,
+    initialized: bool,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Creates an empty simulator with the default delta limit (4096).
+    pub fn new() -> Self {
+        Simulator {
+            core: SimCore {
+                signals: Vec::new(),
+                current: Vec::new(),
+                cursor: 0,
+                next_delta: Vec::new(),
+                future: BinaryHeap::new(),
+                seq: 0,
+                now: 0,
+                delta: 0,
+                stop: None,
+                eval_marks: Vec::new(),
+                trace: Vec::new(),
+                events: 0,
+                updates: 0,
+                evals: 0,
+            },
+            components: Vec::new(),
+            component_names: Vec::new(),
+            delta_limit: 4096,
+            initialized: false,
+        }
+    }
+
+    /// Overrides the delta-cycle limit used for zero-delay loop detection.
+    pub fn set_delta_limit(&mut self, limit: u32) {
+        self.delta_limit = limit.max(1);
+    }
+
+    /// Adds a signal and returns its id. Signals start at `X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is outside `1..=64`.
+    pub fn add_signal(&mut self, name: impl Into<String>, width: u32) -> SignalId {
+        let id = SignalId(self.core.signals.len());
+        self.core.signals.push(SignalState {
+            name: name.into(),
+            width,
+            value: Value::x(width),
+            sinks: Vec::new(),
+            traced: false,
+        });
+        id
+    }
+
+    /// Registers a component, wiring its sensitivity list, and returns its
+    /// id.
+    pub fn add_component(&mut self, component: impl Component + 'static) -> ComponentId {
+        self.add_boxed_component(Box::new(component))
+    }
+
+    /// [`add_component`](Self::add_component) for already-boxed components
+    /// (used by netlist elaboration).
+    pub fn add_boxed_component(&mut self, component: Box<dyn Component>) -> ComponentId {
+        let id = ComponentId(self.components.len());
+        for input in component.inputs() {
+            self.core.signals[input.signal.0]
+                .sinks
+                .push((id, input.sense));
+        }
+        self.component_names.push(component.name().to_string());
+        self.components.push(Some(component));
+        self.core.eval_marks.push((u64::MAX, u32::MAX));
+        id
+    }
+
+    /// Current value of a signal.
+    pub fn value(&self, signal: SignalId) -> Value {
+        self.core.signals[signal.0].value
+    }
+
+    /// Name of a signal.
+    pub fn signal_name(&self, signal: SignalId) -> &str {
+        &self.core.signals[signal.0].name
+    }
+
+    /// Width of a signal.
+    pub fn signal_width(&self, signal: SignalId) -> u32 {
+        self.core.signals[signal.0].width
+    }
+
+    /// Number of signals.
+    pub fn signal_count(&self) -> usize {
+        self.core.signals.len()
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Looks a signal up by name (first match).
+    pub fn find_signal(&self, name: &str) -> Option<SignalId> {
+        self.core
+            .signals
+            .iter()
+            .position(|s| s.name == name)
+            .map(SignalId)
+    }
+
+    /// Name of a component.
+    pub fn component_name(&self, component: ComponentId) -> &str {
+        &self.component_names[component.0]
+    }
+
+    /// Marks a signal for waveform recording (see [`Self::changes`] and
+    /// [`crate::vcd`]).
+    pub fn trace_signal(&mut self, signal: SignalId) {
+        self.core.signals[signal.0].traced = true;
+    }
+
+    /// The recorded changes of all traced signals, in order.
+    pub fn changes(&self) -> &[Change] {
+        &self.core.trace
+    }
+
+    /// The signals currently marked for tracing, in id order.
+    pub fn traced_signals(&self) -> Vec<SignalId> {
+        self.core
+            .signals
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.traced)
+            .map(|(i, _)| SignalId(i))
+            .collect()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.core.now)
+    }
+
+    /// Runs until the event queue drains, a component stops the run, or
+    /// simulation time exceeds `limit`.
+    ///
+    /// The first call initializes every component. Subsequent calls resume
+    /// where the previous run left off, so a test bench can single-step
+    /// through interesting windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DeltaOverflow`] when a zero-delay loop is
+    /// detected.
+    pub fn run(&mut self, limit: SimTime) -> Result<RunSummary, SimError> {
+        let started = Instant::now();
+        let events0 = self.core.events;
+        let updates0 = self.core.updates;
+        let evals0 = self.core.evals;
+        self.core.stop = None;
+
+        if !self.initialized {
+            self.initialized = true;
+            for i in 0..self.components.len() {
+                self.call_component(ComponentId(i), true);
+            }
+        }
+
+        let outcome = loop {
+            // Drain the current delta batch.
+            if self.core.cursor < self.core.current.len() {
+                let kind = self.core.current[self.core.cursor];
+                self.core.cursor += 1;
+                self.core.events += 1;
+                match kind {
+                    EventKind::Update(signal, value) => {
+                        let state = &mut self.core.signals[signal.0];
+                        debug_assert_eq!(state.width, value.width());
+                        if state.value != value {
+                            state.value = value;
+                            self.core.updates += 1;
+                            if state.traced {
+                                self.core.trace.push(Change {
+                                    time: SimTime(self.core.now),
+                                    signal,
+                                    value,
+                                });
+                            }
+                            let triggers_rising = value.is_true();
+                            // Take the sink list to iterate without
+                            // borrowing the core (and without allocating).
+                            let sinks = std::mem::take(&mut self.core.signals[signal.0].sinks);
+                            for &(sink, sense) in &sinks {
+                                if sense == crate::component::Sense::Any || triggers_rising {
+                                    self.core.schedule_eval_next(sink);
+                                }
+                            }
+                            self.core.signals[signal.0].sinks = sinks;
+                        }
+                    }
+                    EventKind::Eval(component) => {
+                        self.core.evals += 1;
+                        self.call_component(component, false);
+                    }
+                }
+                continue;
+            }
+
+            // Advance to the next delta of this instant.
+            if !self.core.next_delta.is_empty() {
+                self.core.delta += 1;
+                if self.core.delta > self.delta_limit {
+                    return Err(SimError::DeltaOverflow {
+                        time: SimTime(self.core.now),
+                        limit: self.delta_limit,
+                    });
+                }
+                self.core.current.clear();
+                self.core.cursor = 0;
+                std::mem::swap(&mut self.core.current, &mut self.core.next_delta);
+                continue;
+            }
+
+            // The instant has fully settled: a pending stop/fail takes
+            // effect now, so the final clock edge's register latches and
+            // delta ripples are not lost.
+            if let Some(stop) = self.core.stop.take() {
+                break stop;
+            }
+
+            // Advance time to the next future batch.
+            let Some(Reverse(head)) = self.core.future.peek() else {
+                break RunOutcome::QueueEmpty;
+            };
+            if head.time > limit.0 {
+                self.core.now = limit.0;
+                break RunOutcome::TimeLimit;
+            }
+            let t = head.time;
+            self.core.now = t;
+            self.core.delta = 0;
+            self.core.current.clear();
+            self.core.cursor = 0;
+            while let Some(Reverse(head)) = self.core.future.peek() {
+                if head.time != t {
+                    break;
+                }
+                let Reverse(event) = self.core.future.pop().expect("peeked");
+                self.core.current.push(event.kind);
+            }
+        };
+
+        Ok(RunSummary {
+            outcome,
+            end_time: SimTime(self.core.now),
+            events: self.core.events - events0,
+            updates: self.core.updates - updates0,
+            evals: self.core.evals - evals0,
+            wall_seconds: started.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Runs to completion with a generous default limit, failing the run if
+    /// the limit is hit (useful for "must finish" tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from [`run`](Self::run).
+    pub fn run_to_quiescence(&mut self) -> Result<RunSummary, SimError> {
+        self.run(SimTime(u64::MAX / 2))
+    }
+
+    fn call_component(&mut self, id: ComponentId, init: bool) {
+        let mut component = self.components[id.0]
+            .take()
+            .expect("component re-entered during its own evaluation");
+        {
+            let mut ctx = Context {
+                core: &mut self.core,
+                id,
+            };
+            if init {
+                component.init(&mut ctx);
+            } else {
+                component.react(&mut ctx);
+            }
+        }
+        self.components[id.0] = Some(component);
+    }
+}
+
+/// Scheduling interface handed to components during
+/// [`init`](Component::init) and [`react`](Component::react).
+pub struct Context<'a> {
+    core: &'a mut SimCore,
+    id: ComponentId,
+}
+
+impl Context<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.core.now)
+    }
+
+    /// Reads the current value of a signal.
+    pub fn get(&self, signal: SignalId) -> Value {
+        self.core.signals[signal.0].value
+    }
+
+    /// Schedules a zero-delay write: the signal takes the value in the next
+    /// delta cycle of the current instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value width does not match the signal width — that
+    /// is an elaboration bug, not a runtime condition.
+    pub fn set(&mut self, signal: SignalId, value: Value) {
+        self.check_width(signal, &value);
+        self.core.push_next_delta(EventKind::Update(signal, value));
+    }
+
+    /// Schedules a write `delay` ticks in the future (delta 0 of that
+    /// instant). A `delay` of zero behaves like [`set`](Self::set).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch, as for [`set`](Self::set).
+    pub fn set_after(&mut self, signal: SignalId, value: Value, delay: u64) {
+        if delay == 0 {
+            self.set(signal, value);
+            return;
+        }
+        self.check_width(signal, &value);
+        let time = self.core.now + delay;
+        self.core.push_future(time, EventKind::Update(signal, value));
+    }
+
+    /// Requests a re-evaluation of this component `delay` ticks from now
+    /// (self-scheduling, used by generators such as clocks).
+    pub fn wake_after(&mut self, delay: u64) {
+        let time = self.core.now + delay.max(1);
+        let id = self.id;
+        self.core.push_future(time, EventKind::Eval(id));
+    }
+
+    /// Stops the run after the current delta with [`RunOutcome::Stopped`].
+    pub fn stop(&mut self, reason: impl Into<String>) {
+        if self.core.stop.is_none() {
+            self.core.stop = Some(RunOutcome::Stopped(reason.into()));
+        }
+    }
+
+    /// Stops the run reporting a failure ([`RunOutcome::Failed`]).
+    pub fn fail(&mut self, message: impl Into<String>) {
+        // A failure overrides a plain stop recorded in the same delta.
+        self.core.stop = Some(RunOutcome::Failed(message.into()));
+    }
+
+    fn check_width(&self, signal: SignalId, value: &Value) {
+        let state = &self.core.signals[signal.0];
+        assert_eq!(
+            state.width,
+            value.width(),
+            "width mismatch driving signal '{}' ({} bits) with {} ",
+            state.name,
+            state.width,
+            value
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Component;
+
+    /// Drives a constant after an optional delay.
+    struct Driver {
+        out: SignalId,
+        value: Value,
+        delay: u64,
+    }
+
+    impl Component for Driver {
+        fn name(&self) -> &str {
+            "driver"
+        }
+        fn inputs(&self) -> Vec<crate::component::Sensitivity> {
+            Vec::new()
+        }
+        fn init(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_after(self.out, self.value, self.delay);
+        }
+        fn react(&mut self, _ctx: &mut Context<'_>) {}
+    }
+
+    /// Inverter with zero (delta) delay.
+    struct Not {
+        a: SignalId,
+        y: SignalId,
+    }
+
+    impl Component for Not {
+        fn name(&self) -> &str {
+            "not"
+        }
+        fn inputs(&self) -> Vec<crate::component::Sensitivity> {
+            vec![crate::component::Sensitivity::any(self.a)]
+        }
+        fn react(&mut self, ctx: &mut Context<'_>) {
+            let a = ctx.get(self.a);
+            let out = match a.try_u64() {
+                Some(v) => Value::known(1, (v == 0) as i64),
+                None => Value::x(1),
+            };
+            ctx.set(self.y, out);
+        }
+    }
+
+    #[test]
+    fn empty_simulator_drains_immediately() {
+        let mut sim = Simulator::new();
+        let summary = sim.run(SimTime(100)).unwrap();
+        assert_eq!(summary.outcome, RunOutcome::QueueEmpty);
+        assert_eq!(summary.events, 0);
+    }
+
+    #[test]
+    fn driver_sets_value_at_delay() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 8);
+        sim.add_component(Driver {
+            out: s,
+            value: Value::known(8, 42),
+            delay: 7,
+        });
+        let summary = sim.run(SimTime(100)).unwrap();
+        assert_eq!(sim.value(s).as_u64(), 42);
+        assert_eq!(summary.end_time, SimTime(7));
+        assert_eq!(summary.updates, 1);
+    }
+
+    #[test]
+    fn combinational_chain_settles_in_deltas() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        let b = sim.add_signal("b", 1);
+        let c = sim.add_signal("c", 1);
+        sim.add_component(Driver {
+            out: a,
+            value: Value::bit(true),
+            delay: 1,
+        });
+        sim.add_component(Not { a, y: b });
+        sim.add_component(Not { a: b, y: c });
+        let summary = sim.run(SimTime(10)).unwrap();
+        assert!(sim.value(b).is_false());
+        assert!(sim.value(c).is_true());
+        // Everything happened at t=1 across delta cycles.
+        assert_eq!(summary.end_time, SimTime(1));
+    }
+
+    #[test]
+    fn zero_delay_loop_is_detected() {
+        let mut sim = Simulator::new();
+        sim.set_delta_limit(64);
+        let a = sim.add_signal("a", 1);
+        let b = sim.add_signal("b", 1);
+        sim.add_component(Driver {
+            out: a,
+            value: Value::bit(true),
+            delay: 1,
+        });
+        // a = !a: a combinational loop oscillating at zero delay.
+        let _ = b;
+        sim.add_component(Not { a, y: a });
+        let err = sim.run(SimTime(10)).unwrap_err();
+        assert!(matches!(err, SimError::DeltaOverflow { limit: 64, .. }));
+    }
+
+    #[test]
+    fn time_limit_outcome() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 1);
+        sim.add_component(Driver {
+            out: s,
+            value: Value::bit(true),
+            delay: 1000,
+        });
+        let summary = sim.run(SimTime(10)).unwrap();
+        assert_eq!(summary.outcome, RunOutcome::TimeLimit);
+        assert!(sim.value(s).is_x());
+        // Resume past the event.
+        let summary = sim.run(SimTime(2000)).unwrap();
+        assert_eq!(summary.outcome, RunOutcome::QueueEmpty);
+        assert!(sim.value(s).is_true());
+    }
+
+    #[test]
+    fn redundant_updates_do_not_ripple() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        let b = sim.add_signal("b", 1);
+        sim.add_component(Driver {
+            out: a,
+            value: Value::bit(true),
+            delay: 1,
+        });
+        sim.add_component(Driver {
+            out: a,
+            value: Value::bit(true),
+            delay: 5,
+        });
+        sim.add_component(Not { a, y: b });
+        let summary = sim.run(SimTime(100)).unwrap();
+        // The second identical update must not re-evaluate the inverter.
+        assert_eq!(summary.updates, 2); // a and b once each
+    }
+
+    #[test]
+    fn tracing_records_changes() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 4);
+        sim.trace_signal(s);
+        sim.add_component(Driver {
+            out: s,
+            value: Value::known(4, 3),
+            delay: 2,
+        });
+        sim.run(SimTime(10)).unwrap();
+        let changes = sim.changes();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].time, SimTime(2));
+        assert_eq!(changes[0].value.as_u64(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 4);
+        sim.add_component(Driver {
+            out: s,
+            value: Value::known(8, 1),
+            delay: 1,
+        });
+        let _ = sim.run(SimTime(10));
+    }
+
+    #[test]
+    fn run_resumes_after_stop() {
+        use crate::ops::{Clock, Counter};
+        use crate::probe::Watchpoint;
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", 1);
+        let q = sim.add_signal("q", 8);
+        sim.add_component(Clock::new("clk0", clk, 10));
+        sim.add_component(Counter::new("cnt", clk, q));
+        sim.add_component(Watchpoint::new("w", q, 3));
+        let summary = sim.run(SimTime(10_000)).unwrap();
+        assert!(matches!(summary.outcome, RunOutcome::Stopped(_)));
+        assert_eq!(sim.value(q).as_u64(), 3);
+        // Resuming continues from the stop point; the watchpoint only
+        // fires on *changes to* its value, so the run proceeds until the
+        // time limit.
+        let summary = sim.run(SimTime(200)).unwrap();
+        assert_eq!(summary.outcome, RunOutcome::TimeLimit);
+        assert!(sim.value(q).as_u64() > 3);
+    }
+
+    #[test]
+    fn find_signal_by_name() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("alpha", 1);
+        let _ = sim.add_signal("beta", 1);
+        assert_eq!(sim.find_signal("alpha"), Some(a));
+        assert_eq!(sim.find_signal("gamma"), None);
+        assert_eq!(sim.signal_name(a), "alpha");
+        assert_eq!(sim.signal_width(a), 1);
+    }
+}

@@ -1,0 +1,400 @@
+//! Memory models: the SRAM component and the shared-content handle used to
+//! load stimulus before simulation and read results after it.
+
+use crate::component::{Component, Sensitivity, SignalId};
+use crate::kernel::Context;
+use crate::value::Value;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared handle to a memory's contents.
+///
+/// The paper stores memory contents and I/O data in files that both the
+/// golden software execution and the simulation read and write. The handle
+/// is the in-process analogue: the test flow fills it from a stimulus file,
+/// hands it to the [`Sram`] component, keeps a clone, and diffs the
+/// contents after simulation.
+///
+/// Cloning is cheap and shares the same storage (single-threaded, like the
+/// kernel itself).
+///
+/// ```
+/// use eventsim::MemHandle;
+/// let mem = MemHandle::new("frame", 16, 8);
+/// mem.store(3, 42);
+/// assert_eq!(mem.load(3), Some(42));
+/// assert_eq!(mem.clone().load(3), Some(42)); // shared storage
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemHandle {
+    name: String,
+    width: u32,
+    cells: Rc<RefCell<Vec<Option<i64>>>>,
+}
+
+impl MemHandle {
+    /// Creates a memory with `size` words of `width` bits, all
+    /// uninitialized.
+    pub fn new(name: impl Into<String>, size: usize, width: u32) -> Self {
+        MemHandle {
+            name: name.into(),
+            width,
+            cells: Rc::new(RefCell::new(vec![None; size])),
+        }
+    }
+
+    /// The memory name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of words.
+    pub fn size(&self) -> usize {
+        self.cells.borrow().len()
+    }
+
+    /// Reads a word; `None` when out of bounds or uninitialized.
+    pub fn load(&self, addr: usize) -> Option<i64> {
+        self.cells.borrow().get(addr).copied().flatten()
+    }
+
+    /// Writes a word, truncating to the memory width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `addr` is out of bounds.
+    pub fn store(&self, addr: usize, value: i64) {
+        let masked = Value::known(self.width, value).as_i64();
+        self.cells.borrow_mut()[addr] = Some(masked);
+    }
+
+    /// Clears a word back to uninitialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `addr` is out of bounds.
+    pub fn clear(&self, addr: usize) {
+        self.cells.borrow_mut()[addr] = None;
+    }
+
+    /// Copies every initialized word of `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the sizes differ.
+    pub fn copy_from(&self, other: &MemHandle) {
+        assert_eq!(self.size(), other.size(), "memory size mismatch");
+        let src = other.cells.borrow();
+        let mut dst = self.cells.borrow_mut();
+        for (d, s) in dst.iter_mut().zip(src.iter()) {
+            if s.is_some() {
+                *d = *s;
+            }
+        }
+    }
+
+    /// Snapshot of all words (uninitialized words are `None`).
+    pub fn snapshot(&self) -> Vec<Option<i64>> {
+        self.cells.borrow().clone()
+    }
+
+    /// Fills the whole memory from an iterator, starting at address 0.
+    pub fn fill<I: IntoIterator<Item = i64>>(&self, values: I) {
+        for (addr, value) in values.into_iter().enumerate() {
+            self.store(addr, value);
+        }
+    }
+}
+
+/// A single-port SRAM with asynchronous read and synchronous write.
+///
+/// Ports: `clk`, `en` (port enable), `we` (write enable), `addr`, `din`,
+/// `dout`.
+///
+/// * While `en` is true and `we` false, `dout` combinationally follows
+///   `mem[addr]` (an uninitialized word reads as `X`).
+/// * On a rising `clk` edge with `en` and `we` true, `mem[addr] <= din`.
+/// * Accessing an out-of-range or `X` address while enabled **fails the
+///   run** — exactly the class of bug the test infrastructure exists to
+///   catch in generated datapaths.
+pub struct Sram {
+    name: String,
+    clk: SignalId,
+    en: SignalId,
+    we: SignalId,
+    addr: SignalId,
+    din: SignalId,
+    dout: SignalId,
+    mem: MemHandle,
+    prev_clk: bool,
+}
+
+impl Sram {
+    /// Creates an SRAM bound to the given content handle.
+    #[allow(clippy::too_many_arguments)] // one argument per port, like the netlist
+    pub fn new(
+        name: impl Into<String>,
+        clk: SignalId,
+        en: SignalId,
+        we: SignalId,
+        addr: SignalId,
+        din: SignalId,
+        dout: SignalId,
+        mem: MemHandle,
+    ) -> Self {
+        Sram {
+            name: name.into(),
+            clk,
+            en,
+            we,
+            addr,
+            din,
+            dout,
+            mem,
+            prev_clk: false,
+        }
+    }
+
+    /// The shared content handle.
+    pub fn mem(&self) -> &MemHandle {
+        &self.mem
+    }
+}
+
+impl Component for Sram {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Sensitivity> {
+        // Mixed sensitivity: the asynchronous read path reacts to any
+        // en/we/addr change; writes commit on the rising clock edge,
+        // detected via prev_clk — which needs to see falling edges too,
+        // so the clock stays at full (Any) sensitivity.
+        vec![
+            Sensitivity::any(self.clk),
+            Sensitivity::any(self.en),
+            Sensitivity::any(self.we),
+            Sensitivity::any(self.addr),
+        ]
+    }
+
+    fn react(&mut self, ctx: &mut Context<'_>) {
+        let clk = ctx.get(self.clk).is_true();
+        let rising = clk && !self.prev_clk;
+        self.prev_clk = clk;
+
+        let enabled = ctx.get(self.en).is_true();
+        let writing = ctx.get(self.we).is_true();
+        let width = self.mem.width();
+
+        if !enabled {
+            ctx.set(self.dout, Value::x(width));
+            return;
+        }
+
+        // A transient X or out-of-range address while signals settle is a
+        // normal glitch (the read path is combinational); it only becomes
+        // an error when a *write commits* at a clock edge.
+        let addr = match ctx.get(self.addr).try_u64() {
+            Some(a) if (a as usize) < self.mem.size() => Some(a as usize),
+            Some(a) => {
+                if writing && rising {
+                    ctx.fail(format!(
+                        "{}: write to address {} out of range (size {})",
+                        self.name,
+                        a,
+                        self.mem.size()
+                    ));
+                    return;
+                }
+                None
+            }
+            None => {
+                if writing && rising {
+                    ctx.fail(format!("{}: write with X address", self.name));
+                    return;
+                }
+                None
+            }
+        };
+
+        let Some(addr) = addr else {
+            ctx.set(self.dout, Value::x(width));
+            return;
+        };
+
+        if writing && rising {
+            let din = ctx.get(self.din);
+            match din.try_i64() {
+                Some(v) => self.mem.store(addr, v),
+                None => {
+                    ctx.fail(format!("{}: write of X data to address {}", self.name, addr));
+                    return;
+                }
+            }
+        }
+        // Asynchronous read (write-through during writes).
+        let out = match self.mem.load(addr) {
+            Some(v) => Value::known(width, v),
+            None => Value::x(width),
+        };
+        ctx.set(self.dout, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{RunOutcome, SimTime, Simulator};
+    use crate::ops::{Clock, ConstDriver};
+
+    struct Fixture {
+        sim: Simulator,
+        en: SignalId,
+        we: SignalId,
+        addr: SignalId,
+        din: SignalId,
+        dout: SignalId,
+        mem: MemHandle,
+    }
+
+    fn fixture() -> Fixture {
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", 1);
+        let en = sim.add_signal("en", 1);
+        let we = sim.add_signal("we", 1);
+        let addr = sim.add_signal("addr", 16);
+        let din = sim.add_signal("din", 8);
+        let dout = sim.add_signal("dout", 8);
+        sim.add_component(Clock::new("clk0", clk, 10));
+        let mem = MemHandle::new("m", 16, 8);
+        sim.add_component(Sram::new("sram0", clk, en, we, addr, din, dout, mem.clone()));
+        Fixture {
+            sim,
+            en,
+            we,
+            addr,
+            din,
+            dout,
+            mem,
+        }
+    }
+
+    #[test]
+    fn async_read_follows_address() {
+        let mut f = fixture();
+        f.mem.store(2, 77);
+        f.sim.add_component(ConstDriver::new("ce", f.en, Value::bit(true)));
+        f.sim.add_component(ConstDriver::new("cw", f.we, Value::bit(false)));
+        f.sim.add_component(ConstDriver::new("ca", f.addr, Value::known(16, 2)));
+        f.sim.run(SimTime(3)).unwrap();
+        assert_eq!(f.sim.value(f.dout).as_u64(), 77);
+    }
+
+    #[test]
+    fn uninitialized_word_reads_x() {
+        let mut f = fixture();
+        f.sim.add_component(ConstDriver::new("ce", f.en, Value::bit(true)));
+        f.sim.add_component(ConstDriver::new("cw", f.we, Value::bit(false)));
+        f.sim.add_component(ConstDriver::new("ca", f.addr, Value::known(16, 5)));
+        f.sim.run(SimTime(3)).unwrap();
+        assert!(f.sim.value(f.dout).is_x());
+    }
+
+    #[test]
+    fn write_commits_on_rising_edge_only() {
+        let mut f = fixture();
+        f.sim.add_component(ConstDriver::new("ce", f.en, Value::bit(true)));
+        f.sim.add_component(ConstDriver::new("cw", f.we, Value::bit(true)));
+        f.sim.add_component(ConstDriver::new("ca", f.addr, Value::known(16, 4)));
+        f.sim.add_component(ConstDriver::new("cd", f.din, Value::known(8, 0x5A)));
+        f.sim.run(SimTime(3)).unwrap();
+        assert_eq!(f.mem.load(4), None, "no edge yet");
+        f.sim.run(SimTime(6)).unwrap(); // rising edge at t=5
+        assert_eq!(f.mem.load(4), Some(0x5A));
+        // Write-through dout.
+        assert_eq!(f.sim.value(f.dout).as_u64(), 0x5A);
+    }
+
+    #[test]
+    fn disabled_port_reads_x_and_never_writes() {
+        let mut f = fixture();
+        f.mem.store(0, 1);
+        f.sim.add_component(ConstDriver::new("ce", f.en, Value::bit(false)));
+        f.sim.add_component(ConstDriver::new("cw", f.we, Value::bit(true)));
+        f.sim.add_component(ConstDriver::new("ca", f.addr, Value::known(16, 0)));
+        f.sim.add_component(ConstDriver::new("cd", f.din, Value::known(8, 9)));
+        f.sim.run(SimTime(50)).unwrap();
+        assert!(f.sim.value(f.dout).is_x());
+        assert_eq!(f.mem.load(0), Some(1), "write suppressed while disabled");
+    }
+
+    #[test]
+    fn out_of_range_read_glitches_to_x_but_write_fails() {
+        // Reads with a bad address are transient glitches: dout is X.
+        let mut f = fixture();
+        f.sim.add_component(ConstDriver::new("ce", f.en, Value::bit(true)));
+        f.sim.add_component(ConstDriver::new("cw", f.we, Value::bit(false)));
+        f.sim.add_component(ConstDriver::new("ca", f.addr, Value::known(16, 99)));
+        let summary = f.sim.run(SimTime(50)).unwrap();
+        assert!(summary.outcome.is_ok(), "{:?}", summary.outcome);
+        assert!(f.sim.value(f.dout).is_x());
+
+        // A committing write with the same address is a design failure.
+        let mut f = fixture();
+        f.sim.add_component(ConstDriver::new("ce", f.en, Value::bit(true)));
+        f.sim.add_component(ConstDriver::new("cw", f.we, Value::bit(true)));
+        f.sim.add_component(ConstDriver::new("ca", f.addr, Value::known(16, 99)));
+        f.sim.add_component(ConstDriver::new("cd", f.din, Value::known(8, 1)));
+        let summary = f.sim.run(SimTime(50)).unwrap();
+        assert!(
+            matches!(summary.outcome, RunOutcome::Failed(ref m) if m.contains("out of range")),
+            "{:?}",
+            summary.outcome
+        );
+    }
+
+    #[test]
+    fn x_address_read_gives_x_but_write_fails() {
+        let mut f = fixture();
+        f.sim.add_component(ConstDriver::new("ce", f.en, Value::bit(true)));
+        f.sim.add_component(ConstDriver::new("cw", f.we, Value::bit(false)));
+        // addr never driven: read path yields X, no failure.
+        let summary = f.sim.run(SimTime(50)).unwrap();
+        assert!(summary.outcome.is_ok());
+        assert!(f.sim.value(f.dout).is_x());
+
+        let mut f = fixture();
+        f.sim.add_component(ConstDriver::new("ce", f.en, Value::bit(true)));
+        f.sim.add_component(ConstDriver::new("cw", f.we, Value::bit(true)));
+        f.sim.add_component(ConstDriver::new("cd", f.din, Value::known(8, 1)));
+        let summary = f.sim.run(SimTime(50)).unwrap();
+        assert!(matches!(summary.outcome, RunOutcome::Failed(ref m) if m.contains("X address")));
+    }
+
+    #[test]
+    fn handle_fill_snapshot_copy() {
+        let a = MemHandle::new("a", 4, 8);
+        let b = MemHandle::new("b", 4, 8);
+        a.fill([1, 2, 3]);
+        assert_eq!(a.snapshot(), [Some(1), Some(2), Some(3), None]);
+        b.store(3, 9);
+        b.copy_from(&a);
+        assert_eq!(b.snapshot(), [Some(1), Some(2), Some(3), Some(9)]);
+        a.clear(0);
+        assert_eq!(a.load(0), None);
+    }
+
+    #[test]
+    fn store_truncates_to_width() {
+        let m = MemHandle::new("m", 2, 4);
+        m.store(0, 0x1F);
+        assert_eq!(m.load(0), Some(-1)); // 0xF sign-extended at width 4
+    }
+}

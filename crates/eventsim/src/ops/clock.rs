@@ -1,0 +1,143 @@
+//! Clock and reset generators.
+
+use crate::component::{Component, Sensitivity, SignalId};
+use crate::kernel::Context;
+use crate::value::Value;
+
+/// A free-running clock generator.
+///
+/// Starts low at time 0 and toggles every half period, so the first rising
+/// edge is at `period / 2` ticks. The infrastructure's convention is a
+/// period of 10 ticks.
+pub struct Clock {
+    name: String,
+    out: SignalId,
+    half_period: u64,
+    level: bool,
+}
+
+impl Clock {
+    /// Creates a clock with the given full period in ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `period` is less than 2 (each phase needs at least one
+    /// tick).
+    pub fn new(name: impl Into<String>, out: SignalId, period: u64) -> Self {
+        assert!(period >= 2, "clock period must be at least 2 ticks");
+        Clock {
+            name: name.into(),
+            out,
+            half_period: period / 2,
+            level: false,
+        }
+    }
+}
+
+impl Component for Clock {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Sensitivity> {
+        Vec::new()
+    }
+
+    fn init(&mut self, ctx: &mut Context<'_>) {
+        ctx.set(self.out, Value::bit(false));
+        ctx.wake_after(self.half_period);
+    }
+
+    fn react(&mut self, ctx: &mut Context<'_>) {
+        self.level = !self.level;
+        ctx.set(self.out, Value::bit(self.level));
+        ctx.wake_after(self.half_period);
+    }
+}
+
+/// A power-on reset generator: asserts high for `active_ticks`, then stays
+/// low forever.
+pub struct ResetGen {
+    name: String,
+    out: SignalId,
+    active_ticks: u64,
+    released: bool,
+}
+
+impl ResetGen {
+    /// Creates a reset generator active for the given number of ticks.
+    pub fn new(name: impl Into<String>, out: SignalId, active_ticks: u64) -> Self {
+        ResetGen {
+            name: name.into(),
+            out,
+            active_ticks,
+            released: false,
+        }
+    }
+}
+
+impl Component for ResetGen {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Sensitivity> {
+        Vec::new()
+    }
+
+    fn init(&mut self, ctx: &mut Context<'_>) {
+        ctx.set(self.out, Value::bit(true));
+        ctx.wake_after(self.active_ticks.max(1));
+    }
+
+    fn react(&mut self, ctx: &mut Context<'_>) {
+        if !self.released {
+            self.released = true;
+            ctx.set(self.out, Value::bit(false));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{SimTime, Simulator};
+
+    #[test]
+    fn clock_toggles_with_expected_phase() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", 1);
+        sim.trace_signal(clk);
+        sim.add_component(Clock::new("clk0", clk, 10));
+        sim.run(SimTime(25)).unwrap();
+        let times: Vec<(u64, bool)> = sim
+            .changes()
+            .iter()
+            .map(|c| (c.time.ticks(), c.value.is_true()))
+            .collect();
+        assert_eq!(times, [(0, false), (5, true), (10, false), (15, true), (20, false), (25, true)]);
+    }
+
+    #[test]
+    fn reset_deasserts_after_window() {
+        let mut sim = Simulator::new();
+        let rst = sim.add_signal("rst", 1);
+        sim.trace_signal(rst);
+        sim.add_component(ResetGen::new("rst0", rst, 7));
+        sim.run(SimTime(100)).unwrap();
+        let times: Vec<(u64, bool)> = sim
+            .changes()
+            .iter()
+            .map(|c| (c.time.ticks(), c.value.is_true()))
+            .collect();
+        assert_eq!(times, [(0, true), (7, false)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn degenerate_period_rejected() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", 1);
+        let _ = Clock::new("clk0", clk, 1);
+    }
+}

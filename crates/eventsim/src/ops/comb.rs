@@ -1,0 +1,585 @@
+//! Combinational operators: binary/unary functional units, multiplexers,
+//! and constant drivers.
+
+use crate::component::{Component, Sensitivity, SignalId};
+use crate::kernel::Context;
+use crate::value::Value;
+use std::fmt;
+use std::str::FromStr;
+
+/// The kind of a combinational functional unit.
+///
+/// Kind names (`add`, `mul`, `lt`, …) are the vocabulary shared with the
+/// datapath XML dialect and the `.hds` netlist format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    /// Arithmetic shift right (Java `>>`).
+    Shr,
+    /// Logical shift right (Java `>>>`).
+    Ushr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Bitwise complement (unary).
+    Not,
+    /// Arithmetic negation (unary).
+    Neg,
+}
+
+impl OpKind {
+    /// Whether the operator takes a single operand.
+    pub fn is_unary(&self) -> bool {
+        matches!(self, OpKind::Not | OpKind::Neg)
+    }
+
+    /// Whether the operator produces a 1-bit comparison result.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Eq | OpKind::Ne | OpKind::Lt | OpKind::Le | OpKind::Gt | OpKind::Ge
+        )
+    }
+
+    /// The canonical lower-case name used in interchange formats.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Div => "div",
+            OpKind::Rem => "rem",
+            OpKind::And => "and",
+            OpKind::Or => "or",
+            OpKind::Xor => "xor",
+            OpKind::Shl => "shl",
+            OpKind::Shr => "shr",
+            OpKind::Ushr => "ushr",
+            OpKind::Eq => "eq",
+            OpKind::Ne => "ne",
+            OpKind::Lt => "lt",
+            OpKind::Le => "le",
+            OpKind::Gt => "gt",
+            OpKind::Ge => "ge",
+            OpKind::Not => "not",
+            OpKind::Neg => "neg",
+        }
+    }
+
+    /// Every operator kind, in a stable order.
+    pub fn all() -> &'static [OpKind] {
+        &[
+            OpKind::Add,
+            OpKind::Sub,
+            OpKind::Mul,
+            OpKind::Div,
+            OpKind::Rem,
+            OpKind::And,
+            OpKind::Or,
+            OpKind::Xor,
+            OpKind::Shl,
+            OpKind::Shr,
+            OpKind::Ushr,
+            OpKind::Eq,
+            OpKind::Ne,
+            OpKind::Lt,
+            OpKind::Le,
+            OpKind::Gt,
+            OpKind::Ge,
+            OpKind::Not,
+            OpKind::Neg,
+        ]
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown operator name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOpKindError(String);
+
+impl fmt::Display for ParseOpKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown operator kind '{}'", self.0)
+    }
+}
+
+impl std::error::Error for ParseOpKindError {}
+
+impl FromStr for OpKind {
+    type Err = ParseOpKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        OpKind::all()
+            .iter()
+            .find(|k| k.name() == s)
+            .copied()
+            .ok_or_else(|| ParseOpKindError(s.to_string()))
+    }
+}
+
+/// Evaluates a binary operator over sign-extended operands.
+///
+/// Returns the result masked to `width` bits (comparisons produce a 1-bit
+/// value regardless of `width`).
+///
+/// # Errors
+///
+/// Returns a message for division or remainder by zero — the simulation
+/// reports it as a design failure rather than crashing the kernel.
+pub fn eval_binop(kind: OpKind, a: i64, b: i64, width: u32) -> Result<Value, String> {
+    let raw = match kind {
+        OpKind::Add => a.wrapping_add(b),
+        OpKind::Sub => a.wrapping_sub(b),
+        OpKind::Mul => a.wrapping_mul(b),
+        OpKind::Div => {
+            if b == 0 {
+                return Err("division by zero".to_string());
+            }
+            a.wrapping_div(b)
+        }
+        OpKind::Rem => {
+            if b == 0 {
+                return Err("remainder by zero".to_string());
+            }
+            a.wrapping_rem(b)
+        }
+        OpKind::And => a & b,
+        OpKind::Or => a | b,
+        OpKind::Xor => a ^ b,
+        OpKind::Shl => a.wrapping_shl((b & 63) as u32),
+        OpKind::Shr => a.wrapping_shr((b & 63) as u32),
+        OpKind::Ushr => {
+            let ua = (a as u64) & crate::value::mask(width);
+            (ua >> ((b & 63) as u32)) as i64
+        }
+        OpKind::Eq => (a == b) as i64,
+        OpKind::Ne => (a != b) as i64,
+        OpKind::Lt => (a < b) as i64,
+        OpKind::Le => (a <= b) as i64,
+        OpKind::Gt => (a > b) as i64,
+        OpKind::Ge => (a >= b) as i64,
+        OpKind::Not | OpKind::Neg => {
+            return Err(format!("operator '{kind}' is unary"));
+        }
+    };
+    let out_width = if kind.is_comparison() { 1 } else { width };
+    Ok(Value::known(out_width, raw))
+}
+
+/// Evaluates a unary operator over a sign-extended operand.
+///
+/// # Errors
+///
+/// Returns a message when `kind` is not unary.
+pub fn eval_unop(kind: OpKind, a: i64, width: u32) -> Result<Value, String> {
+    match kind {
+        OpKind::Not => Ok(Value::known(width, !a)),
+        OpKind::Neg => Ok(Value::known(width, a.wrapping_neg())),
+        _ => Err(format!("operator '{kind}' is binary")),
+    }
+}
+
+/// A two-input functional unit.
+///
+/// Output is `X` while any input is `X`; division by zero fails the run.
+/// `delay` ticks of propagation delay may be configured (0 = settle within
+/// the current instant's delta cycles).
+pub struct BinOp {
+    name: String,
+    kind: OpKind,
+    a: SignalId,
+    b: SignalId,
+    y: SignalId,
+    width: u32,
+    delay: u64,
+}
+
+impl BinOp {
+    /// Creates a zero-delay binary functional unit writing a `width`-bit
+    /// result to `y` (1-bit for comparisons).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is unary.
+    pub fn new(
+        name: impl Into<String>,
+        kind: OpKind,
+        a: SignalId,
+        b: SignalId,
+        y: SignalId,
+        width: u32,
+    ) -> Self {
+        assert!(!kind.is_unary(), "use UnOp for unary operator {kind}");
+        BinOp {
+            name: name.into(),
+            kind,
+            a,
+            b,
+            y,
+            width,
+            delay: 0,
+        }
+    }
+
+    /// Builder-style propagation delay in ticks.
+    pub fn with_delay(mut self, delay: u64) -> Self {
+        self.delay = delay;
+        self
+    }
+}
+
+impl Component for BinOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Sensitivity> {
+        vec![Sensitivity::any(self.a), Sensitivity::any(self.b)]
+    }
+
+    fn react(&mut self, ctx: &mut Context<'_>) {
+        let out_width = if self.kind.is_comparison() { 1 } else { self.width };
+        let (a, b) = (ctx.get(self.a), ctx.get(self.b));
+        let out = match (a.try_i64(), b.try_i64()) {
+            (Some(a), Some(b)) => match eval_binop(self.kind, a, b, self.width) {
+                Ok(v) => v,
+                Err(message) => {
+                    ctx.fail(format!("{}: {}", self.name, message));
+                    return;
+                }
+            },
+            _ => Value::x(out_width),
+        };
+        ctx.set_after(self.y, out, self.delay);
+    }
+}
+
+/// A one-input functional unit (`not`, `neg`).
+pub struct UnOp {
+    name: String,
+    kind: OpKind,
+    a: SignalId,
+    y: SignalId,
+    width: u32,
+    delay: u64,
+}
+
+impl UnOp {
+    /// Creates a zero-delay unary functional unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is binary.
+    pub fn new(
+        name: impl Into<String>,
+        kind: OpKind,
+        a: SignalId,
+        y: SignalId,
+        width: u32,
+    ) -> Self {
+        assert!(kind.is_unary(), "use BinOp for binary operator {kind}");
+        UnOp {
+            name: name.into(),
+            kind,
+            a,
+            y,
+            width,
+            delay: 0,
+        }
+    }
+
+    /// Builder-style propagation delay in ticks.
+    pub fn with_delay(mut self, delay: u64) -> Self {
+        self.delay = delay;
+        self
+    }
+}
+
+impl Component for UnOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Sensitivity> {
+        vec![Sensitivity::any(self.a)]
+    }
+
+    fn react(&mut self, ctx: &mut Context<'_>) {
+        let out = match ctx.get(self.a).try_i64() {
+            Some(a) => match eval_unop(self.kind, a, self.width) {
+                Ok(v) => v,
+                Err(message) => {
+                    ctx.fail(format!("{}: {}", self.name, message));
+                    return;
+                }
+            },
+            None => Value::x(self.width),
+        };
+        ctx.set_after(self.y, out, self.delay);
+    }
+}
+
+/// An N-way multiplexer steered by a select signal.
+///
+/// Select values beyond the input count, and `X` selects, yield `X` — the
+/// mux does not fail the run because an idle datapath routinely leaves
+/// selects undriven.
+pub struct Mux {
+    name: String,
+    sel: SignalId,
+    inputs: Vec<SignalId>,
+    y: SignalId,
+    width: u32,
+}
+
+impl Mux {
+    /// Creates a multiplexer with the given data inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs` is empty.
+    pub fn new(
+        name: impl Into<String>,
+        sel: SignalId,
+        inputs: Vec<SignalId>,
+        y: SignalId,
+        width: u32,
+    ) -> Self {
+        assert!(!inputs.is_empty(), "mux needs at least one input");
+        Mux {
+            name: name.into(),
+            sel,
+            inputs,
+            y,
+            width,
+        }
+    }
+}
+
+impl Component for Mux {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Sensitivity> {
+        let mut all = vec![Sensitivity::any(self.sel)];
+        all.extend(self.inputs.iter().map(|&s| Sensitivity::any(s)));
+        all
+    }
+
+    fn react(&mut self, ctx: &mut Context<'_>) {
+        let out = match ctx.get(self.sel).try_u64() {
+            Some(sel) => match self.inputs.get(sel as usize) {
+                Some(&input) => ctx.get(input).resize(self.width),
+                None => Value::x(self.width),
+            },
+            None => Value::x(self.width),
+        };
+        ctx.set(self.y, out);
+    }
+}
+
+/// Drives a constant value once at simulation start.
+pub struct ConstDriver {
+    name: String,
+    y: SignalId,
+    value: Value,
+}
+
+impl ConstDriver {
+    /// Creates a constant driver for `value`.
+    pub fn new(name: impl Into<String>, y: SignalId, value: Value) -> Self {
+        ConstDriver {
+            name: name.into(),
+            y,
+            value,
+        }
+    }
+}
+
+impl Component for ConstDriver {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Sensitivity> {
+        Vec::new()
+    }
+
+    fn init(&mut self, ctx: &mut Context<'_>) {
+        ctx.set(self.y, self.value);
+    }
+
+    fn react(&mut self, _ctx: &mut Context<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{RunOutcome, SimTime, Simulator};
+
+    fn run_binop(kind: OpKind, a: i64, b: i64, width: u32) -> Value {
+        let mut sim = Simulator::new();
+        let sa = sim.add_signal("a", width);
+        let sb = sim.add_signal("b", width);
+        let out_width = if kind.is_comparison() { 1 } else { width };
+        let sy = sim.add_signal("y", out_width);
+        sim.add_component(ConstDriver::new("ca", sa, Value::known(width, a)));
+        sim.add_component(ConstDriver::new("cb", sb, Value::known(width, b)));
+        sim.add_component(BinOp::new("op", kind, sa, sb, sy, width));
+        sim.run(SimTime(10)).unwrap();
+        sim.value(sy)
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        assert_eq!(run_binop(OpKind::Add, 5, 7, 16).as_i64(), 12);
+        assert_eq!(run_binop(OpKind::Sub, 5, 7, 16).as_i64(), -2);
+        assert_eq!(run_binop(OpKind::Mul, -3, 9, 16).as_i64(), -27);
+        assert_eq!(run_binop(OpKind::Div, -20, 6, 16).as_i64(), -3);
+        assert_eq!(run_binop(OpKind::Rem, -20, 6, 16).as_i64(), -2);
+    }
+
+    #[test]
+    fn wrapping_at_width() {
+        assert_eq!(run_binop(OpKind::Add, 0x7FFF, 1, 16).as_i64(), -0x8000);
+        assert_eq!(run_binop(OpKind::Mul, 0x100, 0x100, 16).as_i64(), 0);
+    }
+
+    #[test]
+    fn bitwise_and_shift_ops() {
+        assert_eq!(run_binop(OpKind::And, 0b1100, 0b1010, 8).as_u64(), 0b1000);
+        assert_eq!(run_binop(OpKind::Or, 0b1100, 0b1010, 8).as_u64(), 0b1110);
+        assert_eq!(run_binop(OpKind::Xor, 0b1100, 0b1010, 8).as_u64(), 0b0110);
+        assert_eq!(run_binop(OpKind::Shl, 1, 3, 8).as_u64(), 8);
+        assert_eq!(run_binop(OpKind::Shr, -8, 2, 8).as_i64(), -2);
+        assert_eq!(run_binop(OpKind::Ushr, -8, 1, 8).as_u64(), 0x7C);
+    }
+
+    #[test]
+    fn comparison_ops_are_one_bit() {
+        for (kind, expect) in [
+            (OpKind::Eq, 0),
+            (OpKind::Ne, 1),
+            (OpKind::Lt, 1),
+            (OpKind::Le, 1),
+            (OpKind::Gt, 0),
+            (OpKind::Ge, 0),
+        ] {
+            let v = run_binop(kind, -5, 3, 16);
+            assert_eq!(v.width(), 1, "{kind}");
+            assert_eq!(v.as_u64(), expect, "{kind}");
+        }
+    }
+
+    #[test]
+    fn division_by_zero_fails_run() {
+        let mut sim = Simulator::new();
+        let sa = sim.add_signal("a", 8);
+        let sb = sim.add_signal("b", 8);
+        let sy = sim.add_signal("y", 8);
+        sim.add_component(ConstDriver::new("ca", sa, Value::known(8, 1)));
+        sim.add_component(ConstDriver::new("cb", sb, Value::known(8, 0)));
+        sim.add_component(BinOp::new("div0", OpKind::Div, sa, sb, sy, 8));
+        let summary = sim.run(SimTime(10)).unwrap();
+        match summary.outcome {
+            RunOutcome::Failed(message) => {
+                assert!(message.contains("div0") && message.contains("zero"), "{message}")
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn x_inputs_propagate() {
+        let mut sim = Simulator::new();
+        let sa = sim.add_signal("a", 8);
+        let sb = sim.add_signal("b", 8);
+        let sy = sim.add_signal("y", 8);
+        sim.add_component(ConstDriver::new("ca", sa, Value::known(8, 1)));
+        // b never driven.
+        sim.add_component(BinOp::new("add0", OpKind::Add, sa, sb, sy, 8));
+        sim.run(SimTime(10)).unwrap();
+        assert!(sim.value(sy).is_x());
+    }
+
+    #[test]
+    fn unary_ops() {
+        let mut sim = Simulator::new();
+        let sa = sim.add_signal("a", 8);
+        let sn = sim.add_signal("n", 8);
+        let sg = sim.add_signal("g", 8);
+        sim.add_component(ConstDriver::new("ca", sa, Value::known(8, 0b0101)));
+        sim.add_component(UnOp::new("not0", OpKind::Not, sa, sn, 8));
+        sim.add_component(UnOp::new("neg0", OpKind::Neg, sa, sg, 8));
+        sim.run(SimTime(10)).unwrap();
+        assert_eq!(sim.value(sn).as_u64(), 0b1111_1010);
+        assert_eq!(sim.value(sg).as_i64(), -5);
+    }
+
+    #[test]
+    fn mux_selects_and_handles_x() {
+        let mut sim = Simulator::new();
+        let sel = sim.add_signal("sel", 2);
+        let i0 = sim.add_signal("i0", 8);
+        let i1 = sim.add_signal("i1", 8);
+        let y = sim.add_signal("y", 8);
+        sim.add_component(ConstDriver::new("c0", i0, Value::known(8, 10)));
+        sim.add_component(ConstDriver::new("c1", i1, Value::known(8, 20)));
+        sim.add_component(Mux::new("m", sel, vec![i0, i1], y, 8));
+        sim.add_component(ConstDriver::new("cs", sel, Value::known(2, 1)));
+        sim.run(SimTime(10)).unwrap();
+        assert_eq!(sim.value(y).as_u64(), 20);
+    }
+
+    #[test]
+    fn mux_out_of_range_select_gives_x() {
+        let mut sim = Simulator::new();
+        let sel = sim.add_signal("sel", 2);
+        let i0 = sim.add_signal("i0", 8);
+        let y = sim.add_signal("y", 8);
+        sim.add_component(ConstDriver::new("c0", i0, Value::known(8, 10)));
+        sim.add_component(ConstDriver::new("cs", sel, Value::known(2, 3)));
+        sim.add_component(Mux::new("m", sel, vec![i0], y, 8));
+        sim.run(SimTime(10)).unwrap();
+        assert!(sim.value(y).is_x());
+    }
+
+    #[test]
+    fn opkind_parse_roundtrip() {
+        for kind in OpKind::all() {
+            assert_eq!(kind.name().parse::<OpKind>().unwrap(), *kind);
+        }
+        assert!("bogus".parse::<OpKind>().is_err());
+    }
+
+    #[test]
+    fn delayed_binop() {
+        let mut sim = Simulator::new();
+        let sa = sim.add_signal("a", 8);
+        let sb = sim.add_signal("b", 8);
+        let sy = sim.add_signal("y", 8);
+        sim.add_component(ConstDriver::new("ca", sa, Value::known(8, 2)));
+        sim.add_component(ConstDriver::new("cb", sb, Value::known(8, 3)));
+        sim.add_component(BinOp::new("add0", OpKind::Add, sa, sb, sy, 8).with_delay(5));
+        let summary = sim.run(SimTime(100)).unwrap();
+        assert_eq!(sim.value(sy).as_u64(), 5);
+        assert_eq!(summary.end_time, SimTime(5));
+    }
+}

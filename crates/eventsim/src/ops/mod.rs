@@ -1,0 +1,15 @@
+//! The operator library: the simulation models instantiated for datapath
+//! components, plus clock/reset generators and the behavioral control unit.
+//!
+//! This is the analogue of the paper's "Library of Operators (JAVA)" box in
+//! Figure 1.
+
+mod clock;
+mod comb;
+mod control;
+mod register;
+
+pub use clock::{Clock, ResetGen};
+pub use comb::{eval_binop, eval_unop, BinOp, ConstDriver, Mux, OpKind, UnOp};
+pub use control::{ControlUnit, FsmState, FsmTable, FsmTransition, ValidateFsmError};
+pub use register::{Counter, Register};

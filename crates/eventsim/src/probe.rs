@@ -1,0 +1,301 @@
+//! Observation and control components: probes, watchpoints, and
+//! assertions.
+//!
+//! These provide the capabilities the paper lists as missing from
+//! test-by-implementation on the FPGA: "access to values on certain
+//! connections, assertions, inclusion of probes and stop mechanisms".
+
+use crate::component::{Component, Sensitivity, SignalId};
+use crate::kernel::{Context, SimTime};
+use crate::value::Value;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared handle to a [`Probe`]'s recorded history.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeHandle {
+    history: Rc<RefCell<Vec<(SimTime, Value)>>>,
+}
+
+impl ProbeHandle {
+    /// Creates an empty handle.
+    pub fn new() -> Self {
+        ProbeHandle::default()
+    }
+
+    /// Snapshot of the recorded `(time, value)` pairs.
+    pub fn history(&self) -> Vec<(SimTime, Value)> {
+        self.history.borrow().clone()
+    }
+
+    /// The most recent recorded value, if any.
+    pub fn last(&self) -> Option<(SimTime, Value)> {
+        self.history.borrow().last().copied()
+    }
+
+    /// Number of recorded changes.
+    pub fn len(&self) -> usize {
+        self.history.borrow().len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.history.borrow().is_empty()
+    }
+}
+
+/// Records every change of one signal into a [`ProbeHandle`].
+///
+/// ```
+/// use eventsim::{Simulator, SimTime, Value, probe::{Probe, ProbeHandle}, ops::Clock};
+/// # fn main() -> Result<(), eventsim::SimError> {
+/// let mut sim = Simulator::new();
+/// let clk = sim.add_signal("clk", 1);
+/// sim.add_component(Clock::new("clk0", clk, 10));
+/// let handle = ProbeHandle::new();
+/// sim.add_component(Probe::new("p0", clk, handle.clone()));
+/// sim.run(SimTime(20))?;
+/// assert_eq!(handle.len(), 5); // changes at t = 0, 5, 10, 15, 20
+/// # Ok(())
+/// # }
+/// ```
+pub struct Probe {
+    name: String,
+    signal: SignalId,
+    handle: ProbeHandle,
+}
+
+impl Probe {
+    /// Creates a probe recording into `handle`.
+    pub fn new(name: impl Into<String>, signal: SignalId, handle: ProbeHandle) -> Self {
+        Probe {
+            name: name.into(),
+            signal,
+            handle,
+        }
+    }
+}
+
+impl Component for Probe {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Sensitivity> {
+        vec![Sensitivity::any(self.signal)]
+    }
+
+    fn react(&mut self, ctx: &mut Context<'_>) {
+        let value = ctx.get(self.signal);
+        self.handle.history.borrow_mut().push((ctx.now(), value));
+    }
+}
+
+/// Stops the run (outcome [`Stopped`](crate::RunOutcome::Stopped)) when a
+/// signal takes a given value.
+pub struct Watchpoint {
+    name: String,
+    signal: SignalId,
+    value: i64,
+}
+
+impl Watchpoint {
+    /// Creates a watchpoint triggering on `signal == value`.
+    pub fn new(name: impl Into<String>, signal: SignalId, value: i64) -> Self {
+        Watchpoint {
+            name: name.into(),
+            signal,
+            value,
+        }
+    }
+}
+
+impl Component for Watchpoint {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Sensitivity> {
+        vec![Sensitivity::any(self.signal)]
+    }
+
+    fn react(&mut self, ctx: &mut Context<'_>) {
+        let v = ctx.get(self.signal);
+        if v.try_i64() == Some(self.value) {
+            let name = self.name.clone();
+            ctx.stop(format!("watchpoint '{name}' hit at {}", ctx.now()));
+        }
+    }
+}
+
+/// Fails the run (outcome [`Failed`](crate::RunOutcome::Failed)) when a
+/// predicate over a signal's value is violated.
+///
+/// `X` values are ignored (a net is legitimately `X` before its first
+/// driver event); use [`AssertKnownAfter`] to flag long-lived `X`.
+pub struct AssertSignal {
+    name: String,
+    signal: SignalId,
+    predicate: Box<dyn Fn(i64) -> bool>,
+    message: String,
+}
+
+impl AssertSignal {
+    /// Creates an assertion checked on every change of `signal`.
+    pub fn new(
+        name: impl Into<String>,
+        signal: SignalId,
+        predicate: impl Fn(i64) -> bool + 'static,
+        message: impl Into<String>,
+    ) -> Self {
+        AssertSignal {
+            name: name.into(),
+            signal,
+            predicate: Box::new(predicate),
+            message: message.into(),
+        }
+    }
+}
+
+impl Component for AssertSignal {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Sensitivity> {
+        vec![Sensitivity::any(self.signal)]
+    }
+
+    fn react(&mut self, ctx: &mut Context<'_>) {
+        if let Some(v) = ctx.get(self.signal).try_i64() {
+            if !(self.predicate)(v) {
+                let detail = format!(
+                    "assertion '{}' violated at {}: {} (value {})",
+                    self.name,
+                    ctx.now(),
+                    self.message,
+                    v
+                );
+                ctx.fail(detail);
+            }
+        }
+    }
+}
+
+/// Fails the run when a signal is still `X` after a deadline.
+pub struct AssertKnownAfter {
+    name: String,
+    signal: SignalId,
+    deadline: u64,
+}
+
+impl AssertKnownAfter {
+    /// Creates the check; it fires once, `deadline` ticks after start.
+    pub fn new(name: impl Into<String>, signal: SignalId, deadline: u64) -> Self {
+        AssertKnownAfter {
+            name: name.into(),
+            signal,
+            deadline,
+        }
+    }
+}
+
+impl Component for AssertKnownAfter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Sensitivity> {
+        Vec::new()
+    }
+
+    fn init(&mut self, ctx: &mut Context<'_>) {
+        ctx.wake_after(self.deadline);
+    }
+
+    fn react(&mut self, ctx: &mut Context<'_>) {
+        if ctx.get(self.signal).is_x() {
+            let detail = format!(
+                "signal watched by '{}' still X at {}",
+                self.name,
+                ctx.now()
+            );
+            ctx.fail(detail);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{RunOutcome, SimTime, Simulator};
+    use crate::ops::{Clock, Counter};
+
+    #[test]
+    fn probe_records_counter_history() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", 1);
+        let q = sim.add_signal("q", 8);
+        sim.add_component(Clock::new("clk0", clk, 10));
+        sim.add_component(Counter::new("cnt", clk, q));
+        let handle = ProbeHandle::new();
+        sim.add_component(Probe::new("p", q, handle.clone()));
+        sim.run(SimTime(30)).unwrap();
+        let values: Vec<u64> = handle
+            .history()
+            .iter()
+            .map(|(_, v)| v.as_u64())
+            .collect();
+        assert_eq!(values, [0, 1, 2, 3]);
+        assert_eq!(handle.last().unwrap().1.as_u64(), 3);
+        assert!(!handle.is_empty());
+    }
+
+    #[test]
+    fn watchpoint_stops_run() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", 1);
+        let q = sim.add_signal("q", 8);
+        sim.add_component(Clock::new("clk0", clk, 10));
+        sim.add_component(Counter::new("cnt", clk, q));
+        sim.add_component(Watchpoint::new("w", q, 5));
+        let summary = sim.run(SimTime(10_000)).unwrap();
+        assert!(matches!(summary.outcome, RunOutcome::Stopped(_)));
+        assert_eq!(sim.value(q).as_u64(), 5);
+        assert_eq!(summary.end_time, SimTime(45)); // fifth edge
+    }
+
+    #[test]
+    fn assertion_fails_on_violation() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", 1);
+        let q = sim.add_signal("q", 8);
+        sim.add_component(Clock::new("clk0", clk, 10));
+        sim.add_component(Counter::new("cnt", clk, q));
+        sim.add_component(AssertSignal::new("bound", q, |v| v < 3, "counter must stay below 3"));
+        let summary = sim.run(SimTime(10_000)).unwrap();
+        match summary.outcome {
+            RunOutcome::Failed(m) => assert!(m.contains("below 3"), "{m}"),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assertion_ignores_x() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 8); // never driven
+        sim.add_component(AssertSignal::new("a", s, |_| false, "never"));
+        let summary = sim.run(SimTime(100)).unwrap();
+        assert!(summary.outcome.is_ok());
+    }
+
+    #[test]
+    fn known_after_deadline_check() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 8); // never driven
+        sim.add_component(AssertKnownAfter::new("k", s, 50));
+        let summary = sim.run(SimTime(100)).unwrap();
+        assert!(matches!(summary.outcome, RunOutcome::Failed(ref m) if m.contains("still X")));
+        assert_eq!(summary.end_time, SimTime(50));
+    }
+}

@@ -1,0 +1,258 @@
+//! Bit-vector signal values.
+
+use std::fmt;
+
+/// Maximum supported signal width in bits.
+pub const MAX_WIDTH: u32 = 64;
+
+/// A fixed-width two's-complement bit-vector value carried on a signal.
+///
+/// A value is either a known bit pattern or `X` (unknown), the state of
+/// every net before its first driver event — mirroring how an event-driven
+/// HDL simulator reports uninitialized wires.
+///
+/// ```
+/// use eventsim::Value;
+/// let v = Value::known(8, -1);
+/// assert_eq!(v.as_u64(), 0xFF);
+/// assert_eq!(v.as_i64(), -1);
+/// assert!(Value::x(8).is_x());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Value {
+    width: u32,
+    bits: u64,
+    known: bool,
+}
+
+impl Value {
+    /// Creates a known value, truncating `raw` to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+    pub fn known(width: u32, raw: i64) -> Self {
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "signal width {width} out of range 1..={MAX_WIDTH}"
+        );
+        Value {
+            width,
+            bits: (raw as u64) & mask(width),
+            known: true,
+        }
+    }
+
+    /// Creates the unknown (`X`) value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+    pub fn x(width: u32) -> Self {
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "signal width {width} out of range 1..={MAX_WIDTH}"
+        );
+        Value {
+            width,
+            bits: 0,
+            known: false,
+        }
+    }
+
+    /// A 1-bit logic value.
+    pub fn bit(b: bool) -> Self {
+        Value::known(1, b as i64)
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Whether the value is unknown.
+    pub fn is_x(&self) -> bool {
+        !self.known
+    }
+
+    /// The raw bits zero-extended to 64 bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value is `X`; check [`is_x`](Self::is_x) first or use
+    /// [`try_u64`](Self::try_u64).
+    pub fn as_u64(&self) -> u64 {
+        assert!(self.known, "read of X value");
+        self.bits
+    }
+
+    /// The value sign-extended to `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value is `X`.
+    pub fn as_i64(&self) -> i64 {
+        assert!(self.known, "read of X value");
+        sign_extend(self.bits, self.width)
+    }
+
+    /// The raw bits, or `None` when the value is `X`.
+    pub fn try_u64(&self) -> Option<u64> {
+        self.known.then_some(self.bits)
+    }
+
+    /// The sign-extended value, or `None` when the value is `X`.
+    pub fn try_i64(&self) -> Option<i64> {
+        self.known.then(|| sign_extend(self.bits, self.width))
+    }
+
+    /// Whether this is a known non-zero value (convenience for control
+    /// bits).
+    pub fn is_true(&self) -> bool {
+        self.known && self.bits != 0
+    }
+
+    /// Whether this is a known zero value.
+    pub fn is_false(&self) -> bool {
+        self.known && self.bits == 0
+    }
+
+    /// Returns a copy truncated or sign-extended to a new width.
+    pub fn resize(&self, width: u32) -> Self {
+        if self.known {
+            Value::known(width, sign_extend(self.bits, self.width))
+        } else {
+            Value::x(width)
+        }
+    }
+}
+
+/// All-ones mask of the low `width` bits.
+pub fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Sign-extends the low `width` bits of `bits` to an `i64`.
+pub fn sign_extend(bits: u64, width: u32) -> i64 {
+    if width >= 64 {
+        bits as i64
+    } else {
+        let shift = 64 - width;
+        ((bits << shift) as i64) >> shift
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.known {
+            write!(f, "{}'h{:x}", self.width, self.bits)
+        } else {
+            write!(f, "{}'hX", self.width)
+        }
+    }
+}
+
+impl fmt::LowerHex for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.known {
+            fmt::LowerHex::fmt(&self.bits, f)
+        } else {
+            f.write_str("X")
+        }
+    }
+}
+
+impl fmt::Binary for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.known {
+            fmt::Binary::fmt(&self.bits, f)
+        } else {
+            f.write_str("X")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_truncates_to_width() {
+        assert_eq!(Value::known(4, 0x1F).as_u64(), 0xF);
+        assert_eq!(Value::known(64, -1).as_u64(), u64::MAX);
+        assert_eq!(Value::known(1, 2).as_u64(), 0);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(Value::known(4, 0xF).as_i64(), -1);
+        assert_eq!(Value::known(4, 7).as_i64(), 7);
+        assert_eq!(Value::known(16, -300).as_i64(), -300);
+        assert_eq!(Value::known(64, i64::MIN).as_i64(), i64::MIN);
+    }
+
+    #[test]
+    fn x_propagation_accessors() {
+        let x = Value::x(8);
+        assert!(x.is_x());
+        assert_eq!(x.try_u64(), None);
+        assert_eq!(x.try_i64(), None);
+        assert!(!x.is_true());
+        assert!(!x.is_false());
+    }
+
+    #[test]
+    #[should_panic(expected = "read of X value")]
+    fn reading_x_panics() {
+        let _ = Value::x(8).as_u64();
+    }
+
+    #[test]
+    #[should_panic(expected = "width 0 out of range")]
+    fn zero_width_rejected() {
+        let _ = Value::known(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width 65 out of range")]
+    fn oversize_width_rejected() {
+        let _ = Value::x(65);
+    }
+
+    #[test]
+    fn resize_behaviour() {
+        assert_eq!(Value::known(4, -1).resize(8).as_i64(), -1);
+        assert_eq!(Value::known(4, -1).resize(8).as_u64(), 0xFF);
+        assert_eq!(Value::known(8, 0x7F).resize(4).as_u64(), 0xF);
+        assert!(Value::x(8).resize(4).is_x());
+    }
+
+    #[test]
+    fn bit_constructor() {
+        assert!(Value::bit(true).is_true());
+        assert!(Value::bit(false).is_false());
+        assert_eq!(Value::bit(true).width(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::known(8, 0xAB).to_string(), "8'hab");
+        assert_eq!(Value::x(4).to_string(), "4'hX");
+        assert_eq!(format!("{:x}", Value::known(8, 0xAB)), "ab");
+        assert_eq!(format!("{:b}", Value::known(4, 0b101)), "101");
+        assert_eq!(format!("{:x}", Value::x(8)), "X");
+    }
+
+    #[test]
+    fn mask_and_sign_extend_helpers() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(16), 0xFFFF);
+        assert_eq!(mask(64), u64::MAX);
+        assert_eq!(sign_extend(0x8000, 16), -32768);
+        assert_eq!(sign_extend(0x7FFF, 16), 32767);
+    }
+}

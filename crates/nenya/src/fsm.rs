@@ -1,0 +1,357 @@
+//! Control-unit FSM generation and its name-based IR.
+//!
+//! The FSM IR uses signal *names* (not indices) because it is serialized
+//! to the `fsm.xml` dialect and must survive round trips through XML; the
+//! test infrastructure maps names back to simulator signal ids when it
+//! elaborates a run.
+
+use crate::datapath::{ControlPlan, Datapath};
+use crate::schedule::{Exit, Schedule};
+use crate::tac::TacProgram;
+use std::collections::BTreeMap;
+
+/// One outgoing transition: optional `(condition signal, expected truth)`
+/// guard plus a target state name. Guards are evaluated in order; a `None`
+/// guard is the default.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsmTransitionDesc {
+    /// Guard, or `None` for the default transition.
+    pub cond: Option<(String, bool)>,
+    /// Target state name.
+    pub target: String,
+}
+
+/// One FSM state: Moore output assignments plus ordered transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsmStateDesc {
+    /// State name.
+    pub name: String,
+    /// `(output signal, value)` asserted while in this state; outputs not
+    /// listed are zero.
+    pub asserts: Vec<(String, i64)>,
+    /// Transitions, first match wins, evaluated on each clock edge.
+    pub transitions: Vec<FsmTransitionDesc>,
+    /// Whether this state completes the computation.
+    pub terminal: bool,
+}
+
+/// The control-unit FSM of one configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fsm {
+    /// FSM name (conventionally `<config>_ctrl`).
+    pub name: String,
+    /// Condition input signal names (datapath register outputs).
+    pub inputs: Vec<String>,
+    /// Control output signals with widths (mirrors
+    /// [`Datapath::controls`]).
+    pub outputs: Vec<(String, u32)>,
+    /// Initial state name.
+    pub initial: String,
+    /// States; the terminal state is conventionally named `done`.
+    pub states: Vec<FsmStateDesc>,
+}
+
+impl Fsm {
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Looks a state up by name.
+    pub fn state(&self, name: &str) -> Option<&FsmStateDesc> {
+        self.states.iter().find(|s| s.name == name)
+    }
+
+    /// Checks internal consistency and agreement with a datapath
+    /// interface.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found: unknown transition targets,
+    /// asserts of undeclared outputs, conditions not exported by the
+    /// datapath, missing initial state, duplicate state names, or a
+    /// default transition that is not last.
+    pub fn validate(&self, dp: &Datapath) -> Result<(), String> {
+        let mut names = std::collections::HashSet::new();
+        for state in &self.states {
+            if !names.insert(&state.name) {
+                return Err(format!("duplicate state name '{}'", state.name));
+            }
+        }
+        if self.state(&self.initial).is_none() {
+            return Err(format!("initial state '{}' missing", self.initial));
+        }
+        let output_names: std::collections::HashSet<&str> =
+            self.outputs.iter().map(|(n, _)| n.as_str()).collect();
+        let dp_controls: std::collections::HashSet<&str> =
+            dp.controls.iter().map(|(n, _)| n.as_str()).collect();
+        for (name, _) in &self.outputs {
+            if !dp_controls.contains(name.as_str()) {
+                return Err(format!("output '{name}' is not a datapath control"));
+            }
+        }
+        for input in &self.inputs {
+            if !dp.conditions.contains(input) {
+                return Err(format!("input '{input}' is not a datapath condition"));
+            }
+        }
+        for state in &self.states {
+            for (signal, _) in &state.asserts {
+                if !output_names.contains(signal.as_str()) {
+                    return Err(format!(
+                        "state '{}' asserts undeclared output '{}'",
+                        state.name, signal
+                    ));
+                }
+            }
+            for (t, transition) in state.transitions.iter().enumerate() {
+                if self.state(&transition.target).is_none() {
+                    return Err(format!(
+                        "state '{}' transitions to missing state '{}'",
+                        state.name, transition.target
+                    ));
+                }
+                match &transition.cond {
+                    Some((signal, _)) => {
+                        if !self.inputs.contains(signal) {
+                            return Err(format!(
+                                "state '{}' tests undeclared input '{}'",
+                                state.name, signal
+                            ));
+                        }
+                    }
+                    None => {
+                        if t + 1 != state.transitions.len() {
+                            return Err(format!(
+                                "state '{}' has transitions after its default",
+                                state.name
+                            ));
+                        }
+                    }
+                }
+            }
+            if !state.terminal && state.transitions.is_empty() {
+                return Err(format!(
+                    "non-terminal state '{}' has no transitions",
+                    state.name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Generates the control FSM for a scheduled program.
+///
+/// `plan` and `dp` come from [`crate::datapath::generate`] on the same
+/// `(prog, schedule)` pair.
+pub fn generate_fsm(
+    prog: &TacProgram,
+    schedule: &Schedule,
+    plan: &ControlPlan,
+    dp: &Datapath,
+) -> Fsm {
+    let _ = prog;
+    let state_name = |i: usize| format!("s{i}");
+
+    let mut states = Vec::with_capacity(schedule.states.len() + 1);
+    for (i, sched_state) in schedule.states.iter().enumerate() {
+        // Deterministic assert order via a BTreeMap keyed by signal name.
+        let mut asserts: BTreeMap<String, i64> = BTreeMap::new();
+        for &op in &sched_state.ops {
+            if let Some(write) = plan.reg_writes.get(&op) {
+                merge_assert(&mut asserts, &write.enable, 1, &state_name(i));
+                if let Some((sel, value)) = &write.select {
+                    merge_assert(&mut asserts, sel, *value, &state_name(i));
+                }
+            }
+            if let Some(access) = plan.mem_accesses.get(&op) {
+                merge_assert(&mut asserts, &access.enable, 1, &state_name(i));
+                merge_assert(
+                    &mut asserts,
+                    &access.write_enable,
+                    access.is_store as i64,
+                    &state_name(i),
+                );
+                if let Some((sel, value)) = &access.addr_select {
+                    merge_assert(&mut asserts, sel, *value, &state_name(i));
+                }
+                if let Some((sel, value)) = &access.din_select {
+                    merge_assert(&mut asserts, sel, *value, &state_name(i));
+                }
+            }
+        }
+        let transitions = match &sched_state.exit {
+            Exit::Goto(j) => vec![FsmTransitionDesc {
+                cond: None,
+                target: state_name(*j),
+            }],
+            Exit::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => vec![
+                FsmTransitionDesc {
+                    cond: Some((crate::datapath::temp_q(*cond), true)),
+                    target: state_name(*if_true),
+                },
+                FsmTransitionDesc {
+                    cond: None,
+                    target: state_name(*if_false),
+                },
+            ],
+            Exit::Done => vec![FsmTransitionDesc {
+                cond: None,
+                target: "done".to_string(),
+            }],
+        };
+        states.push(FsmStateDesc {
+            name: state_name(i),
+            asserts: asserts.into_iter().collect(),
+            transitions,
+            terminal: false,
+        });
+    }
+    states.push(FsmStateDesc {
+        name: "done".to_string(),
+        asserts: vec![("done".to_string(), 1)],
+        transitions: Vec::new(),
+        terminal: true,
+    });
+
+    let fsm = Fsm {
+        name: format!("{}_ctrl", dp.name),
+        inputs: dp.conditions.clone(),
+        outputs: dp.controls.clone(),
+        initial: "s0".to_string(),
+        states,
+    };
+    debug_assert_eq!(fsm.validate(dp), Ok(()));
+    fsm
+}
+
+fn merge_assert(asserts: &mut BTreeMap<String, i64>, signal: &str, value: i64, state: &str) {
+    if let Some(existing) = asserts.get(signal) {
+        assert_eq!(
+            *existing, value,
+            "conflicting assert of '{signal}' in state '{state}'"
+        );
+        return;
+    }
+    asserts.insert(signal.to_string(), value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapath::generate;
+    use crate::lang::parse;
+    use crate::lower::lower;
+    use crate::schedule::{schedule, SchedulePolicy};
+
+    fn build(src: &str, policy: SchedulePolicy) -> (TacProgram, Datapath, Fsm) {
+        let prog = lower(&parse(src).unwrap(), "t", 16).unwrap();
+        let sched = schedule(&prog, policy);
+        let (dp, plan) = generate(&prog, &sched);
+        let fsm = generate_fsm(&prog, &sched, &plan, &dp);
+        (prog, dp, fsm)
+    }
+
+    #[test]
+    fn straight_line_fsm_has_chain_plus_done() {
+        let (_, dp, fsm) = build("void main() { int x = 1; }", SchedulePolicy::OneOpPerState);
+        assert_eq!(fsm.validate(&dp), Ok(()));
+        assert_eq!(fsm.initial, "s0");
+        let done = fsm.state("done").unwrap();
+        assert!(done.terminal);
+        assert_eq!(done.asserts, vec![("done".to_string(), 1)]);
+        // Every non-terminal state has exactly one unconditional exit.
+        for state in fsm.states.iter().filter(|s| !s.terminal) {
+            assert_eq!(state.transitions.len(), 1);
+        }
+    }
+
+    #[test]
+    fn loop_fsm_branches_on_condition_register() {
+        let (_, dp, fsm) = build(
+            "void main() { int i = 0; while (i < 3) { i = i + 1; } }",
+            SchedulePolicy::List,
+        );
+        assert_eq!(fsm.validate(&dp), Ok(()));
+        assert_eq!(fsm.inputs.len(), 1);
+        let branching: Vec<_> = fsm
+            .states
+            .iter()
+            .filter(|s| s.transitions.len() == 2)
+            .collect();
+        assert_eq!(branching.len(), 1);
+        let t = &branching[0].transitions[0];
+        assert_eq!(t.cond.as_ref().unwrap().0, fsm.inputs[0]);
+        assert!(t.cond.as_ref().unwrap().1);
+        assert!(branching[0].transitions[1].cond.is_none());
+    }
+
+    #[test]
+    fn store_state_asserts_memory_controls() {
+        let (_, dp, fsm) = build("mem d[4]; void main() { d[2] = 9; }", SchedulePolicy::OneOpPerState);
+        assert_eq!(fsm.validate(&dp), Ok(()));
+        let store_state = fsm
+            .states
+            .iter()
+            .find(|s| s.asserts.iter().any(|(n, v)| n == "d_we" && *v == 1))
+            .expect("a state asserts the write enable");
+        assert!(store_state.asserts.iter().any(|(n, v)| n == "d_en" && *v == 1));
+    }
+
+    #[test]
+    fn load_state_keeps_we_low() {
+        let (_, _, fsm) = build(
+            "mem d[4]; mem out[4]; void main() { out[0] = d[0]; }",
+            SchedulePolicy::OneOpPerState,
+        );
+        let load_state = fsm
+            .states
+            .iter()
+            .find(|s| s.asserts.iter().any(|(n, v)| n == "d_en" && *v == 1))
+            .unwrap();
+        let we = load_state
+            .asserts
+            .iter()
+            .find(|(n, _)| n == "d_we")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert_eq!(we, 0);
+        // The load's destination register is enabled in the same state.
+        assert!(load_state.asserts.iter().any(|(n, v)| n.ends_with("_en") && n.starts_with('t') && *v == 1));
+    }
+
+    #[test]
+    fn outputs_match_datapath_controls() {
+        let (_, dp, fsm) = build(
+            "mem a[4]; void main() { int i = 0; while (i < 4) { a[i] = i; i = i + 1; } }",
+            SchedulePolicy::List,
+        );
+        assert_eq!(fsm.outputs, dp.controls);
+        assert_eq!(fsm.validate(&dp), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_inconsistencies() {
+        let (_, dp, mut fsm) = build("void main() { int x = 1; }", SchedulePolicy::List);
+        fsm.states[0].transitions[0].target = "nowhere".into();
+        assert!(fsm.validate(&dp).unwrap_err().contains("missing state"));
+
+        let (_, dp, mut fsm) = build("void main() { int x = 1; }", SchedulePolicy::List);
+        fsm.states[0].asserts.push(("bogus".into(), 1));
+        assert!(fsm.validate(&dp).unwrap_err().contains("undeclared output"));
+
+        let (_, dp, mut fsm) = build("void main() { int x = 1; }", SchedulePolicy::List);
+        fsm.initial = "zzz".into();
+        assert!(fsm.validate(&dp).unwrap_err().contains("initial"));
+
+        let (_, dp, mut fsm) = build("void main() { int x = 1; }", SchedulePolicy::List);
+        let dup = fsm.states[0].clone();
+        fsm.states.push(dup);
+        assert!(fsm.validate(&dp).unwrap_err().contains("duplicate"));
+    }
+}

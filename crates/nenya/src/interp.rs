@@ -1,0 +1,441 @@
+//! The golden software reference: a direct TAC interpreter.
+//!
+//! The paper executes the original Java algorithm over the same memory
+//! files and compares memory contents afterwards. Here the lowered TAC is
+//! executed directly with semantics chosen to match the generated hardware
+//! bit for bit:
+//!
+//! * all arithmetic wraps at the design width (two's complement),
+//! * boolean temps are 1-bit values (true reads back as all-ones, exactly
+//!   like a 1-bit register),
+//! * uninitialized scalars and memory words are `X` (`None`) and propagate
+//!   through operators; *using* an `X` where hardware would fail (branch
+//!   conditions, memory addresses, stored values) is an execution error,
+//!   mirroring the simulator's fail-the-run semantics.
+
+use crate::tac::{BinKind, Instr, TacProgram, UnKind};
+use std::error::Error;
+use std::fmt;
+
+/// A memory image: one optional word per address (`None` = uninitialized).
+pub type MemImage = Vec<Option<i64>>;
+
+/// Execution statistics of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// TAC instructions executed.
+    pub instructions: u64,
+    /// Memory loads performed.
+    pub loads: u64,
+    /// Memory stores performed.
+    pub stores: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+}
+
+/// Errors surfaced by the interpreter. Each corresponds to a condition the
+/// hardware simulation also reports as a failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// `div`/`rem` with a zero divisor.
+    DivisionByZero {
+        /// Instruction index.
+        at: usize,
+    },
+    /// A branch condition was `X`.
+    XCondition {
+        /// Instruction index.
+        at: usize,
+    },
+    /// A memory address operand was `X`.
+    XAddress {
+        /// Instruction index.
+        at: usize,
+    },
+    /// A stored value was `X`.
+    XStore {
+        /// Instruction index.
+        at: usize,
+    },
+    /// Address outside the memory.
+    AddressOutOfRange {
+        /// Instruction index.
+        at: usize,
+        /// Offending address.
+        addr: i64,
+        /// Memory size.
+        size: usize,
+    },
+    /// The step budget was exhausted (runaway loop).
+    StepLimit {
+        /// The exhausted budget.
+        limit: u64,
+    },
+    /// The caller supplied the wrong number or shape of memory images.
+    MemShape(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::DivisionByZero { at } => write!(f, "division by zero at instruction {at}"),
+            ExecError::XCondition { at } => write!(f, "branch on X condition at instruction {at}"),
+            ExecError::XAddress { at } => write!(f, "X memory address at instruction {at}"),
+            ExecError::XStore { at } => write!(f, "store of X value at instruction {at}"),
+            ExecError::AddressOutOfRange { at, addr, size } => write!(
+                f,
+                "address {addr} out of range (size {size}) at instruction {at}"
+            ),
+            ExecError::StepLimit { limit } => write!(f, "step limit of {limit} exhausted"),
+            ExecError::MemShape(message) => write!(f, "memory image mismatch: {message}"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Truncates `value` to `width` bits with sign extension (the canonical
+/// value representation at a given design width).
+pub fn truncate(value: i64, width: u32) -> i64 {
+    let bits = (value as u64) & mask(width);
+    if width >= 64 {
+        bits as i64
+    } else {
+        let shift = 64 - width;
+        ((bits << shift) as i64) >> shift
+    }
+}
+
+/// Evaluates one binary operator at the given width, with the same
+/// semantics as the simulator's functional units.
+///
+/// # Errors
+///
+/// Returns [`ExecError::DivisionByZero`] (with `at` = `usize::MAX`; the
+/// interpreter rewrites it) for zero divisors.
+pub fn eval_bin(kind: BinKind, a: i64, b: i64, width: u32) -> Result<i64, ExecError> {
+    let raw = match kind {
+        BinKind::Add => a.wrapping_add(b),
+        BinKind::Sub => a.wrapping_sub(b),
+        BinKind::Mul => a.wrapping_mul(b),
+        BinKind::Div => {
+            if b == 0 {
+                return Err(ExecError::DivisionByZero { at: usize::MAX });
+            }
+            a.wrapping_div(b)
+        }
+        BinKind::Rem => {
+            if b == 0 {
+                return Err(ExecError::DivisionByZero { at: usize::MAX });
+            }
+            a.wrapping_rem(b)
+        }
+        BinKind::And => a & b,
+        BinKind::Or => a | b,
+        BinKind::Xor => a ^ b,
+        BinKind::Shl => a.wrapping_shl((b & 63) as u32),
+        BinKind::Shr => a.wrapping_shr((b & 63) as u32),
+        BinKind::Ushr => {
+            let ua = (a as u64) & mask(width);
+            (ua >> ((b & 63) as u32)) as i64
+        }
+        BinKind::Eq => (a == b) as i64,
+        BinKind::Ne => (a != b) as i64,
+        BinKind::Lt => (a < b) as i64,
+        BinKind::Le => (a <= b) as i64,
+        BinKind::Gt => (a > b) as i64,
+        BinKind::Ge => (a >= b) as i64,
+    };
+    let out_width = if kind.yields_bool() { 1 } else { width };
+    Ok(truncate(raw, out_width))
+}
+
+/// Evaluates one unary operator at the given width.
+pub fn eval_un(kind: UnKind, a: i64, width: u32) -> i64 {
+    let raw = match kind {
+        UnKind::Not => !a,
+        UnKind::Neg => a.wrapping_neg(),
+    };
+    truncate(raw, width)
+}
+
+/// Executes `prog` over the given memory images, mutating them in place.
+///
+/// `mems[i]` corresponds to `prog.mems[i]` and must have exactly that
+/// memory's size. `step_limit` bounds execution (hardware has watchdog
+/// time limits; the reference needs one too).
+///
+/// # Errors
+///
+/// Returns [`ExecError`] for the failure conditions listed on the type.
+pub fn execute(
+    prog: &TacProgram,
+    mems: &mut [MemImage],
+    step_limit: u64,
+) -> Result<ExecStats, ExecError> {
+    if mems.len() != prog.mems.len() {
+        return Err(ExecError::MemShape(format!(
+            "program has {} memories, {} images supplied",
+            prog.mems.len(),
+            mems.len()
+        )));
+    }
+    for (spec, image) in prog.mems.iter().zip(mems.iter()) {
+        if image.len() != spec.size {
+            return Err(ExecError::MemShape(format!(
+                "memory '{}' has size {}, image has {}",
+                spec.name,
+                spec.size,
+                image.len()
+            )));
+        }
+    }
+
+    let mut temps: Vec<Option<i64>> = vec![None; prog.temps.len()];
+    let mut stats = ExecStats {
+        instructions: 0,
+        loads: 0,
+        stores: 0,
+        branches: 0,
+    };
+    let mut pc = 0usize;
+    loop {
+        if stats.instructions >= step_limit {
+            return Err(ExecError::StepLimit { limit: step_limit });
+        }
+        stats.instructions += 1;
+        let at = pc;
+        match &prog.instrs[pc] {
+            Instr::Const { dst, value } => {
+                temps[dst.0] = Some(truncate(*value, prog.temp_width(*dst)));
+                pc += 1;
+            }
+            Instr::Bin { kind, dst, a, b } => {
+                temps[dst.0] = match (temps[a.0], temps[b.0]) {
+                    (Some(a), Some(b)) => {
+                        Some(eval_bin(*kind, a, b, prog.width).map_err(|e| match e {
+                            ExecError::DivisionByZero { .. } => ExecError::DivisionByZero { at },
+                            other => other,
+                        })?)
+                    }
+                    _ => None,
+                };
+                pc += 1;
+            }
+            Instr::Un { kind, dst, a } => {
+                temps[dst.0] = temps[a.0].map(|a| eval_un(*kind, a, prog.temp_width(*dst)));
+                pc += 1;
+            }
+            Instr::Copy { dst, src } => {
+                temps[dst.0] = temps[src.0].map(|v| truncate(v, prog.temp_width(*dst)));
+                pc += 1;
+            }
+            Instr::Load { dst, mem, addr } => {
+                let addr_value = temps[addr.0].ok_or(ExecError::XAddress { at })?;
+                let spec = &prog.mems[*mem];
+                let index = check_addr(addr_value, spec.size, at)?;
+                stats.loads += 1;
+                temps[dst.0] = mems[*mem][index].map(|v| truncate(v, prog.temp_width(*dst)));
+                pc += 1;
+            }
+            Instr::Store { mem, addr, value } => {
+                let addr_value = temps[addr.0].ok_or(ExecError::XAddress { at })?;
+                let spec = &prog.mems[*mem];
+                let index = check_addr(addr_value, spec.size, at)?;
+                let v = temps[value.0].ok_or(ExecError::XStore { at })?;
+                stats.stores += 1;
+                mems[*mem][index] = Some(truncate(v, spec.width));
+                pc += 1;
+            }
+            Instr::Jump { target } => pc = *target,
+            Instr::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                stats.branches += 1;
+                let c = temps[cond.0].ok_or(ExecError::XCondition { at })?;
+                pc = if c != 0 { *if_true } else { *if_false };
+            }
+            Instr::Halt => return Ok(stats),
+        }
+    }
+}
+
+fn check_addr(addr: i64, size: usize, at: usize) -> Result<usize, ExecError> {
+    if addr < 0 || addr as usize >= size {
+        Err(ExecError::AddressOutOfRange { at, addr, size })
+    } else {
+        Ok(addr as usize)
+    }
+}
+
+/// Builds empty (uninitialized) images matching a program's memories.
+pub fn blank_images(prog: &TacProgram) -> Vec<MemImage> {
+    prog.mems.iter().map(|m| vec![None; m.size]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse;
+    use crate::lower::lower;
+
+    fn run(src: &str) -> (TacProgram, Vec<MemImage>, Result<ExecStats, ExecError>) {
+        let prog = lower(&parse(src).unwrap(), "t", 16).unwrap();
+        let mut mems = blank_images(&prog);
+        let result = execute(&prog, &mut mems, 1_000_000);
+        (prog, mems, result)
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let (_, mems, result) = run("mem out[1]; void main() { out[0] = (3 + 4) * 2 - 1; }");
+        result.unwrap();
+        assert_eq!(mems[0][0], Some(13));
+    }
+
+    #[test]
+    fn loops_and_memory() {
+        let (_, mems, result) = run(
+            "mem d[8]; void main() { int i; for (i = 0; i < 8; i = i + 1) { d[i] = i * i; } }",
+        );
+        let stats = result.unwrap();
+        let values: Vec<i64> = mems[0].iter().map(|v| v.unwrap()).collect();
+        assert_eq!(values, [0, 1, 4, 9, 16, 25, 36, 49]);
+        assert_eq!(stats.stores, 8);
+        assert_eq!(stats.branches, 9);
+    }
+
+    #[test]
+    fn wrapping_at_design_width() {
+        let (_, mems, result) = run("mem out[2]; void main() { out[0] = 30000 + 30000; out[1] = 200 * 300; }");
+        result.unwrap();
+        assert_eq!(mems[0][0], Some(truncate(60000, 16)));
+        assert_eq!(mems[0][1], Some(truncate(60000, 16)));
+        assert_eq!(truncate(60000, 16), -5536);
+    }
+
+    #[test]
+    fn branching_and_boolean_logic() {
+        let (_, mems, result) = run(
+            "mem out[3]; void main() {
+                int a = 5; int b = 9;
+                if (a < b && !(a == b)) { out[0] = 1; } else { out[0] = 0; }
+                boolean t = true; boolean f = false;
+                if (t || f) { out[1] = 1; }
+                if (t == !f) { out[2] = 1; }
+            }",
+        );
+        result.unwrap();
+        assert_eq!(mems[0][0], Some(1));
+        assert_eq!(mems[0][1], Some(1));
+        assert_eq!(mems[0][2], Some(1));
+    }
+
+    #[test]
+    fn java_shift_semantics() {
+        let (_, mems, result) = run(
+            "mem out[3]; void main() {
+                int m = 0 - 32; // -32
+                out[0] = m >> 2;   // arithmetic: -8
+                out[1] = m >>> 2;  // logical at width 16
+                out[2] = 3 << 3;   // 24
+            }",
+        );
+        result.unwrap();
+        assert_eq!(mems[0][0], Some(-8));
+        // -32 at width 16 is 0xFFE0; >>> 2 = 0x3FF8 = 16376.
+        assert_eq!(mems[0][1], Some(16376));
+        assert_eq!(mems[0][2], Some(24));
+    }
+
+    #[test]
+    fn division_semantics_match_java() {
+        let (_, mems, result) = run(
+            "mem out[2]; void main() { int m = 0 - 7; out[0] = m / 2; out[1] = m % 2; }",
+        );
+        result.unwrap();
+        assert_eq!(mems[0][0], Some(-3)); // truncating division
+        assert_eq!(mems[0][1], Some(-1));
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let (_, _, result) = run("mem out[1]; void main() { int z = 0; out[0] = 1 / z; }");
+        assert!(matches!(result, Err(ExecError::DivisionByZero { .. })));
+    }
+
+    #[test]
+    fn x_propagation_and_failures() {
+        // Reading an uninitialized variable is fine until it reaches a
+        // failure point.
+        let (_, _, result) = run("mem out[1]; void main() { int x; out[0] = x + 1; }");
+        assert!(matches!(result, Err(ExecError::XStore { .. })));
+
+        let (_, _, result) = run("mem d[2]; void main() { int x; d[x] = 1; }");
+        assert!(matches!(result, Err(ExecError::XAddress { .. })));
+
+        let (_, _, result) = run("void main() { boolean b; if (b) { } }");
+        assert!(matches!(result, Err(ExecError::XCondition { .. })));
+
+        // Loading an uninitialized memory word yields X.
+        let (_, _, result) = run("mem a[2]; mem out[1]; void main() { out[0] = a[0]; }");
+        assert!(matches!(result, Err(ExecError::XStore { .. })));
+    }
+
+    #[test]
+    fn address_out_of_range() {
+        let (_, _, result) = run("mem d[4]; void main() { d[9] = 1; }");
+        assert!(matches!(
+            result,
+            Err(ExecError::AddressOutOfRange { addr: 9, size: 4, .. })
+        ));
+        let (_, _, result) = run("mem d[4]; void main() { d[0 - 1] = 1; }");
+        assert!(matches!(result, Err(ExecError::AddressOutOfRange { .. })));
+    }
+
+    #[test]
+    fn step_limit_stops_runaway_loops() {
+        let prog = lower(
+            &parse("void main() { int i = 0; while (i == 0) { i = 0; } }").unwrap(),
+            "t",
+            16,
+        )
+        .unwrap();
+        let mut mems = blank_images(&prog);
+        let result = execute(&prog, &mut mems, 500);
+        assert_eq!(result, Err(ExecError::StepLimit { limit: 500 }));
+    }
+
+    #[test]
+    fn mem_shape_validated() {
+        let prog = lower(&parse("mem d[4]; void main() { }").unwrap(), "t", 16).unwrap();
+        let mut wrong_count: Vec<MemImage> = vec![];
+        assert!(matches!(
+            execute(&prog, &mut wrong_count, 10),
+            Err(ExecError::MemShape(_))
+        ));
+        let mut wrong_size = vec![vec![None; 3]];
+        assert!(matches!(
+            execute(&prog, &mut wrong_size, 10),
+            Err(ExecError::MemShape(_))
+        ));
+    }
+
+    #[test]
+    fn memory_width_truncation() {
+        let (_, mems, result) =
+            run("mem d[1] width 4; void main() { d[0] = 100; }"); // 100 & 0xF = 4
+        result.unwrap();
+        assert_eq!(mems[0][0], Some(4));
+    }
+}

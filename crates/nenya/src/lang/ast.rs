@@ -1,0 +1,284 @@
+//! Abstract syntax tree of the source language.
+
+use std::fmt;
+
+/// A complete source program: memory declarations plus the body of
+/// `void main()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Declared memories, in source order.
+    pub mems: Vec<MemDecl>,
+    /// The statements of `main`.
+    pub body: Block,
+    /// Number of non-empty source lines (the paper's `loJava` metric).
+    pub source_lines: usize,
+}
+
+/// A memory declaration: `mem name[size];` or `mem name[size] width w;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemDecl {
+    /// Memory name (becomes the SRAM instance name).
+    pub name: String,
+    /// Number of words.
+    pub size: usize,
+    /// Word width in bits; `None` means the design width.
+    pub width: Option<u32>,
+}
+
+/// Scalar types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// Design-width signed integer.
+    Int,
+    /// Single-bit boolean (Java-style: not interchangeable with `int`).
+    Bool,
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => f.write_str("int"),
+            Type::Bool => f.write_str("boolean"),
+        }
+    }
+}
+
+/// A `{ … }` statement list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `int x;` / `boolean b = expr;`
+    Decl {
+        /// Declared type.
+        ty: Type,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// `x = expr;`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Assigned value.
+        value: Expr,
+    },
+    /// `mem[addr] = expr;`
+    MemStore {
+        /// Target memory.
+        mem: String,
+        /// Address expression.
+        addr: Expr,
+        /// Stored value.
+        value: Expr,
+    },
+    /// `if (cond) { … } else { … }`
+    If {
+        /// Condition (must be boolean).
+        cond: Expr,
+        /// Taken branch.
+        then_block: Block,
+        /// Else branch (possibly empty).
+        else_block: Block,
+    },
+    /// `while (cond) { … }`
+    While {
+        /// Loop condition (must be boolean).
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `for (init; cond; update) { … }` — kept as a node (not desugared)
+    /// so source metrics and dot output match the written program.
+    For {
+        /// Loop initializer (assignment).
+        init: Box<Stmt>,
+        /// Loop condition (must be boolean).
+        cond: Expr,
+        /// Per-iteration update (assignment).
+        update: Box<Stmt>,
+        /// Loop body.
+        body: Block,
+    },
+}
+
+/// Binary operators with Java spellings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    /// `>>` (arithmetic).
+    Shr,
+    /// `>>>` (logical).
+    Ushr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Non-short-circuit logical and (`&&` over booleans).
+    LogAnd,
+    /// Non-short-circuit logical or (`||` over booleans).
+    LogOr,
+}
+
+impl BinaryOp {
+    /// The operator's source spelling.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Rem => "%",
+            BinaryOp::BitAnd => "&",
+            BinaryOp::BitOr => "|",
+            BinaryOp::BitXor => "^",
+            BinaryOp::Shl => "<<",
+            BinaryOp::Shr => ">>",
+            BinaryOp::Ushr => ">>>",
+            BinaryOp::Eq => "==",
+            BinaryOp::Ne => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::LogAnd => "&&",
+            BinaryOp::LogOr => "||",
+        }
+    }
+
+    /// Whether the result is boolean.
+    pub fn yields_bool(&self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
+                | BinaryOp::LogAnd
+                | BinaryOp::LogOr
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Bitwise complement `~`.
+    BitNot,
+    /// Logical not `!` (booleans only).
+    LogNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// Variable reference.
+    Var(String),
+    /// `mem[addr]` load.
+    MemLoad {
+        /// Source memory.
+        mem: String,
+        /// Address expression.
+        addr: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+impl Block {
+    /// Total number of statement nodes in the subtree (used by the
+    /// partitioner's cost estimates).
+    pub fn stmt_count(&self) -> usize {
+        self.stmts.iter().map(Stmt::node_count).sum()
+    }
+}
+
+impl Stmt {
+    /// Number of statement nodes in this subtree, including `self`.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Stmt::Decl { .. } | Stmt::Assign { .. } | Stmt::MemStore { .. } => 1,
+            Stmt::If {
+                then_block,
+                else_block,
+                ..
+            } => 1 + then_block.stmt_count() + else_block.stmt_count(),
+            Stmt::While { body, .. } => 1 + body.stmt_count(),
+            Stmt::For { body, .. } => 2 + body.stmt_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_recurses() {
+        let inner = Stmt::Assign {
+            name: "x".into(),
+            value: Expr::Int(1),
+        };
+        let loop_stmt = Stmt::While {
+            cond: Expr::Bool(true),
+            body: Block {
+                stmts: vec![inner.clone(), inner.clone()],
+            },
+        };
+        assert_eq!(loop_stmt.node_count(), 3);
+        let if_stmt = Stmt::If {
+            cond: Expr::Bool(true),
+            then_block: Block {
+                stmts: vec![loop_stmt],
+            },
+            else_block: Block::default(),
+        };
+        assert_eq!(if_stmt.node_count(), 4);
+    }
+
+    #[test]
+    fn operator_metadata() {
+        assert!(BinaryOp::Lt.yields_bool());
+        assert!(!BinaryOp::Add.yields_bool());
+        assert_eq!(BinaryOp::Ushr.symbol(), ">>>");
+        assert_eq!(Type::Bool.to_string(), "boolean");
+    }
+}

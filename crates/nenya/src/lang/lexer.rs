@@ -1,0 +1,226 @@
+//! Tokenizer for the source language.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Integer literal (decimal or `0x…` hexadecimal).
+    Int(i64),
+    /// Identifier or keyword.
+    Ident(String),
+    /// Punctuation or operator, e.g. `"+"`, `">>>"`, `"{"`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was read.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Ident(s) => write!(f, "'{s}'"),
+            TokenKind::Punct(s) => write!(f, "'{s}'"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    ">>>", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+", "-", "*", "/", "%", "&", "|",
+    "^", "~", "!", "<", ">", "=", ";", ",", "(", ")", "{", "}", "[", "]",
+];
+
+/// Tokenizes `source`. `//` line comments and `/* … */` block comments are
+/// skipped.
+///
+/// # Errors
+///
+/// Returns a message with the line number for unknown characters,
+/// malformed numbers, and unterminated block comments.
+pub fn lex(source: &str) -> Result<Vec<Token>, String> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = source[i..].chars().next().expect("index is on a char boundary");
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += c.len_utf8();
+            continue;
+        }
+        if source[i..].starts_with("//") {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if source[i..].starts_with("/*") {
+            let start_line = line;
+            i += 2;
+            loop {
+                if i >= bytes.len() {
+                    return Err(format!("unterminated block comment starting on line {start_line}"));
+                }
+                if source[i..].starts_with("*/") {
+                    i += 2;
+                    break;
+                }
+                let inner = source[i..]
+                    .chars()
+                    .next()
+                    .expect("index is on a char boundary");
+                if inner == '\n' {
+                    line += 1;
+                }
+                i += inner.len_utf8();
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            if source[i..].starts_with("0x") || source[i..].starts_with("0X") {
+                i += 2;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                    i += 1;
+                }
+                let digits = &source[start + 2..i];
+                if digits.is_empty() {
+                    return Err(format!("malformed hex literal on line {line}"));
+                }
+                let value = i64::from_str_radix(digits, 16)
+                    .map_err(|_| format!("hex literal out of range on line {line}"))?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    line,
+                });
+                continue;
+            }
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            if i < bytes.len() && (bytes[i].is_ascii_alphabetic() || bytes[i] >= 0x80) {
+                return Err(format!("malformed number on line {line}"));
+            }
+            let value: i64 = source[start..i]
+                .parse()
+                .map_err(|_| format!("integer literal out of range on line {line}"))?;
+            tokens.push(Token {
+                kind: TokenKind::Int(value),
+                line,
+            });
+            continue;
+        }
+        // Identifiers are ASCII, as in the paper-era Java sources.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(source[start..i].to_string()),
+                line,
+            });
+            continue;
+        }
+        if let Some(p) = PUNCTS.iter().find(|p| source[i..].starts_with(**p)) {
+            tokens.push(Token {
+                kind: TokenKind::Punct(p),
+                line,
+            });
+            i += p.len();
+            continue;
+        }
+        return Err(format!("unexpected character '{c}' on line {line}"));
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        lex(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_mixed_tokens() {
+        assert_eq!(
+            kinds("x = a >>> 2;"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct("="),
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct(">>>"),
+                TokenKind::Int(2),
+                TokenKind::Punct(";"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_on_shifts_and_comparisons() {
+        assert_eq!(
+            kinds("a>>b >> >>> <= < ="),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct(">>"),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct(">>"),
+                TokenKind::Punct(">>>"),
+                TokenKind::Punct("<="),
+                TokenKind::Punct("<"),
+                TokenKind::Punct("="),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn hex_and_decimal_literals() {
+        assert_eq!(kinds("0x1F 255"), vec![TokenKind::Int(31), TokenKind::Int(255), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let tokens = lex("// header\nx /* mid \n comment */ = 1;").unwrap();
+        assert_eq!(tokens[0].kind, TokenKind::Ident("x".into()));
+        assert_eq!(tokens[0].line, 2);
+        assert_eq!(tokens[1].line, 3); // '=' after multi-line comment
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("@").is_err());
+        assert!(lex("0x").is_err());
+        assert!(lex("12ab").is_err());
+        assert!(lex("/* never closed").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+    }
+}

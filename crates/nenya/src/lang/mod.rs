@@ -1,0 +1,30 @@
+//! The source language front end.
+//!
+//! Galadriel & Nenya compile Java algorithms; this front end accepts the
+//! Java-like subset those algorithms actually use (and that the paper's
+//! FDCT and Hamming examples are written in): `int` and `boolean` scalars,
+//! memories mapped to SRAMs, assignments, `if`/`else`, `while`, `for`, and
+//! full expression syntax with Java operator semantics (wrapping
+//! two's-complement arithmetic at the design width, `>>` arithmetic and
+//! `>>>` logical shifts, non-short-circuit `&&`/`||`).
+//!
+//! ```
+//! let program = nenya::lang::parse(r#"
+//!     mem data[16];
+//!     void main() {
+//!         int i;
+//!         for (i = 0; i < 16; i = i + 1) {
+//!             data[i] = i * i;
+//!         }
+//!     }
+//! "#).expect("valid program");
+//! assert_eq!(program.mems.len(), 1);
+//! ```
+
+mod ast;
+mod lexer;
+mod parser;
+
+pub use ast::{BinaryOp, Block, Expr, MemDecl, Program, Stmt, Type, UnaryOp};
+pub use lexer::{lex, Token, TokenKind};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,536 @@
+//! Recursive-descent parser producing the [`Program`] AST.
+
+use super::ast::{BinaryOp, Block, Expr, MemDecl, Program, Stmt, Type, UnaryOp};
+use super::lexer::{lex, Token, TokenKind};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced for syntactically invalid programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    line: usize,
+}
+
+impl ParseError {
+    /// 1-based source line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (line {})", self.message, self.line)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Parses a complete program.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the offending line for lexical and
+/// syntactic problems. (Type errors are reported later, by
+/// [`crate::lower`].)
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let tokens = lex(source).map_err(|message| ParseError { message, line: 0 })?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let program = parser.program()?;
+    Ok(Program {
+        source_lines: count_code_lines(source),
+        ..program
+    })
+}
+
+/// The `loJava` metric: non-empty, non-comment-only source lines.
+fn count_code_lines(source: &str) -> usize {
+    let mut in_block_comment = false;
+    source
+        .lines()
+        .filter(|line| {
+            let mut has_code = false;
+            let mut chars = line.trim().chars().peekable();
+            while let Some(c) = chars.next() {
+                if in_block_comment {
+                    if c == '*' && chars.peek() == Some(&'/') {
+                        chars.next();
+                        in_block_comment = false;
+                    }
+                    continue;
+                }
+                if c == '/' && chars.peek() == Some(&'/') {
+                    break;
+                }
+                if c == '/' && chars.peek() == Some(&'*') {
+                    chars.next();
+                    in_block_comment = true;
+                    continue;
+                }
+                if !c.is_whitespace() {
+                    has_code = true;
+                }
+            }
+            has_code
+        })
+        .count()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            line: self.line(),
+        })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{}', found {}", p, self.peek()))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{}', found {}", kw, self.peek()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) if !is_keyword(&name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, ParseError> {
+        match *self.peek() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(v)
+            }
+            ref other => self.err(format!("expected integer, found {other}")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut mems = Vec::new();
+        while self.eat_keyword("mem") {
+            let name = self.expect_ident()?;
+            self.expect_punct("[")?;
+            let size = self.expect_int()?;
+            if size <= 0 {
+                return self.err("memory size must be positive");
+            }
+            self.expect_punct("]")?;
+            let width = if self.eat_keyword("width") {
+                let w = self.expect_int()?;
+                if !(1..=64).contains(&w) {
+                    return self.err("memory width must be in 1..=64");
+                }
+                Some(w as u32)
+            } else {
+                None
+            };
+            self.expect_punct(";")?;
+            mems.push(MemDecl {
+                name,
+                size: size as usize,
+                width,
+            });
+        }
+        self.expect_keyword("void")?;
+        self.expect_keyword("main")?;
+        self.expect_punct("(")?;
+        self.expect_punct(")")?;
+        let body = self.block()?;
+        if !matches!(self.peek(), TokenKind::Eof) {
+            return self.err(format!("unexpected {} after main", self.peek()));
+        }
+        Ok(Program {
+            mems,
+            body,
+            source_lines: 0,
+        })
+    }
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if matches!(self.peek(), TokenKind::Eof) {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(kw) if kw == "int" || kw == "boolean" => {
+                self.bump();
+                let ty = if kw == "int" { Type::Int } else { Type::Bool };
+                let name = self.expect_ident()?;
+                let init = if self.eat_punct("=") {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect_punct(";")?;
+                Ok(Stmt::Decl { ty, name, init })
+            }
+            TokenKind::Ident(kw) if kw == "if" => self.if_stmt(),
+            TokenKind::Ident(kw) if kw == "while" => {
+                self.bump();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            TokenKind::Ident(kw) if kw == "for" => {
+                self.bump();
+                self.expect_punct("(")?;
+                let init = Box::new(self.simple_assign()?);
+                self.expect_punct(";")?;
+                let cond = self.expr()?;
+                self.expect_punct(";")?;
+                let update = Box::new(self.simple_assign()?);
+                self.expect_punct(")")?;
+                let body = self.block()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    update,
+                    body,
+                })
+            }
+            TokenKind::Ident(_) => {
+                let stmt = self.simple_assign()?;
+                self.expect_punct(";")?;
+                Ok(stmt)
+            }
+            other => self.err(format!("expected statement, found {other}")),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_keyword("if")?;
+        self.expect_punct("(")?;
+        let cond = self.expr()?;
+        self.expect_punct(")")?;
+        let then_block = self.block()?;
+        let else_block = if self.eat_keyword("else") {
+            if matches!(self.peek(), TokenKind::Ident(kw) if kw == "if") {
+                Block {
+                    stmts: vec![self.if_stmt()?],
+                }
+            } else {
+                self.block()?
+            }
+        } else {
+            Block::default()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        })
+    }
+
+    /// `name = expr` or `name[expr] = expr` (no trailing semicolon).
+    fn simple_assign(&mut self) -> Result<Stmt, ParseError> {
+        let name = self.expect_ident()?;
+        if self.eat_punct("[") {
+            let addr = self.expr()?;
+            self.expect_punct("]")?;
+            self.expect_punct("=")?;
+            let value = self.expr()?;
+            Ok(Stmt::MemStore {
+                mem: name,
+                addr,
+                value,
+            })
+        } else {
+            self.expect_punct("=")?;
+            let value = self.expr()?;
+            Ok(Stmt::Assign { name, value })
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary_expr(0)
+    }
+
+    fn binary_expr(&mut self, min_level: usize) -> Result<Expr, ParseError> {
+        // Precedence levels, loosest first (Java order).
+        const LEVELS: &[&[(&str, BinaryOp)]] = &[
+            &[("||", BinaryOp::LogOr)],
+            &[("&&", BinaryOp::LogAnd)],
+            &[("|", BinaryOp::BitOr)],
+            &[("^", BinaryOp::BitXor)],
+            &[("&", BinaryOp::BitAnd)],
+            &[("==", BinaryOp::Eq), ("!=", BinaryOp::Ne)],
+            &[
+                ("<=", BinaryOp::Le),
+                (">=", BinaryOp::Ge),
+                ("<", BinaryOp::Lt),
+                (">", BinaryOp::Gt),
+            ],
+            &[
+                (">>>", BinaryOp::Ushr),
+                ("<<", BinaryOp::Shl),
+                (">>", BinaryOp::Shr),
+            ],
+            &[("+", BinaryOp::Add), ("-", BinaryOp::Sub)],
+            &[
+                ("*", BinaryOp::Mul),
+                ("/", BinaryOp::Div),
+                ("%", BinaryOp::Rem),
+            ],
+        ];
+        if min_level >= LEVELS.len() {
+            return self.unary_expr();
+        }
+        let mut lhs = self.binary_expr(min_level + 1)?;
+        'outer: loop {
+            for (symbol, op) in LEVELS[min_level] {
+                if matches!(self.peek(), TokenKind::Punct(p) if p == symbol) {
+                    self.bump();
+                    let rhs = self.binary_expr(min_level + 1)?;
+                    lhs = Expr::Binary {
+                        op: *op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    };
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        for (symbol, op) in [
+            ("-", UnaryOp::Neg),
+            ("~", UnaryOp::BitNot),
+            ("!", UnaryOp::LogNot),
+        ] {
+            if matches!(self.peek(), TokenKind::Punct(p) if *p == symbol) {
+                self.bump();
+                let expr = self.unary_expr()?;
+                return Ok(Expr::Unary {
+                    op,
+                    expr: Box::new(expr),
+                });
+            }
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Ident(kw) if kw == "true" => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            TokenKind::Ident(kw) if kw == "false" => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            TokenKind::Ident(name) if !is_keyword(&name) => {
+                self.bump();
+                if self.eat_punct("[") {
+                    let addr = self.expr()?;
+                    self.expect_punct("]")?;
+                    Ok(Expr::MemLoad {
+                        mem: name,
+                        addr: Box::new(addr),
+                    })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            TokenKind::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+fn is_keyword(word: &str) -> bool {
+    matches!(
+        word,
+        "int" | "boolean" | "if" | "else" | "while" | "for" | "mem" | "void" | "main" | "true"
+            | "false" | "width"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse("void main() { }").unwrap();
+        assert!(p.mems.is_empty());
+        assert!(p.body.stmts.is_empty());
+        assert_eq!(p.source_lines, 1);
+    }
+
+    #[test]
+    fn parses_memories_with_width() {
+        let p = parse("mem a[64]; mem b[16] width 8; void main() { }").unwrap();
+        assert_eq!(p.mems.len(), 2);
+        assert_eq!(p.mems[0].size, 64);
+        assert_eq!(p.mems[0].width, None);
+        assert_eq!(p.mems[1].width, Some(8));
+    }
+
+    #[test]
+    fn precedence_is_java_like() {
+        let p = parse("void main() { int x = 1 + 2 * 3; }").unwrap();
+        let Stmt::Decl { init: Some(e), .. } = &p.body.stmts[0] else {
+            panic!()
+        };
+        // 1 + (2 * 3)
+        let Expr::Binary { op: BinaryOp::Add, rhs, .. } = e else {
+            panic!("got {e:?}")
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinaryOp::Mul, .. }));
+    }
+
+    #[test]
+    fn shift_binds_tighter_than_comparison() {
+        let p = parse("void main() { boolean b = 1 << 2 < 3; }").unwrap();
+        let Stmt::Decl { init: Some(e), .. } = &p.body.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(e, Expr::Binary { op: BinaryOp::Lt, .. }));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = r#"
+            mem d[8];
+            void main() {
+                int i;
+                for (i = 0; i < 8; i = i + 1) {
+                    if (d[i] > 3) { d[i] = 0; } else { d[i] = d[i] + 1; }
+                }
+                while (i > 0) { i = i - 1; }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.body.stmts.len(), 3);
+        assert!(matches!(p.body.stmts[1], Stmt::For { .. }));
+        assert!(matches!(p.body.stmts[2], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let p = parse("void main() { int x = 0; if (x == 0) { x = 1; } else if (x == 1) { x = 2; } else { x = 3; } }")
+            .unwrap();
+        let Stmt::If { else_block, .. } = &p.body.stmts[1] else {
+            panic!()
+        };
+        assert!(matches!(else_block.stmts[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn unary_operators_nest() {
+        let p = parse("void main() { int x = - - 1; boolean b = !!true; int y = ~x; }").unwrap();
+        assert_eq!(p.body.stmts.len(), 3);
+    }
+
+    #[test]
+    fn mem_access_in_expressions() {
+        let p = parse("mem a[4]; void main() { a[a[0]] = a[1] + 1; }").unwrap();
+        let Stmt::MemStore { addr, .. } = &p.body.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(addr, Expr::MemLoad { .. }));
+    }
+
+    #[test]
+    fn syntax_errors_are_reported_with_lines() {
+        let err = parse("void main() {\n  int x = ;\n}").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(parse("void main() {").is_err());
+        assert!(parse("mem a[0]; void main() { }").is_err());
+        assert!(parse("mem a[4] width 99; void main() { }").is_err());
+        assert!(parse("void main() { } extra").is_err());
+        assert!(parse("void main() { if = 3; }").is_err());
+        assert!(parse("void main() { x = 1 }").is_err());
+    }
+
+    #[test]
+    fn lo_java_metric_skips_comments_and_blanks() {
+        let src = "\n// comment only\nvoid main() {\n\n  /* block */ int x = 1; // tail\n}\n";
+        let p = parse(src).unwrap();
+        assert_eq!(p.source_lines, 3); // 'void main() {', 'int x = 1;', '}'
+    }
+
+    #[test]
+    fn keywords_cannot_be_identifiers() {
+        assert!(parse("void main() { int if = 1; }").is_err());
+        assert!(parse("void main() { while = 1; }").is_err());
+    }
+}

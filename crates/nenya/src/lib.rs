@@ -1,0 +1,489 @@
+//! # nenya — the compiler substrate of the fpgatest infrastructure
+//!
+//! A from-scratch reproduction of the role Galadriel & Nenya play in the
+//! DATE'05 paper: compiling a Java-like algorithm into the specific
+//! architectures the test infrastructure verifies — a structural
+//! **datapath**, a behavioral control **FSM**, and (for temporally
+//! partitioned designs) a **Reconfiguration Transition Graph** — all
+//! exchanged as XML dialects.
+//!
+//! Pipeline: [`lang`] (front end) → [`lower`] ([`tac`] IR) →
+//! [`schedule::schedule`] (state assignment) → [`datapath::generate`] +
+//! [`fsm::generate_fsm`] → [`xml`] emission. The [`interp`] module
+//! executes the TAC directly and is the golden software reference the
+//! hardware simulation is compared against. [`partition`] splits programs
+//! into temporal partitions chained by an [`rtg::Rtg`].
+//!
+//! ## Example
+//!
+//! ```
+//! use nenya::{compile, CompileOptions};
+//!
+//! # fn main() -> Result<(), nenya::CompileError> {
+//! let design = compile(
+//!     "square",
+//!     "mem out[8]; void main() { int i; for (i = 0; i < 8; i = i + 1) { out[i] = i * i; } }",
+//!     &CompileOptions::default(),
+//! )?;
+//! assert_eq!(design.configs.len(), 1);
+//! assert!(design.configs[0].datapath.operator_count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod datapath;
+pub mod fsm;
+pub mod interp;
+pub mod lang;
+mod lower;
+pub mod opt;
+pub mod partition;
+pub mod rtg;
+pub mod schedule;
+pub mod tac;
+pub mod xml;
+
+pub use lower::{infer_mem_roles, lower, lower_partition, LowerError};
+
+use crate::datapath::Datapath;
+use crate::fsm::Fsm;
+use crate::partition::{PartitionError, XFER_MEM};
+use crate::rtg::Rtg;
+use crate::schedule::{Schedule, SchedulePolicy};
+use crate::tac::{MemRole, MemSpec, TacProgram};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Options controlling compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Design data width in bits (default 16).
+    pub width: u32,
+    /// Scheduling policy (default [`SchedulePolicy::List`]).
+    pub policy: SchedulePolicy,
+    /// Number of temporal partitions (default 1 = single configuration).
+    pub partitions: usize,
+    /// Run the [`opt`] passes (constant folding, copy coalescing, dead
+    /// code elimination) on each configuration's TAC (default off, to
+    /// match the paper's baseline compiler).
+    pub optimize: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            width: 16,
+            policy: SchedulePolicy::List,
+            partitions: 1,
+            optimize: false,
+        }
+    }
+}
+
+/// One compiled configuration (temporal partition).
+#[derive(Debug, Clone)]
+pub struct Configuration {
+    /// Configuration name.
+    pub name: String,
+    /// What the optimizer did (zero when optimization is off).
+    pub opt_stats: opt::OptStats,
+    /// The lowered TAC of this partition (including spill code).
+    pub tac: TacProgram,
+    /// Its state assignment.
+    pub schedule: Schedule,
+    /// Its structural datapath.
+    pub datapath: Datapath,
+    /// Its control FSM.
+    pub fsm: Fsm,
+}
+
+/// A fully compiled design: every artifact the test infrastructure
+/// consumes.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// Design name.
+    pub name: String,
+    /// Data width.
+    pub width: u32,
+    /// `loJava`: non-empty source lines of the input program.
+    pub source_lines: usize,
+    /// The configurations in RTG declaration order.
+    pub configs: Vec<Configuration>,
+    /// The reconfiguration transition graph.
+    pub rtg: Rtg,
+    /// Union of all memories across configurations (by name), with merged
+    /// roles.
+    pub mems: Vec<MemSpec>,
+}
+
+impl Design {
+    /// Total operator count across configurations.
+    pub fn operator_count(&self) -> usize {
+        self.configs
+            .iter()
+            .map(|c| c.datapath.operator_count())
+            .sum()
+    }
+
+    /// Looks a configuration up by name.
+    pub fn config(&self, name: &str) -> Option<&Configuration> {
+        self.configs.iter().find(|c| c.name == name)
+    }
+
+    /// Creates blank (uninitialized) memory images for every design
+    /// memory, keyed by name.
+    pub fn blank_images(&self) -> BTreeMap<String, interp::MemImage> {
+        self.mems
+            .iter()
+            .map(|m| (m.name.clone(), vec![None; m.size]))
+            .collect()
+    }
+
+    /// Runs the golden software reference over the whole design:
+    /// configurations execute in RTG order, sharing memory contents by
+    /// name — the software analogue of reconfiguring the FPGA between
+    /// temporal partitions while SRAMs persist.
+    ///
+    /// `images` supplies initial memory contents and receives the final
+    /// ones; memories absent from the map start uninitialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns the textual form of the first execution or RTG error.
+    pub fn execute_golden(
+        &self,
+        images: &mut BTreeMap<String, interp::MemImage>,
+        step_limit: u64,
+    ) -> Result<interp::ExecStats, String> {
+        for mem in &self.mems {
+            images
+                .entry(mem.name.clone())
+                .or_insert_with(|| vec![None; mem.size]);
+        }
+        let mut total = interp::ExecStats {
+            instructions: 0,
+            loads: 0,
+            stores: 0,
+            branches: 0,
+        };
+        let order = self.rtg.execution_order().map_err(|e| e.to_string())?;
+        for node in order {
+            let config = self
+                .configs
+                .iter()
+                .find(|c| c.datapath.name == node.datapath)
+                .ok_or_else(|| format!("rtg references unknown datapath '{}'", node.datapath))?;
+            let mut local: Vec<interp::MemImage> = config
+                .tac
+                .mems
+                .iter()
+                .map(|m| images[&m.name].clone())
+                .collect();
+            let stats = interp::execute(&config.tac, &mut local, step_limit)
+                .map_err(|e| format!("configuration '{}': {e}", config.name))?;
+            total.instructions += stats.instructions;
+            total.loads += stats.loads;
+            total.stores += stats.stores;
+            total.branches += stats.branches;
+            for (m, image) in config.tac.mems.iter().zip(local) {
+                images.insert(m.name.clone(), image);
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// Errors from [`compile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The source failed to parse.
+    Parse(lang::ParseError),
+    /// The program is semantically invalid.
+    Lower(LowerError),
+    /// The partitioning request cannot be satisfied.
+    Partition(PartitionError),
+    /// Memories disagree between configurations (compiler bug guard).
+    MemMismatch(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "parse error: {e}"),
+            CompileError::Lower(e) => write!(f, "semantic error: {e}"),
+            CompileError::Partition(e) => write!(f, "partitioning error: {e}"),
+            CompileError::MemMismatch(m) => write!(f, "memory mismatch: {m}"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Parse(e) => Some(e),
+            CompileError::Lower(e) => Some(e),
+            CompileError::Partition(e) => Some(e),
+            CompileError::MemMismatch(_) => None,
+        }
+    }
+}
+
+impl From<lang::ParseError> for CompileError {
+    fn from(e: lang::ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<LowerError> for CompileError {
+    fn from(e: LowerError) -> Self {
+        CompileError::Lower(e)
+    }
+}
+
+impl From<PartitionError> for CompileError {
+    fn from(e: PartitionError) -> Self {
+        CompileError::Partition(e)
+    }
+}
+
+/// Compiles a source program into a [`Design`].
+///
+/// With `options.partitions == 1` the whole program becomes one
+/// configuration named after the design; with more, the program is
+/// temporally partitioned into `"{name}_c{i}"` configurations chained by
+/// the RTG, communicating scalars through the `__xfer` SRAM.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for syntax, semantic, or partitioning
+/// problems.
+pub fn compile(name: &str, source: &str, options: &CompileOptions) -> Result<Design, CompileError> {
+    let program = lang::parse(source)?;
+
+    let mut configs = Vec::new();
+    if options.partitions <= 1 {
+        let tac = lower(&program, name, options.width)?;
+        configs.push(build_config(name.to_string(), tac, options));
+    } else {
+        let plan = partition::partition(&program, options.partitions)?;
+        for (i, chunk) in plan.chunks.iter().enumerate() {
+            let config_name = format!("{name}_c{i}");
+            let xfer = if chunk.restore.is_empty() && chunk.save.is_empty() {
+                None
+            } else {
+                Some((XFER_MEM, plan.xfer_size))
+            };
+            let tac = lower_partition(
+                &program,
+                &config_name,
+                options.width,
+                &program.body.stmts[chunk.stmts.clone()],
+                &chunk.restore,
+                &chunk.save,
+                xfer,
+            )?;
+            configs.push(build_config(config_name, tac, options));
+        }
+    }
+
+    let rtg = if configs.len() == 1 {
+        Rtg::single(name, &configs[0].datapath.name, &configs[0].fsm.name)
+    } else {
+        let pairs: Vec<(String, String)> = configs
+            .iter()
+            .map(|c| (c.datapath.name.clone(), c.fsm.name.clone()))
+            .collect();
+        Rtg::chain(name, &pairs)
+    };
+
+    let mems = merge_mems(&configs)?;
+
+    Ok(Design {
+        name: name.to_string(),
+        width: options.width,
+        source_lines: program.source_lines,
+        configs,
+        rtg,
+        mems,
+    })
+}
+
+fn build_config(name: String, mut tac: TacProgram, options: &CompileOptions) -> Configuration {
+    let opt_stats = if options.optimize {
+        opt::optimize(&mut tac)
+    } else {
+        opt::OptStats::default()
+    };
+    let sched = schedule::schedule(&tac, options.policy);
+    let (dp, plan) = datapath::generate(&tac, &sched);
+    let fsm = fsm::generate_fsm(&tac, &sched, &plan, &dp);
+    Configuration {
+        name,
+        opt_stats,
+        tac,
+        schedule: sched,
+        datapath: dp,
+        fsm,
+    }
+}
+
+fn merge_mems(configs: &[Configuration]) -> Result<Vec<MemSpec>, CompileError> {
+    let mut merged: BTreeMap<String, MemSpec> = BTreeMap::new();
+    for config in configs {
+        for mem in &config.tac.mems {
+            match merged.get_mut(&mem.name) {
+                None => {
+                    merged.insert(mem.name.clone(), mem.clone());
+                }
+                Some(existing) => {
+                    if existing.size != mem.size || existing.width != mem.width {
+                        return Err(CompileError::MemMismatch(format!(
+                            "memory '{}' has shape {}x{} in one configuration and {}x{} in another",
+                            mem.name, existing.size, existing.width, mem.size, mem.width
+                        )));
+                    }
+                    existing.role = merge_role(existing.role, mem.role);
+                }
+            }
+        }
+    }
+    Ok(merged.into_values().collect())
+}
+
+fn merge_role(a: MemRole, b: MemRole) -> MemRole {
+    let reads = matches!(a, MemRole::Input | MemRole::Intermediate)
+        || matches!(b, MemRole::Input | MemRole::Intermediate);
+    let writes = matches!(a, MemRole::Output | MemRole::Intermediate)
+        || matches!(b, MemRole::Output | MemRole::Intermediate);
+    match (reads, writes) {
+        (true, true) => MemRole::Intermediate,
+        (true, false) => MemRole::Input,
+        (false, true) => MemRole::Output,
+        (false, false) => MemRole::Unused,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COPY_LOOP: &str = "
+        mem a[8];
+        mem b[8];
+        void main() {
+            int i;
+            for (i = 0; i < 8; i = i + 1) { b[i] = a[i] + 1; }
+        }
+    ";
+
+    #[test]
+    fn single_config_compile() {
+        let design = compile("copy", COPY_LOOP, &CompileOptions::default()).unwrap();
+        assert_eq!(design.configs.len(), 1);
+        assert_eq!(design.rtg.nodes.len(), 1);
+        assert_eq!(design.mems.len(), 2);
+        assert!(design.operator_count() > 0);
+        assert!(design.source_lines >= 6);
+        assert_eq!(design.configs[0].fsm.validate(&design.configs[0].datapath), Ok(()));
+    }
+
+    #[test]
+    fn partitioned_compile_produces_chain() {
+        let source = "
+            mem out[4];
+            void main() {
+                int a = 2;
+                int b = a * 3;
+                out[0] = a;
+                out[1] = b;
+            }
+        ";
+        let design = compile(
+            "split",
+            source,
+            &CompileOptions {
+                partitions: 2,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(design.configs.len(), 2);
+        assert_eq!(design.rtg.edges.len(), 1);
+        // Crossing scalars materialize the transfer memory.
+        assert!(design.mems.iter().any(|m| m.name == XFER_MEM));
+        let order: Vec<&str> = design
+            .rtg
+            .execution_order()
+            .unwrap()
+            .iter()
+            .map(|n| n.id.as_str())
+            .collect();
+        assert_eq!(order, ["c0", "c1"]);
+    }
+
+    #[test]
+    fn merged_roles_combine_across_configs() {
+        // Partition so `a` is written in c0 and read in c1 → Intermediate.
+        let source = "
+            mem a[4];
+            void main() {
+                a[0] = 5;
+                a[1] = 6;
+                int x = a[0];
+                a[2] = x;
+            }
+        ";
+        let design = compile(
+            "roles",
+            source,
+            &CompileOptions {
+                partitions: 2,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        let a = design.mems.iter().find(|m| m.name == "a").unwrap();
+        assert_eq!(a.role, MemRole::Intermediate);
+    }
+
+    #[test]
+    fn errors_are_classified() {
+        let opts = CompileOptions::default();
+        assert!(matches!(
+            compile("x", "void main() {", &opts),
+            Err(CompileError::Parse(_))
+        ));
+        assert!(matches!(
+            compile("x", "void main() { y = 1; }", &opts),
+            Err(CompileError::Lower(_))
+        ));
+        assert!(matches!(
+            compile(
+                "x",
+                "void main() { int a = 1; }",
+                &CompileOptions {
+                    partitions: 5,
+                    ..opts
+                }
+            ),
+            Err(CompileError::Partition(_))
+        ));
+    }
+
+    #[test]
+    fn policy_changes_schedule_not_structure() {
+        let packed = compile("p", COPY_LOOP, &CompileOptions::default()).unwrap();
+        let naive = compile(
+            "p",
+            COPY_LOOP,
+            &CompileOptions {
+                policy: SchedulePolicy::OneOpPerState,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(packed.operator_count(), naive.operator_count());
+        assert!(packed.configs[0].schedule.state_count() < naive.configs[0].schedule.state_count());
+    }
+}

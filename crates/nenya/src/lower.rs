@@ -1,0 +1,704 @@
+//! Lowering from the AST to TAC, including Java-style type checking.
+
+use crate::lang::{BinaryOp, Block, Expr, Program, Stmt, Type, UnaryOp};
+use crate::tac::{BinKind, Instr, MemRole, MemSpec, TacProgram, Temp, TempInfo, UnKind};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Semantic error raised during lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError(String);
+
+impl LowerError {
+    fn new(message: impl Into<String>) -> Self {
+        LowerError(message.into())
+    }
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for LowerError {}
+
+/// Lowers a parsed program (or a slice of its top-level statements) to TAC.
+///
+/// `width` is the design data width. When `stmts` is `None` the whole body
+/// of `main` is lowered; the partitioner passes explicit subranges plus
+/// spill prologue/epilogue via [`lower_partition`].
+///
+/// # Errors
+///
+/// Returns [`LowerError`] for type errors, undeclared or redeclared
+/// variables, and unknown memories.
+pub fn lower(program: &Program, name: &str, width: u32) -> Result<TacProgram, LowerError> {
+    lower_partition(program, name, width, &program.body.stmts, &[], &[], None)
+}
+
+/// Lowers a statement slice, loading `restore` variables from the transfer
+/// memory first and storing `save` variables to it at the end.
+///
+/// `xfer` is `(name, size)` of the transfer memory, appended to the memory
+/// list whenever it is provided; `restore`/`save` are `(variable, slot)`
+/// pairs — slots are a *global* layout shared by every partition of a
+/// design, so a value saved by one configuration is restored from the same
+/// address by a later one.
+///
+/// # Errors
+///
+/// As for [`lower`]; additionally, transferred variables must be `int`s
+/// declared at the top level of `main`.
+pub fn lower_partition(
+    program: &Program,
+    name: &str,
+    width: u32,
+    stmts: &[Stmt],
+    restore: &[(String, usize)],
+    save: &[(String, usize)],
+    xfer: Option<(&str, usize)>,
+) -> Result<TacProgram, LowerError> {
+    let mut ctx = Lowerer::new(program, name, width)?;
+
+    // Pre-declare every top-level variable of `main` so that cross-
+    // partition variables resolve to stable temps; inner-block declarations
+    // still shadow lexically.
+    for stmt in &program.body.stmts {
+        if let Stmt::Decl { ty, name, .. } = stmt {
+            ctx.declare(name, *ty)?;
+        }
+    }
+
+    if (!restore.is_empty() || !save.is_empty()) && xfer.is_none() {
+        return Err(LowerError::new("spill lists require a transfer memory"));
+    }
+    let xfer_index = match xfer {
+        Some((xfer_name, size)) => {
+            for (var, slot) in restore.iter().chain(save) {
+                if *slot >= size {
+                    return Err(LowerError::new(format!(
+                        "transfer slot {slot} of '{var}' exceeds transfer memory size {size}"
+                    )));
+                }
+            }
+            ctx.prog.mems.push(MemSpec {
+                name: xfer_name.to_string(),
+                size: size.max(1),
+                width,
+                role: MemRole::Intermediate,
+            });
+            Some(ctx.prog.mems.len() - 1)
+        }
+        None => None,
+    };
+
+    if let Some(mem) = xfer_index {
+        for (var, slot) in restore {
+            let (temp, ty) = ctx.lookup(var)?;
+            if ty != Type::Int {
+                return Err(LowerError::new(format!(
+                    "cannot transfer boolean variable '{var}' between configurations"
+                )));
+            }
+            let addr = ctx.fresh_const(*slot as i64);
+            ctx.emit(Instr::Load {
+                dst: temp,
+                mem,
+                addr,
+            });
+        }
+    }
+
+    for stmt in stmts {
+        ctx.stmt(stmt)?;
+    }
+
+    if let Some(mem) = xfer_index {
+        for (var, slot) in save {
+            let (temp, ty) = ctx.lookup(var)?;
+            if ty != Type::Int {
+                return Err(LowerError::new(format!(
+                    "cannot transfer boolean variable '{var}' between configurations"
+                )));
+            }
+            let addr = ctx.fresh_const(*slot as i64);
+            ctx.emit(Instr::Store {
+                mem,
+                addr,
+                value: temp,
+            });
+        }
+    }
+
+    ctx.emit(Instr::Halt);
+    let mut prog = ctx.prog;
+    infer_mem_roles(&mut prog);
+    debug_assert_eq!(prog.validate(), Ok(()));
+    Ok(prog)
+}
+
+/// Re-derives [`MemRole`]s from the access pattern of the instruction
+/// list.
+pub fn infer_mem_roles(prog: &mut TacProgram) {
+    let mut reads = vec![false; prog.mems.len()];
+    let mut writes = vec![false; prog.mems.len()];
+    for instr in &prog.instrs {
+        match instr {
+            Instr::Load { mem, .. } => reads[*mem] = true,
+            Instr::Store { mem, .. } => writes[*mem] = true,
+            _ => {}
+        }
+    }
+    for (i, mem) in prog.mems.iter_mut().enumerate() {
+        mem.role = match (reads[i], writes[i]) {
+            (true, true) => MemRole::Intermediate,
+            (true, false) => MemRole::Input,
+            (false, true) => MemRole::Output,
+            (false, false) => MemRole::Unused,
+        };
+    }
+}
+
+struct Lowerer {
+    prog: TacProgram,
+    scopes: Vec<HashMap<String, (Temp, Type)>>,
+    mem_index: HashMap<String, usize>,
+}
+
+impl Lowerer {
+    fn new(program: &Program, name: &str, width: u32) -> Result<Self, LowerError> {
+        if !(2..=64).contains(&width) {
+            return Err(LowerError::new(format!(
+                "design width {width} out of range 2..=64"
+            )));
+        }
+        let mut mem_index = HashMap::new();
+        let mut mems = Vec::new();
+        for decl in &program.mems {
+            if mem_index.insert(decl.name.clone(), mems.len()).is_some() {
+                return Err(LowerError::new(format!(
+                    "memory '{}' declared twice",
+                    decl.name
+                )));
+            }
+            mems.push(MemSpec {
+                name: decl.name.clone(),
+                size: decl.size,
+                width: decl.width.unwrap_or(width),
+                role: MemRole::Unused,
+            });
+        }
+        Ok(Lowerer {
+            prog: TacProgram {
+                name: name.to_string(),
+                width,
+                mems,
+                temps: Vec::new(),
+                instrs: Vec::new(),
+            },
+            scopes: vec![HashMap::new()],
+            mem_index,
+        })
+    }
+
+    fn fresh(&mut self, is_bool: bool) -> Temp {
+        let temp = Temp(self.prog.temps.len());
+        self.prog.temps.push(TempInfo {
+            name: None,
+            is_bool,
+        });
+        temp
+    }
+
+    fn fresh_const(&mut self, value: i64) -> Temp {
+        let temp = self.fresh(false);
+        self.emit(Instr::Const { dst: temp, value });
+        temp
+    }
+
+    fn emit(&mut self, instr: Instr) -> usize {
+        self.prog.instrs.push(instr);
+        self.prog.instrs.len() - 1
+    }
+
+    fn here(&self) -> usize {
+        self.prog.instrs.len()
+    }
+
+    fn declare(&mut self, name: &str, ty: Type) -> Result<Temp, LowerError> {
+        let scope = self.scopes.last_mut().expect("scope stack non-empty");
+        if scope.contains_key(name) {
+            return Err(LowerError::new(format!(
+                "variable '{name}' declared twice in the same scope"
+            )));
+        }
+        let temp = Temp(self.prog.temps.len());
+        self.prog.temps.push(TempInfo {
+            name: Some(name.to_string()),
+            is_bool: ty == Type::Bool,
+        });
+        scope.insert(name.to_string(), (temp, ty));
+        Ok(temp)
+    }
+
+    fn lookup(&self, name: &str) -> Result<(Temp, Type), LowerError> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&entry) = scope.get(name) {
+                return Ok(entry);
+            }
+        }
+        Err(LowerError::new(format!("undeclared variable '{name}'")))
+    }
+
+    fn mem(&self, name: &str) -> Result<usize, LowerError> {
+        self.mem_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| LowerError::new(format!("undeclared memory '{name}'")))
+    }
+
+    fn block(&mut self, block: &Block) -> Result<(), LowerError> {
+        self.scopes.push(HashMap::new());
+        for stmt in &block.stmts {
+            self.stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), LowerError> {
+        match stmt {
+            Stmt::Decl { ty, name, init } => {
+                // Top-level declarations were pre-registered; re-declaring
+                // in the same (top) scope is fine then, otherwise declare.
+                let temp = match self.scopes.last().expect("scope").get(name) {
+                    Some(&(temp, existing_ty)) if self.scopes.len() == 1 => {
+                        if existing_ty != *ty {
+                            return Err(LowerError::new(format!(
+                                "variable '{name}' redeclared with a different type"
+                            )));
+                        }
+                        temp
+                    }
+                    _ => self.declare(name, *ty)?,
+                };
+                if let Some(init) = init {
+                    let (value, value_ty) = self.expr(init)?;
+                    self.check_type(*ty, value_ty, &format!("initializer of '{name}'"))?;
+                    self.emit(Instr::Copy {
+                        dst: temp,
+                        src: value,
+                    });
+                }
+                Ok(())
+            }
+            Stmt::Assign { name, value } => {
+                let (temp, ty) = self.lookup(name)?;
+                let (src, value_ty) = self.expr(value)?;
+                self.check_type(ty, value_ty, &format!("assignment to '{name}'"))?;
+                self.emit(Instr::Copy { dst: temp, src });
+                Ok(())
+            }
+            Stmt::MemStore { mem, addr, value } => {
+                let mem = self.mem(mem)?;
+                let (addr, addr_ty) = self.expr(addr)?;
+                self.check_type(Type::Int, addr_ty, "memory address")?;
+                let (value, value_ty) = self.expr(value)?;
+                self.check_type(Type::Int, value_ty, "stored value")?;
+                self.emit(Instr::Store { mem, addr, value });
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                let (cond, cond_ty) = self.expr(cond)?;
+                self.check_type(Type::Bool, cond_ty, "if condition")?;
+                let branch = self.emit(Instr::Branch {
+                    cond,
+                    if_true: 0,
+                    if_false: 0,
+                });
+                let then_start = self.here();
+                self.block(then_block)?;
+                if else_block.stmts.is_empty() {
+                    let end = self.here();
+                    self.patch_branch(branch, then_start, end);
+                } else {
+                    let skip_else = self.emit(Instr::Jump { target: 0 });
+                    let else_start = self.here();
+                    self.block(else_block)?;
+                    let end = self.here();
+                    self.patch_branch(branch, then_start, else_start);
+                    self.patch_jump(skip_else, end);
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let head = self.here();
+                let (cond, cond_ty) = self.expr(cond)?;
+                self.check_type(Type::Bool, cond_ty, "while condition")?;
+                let branch = self.emit(Instr::Branch {
+                    cond,
+                    if_true: 0,
+                    if_false: 0,
+                });
+                let body_start = self.here();
+                self.block(body)?;
+                self.emit(Instr::Jump { target: head });
+                let end = self.here();
+                self.patch_branch(branch, body_start, end);
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
+                self.stmt(init)?;
+                let head = self.here();
+                let (cond, cond_ty) = self.expr(cond)?;
+                self.check_type(Type::Bool, cond_ty, "for condition")?;
+                let branch = self.emit(Instr::Branch {
+                    cond,
+                    if_true: 0,
+                    if_false: 0,
+                });
+                let body_start = self.here();
+                self.block(body)?;
+                self.stmt(update)?;
+                self.emit(Instr::Jump { target: head });
+                let end = self.here();
+                self.patch_branch(branch, body_start, end);
+                Ok(())
+            }
+        }
+    }
+
+    fn patch_branch(&mut self, index: usize, if_true: usize, if_false: usize) {
+        if let Instr::Branch {
+            if_true: t,
+            if_false: f,
+            ..
+        } = &mut self.prog.instrs[index]
+        {
+            *t = if_true;
+            *f = if_false;
+        } else {
+            unreachable!("patch target is a branch");
+        }
+    }
+
+    fn patch_jump(&mut self, index: usize, target: usize) {
+        if let Instr::Jump { target: t } = &mut self.prog.instrs[index] {
+            *t = target;
+        } else {
+            unreachable!("patch target is a jump");
+        }
+    }
+
+    fn check_type(&self, expected: Type, found: Type, what: &str) -> Result<(), LowerError> {
+        if expected == found {
+            Ok(())
+        } else {
+            Err(LowerError::new(format!(
+                "{what}: expected {expected}, found {found}"
+            )))
+        }
+    }
+
+    fn expr(&mut self, expr: &Expr) -> Result<(Temp, Type), LowerError> {
+        match expr {
+            Expr::Int(value) => Ok((self.fresh_const(*value), Type::Int)),
+            Expr::Bool(b) => {
+                let temp = self.fresh(true);
+                self.emit(Instr::Const {
+                    dst: temp,
+                    value: *b as i64,
+                });
+                Ok((temp, Type::Bool))
+            }
+            Expr::Var(name) => self.lookup(name),
+            Expr::MemLoad { mem, addr } => {
+                let mem = self.mem(mem)?;
+                let (addr, addr_ty) = self.expr(addr)?;
+                self.check_type(Type::Int, addr_ty, "memory address")?;
+                let dst = self.fresh(false);
+                self.emit(Instr::Load { dst, mem, addr });
+                Ok((dst, Type::Int))
+            }
+            Expr::Unary { op, expr } => {
+                let (a, ty) = self.expr(expr)?;
+                match op {
+                    UnaryOp::Neg => {
+                        self.check_type(Type::Int, ty, "operand of unary '-'")?;
+                        let dst = self.fresh(false);
+                        self.emit(Instr::Un {
+                            kind: UnKind::Neg,
+                            dst,
+                            a,
+                        });
+                        Ok((dst, Type::Int))
+                    }
+                    UnaryOp::BitNot => {
+                        self.check_type(Type::Int, ty, "operand of '~'")?;
+                        let dst = self.fresh(false);
+                        self.emit(Instr::Un {
+                            kind: UnKind::Not,
+                            dst,
+                            a,
+                        });
+                        Ok((dst, Type::Int))
+                    }
+                    UnaryOp::LogNot => {
+                        self.check_type(Type::Bool, ty, "operand of '!'")?;
+                        // 1-bit bitwise complement == logical not.
+                        let dst = self.fresh(true);
+                        self.emit(Instr::Un {
+                            kind: UnKind::Not,
+                            dst,
+                            a,
+                        });
+                        Ok((dst, Type::Bool))
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let (a, lhs_ty) = self.expr(lhs)?;
+                let (b, rhs_ty) = self.expr(rhs)?;
+                let (kind, operand_ty, result_ty) = match op {
+                    BinaryOp::Add => (BinKind::Add, Type::Int, Type::Int),
+                    BinaryOp::Sub => (BinKind::Sub, Type::Int, Type::Int),
+                    BinaryOp::Mul => (BinKind::Mul, Type::Int, Type::Int),
+                    BinaryOp::Div => (BinKind::Div, Type::Int, Type::Int),
+                    BinaryOp::Rem => (BinKind::Rem, Type::Int, Type::Int),
+                    BinaryOp::BitAnd => (BinKind::And, Type::Int, Type::Int),
+                    BinaryOp::BitOr => (BinKind::Or, Type::Int, Type::Int),
+                    BinaryOp::BitXor => (BinKind::Xor, Type::Int, Type::Int),
+                    BinaryOp::Shl => (BinKind::Shl, Type::Int, Type::Int),
+                    BinaryOp::Shr => (BinKind::Shr, Type::Int, Type::Int),
+                    BinaryOp::Ushr => (BinKind::Ushr, Type::Int, Type::Int),
+                    BinaryOp::Lt => (BinKind::Lt, Type::Int, Type::Bool),
+                    BinaryOp::Le => (BinKind::Le, Type::Int, Type::Bool),
+                    BinaryOp::Gt => (BinKind::Gt, Type::Int, Type::Bool),
+                    BinaryOp::Ge => (BinKind::Ge, Type::Int, Type::Bool),
+                    BinaryOp::LogAnd => (BinKind::And, Type::Bool, Type::Bool),
+                    BinaryOp::LogOr => (BinKind::Or, Type::Bool, Type::Bool),
+                    BinaryOp::Eq | BinaryOp::Ne => {
+                        // Java allows == / != on matching types, including
+                        // booleans.
+                        if lhs_ty != rhs_ty {
+                            return Err(LowerError::new(format!(
+                                "operands of '{}' have mismatched types {lhs_ty} and {rhs_ty}",
+                                op.symbol()
+                            )));
+                        }
+                        let kind = if *op == BinaryOp::Eq {
+                            BinKind::Eq
+                        } else {
+                            BinKind::Ne
+                        };
+                        (kind, lhs_ty, Type::Bool)
+                    }
+                };
+                self.check_type(
+                    operand_ty,
+                    lhs_ty,
+                    &format!("left operand of '{}'", op.symbol()),
+                )?;
+                self.check_type(
+                    operand_ty,
+                    rhs_ty,
+                    &format!("right operand of '{}'", op.symbol()),
+                )?;
+                let dst = self.fresh(result_ty == Type::Bool);
+                self.emit(Instr::Bin { kind, dst, a, b });
+                Ok((dst, result_ty))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse;
+
+    fn lower_src(src: &str) -> Result<TacProgram, LowerError> {
+        lower(&parse(src).unwrap(), "t", 16)
+    }
+
+    #[test]
+    fn lowers_straight_line_code() {
+        let p = lower_src("mem m[4]; void main() { int x = 1 + 2; m[0] = x; }").unwrap();
+        assert_eq!(p.validate(), Ok(()));
+        assert_eq!(p.operator_count(), 1);
+        assert!(matches!(p.instrs.last(), Some(Instr::Halt)));
+        assert_eq!(p.mems[0].role, MemRole::Output);
+    }
+
+    #[test]
+    fn mem_roles_inferred() {
+        let p =
+            lower_src("mem a[4]; mem b[4]; mem c[4]; mem d[4]; void main() { b[0] = a[0]; c[1] = c[0]; }")
+                .unwrap();
+        assert_eq!(p.mems[0].role, MemRole::Input);
+        assert_eq!(p.mems[1].role, MemRole::Output);
+        assert_eq!(p.mems[2].role, MemRole::Intermediate);
+        assert_eq!(p.mems[3].role, MemRole::Unused);
+    }
+
+    #[test]
+    fn while_loop_shape() {
+        let p = lower_src("void main() { int i = 0; while (i < 3) { i = i + 1; } }").unwrap();
+        assert_eq!(p.validate(), Ok(()));
+        let branches: Vec<_> = p
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Branch { .. }))
+            .collect();
+        assert_eq!(branches.len(), 1);
+        let jumps = p
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Jump { .. }))
+            .count();
+        assert_eq!(jumps, 1, "back edge");
+    }
+
+    #[test]
+    fn if_else_targets_resolve() {
+        let p = lower_src(
+            "void main() { int x = 0; if (x == 0) { x = 1; } else { x = 2; } x = 3; }",
+        )
+        .unwrap();
+        assert_eq!(p.validate(), Ok(()));
+        // Both arms must converge on the trailing assignment.
+        let Instr::Branch {
+            if_true, if_false, ..
+        } = p
+            .instrs
+            .iter()
+            .find(|i| matches!(i, Instr::Branch { .. }))
+            .unwrap()
+        else {
+            unreachable!()
+        };
+        assert_ne!(if_true, if_false);
+    }
+
+    #[test]
+    fn booleans_are_one_bit() {
+        let p = lower_src("void main() { boolean b = 1 < 2; boolean c = !b; }").unwrap();
+        let bools = p.temps.iter().filter(|t| t.is_bool).count();
+        assert!(bools >= 2);
+        for (i, t) in p.temps.iter().enumerate() {
+            if t.is_bool {
+                assert_eq!(p.temp_width(Temp(i)), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn type_errors() {
+        for (src, needle) in [
+            ("void main() { int x = true; }", "initializer"),
+            ("void main() { if (1) { } }", "if condition"),
+            ("void main() { while (1 + 2) { } }", "while condition"),
+            ("void main() { boolean b = 1 + true; }", "right operand"),
+            ("void main() { boolean b = true < false; }", "operand of '<'"),
+            ("void main() { int x = -true; }", "unary '-'"),
+            ("void main() { boolean b = !1; }", "operand of '!'"),
+            ("void main() { boolean b = 1 == true; }", "mismatched"),
+            ("mem m[2]; void main() { m[true] = 1; }", "memory address"),
+            ("mem m[2]; void main() { m[0] = true; }", "stored value"),
+            ("void main() { x = 1; }", "undeclared variable"),
+            ("void main() { int x; int x; }", "declared twice"),
+            ("mem m[2]; mem m[2]; void main() { }", "declared twice"),
+            ("void main() { m[0] = 1; }", "undeclared memory"),
+        ] {
+            let err = lower_src(src).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "source {src:?} produced: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn boolean_equality_allowed() {
+        assert!(lower_src("void main() { boolean b = true == false; }").is_ok());
+        assert!(lower_src("void main() { boolean b = true && (1 < 2); }").is_ok());
+    }
+
+    #[test]
+    fn shadowing_in_inner_scope() {
+        let p = lower_src("void main() { int x = 1; if (x == 1) { int x = 2; x = 3; } x = 4; }")
+            .unwrap();
+        assert_eq!(p.validate(), Ok(()));
+        // Two distinct named temps called x.
+        let xs = p
+            .temps
+            .iter()
+            .filter(|t| t.name.as_deref() == Some("x"))
+            .count();
+        assert_eq!(xs, 2);
+    }
+
+    #[test]
+    fn partition_spill_code_is_emitted() {
+        let program = parse(
+            "mem out[4]; void main() { int a = 5; int b = 7; out[0] = a + b; }",
+        )
+        .unwrap();
+        // Partition 1: declarations; saves a and b.
+        let p1 = lower_partition(
+            &program,
+            "p1",
+            16,
+            &program.body.stmts[..2],
+            &[],
+            &[("a".into(), 0), ("b".into(), 1)],
+            Some(("xfer", 2)),
+        )
+        .unwrap();
+        assert_eq!(p1.mems.last().unwrap().name, "xfer");
+        assert_eq!(p1.mems.last().unwrap().size, 2);
+        let stores = p1
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Store { .. }))
+            .count();
+        assert_eq!(stores, 2);
+
+        // Partition 2: restores a and b, then computes.
+        let p2 = lower_partition(
+            &program,
+            "p2",
+            16,
+            &program.body.stmts[2..],
+            &[("a".into(), 0), ("b".into(), 1)],
+            &[],
+            Some(("xfer", 2)),
+        )
+        .unwrap();
+        let loads = p2
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Load { .. }))
+            .count();
+        assert_eq!(loads, 2);
+        assert_eq!(p2.validate(), Ok(()));
+    }
+
+    #[test]
+    fn width_out_of_range_rejected() {
+        let program = parse("void main() { }").unwrap();
+        assert!(lower(&program, "t", 1).is_err());
+        assert!(lower(&program, "t", 65).is_err());
+    }
+}

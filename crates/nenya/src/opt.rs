@@ -1,0 +1,448 @@
+//! TAC optimization passes.
+//!
+//! The paper motivates the test infrastructure with exactly this: each
+//! time "new optimization techniques are included or changes in the
+//! compiler are performed", the whole test suite must be re-verified.
+//! These passes are those changes: enabling them alters the generated
+//! datapaths and FSMs, and the flow re-proves functional equivalence
+//! (see the `ablation_optimize` bench and the optimization tests).
+//!
+//! Passes (run to fixpoint by [`optimize`]):
+//!
+//! * **constant folding** — operators whose operands are known constants
+//!   within a basic block become constants, including algebraic
+//!   identities (`x+0`, `x*1`, `x*0`, shifts by 0);
+//! * **copy coalescing** — the `tmp = a ⊕ b; var = tmp` pattern the
+//!   expression lowerer emits collapses into `var = a ⊕ b`, saving a
+//!   control step and a register write per assignment;
+//! * **dead-code elimination** — instructions whose results are never
+//!   used disappear (`div`/`rem` and memory operations are kept: they
+//!   can fault, and removing a fault would change observable behaviour).
+
+use crate::tac::{BinKind, Instr, TacProgram, Temp};
+use std::collections::HashMap;
+
+/// What the optimizer did (for reports and ablation tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptStats {
+    /// Operators folded to constants (including identities).
+    pub folded: usize,
+    /// Copies coalesced away.
+    pub coalesced: usize,
+    /// Dead instructions removed.
+    pub removed: usize,
+    /// Fixpoint iterations.
+    pub iterations: usize,
+}
+
+impl OptStats {
+    /// Total rewrites performed.
+    pub fn total(&self) -> usize {
+        self.folded + self.coalesced + self.removed
+    }
+}
+
+/// Runs all passes to fixpoint, preserving program semantics.
+///
+/// The result always satisfies [`TacProgram::validate`]; callers can
+/// re-verify semantics with the golden interpreter (the test suite and
+/// the property tests do).
+pub fn optimize(prog: &mut TacProgram) -> OptStats {
+    let mut stats = OptStats::default();
+    loop {
+        stats.iterations += 1;
+        let folded = fold_constants(prog);
+        let coalesced = coalesce_copies(prog);
+        let removed = eliminate_dead_code(prog);
+        stats.folded += folded;
+        stats.coalesced += coalesced;
+        stats.removed += removed;
+        if folded + coalesced + removed == 0 || stats.iterations > 100 {
+            break;
+        }
+    }
+    debug_assert_eq!(prog.validate(), Ok(()));
+    stats
+}
+
+/// Basic-block leader flags (instruction 0, jump/branch targets, and
+/// instructions after terminators).
+fn leaders(prog: &TacProgram) -> Vec<bool> {
+    let mut leaders = vec![false; prog.instrs.len()];
+    if !leaders.is_empty() {
+        leaders[0] = true;
+    }
+    for (i, instr) in prog.instrs.iter().enumerate() {
+        match instr {
+            Instr::Jump { target } => {
+                leaders[*target] = true;
+                if i + 1 < prog.instrs.len() {
+                    leaders[i + 1] = true;
+                }
+            }
+            Instr::Branch {
+                if_true, if_false, ..
+            } => {
+                leaders[*if_true] = true;
+                leaders[*if_false] = true;
+                if i + 1 < prog.instrs.len() {
+                    leaders[i + 1] = true;
+                }
+            }
+            Instr::Halt
+                if i + 1 < prog.instrs.len() => {
+                    leaders[i + 1] = true;
+                }
+            _ => {}
+        }
+    }
+    leaders
+}
+
+/// Folds operators with constant operands, per basic block.
+///
+/// Returns the number of instructions rewritten.
+pub fn fold_constants(prog: &mut TacProgram) -> usize {
+    let leaders = leaders(prog);
+    let mut rewritten = 0;
+    let mut known: HashMap<Temp, i64> = HashMap::new();
+    #[allow(clippy::needless_range_loop)] // i indexes leaders and instrs in tandem
+    for i in 0..prog.instrs.len() {
+        if leaders[i] {
+            known.clear();
+        }
+        let replacement = match &prog.instrs[i] {
+            Instr::Bin { kind, dst, a, b } => {
+                let (ka, kb) = (known.get(a).copied(), known.get(b).copied());
+                match (ka, kb) {
+                    (Some(va), Some(vb)) => {
+                        // Both constant: evaluate unless it would fault.
+                        crate::interp::eval_bin(*kind, va, vb, prog.width)
+                            .ok()
+                            .map(|value| Instr::Const { dst: *dst, value })
+                    }
+                    _ => fold_identity(*kind, *dst, *a, *b, ka, kb),
+                }
+            }
+            Instr::Un { kind, dst, a } => known.get(a).map(|&va| Instr::Const {
+                dst: *dst,
+                value: crate::interp::eval_un(*kind, va, prog.temp_width(*dst)),
+            }),
+            _ => None,
+        };
+        if let Some(new_instr) = replacement {
+            prog.instrs[i] = new_instr;
+            rewritten += 1;
+        }
+        // Update the known-constants map.
+        match &prog.instrs[i] {
+            Instr::Const { dst, value } => {
+                known.insert(*dst, crate::interp::truncate(*value, prog.temp_width(*dst)));
+            }
+            instr => {
+                if let Some(dst) = instr.dst() {
+                    known.remove(&dst);
+                }
+            }
+        }
+    }
+    rewritten
+}
+
+/// Identity folds when exactly one operand is a known constant.
+fn fold_identity(
+    kind: BinKind,
+    dst: Temp,
+    a: Temp,
+    b: Temp,
+    ka: Option<i64>,
+    kb: Option<i64>,
+) -> Option<Instr> {
+    match (kind, ka, kb) {
+        // x + 0, x - 0, x << 0, x >> 0, x >>> 0, x | 0, x ^ 0
+        (
+            BinKind::Add | BinKind::Sub | BinKind::Shl | BinKind::Shr | BinKind::Ushr
+            | BinKind::Or | BinKind::Xor,
+            None,
+            Some(0),
+        ) => Some(Instr::Copy { dst, src: a }),
+        // 0 + x, 0 | x, 0 ^ x
+        (BinKind::Add | BinKind::Or | BinKind::Xor, Some(0), None) => {
+            Some(Instr::Copy { dst, src: b })
+        }
+        // x * 1, x / 1
+        (BinKind::Mul | BinKind::Div, None, Some(1)) => Some(Instr::Copy { dst, src: a }),
+        // 1 * x
+        (BinKind::Mul, Some(1), None) => Some(Instr::Copy { dst, src: b }),
+        // x * 0, 0 * x, x & 0, 0 & x
+        (BinKind::Mul | BinKind::And, _, Some(0)) | (BinKind::Mul | BinKind::And, Some(0), _) => {
+            Some(Instr::Const { dst, value: 0 })
+        }
+        _ => None,
+    }
+}
+
+/// Collapses `src = a ⊕ b; dst = src` into `dst = a ⊕ b` when `src` is a
+/// compiler temporary defined by the immediately preceding instruction
+/// and used nowhere else.
+///
+/// The producer is retargeted in place and the copy becomes a self-copy
+/// (`dst = dst`), which keeps every jump target stable;
+/// [`eliminate_dead_code`] then removes the self-copy and remaps targets.
+///
+/// Returns the number of copies coalesced.
+pub fn coalesce_copies(prog: &mut TacProgram) -> usize {
+    // Global use counts.
+    let mut uses: HashMap<Temp, usize> = HashMap::new();
+    for instr in &prog.instrs {
+        for src in instr.sources() {
+            *uses.entry(src).or_default() += 1;
+        }
+    }
+    let leaders = leaders(prog);
+    let mut coalesced = 0;
+    #[allow(clippy::needless_range_loop)] // i-1/i pairs over instrs and leaders
+    for i in 1..prog.instrs.len() {
+        if leaders[i] {
+            continue; // the producer must be in the same block
+        }
+        let Instr::Copy { dst, src } = prog.instrs[i] else {
+            continue;
+        };
+        if dst == src {
+            continue;
+        }
+        // `src` must be a single-use unnamed temporary produced by the
+        // previous instruction.
+        if prog.temps[src.0].name.is_some() || uses.get(&src) != Some(&1) {
+            continue;
+        }
+        if prog.instrs[i - 1].dst() != Some(src) {
+            continue;
+        }
+        // Widths must agree, or the retargeted producer would write at the
+        // wrong width (bool vs int temps).
+        if prog.temp_width(src) != prog.temp_width(dst) {
+            continue;
+        }
+        // Retarget the producer and neutralize the copy.
+        match &mut prog.instrs[i - 1] {
+            Instr::Const { dst: d, .. }
+            | Instr::Bin { dst: d, .. }
+            | Instr::Un { dst: d, .. }
+            | Instr::Copy { dst: d, .. }
+            | Instr::Load { dst: d, .. } => *d = dst,
+            _ => unreachable!("dst() returned Some"),
+        }
+        prog.instrs[i] = Instr::Copy { dst, src: dst };
+        coalesced += 1;
+    }
+    coalesced
+}
+
+/// Removes instructions whose results are never used and that cannot
+/// fault or store. Self-copies (`x = x`) are always dead. Jump targets
+/// are remapped around removed instructions.
+///
+/// Returns the number of instructions removed.
+pub fn eliminate_dead_code(prog: &mut TacProgram) -> usize {
+    let mut used = vec![false; prog.temps.len()];
+    for instr in &prog.instrs {
+        for src in instr.sources() {
+            used[src.0] = true;
+        }
+    }
+    let removable: Vec<bool> = prog
+        .instrs
+        .iter()
+        .map(|instr| match instr {
+            Instr::Copy { dst, src } if dst == src => true,
+            Instr::Const { dst, .. } | Instr::Copy { dst, .. } => !used[dst.0],
+            Instr::Bin { kind, dst, .. } => {
+                // div/rem can fault: removing them would hide a bug.
+                !used[dst.0] && !matches!(kind, BinKind::Div | BinKind::Rem)
+            }
+            Instr::Un { dst, .. } => !used[dst.0],
+            // Loads can fault on bad addresses; stores are side effects.
+            _ => false,
+        })
+        .collect();
+    let removed = removable.iter().filter(|&&r| r).count();
+    if removed == 0 {
+        return 0;
+    }
+
+    // Remap: new index of old instruction i = survivors before i; a
+    // removed jump target lands on the next surviving instruction.
+    let mut new_index = Vec::with_capacity(prog.instrs.len());
+    let mut survivors = 0;
+    for &r in &removable {
+        new_index.push(survivors);
+        if !r {
+            survivors += 1;
+        }
+    }
+    let mut instrs = Vec::with_capacity(survivors);
+    for (i, instr) in prog.instrs.drain(..).enumerate() {
+        if removable[i] {
+            continue;
+        }
+        instrs.push(match instr {
+            Instr::Jump { target } => Instr::Jump {
+                target: new_index[target],
+            },
+            Instr::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => Instr::Branch {
+                cond,
+                if_true: new_index[if_true],
+                if_false: new_index[if_false],
+            },
+            other => other,
+        });
+    }
+    prog.instrs = instrs;
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{blank_images, execute};
+    use crate::lang::parse;
+    use crate::lower::lower;
+
+    fn prog(src: &str) -> TacProgram {
+        lower(&parse(src).unwrap(), "t", 16).unwrap()
+    }
+
+    fn outputs(p: &TacProgram) -> Vec<Option<i64>> {
+        let mut mems = blank_images(p);
+        execute(p, &mut mems, 1_000_000).unwrap();
+        mems.into_iter().flatten().collect()
+    }
+
+    #[test]
+    fn folding_collapses_constant_expressions() {
+        let mut p = prog("mem out[1]; void main() { out[0] = (2 + 3) * 4 - 1; }");
+        let before_ops = p.operator_count();
+        let expected = outputs(&p);
+        let stats = optimize(&mut p);
+        assert!(stats.folded >= 3, "{stats:?}");
+        assert!(p.operator_count() < before_ops);
+        assert_eq!(p.operator_count(), 0, "fully constant expression folds away");
+        assert_eq!(outputs(&p), expected);
+    }
+
+    #[test]
+    fn identities_simplify() {
+        let mut p = prog(
+            "mem inp[1]; mem out[4]; void main() {
+                int x = inp[0];
+                out[0] = x + 0;
+                out[1] = x * 1;
+                out[2] = x * 0;
+                out[3] = 0 + x;
+            }",
+        );
+        let before = p.operator_count();
+        let stats = optimize(&mut p);
+        assert!(stats.folded >= 4, "{stats:?}");
+        assert_eq!(p.operator_count(), 0, "all four identities fold");
+        assert!(before >= 4);
+    }
+
+    #[test]
+    fn coalescing_removes_expression_copies() {
+        let mut p = prog("mem out[1]; void main() { int a = 1; int b = 2; out[0] = a + b; }");
+        let copies_before = p
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Copy { .. }))
+            .count();
+        let stats = optimize(&mut p);
+        let copies_after = p
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Copy { .. }))
+            .count();
+        assert!(stats.coalesced >= 2, "{stats:?}");
+        assert!(copies_after < copies_before);
+    }
+
+    #[test]
+    fn dce_keeps_faulting_operations() {
+        // The division's result is unused, but removing it would hide the
+        // divide-by-zero fault.
+        let mut p = prog("mem inp[1]; void main() { int unused = 5 / inp[0]; }");
+        optimize(&mut p);
+        assert!(
+            p.instrs
+                .iter()
+                .any(|i| matches!(i, Instr::Bin { kind: BinKind::Div, .. })),
+            "division survived DCE"
+        );
+        // Loads also survive (they can fault on bad addresses).
+        assert!(p.instrs.iter().any(|i| matches!(i, Instr::Load { .. })));
+    }
+
+    #[test]
+    fn dce_remaps_jump_targets() {
+        let mut p = prog(
+            "mem out[1]; void main() {
+                int dead = 1 + 2;
+                int i = 0;
+                while (i < 3) { int dead2 = 9; i = i + 1; }
+                out[0] = i;
+            }",
+        );
+        let expected = outputs(&p);
+        let stats = optimize(&mut p);
+        assert!(stats.removed > 0, "{stats:?}");
+        assert_eq!(p.validate(), Ok(()));
+        assert_eq!(outputs(&p), expected);
+    }
+
+    #[test]
+    fn loop_semantics_survive_optimization() {
+        let src = "mem out[8]; void main() {
+            int i;
+            for (i = 0; i < 8; i = i + 1) {
+                out[i] = (i * 1 + 0) * i;
+            }
+        }";
+        let reference = outputs(&prog(src));
+        let mut p = prog(src);
+        let stats = optimize(&mut p);
+        assert!(stats.total() > 0);
+        assert_eq!(outputs(&p), reference);
+    }
+
+    #[test]
+    fn optimizer_reaches_fixpoint() {
+        let mut p = prog("mem out[1]; void main() { out[0] = ((1 + 1) + (1 + 1)) * (0 + 1); }");
+        let stats = optimize(&mut p);
+        assert!(stats.iterations >= 2, "cascading folds need iterations: {stats:?}");
+        // Re-running does nothing.
+        let again = optimize(&mut p);
+        assert_eq!(again.total(), 0);
+    }
+
+    #[test]
+    fn bool_width_mismatch_is_not_coalesced() {
+        // cond temp (1-bit) copied into boolean var (1-bit): same width,
+        // fine; but a comparison feeding an int variable cannot occur by
+        // typing. This test pins that coalescing never breaks validation
+        // on a branch-heavy program.
+        let mut p = prog(
+            "void main() {
+                boolean b = 1 < 2;
+                if (b) { int x = 1; } else { int y = 2; }
+            }",
+        );
+        optimize(&mut p);
+        assert_eq!(p.validate(), Ok(()));
+    }
+}

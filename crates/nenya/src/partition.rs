@@ -1,0 +1,375 @@
+//! Temporal partitioning: splitting a program into configurations.
+//!
+//! The partitioner cuts the top-level statement list of `main` into `k`
+//! chunks of balanced estimated cost. Scalars that are live across a cut
+//! are *spilled* to a dedicated transfer SRAM (`__xfer`) with a global
+//! slot layout, so every configuration agrees on where each value lives —
+//! the paper's "communication between configurations" through memories.
+
+use crate::lang::{Block, Expr, Program, Stmt};
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Name of the implicit transfer memory.
+pub const XFER_MEM: &str = "__xfer";
+
+/// The plan for one chunk (configuration).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Range of top-level statement indices in `main`'s body.
+    pub stmts: std::ops::Range<usize>,
+    /// `(variable, slot)` pairs loaded from the transfer memory first.
+    pub restore: Vec<(String, usize)>,
+    /// `(variable, slot)` pairs stored to the transfer memory at the end.
+    pub save: Vec<(String, usize)>,
+}
+
+/// A complete partitioning plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// The chunks, in execution order.
+    pub chunks: Vec<Chunk>,
+    /// Size of the shared transfer memory (0 = no scalar crosses a cut).
+    pub xfer_size: usize,
+}
+
+/// Errors from [`partition`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// Fewer top-level statements than requested partitions.
+    TooFewStatements {
+        /// Top-level statements available.
+        statements: usize,
+        /// Partitions requested.
+        requested: usize,
+    },
+    /// `k` was zero.
+    ZeroPartitions,
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::TooFewStatements {
+                statements,
+                requested,
+            } => write!(
+                f,
+                "cannot split {statements} top-level statements into {requested} partitions"
+            ),
+            PartitionError::ZeroPartitions => f.write_str("partition count must be at least 1"),
+        }
+    }
+}
+
+impl Error for PartitionError {}
+
+/// Splits `program` into `k` chunks.
+///
+/// Statements are never reordered; cuts fall at top-level statement
+/// boundaries chosen greedily so each chunk's estimated cost (statement
+/// node count) approaches `total / k`.
+///
+/// # Errors
+///
+/// Returns [`PartitionError`] when `k` is zero or exceeds the number of
+/// top-level statements.
+pub fn partition(program: &Program, k: usize) -> Result<PartitionPlan, PartitionError> {
+    if k == 0 {
+        return Err(PartitionError::ZeroPartitions);
+    }
+    let stmts = &program.body.stmts;
+    if stmts.len() < k {
+        return Err(PartitionError::TooFewStatements {
+            statements: stmts.len(),
+            requested: k,
+        });
+    }
+
+    // Greedy balanced cut by node count.
+    let costs: Vec<usize> = stmts.iter().map(Stmt::node_count).collect();
+    let total: usize = costs.iter().sum();
+    let mut ranges = Vec::with_capacity(k);
+    let mut start = 0;
+    let mut consumed = 0usize;
+    for chunk_index in 0..k {
+        let remaining_chunks = k - chunk_index;
+        let remaining_stmts = stmts.len() - start;
+        if remaining_chunks == 1 {
+            ranges.push(start..stmts.len());
+            break;
+        }
+        let target = (total - consumed) / remaining_chunks;
+        let mut end = start;
+        let mut cost = 0;
+        // Take statements until reaching the target, but always leave
+        // enough statements for the remaining chunks.
+        while end < stmts.len() - (remaining_chunks - 1) {
+            cost += costs[end];
+            end += 1;
+            if cost >= target && end > start {
+                break;
+            }
+        }
+        if end == start {
+            end = start + 1; // every chunk takes at least one statement
+        }
+        let _ = remaining_stmts;
+        consumed += costs[start..end].iter().sum::<usize>();
+        ranges.push(start..end);
+        start = end;
+    }
+
+    // Per-chunk used/assigned sets over *top-level declared* variables.
+    let top_level: BTreeSet<String> = stmts
+        .iter()
+        .filter_map(|s| match s {
+            Stmt::Decl { name, .. } => Some(name.clone()),
+            _ => None,
+        })
+        .collect();
+    let mut used: Vec<BTreeSet<String>> = Vec::with_capacity(k);
+    let mut assigned: Vec<BTreeSet<String>> = Vec::with_capacity(k);
+    for range in &ranges {
+        let mut u = BTreeSet::new();
+        let mut a = BTreeSet::new();
+        for stmt in &stmts[range.clone()] {
+            collect_stmt(stmt, &mut u, &mut a);
+        }
+        u.retain(|v| top_level.contains(v));
+        a.retain(|v| top_level.contains(v));
+        used.push(u);
+        assigned.push(a);
+    }
+
+    // Crossing variables and their global slots.
+    let mut crossing = BTreeSet::new();
+    #[allow(clippy::needless_range_loop)] // i/j index two sets in tandem
+    for i in 0..k {
+        for j in i + 1..k {
+            for v in assigned[i].intersection(&used[j]) {
+                crossing.insert(v.clone());
+            }
+        }
+    }
+    let slots: Vec<String> = crossing.iter().cloned().collect();
+    let slot_of = |v: &str| -> usize {
+        slots
+            .iter()
+            .position(|s| s == v)
+            .expect("crossing variable has a slot")
+    };
+
+    let mut chunks = Vec::with_capacity(k);
+    for (i, range) in ranges.iter().enumerate() {
+        let restore: Vec<(String, usize)> = crossing
+            .iter()
+            .filter(|v| used[i].contains(*v) && assigned[..i].iter().any(|a| a.contains(*v)))
+            .map(|v| (v.clone(), slot_of(v)))
+            .collect();
+        let save: Vec<(String, usize)> = crossing
+            .iter()
+            .filter(|v| {
+                assigned[i].contains(*v) && used[i + 1..].iter().any(|u| u.contains(*v))
+            })
+            .map(|v| (v.clone(), slot_of(v)))
+            .collect();
+        chunks.push(Chunk {
+            stmts: range.clone(),
+            restore,
+            save,
+        });
+    }
+
+    Ok(PartitionPlan {
+        chunks,
+        xfer_size: slots.len(),
+    })
+}
+
+fn collect_block(block: &Block, used: &mut BTreeSet<String>, assigned: &mut BTreeSet<String>) {
+    for stmt in &block.stmts {
+        collect_stmt(stmt, used, assigned);
+    }
+}
+
+fn collect_stmt(stmt: &Stmt, used: &mut BTreeSet<String>, assigned: &mut BTreeSet<String>) {
+    match stmt {
+        Stmt::Decl { name, init, .. } => {
+            if let Some(init) = init {
+                collect_expr(init, used);
+                assigned.insert(name.clone());
+            }
+        }
+        Stmt::Assign { name, value } => {
+            collect_expr(value, used);
+            assigned.insert(name.clone());
+        }
+        Stmt::MemStore { addr, value, .. } => {
+            collect_expr(addr, used);
+            collect_expr(value, used);
+        }
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
+            collect_expr(cond, used);
+            collect_block(then_block, used, assigned);
+            collect_block(else_block, used, assigned);
+        }
+        Stmt::While { cond, body } => {
+            collect_expr(cond, used);
+            collect_block(body, used, assigned);
+        }
+        Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+        } => {
+            collect_stmt(init, used, assigned);
+            collect_expr(cond, used);
+            collect_stmt(update, used, assigned);
+            collect_block(body, used, assigned);
+        }
+    }
+}
+
+fn collect_expr(expr: &Expr, used: &mut BTreeSet<String>) {
+    match expr {
+        Expr::Int(_) | Expr::Bool(_) => {}
+        Expr::Var(name) => {
+            used.insert(name.clone());
+        }
+        Expr::MemLoad { addr, .. } => collect_expr(addr, used),
+        Expr::Unary { expr, .. } => collect_expr(expr, used),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_expr(lhs, used);
+            collect_expr(rhs, used);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse;
+
+    #[test]
+    fn single_partition_covers_everything() {
+        let p = parse("void main() { int a = 1; int b = 2; }").unwrap();
+        let plan = partition(&p, 1).unwrap();
+        assert_eq!(plan.chunks.len(), 1);
+        assert_eq!(plan.chunks[0].stmts, 0..2);
+        assert_eq!(plan.xfer_size, 0);
+        assert!(plan.chunks[0].restore.is_empty());
+        assert!(plan.chunks[0].save.is_empty());
+    }
+
+    #[test]
+    fn two_way_split_spills_crossing_scalars() {
+        let p = parse(
+            "mem out[2]; void main() {
+                int a = 1;
+                int b = a + 1;
+                out[0] = a + b;
+                out[1] = b;
+            }",
+        )
+        .unwrap();
+        let plan = partition(&p, 2).unwrap();
+        assert_eq!(plan.chunks.len(), 2);
+        // a and b cross the cut (used by the later chunk).
+        assert!(plan.xfer_size >= 1);
+        let first = &plan.chunks[0];
+        let second = plan.chunks.last().unwrap();
+        assert!(!first.save.is_empty());
+        assert!(!second.restore.is_empty());
+        // Slots agree between save and restore for the same variable.
+        for (var, slot) in &second.restore {
+            if let Some((_, save_slot)) = first.save.iter().find(|(v, _)| v == var) {
+                assert_eq!(slot, save_slot, "{var}");
+            }
+        }
+    }
+
+    #[test]
+    fn loop_local_variables_do_not_cross() {
+        // Both loops fully contain their variables' live ranges except `d`.
+        let p = parse(
+            "mem d[8]; void main() {
+                int i;
+                for (i = 0; i < 8; i = i + 1) { d[i] = i; }
+                int j;
+                for (j = 0; j < 8; j = j + 1) { d[j] = d[j] + 1; }
+            }",
+        )
+        .unwrap();
+        // Split between the two loops (4 top-level statements).
+        let plan = partition(&p, 2).unwrap();
+        // `i` is not used after the first loop, `j` not before the second:
+        // nothing crosses.
+        assert_eq!(plan.xfer_size, 0, "plan: {plan:?}");
+    }
+
+    #[test]
+    fn balanced_by_cost_not_count() {
+        // One heavy loop among trivial statements: the cut should isolate
+        // the heavy statement rather than splitting statements evenly.
+        let p = parse(
+            "mem d[8]; void main() {
+                int i;
+                for (i = 0; i < 8; i = i + 1) { d[i] = i; d[i] = d[i] + 1; d[i] = d[i] * 2; }
+                int a = 1;
+                int b = 2;
+                int c = 3;
+            }",
+        )
+        .unwrap();
+        let plan = partition(&p, 2).unwrap();
+        // First chunk = decl + loop (heavy), second = the trivial tail.
+        assert_eq!(plan.chunks[0].stmts.end, 2);
+    }
+
+    #[test]
+    fn every_chunk_gets_a_statement() {
+        let p = parse("void main() { int a = 1; int b = 2; int c = 3; }").unwrap();
+        let plan = partition(&p, 3).unwrap();
+        for chunk in &plan.chunks {
+            assert!(!chunk.stmts.is_empty());
+        }
+        assert_eq!(plan.chunks.last().unwrap().stmts.end, 3);
+    }
+
+    #[test]
+    fn errors() {
+        let p = parse("void main() { int a = 1; }").unwrap();
+        assert_eq!(partition(&p, 0), Err(PartitionError::ZeroPartitions));
+        assert_eq!(
+            partition(&p, 2),
+            Err(PartitionError::TooFewStatements {
+                statements: 1,
+                requested: 2
+            })
+        );
+    }
+
+    #[test]
+    fn variable_reassigned_later_is_resaved() {
+        let p = parse(
+            "mem out[1]; void main() {
+                int a = 1;
+                a = a + 1;
+                out[0] = a;
+            }",
+        )
+        .unwrap();
+        let plan = partition(&p, 3).unwrap();
+        // Chunk 1 both restores and saves `a`.
+        let middle = &plan.chunks[1];
+        assert_eq!(middle.restore.len(), 1);
+        assert_eq!(middle.save.len(), 1);
+    }
+}

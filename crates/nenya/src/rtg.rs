@@ -1,0 +1,241 @@
+//! The Reconfiguration Transition Graph (RTG).
+//!
+//! When a design does not fit one configuration, the compiler splits it
+//! into *temporal partitions*; the RTG records the configurations and the
+//! order in which the reconfiguration controller must load and run them.
+//! The paper's compiler produces general graphs; sequential splits (its
+//! FDCT2 example, and everything our partitioner emits) are chains.
+
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// One configuration (temporal partition) in the RTG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtgNode {
+    /// Configuration id (unique).
+    pub id: String,
+    /// Name of the configuration's datapath.
+    pub datapath: String,
+    /// Name of the configuration's control FSM.
+    pub fsm: String,
+}
+
+/// The reconfiguration transition graph of a design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rtg {
+    /// Design name.
+    pub name: String,
+    /// Configurations.
+    pub nodes: Vec<RtgNode>,
+    /// `(from, to)` edges: `to` runs after `from` completes.
+    pub edges: Vec<(String, String)>,
+}
+
+/// Errors detected by [`Rtg::validate`] / [`Rtg::execution_order`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtgError {
+    /// Two nodes share an id.
+    DuplicateNode(String),
+    /// An edge references a missing node.
+    UnknownNode(String),
+    /// The graph contains a cycle (configurations cannot be re-entered in
+    /// this model).
+    Cycle,
+    /// The graph is empty.
+    Empty,
+}
+
+impl fmt::Display for RtgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtgError::DuplicateNode(id) => write!(f, "duplicate configuration id '{id}'"),
+            RtgError::UnknownNode(id) => write!(f, "edge references unknown configuration '{id}'"),
+            RtgError::Cycle => f.write_str("reconfiguration graph contains a cycle"),
+            RtgError::Empty => f.write_str("reconfiguration graph has no configurations"),
+        }
+    }
+}
+
+impl Error for RtgError {}
+
+impl Rtg {
+    /// Builds the trivial single-configuration RTG.
+    pub fn single(name: impl Into<String>, datapath: impl Into<String>, fsm: impl Into<String>) -> Self {
+        let name = name.into();
+        Rtg {
+            nodes: vec![RtgNode {
+                id: "c0".to_string(),
+                datapath: datapath.into(),
+                fsm: fsm.into(),
+            }],
+            edges: Vec::new(),
+            name,
+        }
+    }
+
+    /// Builds a chain RTG over `(datapath, fsm)` pairs, ids `c0..cN`.
+    pub fn chain(name: impl Into<String>, configs: &[(String, String)]) -> Self {
+        let nodes: Vec<RtgNode> = configs
+            .iter()
+            .enumerate()
+            .map(|(i, (dp, fsm))| RtgNode {
+                id: format!("c{i}"),
+                datapath: dp.clone(),
+                fsm: fsm.clone(),
+            })
+            .collect();
+        let edges = (1..nodes.len())
+            .map(|i| (format!("c{}", i - 1), format!("c{i}")))
+            .collect();
+        Rtg {
+            name: name.into(),
+            nodes,
+            edges,
+        }
+    }
+
+    /// Looks a node up by id.
+    pub fn node(&self, id: &str) -> Option<&RtgNode> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+
+    /// Checks well-formedness (ids unique, edges resolve, acyclic).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RtgError`] found.
+    pub fn validate(&self) -> Result<(), RtgError> {
+        self.execution_order().map(|_| ())
+    }
+
+    /// Topological execution order of the configurations.
+    ///
+    /// Ties (independent configurations) resolve in declaration order, so
+    /// execution is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtgError`] when the graph is empty, inconsistent, or
+    /// cyclic.
+    pub fn execution_order(&self) -> Result<Vec<&RtgNode>, RtgError> {
+        if self.nodes.is_empty() {
+            return Err(RtgError::Empty);
+        }
+        let mut ids = HashSet::new();
+        for node in &self.nodes {
+            if !ids.insert(node.id.as_str()) {
+                return Err(RtgError::DuplicateNode(node.id.clone()));
+            }
+        }
+        let mut indegree: HashMap<&str, usize> =
+            self.nodes.iter().map(|n| (n.id.as_str(), 0)).collect();
+        let mut successors: HashMap<&str, Vec<&str>> = HashMap::new();
+        for (from, to) in &self.edges {
+            if !ids.contains(from.as_str()) {
+                return Err(RtgError::UnknownNode(from.clone()));
+            }
+            if !ids.contains(to.as_str()) {
+                return Err(RtgError::UnknownNode(to.clone()));
+            }
+            *indegree.get_mut(to.as_str()).expect("id checked") += 1;
+            successors.entry(from.as_str()).or_default().push(to);
+        }
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut ready: Vec<&RtgNode> = self
+            .nodes
+            .iter()
+            .filter(|n| indegree[n.id.as_str()] == 0)
+            .collect();
+        // Declaration order among ready nodes: treat `ready` as a queue.
+        let mut queue = std::collections::VecDeque::from(std::mem::take(&mut ready));
+        while let Some(node) = queue.pop_front() {
+            order.push(node);
+            if let Some(next) = successors.get(node.id.as_str()) {
+                for to in next {
+                    let d = indegree.get_mut(to).expect("id checked");
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push_back(self.node(to).expect("id checked"));
+                    }
+                }
+            }
+        }
+        if order.len() != self.nodes.len() {
+            return Err(RtgError::Cycle);
+        }
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_chain_constructors() {
+        let s = Rtg::single("fdct1", "dp0", "fsm0");
+        assert_eq!(s.nodes.len(), 1);
+        assert!(s.edges.is_empty());
+        assert_eq!(s.validate(), Ok(()));
+
+        let c = Rtg::chain(
+            "fdct2",
+            &[
+                ("dp0".to_string(), "fsm0".to_string()),
+                ("dp1".to_string(), "fsm1".to_string()),
+            ],
+        );
+        assert_eq!(c.nodes.len(), 2);
+        assert_eq!(c.edges, vec![("c0".to_string(), "c1".to_string())]);
+        let order: Vec<&str> = c.execution_order().unwrap().iter().map(|n| n.id.as_str()).collect();
+        assert_eq!(order, ["c0", "c1"]);
+    }
+
+    #[test]
+    fn diamond_order_is_deterministic() {
+        let mut rtg = Rtg::chain(
+            "d",
+            &[
+                ("a".into(), "fa".into()),
+                ("b".into(), "fb".into()),
+            ],
+        );
+        rtg.nodes.push(RtgNode {
+            id: "c2".into(),
+            datapath: "c".into(),
+            fsm: "fc".into(),
+        });
+        rtg.edges = vec![
+            ("c0".into(), "c1".into()),
+            ("c0".into(), "c2".into()),
+        ];
+        let order: Vec<&str> = rtg.execution_order().unwrap().iter().map(|n| n.id.as_str()).collect();
+        assert_eq!(order, ["c0", "c1", "c2"]);
+    }
+
+    #[test]
+    fn error_cases() {
+        let empty = Rtg {
+            name: "e".into(),
+            nodes: vec![],
+            edges: vec![],
+        };
+        assert_eq!(empty.validate(), Err(RtgError::Empty));
+
+        let mut dup = Rtg::single("d", "dp", "fsm");
+        dup.nodes.push(dup.nodes[0].clone());
+        assert_eq!(dup.validate(), Err(RtgError::DuplicateNode("c0".into())));
+
+        let mut dangling = Rtg::single("d", "dp", "fsm");
+        dangling.edges.push(("c0".into(), "zz".into()));
+        assert_eq!(dangling.validate(), Err(RtgError::UnknownNode("zz".into())));
+
+        let mut cyclic = Rtg::chain(
+            "c",
+            &[("a".into(), "fa".into()), ("b".into(), "fb".into())],
+        );
+        cyclic.edges.push(("c1".into(), "c0".into()));
+        assert_eq!(cyclic.validate(), Err(RtgError::Cycle));
+    }
+}

@@ -1,0 +1,497 @@
+//! The three-address-code (TAC) intermediate representation.
+//!
+//! The compiler lowers the AST into a flat instruction list with virtual
+//! registers ([`Temp`]s). Every downstream stage — the golden interpreter,
+//! the scheduler, datapath and FSM generation, and temporal partitioning —
+//! consumes this IR.
+
+use std::fmt;
+
+/// A virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Temp(pub usize);
+
+impl fmt::Display for Temp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Binary operator kinds. `name()` spells the shared vocabulary used in
+/// the datapath XML, the `.hds` format, and the simulator's operator
+/// library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Ushr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl BinKind {
+    /// Canonical lower-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BinKind::Add => "add",
+            BinKind::Sub => "sub",
+            BinKind::Mul => "mul",
+            BinKind::Div => "div",
+            BinKind::Rem => "rem",
+            BinKind::And => "and",
+            BinKind::Or => "or",
+            BinKind::Xor => "xor",
+            BinKind::Shl => "shl",
+            BinKind::Shr => "shr",
+            BinKind::Ushr => "ushr",
+            BinKind::Eq => "eq",
+            BinKind::Ne => "ne",
+            BinKind::Lt => "lt",
+            BinKind::Le => "le",
+            BinKind::Gt => "gt",
+            BinKind::Ge => "ge",
+        }
+    }
+
+    /// Whether the result is a 1-bit boolean.
+    pub fn yields_bool(&self) -> bool {
+        matches!(
+            self,
+            BinKind::Eq | BinKind::Ne | BinKind::Lt | BinKind::Le | BinKind::Gt | BinKind::Ge
+        )
+    }
+}
+
+impl fmt::Display for BinKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Unary operator kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnKind {
+    /// Bitwise complement; on 1-bit operands this is logical not.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+impl UnKind {
+    /// Canonical lower-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UnKind::Not => "not",
+            UnKind::Neg => "neg",
+        }
+    }
+}
+
+impl fmt::Display for UnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Role of a memory in the design, inferred from access patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemRole {
+    /// Only read by the program: input stimulus.
+    Input,
+    /// Only written: result memory.
+    Output,
+    /// Read and written: working storage (the FDCT's intermediate image).
+    Intermediate,
+    /// Never accessed.
+    Unused,
+}
+
+impl fmt::Display for MemRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemRole::Input => "input",
+            MemRole::Output => "output",
+            MemRole::Intermediate => "intermediate",
+            MemRole::Unused => "unused",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for MemRole {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "input" => Ok(MemRole::Input),
+            "output" => Ok(MemRole::Output),
+            "intermediate" => Ok(MemRole::Intermediate),
+            "unused" => Ok(MemRole::Unused),
+            other => Err(format!("unknown memory role '{other}'")),
+        }
+    }
+}
+
+/// A memory as seen by one TAC program (SRAM-mapped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemSpec {
+    /// Memory name (SRAM instance name).
+    pub name: String,
+    /// Words.
+    pub size: usize,
+    /// Word width in bits.
+    pub width: u32,
+    /// Inferred role.
+    pub role: MemRole,
+}
+
+/// Information about one virtual register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TempInfo {
+    /// Source variable name, if the temp holds a named variable.
+    pub name: Option<String>,
+    /// Whether the temp is a 1-bit boolean.
+    pub is_bool: bool,
+}
+
+/// One TAC instruction. Jump targets are instruction indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst = value`
+    Const {
+        /// Destination.
+        dst: Temp,
+        /// Literal value.
+        value: i64,
+    },
+    /// `dst = a <kind> b`
+    Bin {
+        /// Operator.
+        kind: BinKind,
+        /// Destination.
+        dst: Temp,
+        /// Left operand.
+        a: Temp,
+        /// Right operand.
+        b: Temp,
+    },
+    /// `dst = <kind> a`
+    Un {
+        /// Operator.
+        kind: UnKind,
+        /// Destination.
+        dst: Temp,
+        /// Operand.
+        a: Temp,
+    },
+    /// `dst = src`
+    Copy {
+        /// Destination.
+        dst: Temp,
+        /// Source.
+        src: Temp,
+    },
+    /// `dst = mem[addr]`
+    Load {
+        /// Destination.
+        dst: Temp,
+        /// Memory index into [`TacProgram::mems`].
+        mem: usize,
+        /// Address operand.
+        addr: Temp,
+    },
+    /// `mem[addr] = value`
+    Store {
+        /// Memory index into [`TacProgram::mems`].
+        mem: usize,
+        /// Address operand.
+        addr: Temp,
+        /// Stored operand.
+        value: Temp,
+    },
+    /// Unconditional jump to an instruction index.
+    Jump {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Two-way branch on a boolean temp.
+    Branch {
+        /// Condition (1-bit temp).
+        cond: Temp,
+        /// Target when true.
+        if_true: usize,
+        /// Target when false.
+        if_false: usize,
+    },
+    /// Program end.
+    Halt,
+}
+
+impl Instr {
+    /// The destination temp, if the instruction defines one.
+    pub fn dst(&self) -> Option<Temp> {
+        match self {
+            Instr::Const { dst, .. }
+            | Instr::Bin { dst, .. }
+            | Instr::Un { dst, .. }
+            | Instr::Copy { dst, .. }
+            | Instr::Load { dst, .. } => Some(*dst),
+            _ => None,
+        }
+    }
+
+    /// The temps the instruction reads.
+    pub fn sources(&self) -> Vec<Temp> {
+        match self {
+            Instr::Const { .. } | Instr::Jump { .. } | Instr::Halt => Vec::new(),
+            Instr::Bin { a, b, .. } => vec![*a, *b],
+            Instr::Un { a, .. } => vec![*a],
+            Instr::Copy { src, .. } => vec![*src],
+            Instr::Load { addr, .. } => vec![*addr],
+            Instr::Store { addr, value, .. } => vec![*addr, *value],
+            Instr::Branch { cond, .. } => vec![*cond],
+        }
+    }
+
+    /// Whether this instruction transfers control.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Instr::Jump { .. } | Instr::Branch { .. } | Instr::Halt)
+    }
+
+    /// Whether this instruction instantiates a datapath functional unit
+    /// (the Table I "operators" metric).
+    pub fn is_operator(&self) -> bool {
+        matches!(self, Instr::Bin { .. } | Instr::Un { .. })
+    }
+
+    /// The memory index accessed, if any.
+    pub fn mem(&self) -> Option<usize> {
+        match self {
+            Instr::Load { mem, .. } | Instr::Store { mem, .. } => Some(*mem),
+            _ => None,
+        }
+    }
+}
+
+/// A lowered program: memories, temps, and a flat instruction list ending
+/// in [`Instr::Halt`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TacProgram {
+    /// Program (configuration) name.
+    pub name: String,
+    /// Design data width in bits.
+    pub width: u32,
+    /// Memories, indexed by [`Instr::Load`]/[`Instr::Store`].
+    pub mems: Vec<MemSpec>,
+    /// Virtual register metadata, indexed by [`Temp`].
+    pub temps: Vec<TempInfo>,
+    /// Instructions; jump targets index into this list.
+    pub instrs: Vec<Instr>,
+}
+
+impl TacProgram {
+    /// Width of a temp in bits (1 for booleans, the design width
+    /// otherwise).
+    pub fn temp_width(&self, temp: Temp) -> u32 {
+        if self.temps[temp.0].is_bool {
+            1
+        } else {
+            self.width
+        }
+    }
+
+    /// Number of functional units a no-sharing datapath needs (the
+    /// "operators" column of Table I).
+    pub fn operator_count(&self) -> usize {
+        self.instrs.iter().filter(|i| i.is_operator()).count()
+    }
+
+    /// Validates internal consistency (jump targets, temp and memory
+    /// indices in range, terminated by `Halt`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if !matches!(self.instrs.last(), Some(Instr::Halt)) {
+            return Err("program does not end in Halt".to_string());
+        }
+        for (index, instr) in self.instrs.iter().enumerate() {
+            for temp in instr.sources().into_iter().chain(instr.dst()) {
+                if temp.0 >= self.temps.len() {
+                    return Err(format!("instruction {index} references missing {temp}"));
+                }
+            }
+            if let Some(mem) = instr.mem() {
+                if mem >= self.mems.len() {
+                    return Err(format!("instruction {index} references missing memory {mem}"));
+                }
+            }
+            let targets: Vec<usize> = match instr {
+                Instr::Jump { target } => vec![*target],
+                Instr::Branch {
+                    if_true, if_false, ..
+                } => vec![*if_true, *if_false],
+                _ => vec![],
+            };
+            for t in targets {
+                if t >= self.instrs.len() {
+                    return Err(format!("instruction {index} jumps to missing index {t}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TacProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; tac program '{}' (width {})", self.name, self.width)?;
+        for (i, mem) in self.mems.iter().enumerate() {
+            writeln!(f, "; mem {} = {} [{} x {}] ({})", i, mem.name, mem.size, mem.width, mem.role)?;
+        }
+        for (index, instr) in self.instrs.iter().enumerate() {
+            let text = match instr {
+                Instr::Const { dst, value } => format!("{dst} = {value}"),
+                Instr::Bin { kind, dst, a, b } => format!("{dst} = {kind} {a}, {b}"),
+                Instr::Un { kind, dst, a } => format!("{dst} = {kind} {a}"),
+                Instr::Copy { dst, src } => format!("{dst} = {src}"),
+                Instr::Load { dst, mem, addr } => {
+                    format!("{dst} = load {}[{addr}]", self.mems[*mem].name)
+                }
+                Instr::Store { mem, addr, value } => {
+                    format!("store {}[{addr}] = {value}", self.mems[*mem].name)
+                }
+                Instr::Jump { target } => format!("jump @{target}"),
+                Instr::Branch {
+                    cond,
+                    if_true,
+                    if_false,
+                } => format!("branch {cond} ? @{if_true} : @{if_false}"),
+                Instr::Halt => "halt".to_string(),
+            };
+            writeln!(f, "{index:4}: {text}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TacProgram {
+        TacProgram {
+            name: "t".into(),
+            width: 16,
+            mems: vec![MemSpec {
+                name: "m".into(),
+                size: 4,
+                width: 16,
+                role: MemRole::Output,
+            }],
+            temps: vec![
+                TempInfo {
+                    name: Some("x".into()),
+                    is_bool: false,
+                },
+                TempInfo {
+                    name: None,
+                    is_bool: true,
+                },
+            ],
+            instrs: vec![
+                Instr::Const {
+                    dst: Temp(0),
+                    value: 7,
+                },
+                Instr::Bin {
+                    kind: BinKind::Lt,
+                    dst: Temp(1),
+                    a: Temp(0),
+                    b: Temp(0),
+                },
+                Instr::Store {
+                    mem: 0,
+                    addr: Temp(0),
+                    value: Temp(0),
+                },
+                Instr::Halt,
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let p = tiny();
+        assert_eq!(p.temp_width(Temp(0)), 16);
+        assert_eq!(p.temp_width(Temp(1)), 1);
+        assert_eq!(p.operator_count(), 1);
+        assert_eq!(p.instrs[1].dst(), Some(Temp(1)));
+        assert_eq!(p.instrs[2].sources(), vec![Temp(0), Temp(0)]);
+        assert_eq!(p.instrs[2].mem(), Some(0));
+        assert!(p.instrs[3].is_terminator());
+        assert!(p.instrs[1].is_operator());
+        assert!(!p.instrs[0].is_operator());
+    }
+
+    #[test]
+    fn validate_accepts_consistent_program() {
+        assert_eq!(tiny().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_problems() {
+        let mut p = tiny();
+        p.instrs.pop();
+        assert!(p.validate().unwrap_err().contains("Halt"));
+
+        let mut p = tiny();
+        p.instrs[1] = Instr::Jump { target: 99 };
+        assert!(p.validate().unwrap_err().contains("missing index"));
+
+        let mut p = tiny();
+        p.instrs[0] = Instr::Const {
+            dst: Temp(9),
+            value: 0,
+        };
+        assert!(p.validate().unwrap_err().contains("missing t9"));
+
+        let mut p = tiny();
+        p.instrs[2] = Instr::Store {
+            mem: 5,
+            addr: Temp(0),
+            value: Temp(0),
+        };
+        assert!(p.validate().unwrap_err().contains("missing memory"));
+    }
+
+    #[test]
+    fn display_renders_each_form() {
+        let text = tiny().to_string();
+        assert!(text.contains("t0 = 7"));
+        assert!(text.contains("t1 = lt t0, t0"));
+        assert!(text.contains("store m[t0] = t0"));
+        assert!(text.contains("halt"));
+    }
+
+    #[test]
+    fn mem_role_parse_roundtrip() {
+        for role in [MemRole::Input, MemRole::Output, MemRole::Intermediate, MemRole::Unused] {
+            assert_eq!(role.to_string().parse::<MemRole>().unwrap(), role);
+        }
+        assert!("bogus".parse::<MemRole>().is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! The stylesheet object model: rules, patterns, and template actions.
+
+use std::fmt;
+
+/// A compiled stylesheet: an ordered list of template rules.
+///
+/// Rules are tried in order; the first whose [`Pattern`] matches the
+/// current element is instantiated (first-match, like an XSLT stylesheet
+/// with explicit priorities).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stylesheet {
+    /// Template rules in priority order.
+    pub rules: Vec<Rule>,
+}
+
+impl Stylesheet {
+    /// Finds the first rule matching an element name/attribute view.
+    pub(crate) fn rule_for(&self, element: &xmlite::Element) -> Option<&Rule> {
+        self.rules.iter().find(|r| r.pattern.matches(element))
+    }
+}
+
+/// One template rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// What elements the rule applies to.
+    pub pattern: Pattern,
+    /// The actions instantiated for a matching element.
+    pub body: Vec<Action>,
+}
+
+/// An element pattern: a tag name (or `*`) plus attribute-equality
+/// predicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// Tag name; `"*"` matches anything.
+    pub name: String,
+    /// `[attr=value]` predicates, all of which must hold.
+    pub predicates: Vec<(String, String)>,
+}
+
+impl Pattern {
+    /// Whether the pattern matches an element.
+    pub fn matches(&self, element: &xmlite::Element) -> bool {
+        (self.name == "*" || element.name() == self.name)
+            && self
+                .predicates
+                .iter()
+                .all(|(attr, value)| element.attr(attr) == Some(value.as_str()))
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        for (attr, value) in &self.predicates {
+            write!(f, "[{attr}={value}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// A value reference inside `{…}` interpolation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueRef {
+    /// `{@attr}` — attribute of the context element (after `parents`
+    /// upward hops for `{../@attr}` forms).
+    Attr {
+        /// Number of `../` hops.
+        parents: usize,
+        /// Attribute name.
+        name: String,
+    },
+    /// `{name()}` — the context element's tag name.
+    Name,
+    /// `{text()}` — concatenated text children.
+    Text,
+    /// `{position()}` — 1-based index within the current apply/for-each
+    /// selection.
+    Position,
+    /// `{path}` or `{path/@attr}` — first value selected by an xmlite
+    /// path relative to the context element (after upward hops).
+    Path {
+        /// Number of `../` hops.
+        parents: usize,
+        /// The path expression source (kept for display).
+        source: String,
+        /// The parsed path.
+        path: xmlite::path::Path,
+    },
+}
+
+/// A condition in an `if` action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cond {
+    /// True when the value reference produces a non-empty value.
+    Exists(ValueRef),
+    /// True when the value reference equals a literal.
+    Equals(ValueRef, String),
+}
+
+/// One template action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Emit literal text with `{…}` interpolations already split out.
+    Emit(Vec<EmitPiece>),
+    /// Apply templates to a selection of descendant elements (or all
+    /// child elements when `select` is `None`).
+    Apply {
+        /// Optional selection path.
+        select: Option<SelectPath>,
+    },
+    /// Iterate a selection, instantiating the body for each element.
+    ForEach {
+        /// Selection path.
+        select: SelectPath,
+        /// Body instantiated per selected element.
+        body: Vec<Action>,
+    },
+    /// Conditional.
+    If {
+        /// The condition.
+        cond: Cond,
+        /// Actions when true.
+        then_body: Vec<Action>,
+        /// Actions when false.
+        else_body: Vec<Action>,
+    },
+}
+
+/// A piece of an `emit` string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmitPiece {
+    /// Literal text (escapes already processed).
+    Literal(String),
+    /// An interpolated value.
+    Value(ValueRef),
+}
+
+/// A selection path with optional upward hops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectPath {
+    /// Number of `../` hops before applying the path.
+    pub parents: usize,
+    /// Source text (for diagnostics).
+    pub source: String,
+    /// The parsed path.
+    pub path: xmlite::path::Path,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlite::Element;
+
+    #[test]
+    fn pattern_matching() {
+        let e = Element::new("cell").with_attr("kind", "add");
+        assert!(Pattern {
+            name: "cell".into(),
+            predicates: vec![]
+        }
+        .matches(&e));
+        assert!(Pattern {
+            name: "*".into(),
+            predicates: vec![("kind".into(), "add".into())]
+        }
+        .matches(&e));
+        assert!(!Pattern {
+            name: "cell".into(),
+            predicates: vec![("kind".into(), "mul".into())]
+        }
+        .matches(&e));
+        assert!(!Pattern {
+            name: "signal".into(),
+            predicates: vec![]
+        }
+        .matches(&e));
+    }
+
+    #[test]
+    fn pattern_display() {
+        let p = Pattern {
+            name: "cell".into(),
+            predicates: vec![("kind".into(), "add".into())],
+        };
+        assert_eq!(p.to_string(), "cell[kind=add]");
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let sheet = Stylesheet {
+            rules: vec![
+                Rule {
+                    pattern: Pattern {
+                        name: "a".into(),
+                        predicates: vec![("x".into(), "1".into())],
+                    },
+                    body: vec![],
+                },
+                Rule {
+                    pattern: Pattern {
+                        name: "a".into(),
+                        predicates: vec![],
+                    },
+                    body: vec![Action::Apply { select: None }],
+                },
+            ],
+        };
+        let specific = Element::new("a").with_attr("x", "1");
+        let generic = Element::new("a");
+        assert!(sheet.rule_for(&specific).unwrap().body.is_empty());
+        assert_eq!(sheet.rule_for(&generic).unwrap().body.len(), 1);
+        assert!(sheet.rule_for(&Element::new("b")).is_none());
+    }
+}

@@ -1,0 +1,551 @@
+//! The stylesheet text syntax — the analogue of writing an `.xsl` file.
+//!
+//! ```text
+//! // datapath to hds
+//! template datapath {
+//!   emit "hds {@name}\n"
+//!   apply signals/signal
+//!   apply cells/cell
+//! }
+//! template signal { emit "signal {@name} {@width}\n" }
+//! template cell {
+//!   emit "inst {@name} {@kind}"
+//!   for-each param { emit " {@key}={@value}" }
+//!   for-each conn  { emit " {@port}:{@signal}" }
+//!   emit "\n"
+//! }
+//! ```
+//!
+//! Actions: `emit "…"` (with `{…}` interpolation), `apply [path]`,
+//! `for-each path { … }`, and `if <cond> { … } [else { … }]` where a
+//! condition is a value reference optionally compared with `== "literal"`
+//! (bare form tests existence/non-emptiness). Value references: `@attr`,
+//! `../@attr` (any number of `../` hops), `name()`, `text()`,
+//! `position()`, or an [`xmlite::path`] expression. String escapes:
+//! `\n`, `\t`, `\"`, `\\`; literal braces as `{{` and `}}`.
+
+use crate::ast::{Action, Cond, EmitPiece, Pattern, Rule, SelectPath, Stylesheet, ValueRef};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced for malformed stylesheet text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDslError {
+    message: String,
+    line: usize,
+}
+
+impl ParseDslError {
+    fn new(message: impl Into<String>, line: usize) -> Self {
+        ParseDslError {
+            message: message.into(),
+            line,
+        }
+    }
+
+    /// 1-based line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseDslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (line {})", self.message, self.line)
+    }
+}
+
+impl Error for ParseDslError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Word(String),
+    Str(String),
+    Open,
+    Close,
+}
+
+fn tokenize(source: &str) -> Result<Vec<(Token, usize)>, ParseDslError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line = 1;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    // A path may begin with '/': treat as word start.
+                    let mut word = String::from("/");
+                    while let Some(&c) = chars.peek() {
+                        if c.is_whitespace() || c == '{' || c == '}' || c == '"' {
+                            break;
+                        }
+                        word.push(c);
+                        chars.next();
+                    }
+                    tokens.push((Token::Word(word), line));
+                }
+            }
+            '{' => {
+                chars.next();
+                tokens.push((Token::Open, line));
+            }
+            '}' => {
+                chars.next();
+                tokens.push((Token::Close, line));
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        None => return Err(ParseDslError::new("unterminated string", line)),
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            other => {
+                                return Err(ParseDslError::new(
+                                    format!("unknown escape '\\{}'", other.unwrap_or(' ')),
+                                    line,
+                                ))
+                            }
+                        },
+                        Some('\n') => {
+                            return Err(ParseDslError::new("newline inside string", line))
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                tokens.push((Token::Str(s), line));
+            }
+            _ => {
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || c == '{' || c == '}' || c == '"' {
+                        break;
+                    }
+                    word.push(c);
+                    chars.next();
+                }
+                tokens.push((Token::Word(word), line));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|(_, l)| *l)
+            .unwrap_or(1)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseDslError> {
+        Err(ParseDslError::new(message, self.line()))
+    }
+
+    fn expect_word(&mut self, expected: &str) -> Result<(), ParseDslError> {
+        match self.bump() {
+            Some(Token::Word(w)) if w == expected => Ok(()),
+            other => self.err(format!("expected '{expected}', found {other:?}")),
+        }
+    }
+
+    fn expect_open(&mut self) -> Result<(), ParseDslError> {
+        match self.bump() {
+            Some(Token::Open) => Ok(()),
+            other => self.err(format!("expected '{{', found {other:?}")),
+        }
+    }
+
+    fn stylesheet(&mut self) -> Result<Stylesheet, ParseDslError> {
+        let mut rules = Vec::new();
+        while self.peek().is_some() {
+            self.expect_word("template")?;
+            let pattern = match self.bump() {
+                Some(Token::Word(w)) => parse_pattern(&w).map_err(|m| {
+                    ParseDslError::new(m, self.line())
+                })?,
+                other => return self.err(format!("expected pattern, found {other:?}")),
+            };
+            self.expect_open()?;
+            let body = self.actions()?;
+            rules.push(Rule { pattern, body });
+        }
+        if rules.is_empty() {
+            return self.err("stylesheet has no templates");
+        }
+        Ok(Stylesheet { rules })
+    }
+
+    /// Parses actions until the matching `}` (consumed).
+    fn actions(&mut self) -> Result<Vec<Action>, ParseDslError> {
+        let mut actions = Vec::new();
+        loop {
+            match self.bump() {
+                Some(Token::Close) => return Ok(actions),
+                Some(Token::Word(w)) if w == "emit" => match self.bump() {
+                    Some(Token::Str(s)) => {
+                        let pieces =
+                            parse_emit(&s).map_err(|m| ParseDslError::new(m, self.line()))?;
+                        actions.push(Action::Emit(pieces));
+                    }
+                    other => return self.err(format!("emit needs a string, found {other:?}")),
+                },
+                Some(Token::Word(w)) if w == "apply" => {
+                    // Optional path before the next action/close.
+                    let select = match self.peek() {
+                        Some(Token::Word(next)) if !is_action_keyword(next) => {
+                            let Some(Token::Word(w)) = self.bump() else {
+                                unreachable!("peeked a word")
+                            };
+                            Some(
+                                parse_select(&w)
+                                    .map_err(|m| ParseDslError::new(m, self.line()))?,
+                            )
+                        }
+                        _ => None,
+                    };
+                    actions.push(Action::Apply { select });
+                }
+                Some(Token::Word(w)) if w == "for-each" => {
+                    let select = match self.bump() {
+                        Some(Token::Word(w)) => {
+                            parse_select(&w).map_err(|m| ParseDslError::new(m, self.line()))?
+                        }
+                        other => {
+                            return self.err(format!("for-each needs a path, found {other:?}"))
+                        }
+                    };
+                    self.expect_open()?;
+                    let body = self.actions()?;
+                    actions.push(Action::ForEach { select, body });
+                }
+                Some(Token::Word(w)) if w == "if" => {
+                    let operand = match self.bump() {
+                        Some(Token::Word(w)) => parse_value_ref(&w)
+                            .map_err(|m| ParseDslError::new(m, self.line()))?,
+                        other => return self.err(format!("if needs an operand, found {other:?}")),
+                    };
+                    let cond = if matches!(self.peek(), Some(Token::Word(w)) if w == "==") {
+                        self.bump();
+                        match self.bump() {
+                            Some(Token::Str(s)) => Cond::Equals(operand, s),
+                            other => {
+                                return self
+                                    .err(format!("'==' needs a string literal, found {other:?}"))
+                            }
+                        }
+                    } else {
+                        Cond::Exists(operand)
+                    };
+                    self.expect_open()?;
+                    let then_body = self.actions()?;
+                    let else_body = if matches!(self.peek(), Some(Token::Word(w)) if w == "else") {
+                        self.bump();
+                        self.expect_open()?;
+                        self.actions()?
+                    } else {
+                        Vec::new()
+                    };
+                    actions.push(Action::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    });
+                }
+                other => return self.err(format!("expected action, found {other:?}")),
+            }
+        }
+    }
+}
+
+fn is_action_keyword(word: &str) -> bool {
+    matches!(word, "emit" | "apply" | "for-each" | "if" | "else" | "template")
+}
+
+fn parse_pattern(text: &str) -> Result<Pattern, String> {
+    let (name_part, mut rest) = match text.find('[') {
+        Some(i) => (&text[..i], &text[i..]),
+        None => (text, ""),
+    };
+    if name_part.is_empty() {
+        return Err("pattern has no name".to_string());
+    }
+    let mut predicates = Vec::new();
+    while !rest.is_empty() {
+        let end = rest
+            .find(']')
+            .ok_or_else(|| "unterminated pattern predicate".to_string())?;
+        let inner = &rest[1..end];
+        let (attr, value) = inner
+            .split_once('=')
+            .ok_or_else(|| format!("pattern predicate '{inner}' is not attr=value"))?;
+        predicates.push((attr.to_string(), value.to_string()));
+        rest = &rest[end + 1..];
+    }
+    Ok(Pattern {
+        name: name_part.to_string(),
+        predicates,
+    })
+}
+
+fn strip_parents(text: &str) -> (usize, &str) {
+    let mut parents = 0;
+    let mut rest = text;
+    while let Some(r) = rest.strip_prefix("../") {
+        parents += 1;
+        rest = r;
+    }
+    (parents, rest)
+}
+
+fn parse_select(text: &str) -> Result<SelectPath, String> {
+    let (parents, rest) = strip_parents(text);
+    let path = xmlite::path::Path::parse(rest).map_err(|e| e.to_string())?;
+    if path.selects_attribute() {
+        return Err(format!("selection '{text}' must select elements, not attributes"));
+    }
+    Ok(SelectPath {
+        parents,
+        source: text.to_string(),
+        path,
+    })
+}
+
+fn parse_value_ref(text: &str) -> Result<ValueRef, String> {
+    let (parents, rest) = strip_parents(text);
+    if let Some(attr) = rest.strip_prefix('@') {
+        if attr.is_empty() {
+            return Err("empty attribute reference".to_string());
+        }
+        return Ok(ValueRef::Attr {
+            parents,
+            name: attr.to_string(),
+        });
+    }
+    match rest {
+        "name()" if parents == 0 => return Ok(ValueRef::Name),
+        "text()" if parents == 0 => return Ok(ValueRef::Text),
+        "position()" if parents == 0 => return Ok(ValueRef::Position),
+        _ => {}
+    }
+    let path = xmlite::path::Path::parse(rest).map_err(|e| e.to_string())?;
+    Ok(ValueRef::Path {
+        parents,
+        source: text.to_string(),
+        path,
+    })
+}
+
+fn parse_emit(text: &str) -> Result<Vec<EmitPiece>, String> {
+    let mut pieces = Vec::new();
+    let mut literal = String::new();
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' if chars.peek() == Some(&'{') => {
+                chars.next();
+                literal.push('{');
+            }
+            '}' if chars.peek() == Some(&'}') => {
+                chars.next();
+                literal.push('}');
+            }
+            '{' => {
+                if !literal.is_empty() {
+                    pieces.push(EmitPiece::Literal(std::mem::take(&mut literal)));
+                }
+                let mut expr = String::new();
+                loop {
+                    match chars.next() {
+                        None => return Err("unterminated '{' interpolation".to_string()),
+                        Some('}') => break,
+                        Some(c) => expr.push(c),
+                    }
+                }
+                pieces.push(EmitPiece::Value(parse_value_ref(expr.trim())?));
+            }
+            '}' => return Err("stray '}' in emit string (use '}}')".to_string()),
+            c => literal.push(c),
+        }
+    }
+    if !literal.is_empty() {
+        pieces.push(EmitPiece::Literal(literal));
+    }
+    Ok(pieces)
+}
+
+/// Parses stylesheet text into a [`Stylesheet`].
+///
+/// # Errors
+///
+/// Returns [`ParseDslError`] with the offending line for syntax errors.
+pub fn parse_stylesheet(source: &str) -> Result<Stylesheet, ParseDslError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.stylesheet()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_stylesheet() {
+        let sheet = parse_stylesheet(r#"template a { emit "hi" }"#).unwrap();
+        assert_eq!(sheet.rules.len(), 1);
+        assert_eq!(sheet.rules[0].pattern.name, "a");
+        assert_eq!(
+            sheet.rules[0].body,
+            vec![Action::Emit(vec![EmitPiece::Literal("hi".into())])]
+        );
+    }
+
+    #[test]
+    fn parses_interpolations() {
+        let sheet = parse_stylesheet(r#"template a { emit "{@x} {name()} {text()} {position()} {../@y} {b/@z}" }"#)
+            .unwrap();
+        let Action::Emit(pieces) = &sheet.rules[0].body[0] else {
+            panic!()
+        };
+        let values: Vec<&EmitPiece> = pieces
+            .iter()
+            .filter(|p| matches!(p, EmitPiece::Value(_)))
+            .collect();
+        assert_eq!(values.len(), 6);
+        assert!(matches!(
+            values[4],
+            EmitPiece::Value(ValueRef::Attr { parents: 1, .. })
+        ));
+        assert!(matches!(
+            values[5],
+            EmitPiece::Value(ValueRef::Path { .. })
+        ));
+    }
+
+    #[test]
+    fn brace_escapes() {
+        let sheet = parse_stylesheet(r#"template a { emit "digraph {{ x }}" }"#).unwrap();
+        let Action::Emit(pieces) = &sheet.rules[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(pieces, &[EmitPiece::Literal("digraph { x }".into())]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let sheet = parse_stylesheet(r#"template a { emit "line\n\tquote \"q\" back\\slash" }"#).unwrap();
+        let Action::Emit(pieces) = &sheet.rules[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(
+            pieces,
+            &[EmitPiece::Literal("line\n\tquote \"q\" back\\slash".into())]
+        );
+    }
+
+    #[test]
+    fn parses_control_actions() {
+        let src = r#"
+            // comment
+            template cell[kind=add] {
+                apply
+                apply conn
+                for-each param { emit "{@key}" }
+                if @port == "y" { emit "out" } else { emit "in" }
+                if sub { emit "has sub" }
+            }
+        "#;
+        let sheet = parse_stylesheet(src).unwrap();
+        let body = &sheet.rules[0].body;
+        assert!(matches!(body[0], Action::Apply { select: None }));
+        assert!(matches!(body[1], Action::Apply { select: Some(_) }));
+        assert!(matches!(body[2], Action::ForEach { .. }));
+        assert!(matches!(
+            body[3],
+            Action::If {
+                cond: Cond::Equals(_, _),
+                ..
+            }
+        ));
+        assert!(matches!(
+            body[4],
+            Action::If {
+                cond: Cond::Exists(_),
+                ..
+            }
+        ));
+        assert_eq!(
+            sheet.rules[0].pattern.predicates,
+            vec![("kind".to_string(), "add".to_string())]
+        );
+    }
+
+    #[test]
+    fn apply_before_close_and_keywords() {
+        // `apply` directly followed by `}` and by another action keyword.
+        let sheet =
+            parse_stylesheet(r#"template a { apply } template b { apply emit "x" }"#).unwrap();
+        assert!(matches!(sheet.rules[0].body[0], Action::Apply { select: None }));
+        assert_eq!(sheet.rules[1].body.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_stylesheet("").is_err());
+        assert!(parse_stylesheet("template").is_err());
+        assert!(parse_stylesheet("template a {").is_err());
+        assert!(parse_stylesheet(r#"template a { emit }"#).is_err());
+        assert!(parse_stylesheet(r#"template a { emit "unclosed {x" }"#).is_err());
+        assert!(parse_stylesheet(r#"template a { emit "stray }" }"#).is_err());
+        assert!(parse_stylesheet(r#"template a { bogus }"#).is_err());
+        assert!(parse_stylesheet(r#"template a { if @x == y { } }"#).is_err());
+        assert!(parse_stylesheet(r#"template a { for-each { } }"#).is_err());
+        assert!(parse_stylesheet(r#"template a[unclosed { }"#).is_err());
+        assert!(parse_stylesheet(r#"template a { emit "\q" }"#).is_err());
+        let err = parse_stylesheet("template a {\n  emit\n}").unwrap_err();
+        assert!(err.line() >= 2, "line was {}", err.line());
+    }
+
+    #[test]
+    fn selection_must_be_elements() {
+        assert!(parse_stylesheet(r#"template a { for-each b/@attr { } }"#).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! # xform — a template-rule XML transformation engine
+//!
+//! The XSLT analogue of the DATE'05 test infrastructure: declarative
+//! template rules that translate the compiler's XML dialects into the
+//! simulator input format (`.hds`), behavioral source code, and Graphviz
+//! `dot` — the three arrows fanning out of each XML file in the paper's
+//! Figure 1.
+//!
+//! * [`dsl`] — the stylesheet text syntax (`template … { emit … }`).
+//! * [`engine`] — first-match rule application over an
+//!   [`xmlite::Element`] tree.
+//! * [`stylesheets`] — the six stock translations; users add their own by
+//!   writing stylesheet text, exactly as the paper lets users supply XSL
+//!   rules for their chosen output language.
+//!
+//! ## Example
+//!
+//! ```
+//! use xform::{dsl::parse_stylesheet, engine::apply};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sheet = parse_stylesheet(r#"
+//!     template dp   { emit "design {@name}\n" apply unit }
+//!     template unit { emit "- {@kind}\n" }
+//! "#)?;
+//! let doc = xmlite::Document::parse(
+//!     "<dp name='x'><unit kind='add'/><unit kind='mul'/></dp>")?;
+//! let text = apply(&sheet, doc.root())?;
+//! assert_eq!(text, "design x\n- add\n- mul\n");
+//! # Ok(())
+//! # }
+//! ```
+
+mod ast;
+pub mod dsl;
+pub mod engine;
+pub mod stylesheets;
+
+pub use ast::{Action, Cond, EmitPiece, Pattern, Rule, SelectPath, Stylesheet, ValueRef};
+pub use dsl::{parse_stylesheet, ParseDslError};
+pub use engine::{apply, ApplyError};
+
+/// Parses a stylesheet and applies it to a document in one step.
+///
+/// # Errors
+///
+/// Returns the textual form of parse or apply errors; use the two-step
+/// API ([`parse_stylesheet`] + [`apply`]) to distinguish them.
+pub fn transform(stylesheet_src: &str, doc: &xmlite::Document) -> Result<String, String> {
+    let sheet = parse_stylesheet(stylesheet_src).map_err(|e| e.to_string())?;
+    apply(&sheet, doc.root()).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_one_step() {
+        let doc = xmlite::Document::parse("<a x='7'/>").unwrap();
+        let out = transform(r#"template a { emit "x={@x}" }"#, &doc).unwrap();
+        assert_eq!(out, "x=7");
+    }
+
+    #[test]
+    fn transform_reports_both_error_kinds() {
+        let doc = xmlite::Document::parse("<a/>").unwrap();
+        assert!(transform("template", &doc).is_err());
+        assert!(transform(r#"template a { emit "{../@x}" }"#, &doc).is_err());
+    }
+}

@@ -1,0 +1,362 @@
+//! The tree document model: [`Document`], [`Element`], and [`Node`].
+
+use crate::error::ParseXmlError;
+use crate::parser;
+use crate::writer::{self, WriteOptions};
+use std::fmt;
+
+/// A parsed or programmatically built XML document.
+///
+/// A document owns exactly one root [`Element`]. The infrastructure builds
+/// documents in three dialects (`datapath`, `fsm`, `rtg`) and parses them
+/// back when elaborating a simulation.
+///
+/// ```
+/// use xmlite::{Document, Element};
+/// let doc = Document::new(Element::new("datapath"));
+/// assert_eq!(doc.root().name(), "datapath");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    root: Element,
+}
+
+impl Document {
+    /// Creates a document with the given root element.
+    pub fn new(root: Element) -> Self {
+        Document { root }
+    }
+
+    /// Parses a document from XML text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseXmlError`] when the input is not well-formed under the
+    /// supported subset (mismatched tags, bad references, multiple roots, …).
+    pub fn parse(input: &str) -> Result<Self, ParseXmlError> {
+        parser::parse_document(input)
+    }
+
+    /// The root element.
+    pub fn root(&self) -> &Element {
+        &self.root
+    }
+
+    /// Mutable access to the root element.
+    pub fn root_mut(&mut self) -> &mut Element {
+        &mut self.root
+    }
+
+    /// Consumes the document, returning its root element.
+    pub fn into_root(self) -> Element {
+        self.root
+    }
+
+    /// Renders the document with two-space indentation and an XML declaration.
+    pub fn to_pretty_string(&self) -> String {
+        writer::write_document(self, &WriteOptions::pretty())
+    }
+
+    /// Renders the document on a single line without a declaration.
+    pub fn to_compact_string(&self) -> String {
+        writer::write_document(self, &WriteOptions::compact())
+    }
+
+    /// Renders the document with explicit options.
+    pub fn to_string_with(&self, options: &WriteOptions) -> String {
+        writer::write_document(self, options)
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_pretty_string())
+    }
+}
+
+impl From<Element> for Document {
+    fn from(root: Element) -> Self {
+        Document::new(root)
+    }
+}
+
+/// One node in an element's child list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// Character data (already unescaped).
+    Text(String),
+    /// A comment (without the `<!--`/`-->` delimiters).
+    Comment(String),
+}
+
+impl Node {
+    /// Returns the contained element, if this node is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained text, if this node is character data.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Node::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl From<Element> for Node {
+    fn from(e: Element) -> Self {
+        Node::Element(e)
+    }
+}
+
+/// An XML element: a name, ordered attributes, and child nodes.
+///
+/// Attribute order is preserved so that generated documents render
+/// deterministically — the `loXML` metrics of Table I depend on stable
+/// output.
+///
+/// ```
+/// use xmlite::Element;
+/// let e = Element::new("component")
+///     .with_attr("id", "add0")
+///     .with_attr("kind", "add")
+///     .with_child(Element::new("port").with_attr("name", "a"));
+/// assert_eq!(e.attr("kind"), Some("add"));
+/// assert_eq!(e.child_elements().count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    name: String,
+    attrs: Vec<(String, String)>,
+    children: Vec<Node>,
+}
+
+impl Element {
+    /// Creates an element with the given tag name and no attributes or
+    /// children.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// The tag name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the element.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Looks up an attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Looks up a required attribute, describing the element in the error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming both the attribute and the element when the
+    /// attribute is missing. Dialect loaders use this to produce actionable
+    /// diagnostics for malformed compiler output.
+    pub fn attr_required(&self, name: &str) -> Result<&str, String> {
+        self.attr(name)
+            .ok_or_else(|| format!("element <{}> is missing attribute '{}'", self.name, name))
+    }
+
+    /// Parses a required attribute as the given type.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the attribute is missing or fails to parse.
+    pub fn attr_parse<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let raw = self.attr_required(name)?;
+        raw.parse().map_err(|_| {
+            format!(
+                "attribute '{}' of <{}> has unparseable value '{}'",
+                name, self.name, raw
+            )
+        })
+    }
+
+    /// Sets an attribute, replacing any existing value.
+    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self.attrs.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.attrs.push((name, value));
+        }
+    }
+
+    /// Builder-style [`set_attr`](Self::set_attr).
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set_attr(name, value);
+        self
+    }
+
+    /// Iterates attributes in document order as `(name, value)` pairs.
+    pub fn attrs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.attrs.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// Number of attributes.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Appends a child node.
+    pub fn push(&mut self, node: impl Into<Node>) {
+        self.children.push(node.into());
+    }
+
+    /// Appends character data as a child node.
+    pub fn push_text(&mut self, text: impl Into<String>) {
+        self.children.push(Node::Text(text.into()));
+    }
+
+    /// Builder-style [`push`](Self::push).
+    pub fn with_child(mut self, node: impl Into<Node>) -> Self {
+        self.push(node);
+        self
+    }
+
+    /// Builder-style [`push_text`](Self::push_text).
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.push_text(text);
+        self
+    }
+
+    /// All child nodes in document order.
+    pub fn children(&self) -> &[Node] {
+        &self.children
+    }
+
+    /// Mutable access to the child node list.
+    pub fn children_mut(&mut self) -> &mut Vec<Node> {
+        &mut self.children
+    }
+
+    /// Iterates only the element children.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// Iterates element children with a given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.child_elements().filter(move |e| e.name() == name)
+    }
+
+    /// First element child with the given tag name.
+    pub fn first_child_named(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name() == name)
+    }
+
+    /// Concatenated character data of direct text children.
+    pub fn text(&self) -> String {
+        self.children
+            .iter()
+            .filter_map(Node::as_text)
+            .collect::<Vec<_>>()
+            .join("")
+    }
+
+    /// Total number of elements in this subtree, including `self`.
+    pub fn subtree_size(&self) -> usize {
+        1 + self
+            .child_elements()
+            .map(Element::subtree_size)
+            .sum::<usize>()
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&writer::write_element(self, &WriteOptions::compact()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("datapath")
+            .with_attr("name", "dp0")
+            .with_child(
+                Element::new("component")
+                    .with_attr("id", "add0")
+                    .with_attr("kind", "add"),
+            )
+            .with_child(Element::new("component").with_attr("id", "mul0"))
+            .with_child(Node::Comment("generated".into()))
+            .with_text("tail")
+    }
+
+    #[test]
+    fn attribute_access_and_replacement() {
+        let mut e = sample();
+        assert_eq!(e.attr("name"), Some("dp0"));
+        assert_eq!(e.attr("missing"), None);
+        e.set_attr("name", "dp1");
+        assert_eq!(e.attr("name"), Some("dp1"));
+        assert_eq!(e.attr_count(), 1);
+    }
+
+    #[test]
+    fn attr_required_reports_element() {
+        let e = sample();
+        let err = e.attr_required("width").unwrap_err();
+        assert!(err.contains("datapath") && err.contains("width"), "{err}");
+    }
+
+    #[test]
+    fn attr_parse_success_and_failure() {
+        let e = Element::new("port").with_attr("width", "16").with_attr("bad", "x2");
+        assert_eq!(e.attr_parse::<u32>("width").unwrap(), 16);
+        assert!(e.attr_parse::<u32>("bad").is_err());
+        assert!(e.attr_parse::<u32>("absent").is_err());
+    }
+
+    #[test]
+    fn child_navigation() {
+        let e = sample();
+        assert_eq!(e.child_elements().count(), 2);
+        assert_eq!(e.children_named("component").count(), 2);
+        assert_eq!(
+            e.first_child_named("component").unwrap().attr("id"),
+            Some("add0")
+        );
+        assert!(e.first_child_named("port").is_none());
+        assert_eq!(e.text(), "tail");
+        assert_eq!(e.subtree_size(), 3);
+    }
+
+    #[test]
+    fn attribute_order_is_preserved() {
+        let e = Element::new("c").with_attr("z", "1").with_attr("a", "2");
+        let names: Vec<_> = e.attrs().map(|(n, _)| n).collect();
+        assert_eq!(names, ["z", "a"]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let e = Element::new("a").with_child(Element::new("b"));
+        assert_eq!(e.to_string(), "<a><b/></a>");
+    }
+}

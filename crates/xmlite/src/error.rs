@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing malformed XML input.
+///
+/// Carries the 1-based line and column of the offending input position so
+/// that hand-edited test-suite files can be fixed quickly.
+///
+/// ```
+/// use xmlite::Document;
+/// let err = Document::parse("<a><b></a>").unwrap_err();
+/// assert!(err.to_string().contains("line"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseXmlError {
+    message: String,
+    line: usize,
+    column: usize,
+}
+
+impl ParseXmlError {
+    pub(crate) fn new(message: impl Into<String>, line: usize, column: usize) -> Self {
+        ParseXmlError {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+
+    /// The human-readable description of what went wrong.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// 1-based line of the error position.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based column of the error position.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+}
+
+impl fmt::Display for ParseXmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (line {}, column {})",
+            self.message, self.line, self.column
+        )
+    }
+}
+
+impl Error for ParseXmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseXmlError::new("unexpected end of input", 3, 14);
+        assert_eq!(e.to_string(), "unexpected end of input (line 3, column 14)");
+        assert_eq!(e.line(), 3);
+        assert_eq!(e.column(), 14);
+        assert_eq!(e.message(), "unexpected end of input");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseXmlError>();
+    }
+}

@@ -1,0 +1,126 @@
+//! Entity escaping and unescaping for character data and attribute values.
+//!
+//! Supports the five predefined XML entities (`&lt;`, `&gt;`, `&amp;`,
+//! `&apos;`, `&quot;`) and decimal/hexadecimal character references
+//! (`&#65;`, `&#x41;`).
+
+/// Escapes `text` for use as element character data.
+///
+/// Only `<`, `>`, and `&` need escaping in character data.
+///
+/// ```
+/// assert_eq!(xmlite::escape::escape_text("a < b & c"), "a &lt; b &amp; c");
+/// ```
+pub fn escape_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes `value` for use inside a double-quoted attribute value.
+///
+/// ```
+/// assert_eq!(xmlite::escape::escape_attr("say \"hi\""), "say &quot;hi&quot;");
+/// ```
+pub fn escape_attr(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Expands entity and character references in `raw`.
+///
+/// Returns `None` when a reference is malformed (unterminated, unknown
+/// entity name, or an invalid character code).
+///
+/// ```
+/// assert_eq!(xmlite::escape::unescape("x &lt; &#65;").as_deref(), Some("x < A"));
+/// assert_eq!(xmlite::escape::unescape("bad &unknown;"), None);
+/// ```
+pub fn unescape(raw: &str) -> Option<String> {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let rest = &raw[i + 1..];
+        let semi = rest.find(';')?;
+        let name = &rest[..semi];
+        match name {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ => {
+                let code = if let Some(hex) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16).ok()?
+                } else if let Some(dec) = name.strip_prefix('#') {
+                    dec.parse::<u32>().ok()?
+                } else {
+                    return None;
+                };
+                out.push(char::from_u32(code)?);
+            }
+        }
+        // Skip the reference body we just handled.
+        for _ in 0..semi + 1 {
+            chars.next();
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_unescape_text_roundtrip() {
+        let samples = ["", "plain", "a<b", "a&b", "x>y", "mix <&> done", "já 名前"];
+        for s in samples {
+            assert_eq!(unescape(&escape_text(s)).as_deref(), Some(s), "sample {s:?}");
+        }
+    }
+
+    #[test]
+    fn escape_unescape_attr_roundtrip() {
+        let samples = ["", "v", "a\"b", "a'b", "tab\there", "line\nbreak", "<&>"];
+        for s in samples {
+            assert_eq!(unescape(&escape_attr(s)).as_deref(), Some(s), "sample {s:?}");
+        }
+    }
+
+    #[test]
+    fn numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;").as_deref(), Some("ABc"));
+    }
+
+    #[test]
+    fn malformed_references_rejected() {
+        assert_eq!(unescape("&lt"), None);
+        assert_eq!(unescape("&nosuch;"), None);
+        assert_eq!(unescape("&#xZZ;"), None);
+        assert_eq!(unescape("&#1114112;"), None); // beyond char::MAX
+    }
+}

@@ -1,0 +1,350 @@
+//! Recursive-descent parser for the supported XML subset.
+
+use crate::dom::{Document, Element, Node};
+use crate::error::ParseXmlError;
+use crate::escape;
+
+struct Cursor<'a> {
+    input: &'a str,
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(input: &'a str) -> Self {
+        Cursor {
+            input,
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for _ in s.chars() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseXmlError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{s}'")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseXmlError {
+        ParseXmlError::new(message, self.line, self.column)
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.'
+}
+
+pub(crate) fn parse_document(input: &str) -> Result<Document, ParseXmlError> {
+    let mut cur = Cursor::new(input);
+    skip_misc(&mut cur)?;
+    if cur.peek() != Some('<') {
+        return Err(cur.err("expected root element"));
+    }
+    let root = parse_element(&mut cur)?;
+    skip_misc(&mut cur)?;
+    if cur.peek().is_some() {
+        return Err(cur.err("content after document root"));
+    }
+    Ok(Document::new(root))
+}
+
+/// Skips whitespace, comments, and the XML declaration between top-level
+/// constructs.
+fn skip_misc(cur: &mut Cursor) -> Result<(), ParseXmlError> {
+    loop {
+        cur.skip_ws();
+        if cur.starts_with("<?") {
+            // XML declaration or processing instruction: skip to '?>'.
+            while !cur.eat("?>") {
+                if cur.bump().is_none() {
+                    return Err(cur.err("unterminated processing instruction"));
+                }
+            }
+        } else if cur.starts_with("<!--") {
+            parse_comment(cur)?;
+        } else {
+            return Ok(());
+        }
+    }
+}
+
+fn parse_comment(cur: &mut Cursor) -> Result<String, ParseXmlError> {
+    cur.expect("<!--")?;
+    let start = cur.pos;
+    loop {
+        if cur.starts_with("-->") {
+            let body = cur.input[start..cur.pos].to_string();
+            cur.eat("-->");
+            return Ok(body);
+        }
+        if cur.bump().is_none() {
+            return Err(cur.err("unterminated comment"));
+        }
+    }
+}
+
+fn parse_name(cur: &mut Cursor) -> Result<String, ParseXmlError> {
+    match cur.peek() {
+        Some(c) if is_name_start(c) => {}
+        _ => return Err(cur.err("expected name")),
+    }
+    let start = cur.pos;
+    while matches!(cur.peek(), Some(c) if is_name_char(c)) {
+        cur.bump();
+    }
+    Ok(cur.input[start..cur.pos].to_string())
+}
+
+fn parse_attr_value(cur: &mut Cursor) -> Result<String, ParseXmlError> {
+    let quote = match cur.peek() {
+        Some(q @ ('"' | '\'')) => q,
+        _ => return Err(cur.err("expected quoted attribute value")),
+    };
+    cur.bump();
+    let start = cur.pos;
+    loop {
+        match cur.peek() {
+            Some(c) if c == quote => {
+                let raw = &cur.input[start..cur.pos];
+                cur.bump();
+                return escape::unescape(raw)
+                    .ok_or_else(|| cur.err("malformed entity reference in attribute value"));
+            }
+            Some('<') => return Err(cur.err("'<' not allowed in attribute value")),
+            Some(_) => {
+                cur.bump();
+            }
+            None => return Err(cur.err("unterminated attribute value")),
+        }
+    }
+}
+
+fn parse_element(cur: &mut Cursor) -> Result<Element, ParseXmlError> {
+    cur.expect("<")?;
+    let name = parse_name(cur)?;
+    let mut element = Element::new(&name);
+    loop {
+        cur.skip_ws();
+        if cur.eat("/>") {
+            return Ok(element);
+        }
+        if cur.eat(">") {
+            break;
+        }
+        let attr_name = parse_name(cur)?;
+        if element.attr(&attr_name).is_some() {
+            return Err(cur.err(format!("duplicate attribute '{attr_name}'")));
+        }
+        cur.skip_ws();
+        cur.expect("=")?;
+        cur.skip_ws();
+        let value = parse_attr_value(cur)?;
+        element.set_attr(attr_name, value);
+    }
+    // Content until the matching close tag.
+    let mut text = String::new();
+    loop {
+        if cur.starts_with("</") {
+            flush_text(&mut element, &mut text);
+            cur.eat("</");
+            let close = parse_name(cur)?;
+            if close != name {
+                return Err(cur.err(format!(
+                    "mismatched close tag: expected </{name}>, found </{close}>"
+                )));
+            }
+            cur.skip_ws();
+            cur.expect(">")?;
+            return Ok(element);
+        } else if cur.starts_with("<!--") {
+            flush_text(&mut element, &mut text);
+            let body = parse_comment(cur)?;
+            element.push(Node::Comment(body));
+        } else if cur.starts_with("<![CDATA[") {
+            cur.eat("<![CDATA[");
+            let start = cur.pos;
+            loop {
+                if cur.starts_with("]]>") {
+                    text.push_str(&cur.input[start..cur.pos]);
+                    cur.eat("]]>");
+                    break;
+                }
+                if cur.bump().is_none() {
+                    return Err(cur.err("unterminated CDATA section"));
+                }
+            }
+        } else if cur.starts_with("<?") {
+            return Err(cur.err("processing instructions are not supported inside elements"));
+        } else if cur.starts_with("<") {
+            flush_text(&mut element, &mut text);
+            let child = parse_element(cur)?;
+            element.push(child);
+        } else {
+            match cur.peek() {
+                Some(_) => {
+                    let start = cur.pos;
+                    while matches!(cur.peek(), Some(c) if c != '<') {
+                        cur.bump();
+                    }
+                    let raw = &cur.input[start..cur.pos];
+                    let unescaped = escape::unescape(raw)
+                        .ok_or_else(|| cur.err("malformed entity reference in character data"))?;
+                    text.push_str(&unescaped);
+                }
+                None => return Err(cur.err(format!("unexpected end of input inside <{name}>"))),
+            }
+        }
+    }
+}
+
+/// Pushes accumulated character data as a text node, dropping
+/// whitespace-only runs (interchange files never carry significant
+/// whitespace between elements).
+fn flush_text(element: &mut Element, text: &mut String) {
+    if !text.trim().is_empty() {
+        element.push(Node::Text(std::mem::take(text)));
+    } else {
+        text.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declaration_and_nesting() {
+        let doc = Document::parse(
+            "<?xml version=\"1.0\"?>\n<!-- generated -->\n<rtg><node id=\"c0\"/><node id=\"c1\"/></rtg>",
+        )
+        .unwrap();
+        assert_eq!(doc.root().name(), "rtg");
+        assert_eq!(doc.root().children_named("node").count(), 2);
+    }
+
+    #[test]
+    fn parses_attributes_with_both_quote_styles() {
+        let doc = Document::parse(r#"<a x="1" y='2'/>"#).unwrap();
+        assert_eq!(doc.root().attr("x"), Some("1"));
+        assert_eq!(doc.root().attr("y"), Some("2"));
+    }
+
+    #[test]
+    fn parses_text_with_entities() {
+        let doc = Document::parse("<expr>a &lt; b &amp;&amp; c</expr>").unwrap();
+        assert_eq!(doc.root().text(), "a < b && c");
+    }
+
+    #[test]
+    fn parses_cdata() {
+        let doc = Document::parse("<code><![CDATA[if (a < b) x &= 1;]]></code>").unwrap();
+        assert_eq!(doc.root().text(), "if (a < b) x &= 1;");
+    }
+
+    #[test]
+    fn whitespace_between_elements_is_dropped() {
+        let doc = Document::parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(doc.root().children().len(), 2);
+    }
+
+    #[test]
+    fn comment_inside_element_is_kept() {
+        let doc = Document::parse("<a><!--note--><b/></a>").unwrap();
+        assert!(matches!(doc.root().children()[0], Node::Comment(ref c) if c == "note"));
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        let err = Document::parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message().contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_attributes() {
+        let err = Document::parse("<a x='1' x='2'/>").unwrap_err();
+        assert!(err.message().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_content() {
+        let err = Document::parse("<a/><b/>").unwrap_err();
+        assert!(err.message().contains("after document root"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unterminated_input() {
+        assert!(Document::parse("<a><b>").is_err());
+        assert!(Document::parse("<a x=>").is_err());
+        assert!(Document::parse("<a x='v>").is_err());
+        assert!(Document::parse("<!-- never ends").is_err());
+    }
+
+    #[test]
+    fn error_position_is_tracked() {
+        let err = Document::parse("<a>\n  <b x=?/>\n</a>").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.column() > 1);
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(Document::parse("").is_err());
+        assert!(Document::parse("   \n ").is_err());
+    }
+
+    #[test]
+    fn names_may_contain_digits_dots_dashes() {
+        let doc = Document::parse("<dp-1.x_2><s:q/></dp-1.x_2>").unwrap();
+        assert_eq!(doc.root().name(), "dp-1.x_2");
+        assert_eq!(doc.root().child_elements().next().unwrap().name(), "s:q");
+    }
+}

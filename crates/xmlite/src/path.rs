@@ -1,0 +1,363 @@
+//! A small path language for selecting elements, in the spirit of the XPath
+//! subset that the paper's XSL stylesheets rely on.
+//!
+//! A path is a sequence of `/`-separated steps applied to the *children* of
+//! the context element. Each step is a tag name or `*`, optionally followed
+//! by predicates:
+//!
+//! * `[attr=value]` — keep elements whose attribute equals the value,
+//! * `[n]` — keep the n-th match (1-based, applied after other predicates).
+//!
+//! A leading `//` makes the first step match at any depth below the context.
+//!
+//! ```
+//! use xmlite::{Document, path};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let doc = Document::parse(
+//!     "<dp><comp kind='add' id='a0'/><comp kind='mul' id='m0'/></dp>")?;
+//! let muls = path::select(doc.root(), "comp[kind=mul]");
+//! assert_eq!(muls[0].attr("id"), Some("m0"));
+//! assert_eq!(path::select_attr(doc.root(), "comp/@id"), ["a0", "m0"]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::dom::Element;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a path expression is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePathError {
+    message: String,
+}
+
+impl ParsePathError {
+    fn new(message: impl Into<String>) -> Self {
+        ParsePathError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParsePathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid path expression: {}", self.message)
+    }
+}
+
+impl Error for ParsePathError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Predicate {
+    AttrEquals(String, String),
+    Index(usize),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Step {
+    name: String, // "*" means any
+    predicates: Vec<Predicate>,
+}
+
+/// A parsed, reusable path expression.
+///
+/// Parse once with [`Path::parse`] and apply repeatedly with
+/// [`Path::select`]; the free functions [`select`] and [`select_attr`] are
+/// one-shot conveniences for literal paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    steps: Vec<Step>,
+    attr: Option<String>,
+    deep_first: bool,
+}
+
+impl Path {
+    /// Parses a path expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePathError`] for empty steps, unterminated predicates,
+    /// or an `@attr` segment that is not last.
+    pub fn parse(expr: &str) -> Result<Self, ParsePathError> {
+        let (deep_first, body) = match expr.strip_prefix("//") {
+            Some(rest) => (true, rest),
+            None => (false, expr),
+        };
+        if body.is_empty() {
+            return Err(ParsePathError::new("empty path"));
+        }
+        let mut steps = Vec::new();
+        let mut attr = None;
+        let segments: Vec<&str> = body.split('/').collect();
+        for (i, segment) in segments.iter().enumerate() {
+            if segment.is_empty() {
+                return Err(ParsePathError::new("empty step"));
+            }
+            if let Some(name) = segment.strip_prefix('@') {
+                if i + 1 != segments.len() {
+                    return Err(ParsePathError::new("'@attr' must be the final segment"));
+                }
+                if name.is_empty() {
+                    return Err(ParsePathError::new("empty attribute name"));
+                }
+                attr = Some(name.to_string());
+                break;
+            }
+            steps.push(parse_step(segment)?);
+        }
+        if steps.is_empty() {
+            return Err(ParsePathError::new("path selects no element"));
+        }
+        Ok(Path {
+            steps,
+            attr,
+            deep_first,
+        })
+    }
+
+    /// Whether the expression ends in an `@attr` segment.
+    pub fn selects_attribute(&self) -> bool {
+        self.attr.is_some()
+    }
+
+    /// Applies the element-selecting part of the path to `context`.
+    pub fn select<'a>(&self, context: &'a Element) -> Vec<&'a Element> {
+        let mut current: Vec<&Element> = vec![context];
+        for (i, step) in self.steps.iter().enumerate() {
+            let mut next = Vec::new();
+            for element in &current {
+                if i == 0 && self.deep_first {
+                    collect_descendants(element, &step.name, &mut next);
+                } else {
+                    next.extend(
+                        element
+                            .child_elements()
+                            .filter(|c| step.name == "*" || c.name() == step.name),
+                    );
+                }
+            }
+            for predicate in &step.predicates {
+                match predicate {
+                    Predicate::AttrEquals(name, value) => {
+                        next.retain(|e| e.attr(name) == Some(value.as_str()));
+                    }
+                    Predicate::Index(n) => {
+                        next = match next.get(n.wrapping_sub(1)) {
+                            Some(e) => vec![e],
+                            None => Vec::new(),
+                        };
+                    }
+                }
+            }
+            current = next;
+            if current.is_empty() {
+                break;
+            }
+        }
+        current
+    }
+
+    /// Applies the full path, returning attribute values when the path ends
+    /// in `@attr` and element text content otherwise.
+    pub fn select_values(&self, context: &Element) -> Vec<String> {
+        let elements = self.select(context);
+        match &self.attr {
+            Some(name) => elements
+                .iter()
+                .filter_map(|e| e.attr(name).map(str::to_string))
+                .collect(),
+            None => elements.iter().map(|e| e.text()).collect(),
+        }
+    }
+}
+
+fn parse_step(segment: &str) -> Result<Step, ParsePathError> {
+    let (name_part, mut rest) = match segment.find('[') {
+        Some(i) => (&segment[..i], &segment[i..]),
+        None => (segment, ""),
+    };
+    if name_part.is_empty() {
+        return Err(ParsePathError::new("step has no name"));
+    }
+    let mut predicates = Vec::new();
+    while !rest.is_empty() {
+        let inner_end = rest
+            .find(']')
+            .ok_or_else(|| ParsePathError::new("unterminated predicate"))?;
+        let inner = &rest[1..inner_end];
+        if let Some(eq) = inner.find('=') {
+            let (attr, value) = (&inner[..eq], &inner[eq + 1..]);
+            if attr.is_empty() {
+                return Err(ParsePathError::new("predicate attribute name is empty"));
+            }
+            predicates.push(Predicate::AttrEquals(attr.to_string(), value.to_string()));
+        } else {
+            let index: usize = inner
+                .parse()
+                .map_err(|_| ParsePathError::new(format!("bad predicate '{inner}'")))?;
+            if index == 0 {
+                return Err(ParsePathError::new("index predicates are 1-based"));
+            }
+            predicates.push(Predicate::Index(index));
+        }
+        rest = &rest[inner_end + 1..];
+    }
+    Ok(Step {
+        name: name_part.to_string(),
+        predicates,
+    })
+}
+
+fn collect_descendants<'a>(element: &'a Element, name: &str, out: &mut Vec<&'a Element>) {
+    for child in element.child_elements() {
+        if name == "*" || child.name() == name {
+            out.push(child);
+        }
+        collect_descendants(child, name, out);
+    }
+}
+
+/// One-shot element selection with a literal path.
+///
+/// # Panics
+///
+/// Panics when `expr` is malformed or ends in `@attr`; use [`Path::parse`]
+/// for fallible handling of dynamic expressions.
+pub fn select<'a>(context: &'a Element, expr: &str) -> Vec<&'a Element> {
+    let path = Path::parse(expr).expect("malformed path literal");
+    assert!(
+        !path.selects_attribute(),
+        "path selects an attribute; use select_attr"
+    );
+    path.select(context)
+}
+
+/// One-shot first-match selection with a literal path.
+///
+/// # Panics
+///
+/// Panics when `expr` is malformed (see [`select`]).
+pub fn find_first<'a>(context: &'a Element, expr: &str) -> Option<&'a Element> {
+    select(context, expr).into_iter().next()
+}
+
+/// One-shot attribute-value selection with a literal path ending in `@attr`.
+///
+/// # Panics
+///
+/// Panics when `expr` is malformed or does not end in `@attr`.
+pub fn select_attr(context: &Element, expr: &str) -> Vec<String> {
+    let path = Path::parse(expr).expect("malformed path literal");
+    assert!(
+        path.selects_attribute(),
+        "path does not select an attribute; use select"
+    );
+    path.select_values(context)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+
+    fn doc() -> Document {
+        Document::parse(
+            "<dp>\
+               <comps>\
+                 <comp kind='add' id='a0'><port name='x' width='16'/></comp>\
+                 <comp kind='add' id='a1'/>\
+                 <comp kind='mul' id='m0'/>\
+               </comps>\
+               <nets><net id='n0'/></nets>\
+             </dp>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn simple_child_steps() {
+        let d = doc();
+        assert_eq!(select(d.root(), "comps/comp").len(), 3);
+        assert_eq!(select(d.root(), "comps").len(), 1);
+        assert_eq!(select(d.root(), "nope").len(), 0);
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let d = doc();
+        assert_eq!(select(d.root(), "*").len(), 2);
+        assert_eq!(select(d.root(), "*/comp").len(), 3);
+    }
+
+    #[test]
+    fn attr_predicate() {
+        let d = doc();
+        let adds = select(d.root(), "comps/comp[kind=add]");
+        assert_eq!(adds.len(), 2);
+        assert_eq!(adds[1].attr("id"), Some("a1"));
+    }
+
+    #[test]
+    fn index_predicate_is_one_based() {
+        let d = doc();
+        let second = select(d.root(), "comps/comp[2]");
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].attr("id"), Some("a1"));
+        assert!(select(d.root(), "comps/comp[9]").is_empty());
+    }
+
+    #[test]
+    fn combined_predicates() {
+        let d = doc();
+        let e = select(d.root(), "comps/comp[kind=add][2]");
+        assert_eq!(e[0].attr("id"), Some("a1"));
+    }
+
+    #[test]
+    fn descendant_search() {
+        let d = doc();
+        assert_eq!(select(d.root(), "//comp").len(), 3);
+        assert_eq!(select(d.root(), "//port").len(), 1);
+        assert_eq!(select(d.root(), "//comp/port").len(), 1);
+    }
+
+    #[test]
+    fn attribute_selection() {
+        let d = doc();
+        assert_eq!(
+            select_attr(d.root(), "comps/comp/@id"),
+            ["a0", "a1", "m0"]
+        );
+        assert_eq!(select_attr(d.root(), "//port/@width"), ["16"]);
+    }
+
+    #[test]
+    fn find_first_returns_first_match() {
+        let d = doc();
+        assert_eq!(
+            find_first(d.root(), "comps/comp").unwrap().attr("id"),
+            Some("a0")
+        );
+        assert!(find_first(d.root(), "zzz").is_none());
+    }
+
+    #[test]
+    fn malformed_paths_rejected() {
+        assert!(Path::parse("").is_err());
+        assert!(Path::parse("a//b").is_err());
+        assert!(Path::parse("a/[x=1]").is_err());
+        assert!(Path::parse("a[unclosed").is_err());
+        assert!(Path::parse("a[0]").is_err());
+        assert!(Path::parse("@x/a").is_err());
+        assert!(Path::parse("@").is_err());
+        assert!(Path::parse("@x").is_err());
+    }
+
+    #[test]
+    fn select_values_on_text() {
+        let d = Document::parse("<a><b>one</b><b>two</b></a>").unwrap();
+        let p = Path::parse("b").unwrap();
+        assert_eq!(p.select_values(d.root()), ["one", "two"]);
+    }
+}

@@ -1,0 +1,68 @@
+//! The paper's headline workload: the fast DCT over an image of 8×8
+//! blocks (FDCT1 — a single configuration), with artifacts written to
+//! `target/fdct_image/`: the XML dialects, the `.hds` netlist, the
+//! behavioral FSM source, Graphviz dots, and PGM dumps of the input and
+//! output images (the substitution for the paper's Java GUI display).
+//!
+//! Run with: `cargo run --release --example fdct_image [pixels]`
+
+use fpgatest::flow::{FlowOptions, TestFlow};
+use fpgatest::stimulus::{self, Stimulus};
+use fpgatest::workloads;
+use nenya::CompileOptions;
+use std::fs;
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pixels: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(1024);
+
+    let image = workloads::test_image(pixels);
+    let report = TestFlow::new("fdct1", workloads::fdct_source(pixels))
+        .with_options(FlowOptions {
+            compile: CompileOptions {
+                width: 32,
+                ..CompileOptions::default()
+            },
+            ..FlowOptions::default()
+        })
+        .stimulus("img", Stimulus::from_values(image))
+        .run()?;
+
+    println!("{}", report.render());
+    println!("{}", report.metrics);
+
+    let dir = Path::new("target/fdct_image");
+    fs::create_dir_all(dir)?;
+    if let Some(artifacts) = &report.artifacts {
+        let config = &artifacts.configs[0];
+        fs::write(dir.join("datapath.xml"), &config.datapath_xml)?;
+        fs::write(dir.join("fsm.xml"), &config.fsm_xml)?;
+        fs::write(dir.join("datapath.hds"), &config.hds)?;
+        fs::write(dir.join("fsm_behavior.java"), &config.behavior_src)?;
+        fs::write(dir.join("datapath.dot"), &config.datapath_dot)?;
+        fs::write(dir.join("fsm.dot"), &config.fsm_dot)?;
+    }
+    // The image views: input pixels and the DCT coefficient plane
+    // (clamped; DC coefficients dominate).
+    let row_pixels = 8 * (pixels / 64).min(64);
+    fs::write(
+        dir.join("input.pgm"),
+        stimulus::to_pgm(&report.sim_mems["img"], row_pixels, 255),
+    )?;
+    fs::write(
+        dir.join("coefficients.pgm"),
+        stimulus::to_pgm(&report.sim_mems["out"], row_pixels, 255),
+    )?;
+    fs::write(
+        dir.join("out.mem"),
+        stimulus::emit("out", &report.sim_mems["out"]),
+    )?;
+    println!("artifacts written to {}", dir.display());
+
+    assert!(report.passed);
+    Ok(())
+}

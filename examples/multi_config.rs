@@ -1,0 +1,46 @@
+//! Temporal partitioning: one algorithm split across two FPGA
+//! configurations (the paper's FDCT2), sequenced by the Reconfiguration
+//! Transition Graph while SRAM contents persist across reconfigurations.
+//!
+//! Run with: `cargo run --release --example multi_config`
+
+use fpgatest::flow::{FlowOptions, TestFlow};
+use fpgatest::stimulus::Stimulus;
+use fpgatest::workloads;
+use nenya::CompileOptions;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pixels = 512;
+    let report = TestFlow::new("fdct2", workloads::fdct_source(pixels))
+        .with_options(FlowOptions {
+            compile: CompileOptions {
+                width: 32,
+                partitions: 2,
+                ..CompileOptions::default()
+            },
+            ..FlowOptions::default()
+        })
+        .stimulus("img", Stimulus::from_values(workloads::test_image(pixels)))
+        .run()?;
+
+    println!("{}", report.render());
+    println!("{}", report.metrics);
+
+    let artifacts = report.artifacts.as_ref().expect("artifacts kept by default");
+    println!("--- rtg.xml ---\n{}", artifacts.rtg_xml);
+    println!(
+        "--- reconfiguration controller (generated) ---\n{}",
+        artifacts.controller_src
+    );
+
+    println!("per-configuration summary:");
+    for (run, config) in report.runs.iter().zip(&report.metrics.configs) {
+        println!(
+            "  {}: {} operators, {} FSM states, {} cycles, {:.4}s",
+            run.name, config.operators, config.fsm_states, run.cycles, config.sim_seconds
+        );
+    }
+    assert!(report.passed);
+    assert_eq!(report.runs.len(), 2);
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! Temporal partitioning must preserve functionality *in hardware*: the
+//! FDCT split across two configurations (FDCT2) leaves exactly the same
+//! memory contents as the monolithic design (FDCT1), with the
+//! reconfiguration controller carrying SRAM state between configurations.
+
+use fpgatest::flow::{FlowOptions, TestFlow};
+use fpgatest::stimulus::Stimulus;
+use fpgatest::workloads;
+use nenya::CompileOptions;
+
+fn fdct_report(pixels: usize, partitions: usize) -> fpgatest::TestReport {
+    TestFlow::new("fdct", workloads::fdct_source(pixels))
+        .with_options(FlowOptions {
+            compile: CompileOptions {
+                width: 32,
+                partitions,
+                ..CompileOptions::default()
+            },
+            ..FlowOptions::default()
+        })
+        .stimulus("img", Stimulus::from_values(workloads::test_image(pixels)))
+        .run()
+        .expect("flow runs")
+}
+
+#[test]
+fn fdct2_hardware_equals_fdct1_hardware() {
+    let fdct1 = fdct_report(128, 1);
+    let fdct2 = fdct_report(128, 2);
+    assert!(fdct1.passed, "{}", fdct1.render());
+    assert!(fdct2.passed, "{}", fdct2.render());
+    assert_eq!(fdct1.runs.len(), 1);
+    assert_eq!(fdct2.runs.len(), 2);
+    assert_eq!(
+        fdct1.sim_mems["out"], fdct2.sim_mems["out"],
+        "partitioning changed the result"
+    );
+    // Each configuration is a genuinely smaller design.
+    let full_ops = fdct1.metrics.total_operators();
+    for config in &fdct2.metrics.configs {
+        assert!(config.operators < full_ops);
+    }
+}
+
+#[test]
+fn scalar_transfer_through_xfer_memory_works_in_hardware() {
+    // A program whose partitions *must* communicate scalars: the second
+    // half depends on values computed in the first.
+    let source = "
+        mem out[4];
+        void main() {
+            int a = 6;
+            int b = a * 7;
+            int c = b - a;
+            out[0] = a;
+            out[1] = b;
+            out[2] = c;
+            out[3] = a + b + c;
+        }
+    ";
+    for partitions in [2usize, 3] {
+        let report = TestFlow::new("xfer", source)
+            .with_partitions(partitions)
+            .run()
+            .expect("flow runs");
+        assert!(report.passed, "k={partitions}: {}", report.render());
+        assert_eq!(report.sim_mems["out"][0], Some(6));
+        assert_eq!(report.sim_mems["out"][1], Some(42));
+        assert_eq!(report.sim_mems["out"][2], Some(36));
+        assert_eq!(report.sim_mems["out"][3], Some(84));
+        // The transfer memory exists and carried data.
+        assert!(
+            report.sim_mems.contains_key("__xfer"),
+            "k={partitions}: transfer memory missing"
+        );
+        let transferred = report.sim_mems["__xfer"]
+            .iter()
+            .filter(|w| w.is_some())
+            .count();
+        assert!(transferred >= 2, "k={partitions}: nothing transferred");
+    }
+}
+
+#[test]
+fn three_way_partition_of_three_phase_program() {
+    let source = "
+        mem a[8]; mem b[8]; mem c[8];
+        void main() {
+            int i;
+            for (i = 0; i < 8; i = i + 1) { a[i] = i * i; }
+            int j;
+            for (j = 0; j < 8; j = j + 1) { b[j] = a[j] + a[7 - j]; }
+            int k;
+            for (k = 0; k < 8; k = k + 1) { c[k] = b[k] >> 1; }
+        }
+    ";
+    let mono = TestFlow::new("m", source).run().expect("runs");
+    let split = TestFlow::new("s", source)
+        .with_partitions(3)
+        .run()
+        .expect("runs");
+    assert!(mono.passed && split.passed);
+    assert_eq!(split.runs.len(), 3);
+    for mem in ["a", "b", "c"] {
+        assert_eq!(mono.sim_mems[mem], split.sim_mems[mem], "memory '{mem}'");
+    }
+}
+
+#[test]
+fn rtg_artifacts_describe_the_chain() {
+    let report = fdct_report(64, 2);
+    let artifacts = report.artifacts.expect("artifacts");
+    let rtg = nenya::xml::parse_rtg(&xmlite::Document::parse(&artifacts.rtg_xml).unwrap())
+        .expect("rtg parses");
+    assert_eq!(rtg.nodes.len(), 2);
+    assert_eq!(rtg.edges.len(), 1);
+    let order: Vec<&str> = rtg
+        .execution_order()
+        .unwrap()
+        .iter()
+        .map(|n| n.id.as_str())
+        .collect();
+    assert_eq!(order, ["c0", "c1"]);
+    assert!(artifacts.controller_src.contains("reconfigure"));
+}

@@ -1,0 +1,155 @@
+//! The suite runner end to end, including the on-disk manifest format —
+//! the paper's "checking the overall test suite" automation.
+
+use fpgatest::stimulus::Stimulus;
+use fpgatest::suite::{self, Suite, TestCase};
+use fpgatest::workloads;
+use std::fs;
+use std::path::PathBuf;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fpgatest_{name}_{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn mixed_suite_reports_individual_verdicts() {
+    let suite = Suite::new()
+        .with_case(
+            TestCase::new("hamming", workloads::hamming_source(8)).with_stimulus(
+                "code",
+                Stimulus::from_values(workloads::hamming_codewords(8)),
+            ),
+        )
+        .with_case(TestCase::new(
+            "passes",
+            "mem out[2]; void main() { out[0] = 5; out[1] = 6; }",
+        ))
+        .with_case(TestCase::new("syntax_error", "void main( {"))
+        .with_case(TestCase::new(
+            "runtime_error",
+            "mem out[1]; void main() { int z = 0; out[0] = 3 / z; }",
+        ));
+    let report = suite.run();
+    assert_eq!(report.results.len(), 4);
+    assert_eq!(report.passed(), 2);
+    assert_eq!(report.failed(), 2);
+    let text = report.render();
+    assert!(text.contains("hamming"));
+    assert!(text.contains("ERROR"));
+    assert!(text.contains("2 passed, 2 failed, 4 total"));
+}
+
+#[test]
+fn manifest_suite_runs_from_disk() {
+    let dir = temp_dir("manifest");
+
+    fs::write(dir.join("hamming.src"), workloads::hamming_source(8)).unwrap();
+    let stim_text: String = workloads::hamming_codewords(8)
+        .iter()
+        .enumerate()
+        .map(|(a, v)| format!("{a}: {v}\n"))
+        .collect();
+    fs::write(dir.join("code.stim"), format!("@mem code\n@size 8\n{stim_text}")).unwrap();
+
+    fs::write(dir.join("fdct.src"), workloads::fdct_source(64)).unwrap();
+    let image_text: String = workloads::test_image(64)
+        .iter()
+        .enumerate()
+        .map(|(a, v)| format!("{a}: {v}\n"))
+        .collect();
+    fs::write(dir.join("img.stim"), image_text).unwrap();
+
+    fs::write(
+        dir.join("suite.manifest"),
+        "\
+# paper workloads
+case hamming
+  source hamming.src
+  stimulus code code.stim
+
+case fdct1
+  source fdct.src
+  stimulus img img.stim
+  width 32
+  partitions 1
+  policy list
+
+case fdct2
+  source fdct.src
+  stimulus img img.stim
+  width 32
+  partitions 2
+",
+    )
+    .unwrap();
+
+    let suite = suite::load_manifest(dir.join("suite.manifest")).expect("manifest loads");
+    assert_eq!(suite.cases().len(), 3);
+    let report = suite.run();
+    assert!(report.all_passed(), "{}", report.render());
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn manifest_errors_are_actionable() {
+    let dir = temp_dir("manifest_errs");
+    fs::write(dir.join("bad.manifest"), "case x\n  stimulus mem nofile.stim\n").unwrap();
+    let err = suite::load_manifest(dir.join("bad.manifest")).unwrap_err();
+    assert!(err.to_string().contains("nofile.stim"), "{err}");
+
+    fs::write(dir.join("bad2.manifest"), "case x\n  width lots\n").unwrap();
+    let err = suite::load_manifest(dir.join("bad2.manifest")).unwrap_err();
+    assert!(err.to_string().contains("line 2"), "{err}");
+
+    assert!(suite::load_manifest(dir.join("missing.manifest")).is_err());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn policy_variants_verify_the_same_program() {
+    // The infrastructure's purpose: re-verify after a compiler change.
+    // Here the "change" is the scheduling policy; both must pass with
+    // identical memory contents.
+    let dir = temp_dir("policies");
+    fs::write(dir.join("p.src"), workloads::hamming_source(8)).unwrap();
+    let stim: String = workloads::hamming_codewords(8)
+        .iter()
+        .enumerate()
+        .map(|(a, v)| format!("{a}: {v}\n"))
+        .collect();
+    fs::write(dir.join("c.stim"), stim).unwrap();
+    fs::write(
+        dir.join("m.manifest"),
+        "case naive\n source p.src\n stimulus code c.stim\n policy one-op-per-state\n\
+         case packed\n source p.src\n stimulus code c.stim\n policy list\n",
+    )
+    .unwrap();
+    let report = suite::load_manifest(dir.join("m.manifest")).unwrap().run();
+    assert!(report.all_passed(), "{}", report.render());
+
+    let outputs: Vec<_> = report
+        .results
+        .iter()
+        .map(|(_, r)| match r {
+            fpgatest::suite::CaseResult::Finished(rep) => rep.sim_mems["data"].clone(),
+            _ => panic!("finished"),
+        })
+        .collect();
+    assert_eq!(outputs[0], outputs[1]);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shipped_example_suite_passes() {
+    // The repository ships a runnable suite (examples/suite); tests run
+    // with the package root as CWD, two levels below the workspace.
+    let manifest = std::path::Path::new("../../examples/suite/suite.manifest");
+    assert!(manifest.exists(), "shipped suite missing");
+    let suite = suite::load_manifest(manifest).expect("manifest loads");
+    assert_eq!(suite.cases().len(), 5);
+    let report = suite.run();
+    assert!(report.all_passed(), "{}", report.render());
+}

@@ -3,16 +3,24 @@
 //! for 4,096 pixels, ~1 min for 65,536, and ~6.5 min for 345,600 —
 //! i.e. time grows linearly with pixel count.
 //!
-//! Usage: `cargo run --release -p bench --bin scaling [--paper]`
+//! Usage: `cargo run --release -p bench --bin scaling [--paper]
+//! [--metrics-out FILE]`
 //!
 //! Default sizes are 1,024 / 4,096 / 16,384 / 65,536 pixels; `--paper`
 //! additionally runs the full 345,600-pixel image (several minutes).
+//! `--metrics-out` writes the `fpgatest-metrics-v1` JSON report with one
+//! entry per size (`fdct1_<pixels>px`).
 
-use bench::{fdct_flow, render_comparisons, run_checked, Comparison};
+use bench::{
+    fdct_flow, render_comparisons, run_checked_recorded, take_metrics_out, write_metrics_json,
+    Comparison,
+};
+use fpgatest::telemetry::Recorder;
 use nenya::schedule::SchedulePolicy;
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--paper");
+    let (metrics_out, rest) = take_metrics_out(std::env::args().skip(1).collect());
+    let full = rest.iter().any(|a| a == "--paper");
     let mut sizes = vec![1024usize, 4096, 16384, 65536];
     if full {
         sizes.push(345_600);
@@ -21,12 +29,17 @@ fn main() {
     let paper: &[(usize, f64)] = &[(4096, 6.9), (65_536, 60.0), (345_600, 390.0)];
 
     println!("FDCT1 simulation time vs image size (event-driven kernel)\n");
+    let mut recorder = Recorder::new();
+    let mut reports = Vec::new();
     let mut rows = Vec::new();
     let mut points = Vec::new();
     for &pixels in &sizes {
-        let report = run_checked(&fdct_flow(pixels, 1, SchedulePolicy::List));
+        let label = format!("fdct1_{pixels}px");
+        let report =
+            run_checked_recorded(&fdct_flow(pixels, 1, SchedulePolicy::List), &mut recorder, &label);
         let seconds = report.metrics.total_sim_seconds();
         let cycles = report.metrics.total_cycles();
+        reports.push((label, report));
         println!(
             "  {:>7} px: {:>9.3} s   {:>10} cycles   {:>7.2} us/pixel",
             pixels,
@@ -59,6 +72,13 @@ fn main() {
         max / min,
         if linear { "OK" } else { "VIOLATED" }
     );
+
+    if let Some(path) = metrics_out {
+        write_metrics_json(&path, reports, &recorder)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("metrics written to {}", path.display());
+    }
+
     if !linear {
         std::process::exit(1);
     }

@@ -3,15 +3,22 @@
 //! `loJava`, `loXML FSM`, `loXML datapath`, `loJava FSM` (behavioral
 //! lines), operator counts, and simulation time.
 //!
-//! Usage: `cargo run --release -p bench --bin table1 [pixels] [hamming_words]`
-//! (defaults: 4096 pixels = the paper's 64 DCT blocks, 64 codewords).
+//! Usage: `cargo run --release -p bench --bin table1
+//! [pixels] [hamming_words] [--metrics-out FILE]`
+//! (defaults: 4096 pixels = the paper's 64 DCT blocks, 64 codewords;
+//! `--metrics-out` writes the `fpgatest-metrics-v1` JSON report).
 
-use bench::{fdct_flow, hamming_flow, render_comparisons, run_checked, Comparison};
+use bench::{
+    fdct_flow, hamming_flow, render_comparisons, run_checked_recorded, take_metrics_out,
+    write_metrics_json, Comparison,
+};
 use fpgatest::metrics::render_table1;
+use fpgatest::telemetry::Recorder;
 use nenya::schedule::SchedulePolicy;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (metrics_out, rest) = take_metrics_out(std::env::args().skip(1).collect());
+    let mut args = rest.into_iter();
     let pixels: usize = args
         .next()
         .map(|a| a.parse().expect("pixels must be an integer"))
@@ -23,9 +30,10 @@ fn main() {
 
     println!("regenerating Table I (fdct over {pixels} pixels, hamming over {words} words)\n");
 
-    let fdct1 = run_checked(&fdct_flow(pixels, 1, SchedulePolicy::List));
-    let fdct2 = run_checked(&fdct_flow(pixels, 2, SchedulePolicy::List));
-    let hamming = run_checked(&hamming_flow(words));
+    let mut recorder = Recorder::new();
+    let fdct1 = run_checked_recorded(&fdct_flow(pixels, 1, SchedulePolicy::List), &mut recorder, "fdct1");
+    let fdct2 = run_checked_recorded(&fdct_flow(pixels, 2, SchedulePolicy::List), &mut recorder, "fdct2");
+    let hamming = run_checked_recorded(&hamming_flow(words), &mut recorder, "hamming");
 
     println!(
         "{}",
@@ -120,6 +128,18 @@ fn main() {
         println!("shape: {:<46} {}", what, if holds { "OK" } else { "VIOLATED" });
         ok &= holds;
     }
+
+    if let Some(path) = metrics_out {
+        let reports = vec![
+            ("fdct1".to_string(), fdct1),
+            ("fdct2".to_string(), fdct2),
+            ("hamming".to_string(), hamming),
+        ];
+        write_metrics_json(&path, reports, &recorder)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!("metrics written to {}", path.display());
+    }
+
     if !ok {
         std::process::exit(1);
     }

@@ -4,9 +4,12 @@
 
 use fpgatest::flow::{FlowOptions, TestFlow, TestReport};
 use fpgatest::stimulus::Stimulus;
+use fpgatest::suite::{CaseResult, SuiteReport};
+use fpgatest::telemetry::{self, Recorder};
 use fpgatest::workloads;
 use nenya::schedule::SchedulePolicy;
 use nenya::CompileOptions;
+use std::path::Path;
 
 /// Builds the FDCT test flow: `pixels` must be a multiple of 64;
 /// `partitions == 1` is the paper's FDCT1, `2` is FDCT2.
@@ -40,9 +43,63 @@ pub fn hamming_flow(words: usize) -> TestFlow {
 ///
 /// Panics when the flow errors or the verdict is FAIL.
 pub fn run_checked(flow: &TestFlow) -> TestReport {
-    let report = flow.run().unwrap_or_else(|e| panic!("flow error: {e}"));
+    run_checked_recorded(flow, &mut Recorder::new(), "bench")
+}
+
+/// [`run_checked`] with the flow's stage spans traced under a
+/// `case.<label>` span in `recorder`.
+///
+/// # Panics
+///
+/// See [`run_checked`].
+pub fn run_checked_recorded(
+    flow: &TestFlow,
+    recorder: &mut Recorder,
+    label: &str,
+) -> TestReport {
+    let span = recorder.start(format!("case.{label}"));
+    let report = flow
+        .run_recorded(recorder)
+        .unwrap_or_else(|e| panic!("flow error: {e}"));
     assert!(report.passed, "flow failed:\n{}", report.render());
+    recorder.end(span);
     report
+}
+
+/// Pulls a `--metrics-out <path>` pair out of `args`, returning the path
+/// (if present) and the remaining arguments.
+pub fn take_metrics_out(args: Vec<String>) -> (Option<std::path::PathBuf>, Vec<String>) {
+    let mut path = None;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--metrics-out" {
+            path = it.next().map(std::path::PathBuf::from);
+        } else {
+            rest.push(arg);
+        }
+    }
+    (path, rest)
+}
+
+/// Writes the same `fpgatest-metrics-v1` JSON report the CLI's
+/// `--metrics-out` produces, so bench results diff against flow runs.
+///
+/// # Errors
+///
+/// Returns the I/O error from writing `path`.
+pub fn write_metrics_json(
+    path: &Path,
+    reports: Vec<(String, TestReport)>,
+    recorder: &Recorder,
+) -> std::io::Result<()> {
+    let suite = SuiteReport {
+        results: reports
+            .into_iter()
+            .map(|(name, report)| (name, CaseResult::Finished(report)))
+            .collect(),
+    };
+    std::fs::write(path, telemetry::suite_json(&suite, recorder).emit_pretty())
 }
 
 /// A measured row for table/figure output: paper value vs ours.

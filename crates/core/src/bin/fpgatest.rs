@@ -19,11 +19,27 @@
 //! --artifacts <dir>         write XML/hds/dot/behavior/VCD files
 //! ```
 //!
+//! Observability options (`run` and `test`):
+//!
+//! ```text
+//! --metrics-out <file>      write the fpgatest-metrics-v1 JSON report
+//! --trace-log <file>        write the span trace as JSONL
+//! --baseline <file>         print timing deltas against a previous
+//!                           --metrics-out report (verdicts unaffected)
+//! --verbose                 print the extended Table I (golden(s),
+//!                           cycles, events)
+//! ```
+//!
+//! `test` also accepts a `.manifest` path, which runs the whole suite
+//! (equivalent to `run`) so the observability flags apply uniformly.
+//!
 //! Exit code 0 = everything passed; 1 = verification failed; 2 = usage or
 //! flow error.
 
 use fpgatest::flow::{FlowOptions, TestFlow};
-use fpgatest::{stimulus, suite};
+use fpgatest::suite::{CaseResult, SuiteReport};
+use fpgatest::telemetry::{self, Json, Recorder};
+use fpgatest::{metrics, stimulus, suite};
 use nenya::schedule::SchedulePolicy;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -55,20 +71,94 @@ fn usage() {
         "fpgatest — functional testing of compiler-generated FPGA designs
 
 USAGE:
-  fpgatest run <suite.manifest>
-  fpgatest test <prog.src> [--stimulus mem=file]... [--width N]
+  fpgatest run <suite.manifest> [--metrics-out FILE] [--trace-log FILE]
+               [--baseline FILE] [--verbose]
+  fpgatest test <prog.src|suite.manifest> [--stimulus mem=file]... [--width N]
                 [--partitions K] [--policy list|one-op-per-state]
                 [--optimize] [--trace] [--artifacts DIR]
+                [--metrics-out FILE] [--trace-log FILE] [--baseline FILE]
+                [--verbose]
   fpgatest compile <prog.src> --out DIR [--width N] [--partitions K] [--optimize]
   fpgatest figure1 > figure1.dot"
     );
 }
 
-fn cmd_run(args: &[String]) -> ExitCode {
-    let Some(manifest) = args.first() else {
-        eprintln!("'run' needs a manifest path");
-        return ExitCode::from(2);
-    };
+/// The observability flags shared by `run` and `test`.
+#[derive(Default)]
+struct TelemetryArgs {
+    metrics_out: Option<PathBuf>,
+    trace_log: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    verbose: bool,
+}
+
+impl TelemetryArgs {
+    /// Tries to claim one flag; `value` fetches its argument.
+    fn accept(
+        &mut self,
+        arg: &str,
+        value: &mut dyn FnMut(&str) -> Result<String, String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--metrics-out" => self.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
+            "--trace-log" => self.trace_log = Some(PathBuf::from(value("--trace-log")?)),
+            "--baseline" => self.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--verbose" => self.verbose = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+/// Writes `--metrics-out` / `--trace-log` and prints `--baseline` deltas.
+/// Never changes the verdict; failures here are their own errors.
+fn emit_telemetry(
+    report: &SuiteReport,
+    recorder: &Recorder,
+    args: &TelemetryArgs,
+) -> Result<(), String> {
+    let json = telemetry::suite_json(report, recorder);
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, json.emit_pretty())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("metrics written to {}", path.display());
+    }
+    if let Some(path) = &args.trace_log {
+        std::fs::write(path, recorder.to_jsonl())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("trace log written to {}", path.display());
+    }
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let baseline =
+            Json::parse(&text).map_err(|e| format!("baseline {}: {e}", path.display()))?;
+        print!("{}", telemetry::render_baseline_deltas(&json, &baseline));
+    }
+    Ok(())
+}
+
+/// Prints the (extended, under `--verbose`) Table I for finished cases.
+fn print_metrics(report: &SuiteReport, verbose: bool) {
+    let rows: Vec<_> = report
+        .results
+        .iter()
+        .filter_map(|(_, result)| match result {
+            CaseResult::Finished(r) => Some(r.metrics.clone()),
+            CaseResult::Errored(_) => None,
+        })
+        .collect();
+    if rows.is_empty() {
+        return;
+    }
+    if verbose {
+        println!("{}", metrics::render_table1_ext(&rows));
+    } else {
+        println!("{}", metrics::render_table1(&rows));
+    }
+}
+
+fn run_suite(manifest: &Path, telemetry_args: &TelemetryArgs) -> ExitCode {
     let suite = match suite::load_manifest(manifest) {
         Ok(s) => s,
         Err(e) => {
@@ -76,8 +166,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = suite.run();
+    let mut recorder = Recorder::new();
+    let report = suite.run_recorded(&mut recorder);
     print!("{}", report.render());
+    print_metrics(&report, telemetry_args.verbose);
+    if let Err(message) = emit_telemetry(&report, &recorder, telemetry_args) {
+        eprintln!("error: {message}");
+        return ExitCode::from(2);
+    }
     if report.all_passed() {
         ExitCode::SUCCESS
     } else {
@@ -85,18 +181,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
 }
 
-struct TestArgs {
-    source: PathBuf,
-    stimuli: Vec<(String, PathBuf)>,
-    options: FlowOptions,
-    artifacts: Option<PathBuf>,
-}
-
-fn parse_test_args(args: &[String]) -> Result<TestArgs, String> {
-    let mut source = None;
-    let mut stimuli = Vec::new();
-    let mut options = FlowOptions::default();
-    let mut artifacts = None;
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut manifest = None;
+    let mut telemetry_args = TelemetryArgs::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |what: &str| -> Result<String, String> {
@@ -104,6 +191,52 @@ fn parse_test_args(args: &[String]) -> Result<TestArgs, String> {
                 .cloned()
                 .ok_or_else(|| format!("'{what}' needs a value"))
         };
+        match telemetry_args.accept(arg, &mut value) {
+            Ok(true) => {}
+            Ok(false) if manifest.is_none() && !arg.starts_with("--") => {
+                manifest = Some(PathBuf::from(arg));
+            }
+            Ok(false) => {
+                eprintln!("error: unexpected argument '{arg}'");
+                return ExitCode::from(2);
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(manifest) = manifest else {
+        eprintln!("'run' needs a manifest path");
+        return ExitCode::from(2);
+    };
+    run_suite(&manifest, &telemetry_args)
+}
+
+struct TestArgs {
+    source: PathBuf,
+    stimuli: Vec<(String, PathBuf)>,
+    options: FlowOptions,
+    artifacts: Option<PathBuf>,
+    telemetry: TelemetryArgs,
+}
+
+fn parse_test_args(args: &[String]) -> Result<TestArgs, String> {
+    let mut source = None;
+    let mut stimuli = Vec::new();
+    let mut options = FlowOptions::default();
+    let mut artifacts = None;
+    let mut telemetry_args = TelemetryArgs::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("'{what}' needs a value"))
+        };
+        if telemetry_args.accept(arg, &mut value)? {
+            continue;
+        }
         match arg.as_str() {
             "--stimulus" => {
                 let v = value("--stimulus")?;
@@ -143,6 +276,7 @@ fn parse_test_args(args: &[String]) -> Result<TestArgs, String> {
         stimuli,
         options,
         artifacts,
+        telemetry: telemetry_args,
     })
 }
 
@@ -154,6 +288,11 @@ fn cmd_test(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // A manifest runs the whole suite, so the observability flags work
+    // uniformly across `run` and `test`.
+    if parsed.source.extension().is_some_and(|e| e == "manifest") {
+        return run_suite(&parsed.source, &parsed.telemetry);
+    }
     let source = match std::fs::read_to_string(&parsed.source) {
         Ok(s) => s,
         Err(e) => {
@@ -184,7 +323,8 @@ fn cmd_test(args: &[String]) -> ExitCode {
         }
     }
 
-    let report = match flow.run() {
+    let mut recorder = Recorder::new();
+    let report = match flow.run_recorded(&mut recorder) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("flow error: {e}");
@@ -192,7 +332,11 @@ fn cmd_test(args: &[String]) -> ExitCode {
         }
     };
     print!("{}", report.render());
-    println!("{}", report.metrics);
+    if parsed.telemetry.verbose {
+        println!("{}", metrics::render_table1_ext(std::slice::from_ref(&report.metrics)));
+    } else {
+        println!("{}", report.metrics);
+    }
 
     if let Some(dir) = &parsed.artifacts {
         if let Err(e) = write_artifacts(dir, &report) {
@@ -201,7 +345,17 @@ fn cmd_test(args: &[String]) -> ExitCode {
         }
         println!("artifacts written to {}", dir.display());
     }
-    if report.passed {
+    let passed = report.passed;
+    // The single-design run reuses the suite report schema so baselines
+    // and metrics files diff the same way in both modes.
+    let suite_report = SuiteReport {
+        results: vec![(name, CaseResult::Finished(report))],
+    };
+    if let Err(message) = emit_telemetry(&suite_report, &recorder, &parsed.telemetry) {
+        eprintln!("error: {message}");
+        return ExitCode::from(2);
+    }
+    if passed {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -15,9 +15,10 @@ use crate::elaborate::{elaborate_config, ElaborateConfigError};
 use crate::memcmp::{diff_images, render_mismatches, Mismatch};
 use crate::metrics::{ConfigMetrics, DesignMetrics};
 use crate::stimulus::{MemImage, Stimulus};
-use eventsim::{RunOutcome, SimError, SimTime};
+use crate::telemetry::Recorder;
+use eventsim::{KernelStats, RunOutcome, SimError, SimTime};
 use nenya::schedule::SchedulePolicy;
-use nenya::{compile, CompileError, CompileOptions, Design};
+use nenya::{compile_program, CompileError, CompileOptions, Design};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
@@ -42,6 +43,9 @@ pub struct FlowOptions {
     /// returned in [`ConfigRun::probes`].
     pub probes: Vec<String>,
 }
+
+/// How many entries [`ConfigRun::hot_components`] keeps.
+const HOT_COMPONENT_LIMIT: usize = 10;
 
 impl Default for FlowOptions {
     fn default() -> Self {
@@ -95,6 +99,11 @@ pub struct ConfigRun {
     pub name: String,
     /// Kernel summary.
     pub summary: eventsim::RunSummary,
+    /// Cumulative kernel counters of this configuration's simulator.
+    pub kernel: KernelStats,
+    /// The most-activated components, `(name, reactive evaluations)`
+    /// pairs in descending order — the "hot operator" histogram.
+    pub hot_components: Vec<(String, u64)>,
     /// Clock cycles executed.
     pub cycles: u64,
     /// VCD text when tracing was requested.
@@ -327,8 +336,31 @@ impl TestFlow {
     /// Returns [`FlowError`] when the flow cannot produce a verdict;
     /// compiler bugs manifest as `Ok(report)` with `passed == false`.
     pub fn run(&self) -> Result<TestReport, FlowError> {
-        let design = compile(&self.name, &self.source, &self.options.compile)?;
-        run_design(&design, &self.stimuli, &self.options)
+        self.run_recorded(&mut Recorder::new())
+    }
+
+    /// [`run`](Self::run) with every pipeline stage traced into
+    /// `recorder`: `flow.parse`, `flow.lower`, `flow.transform`,
+    /// `flow.golden`, `flow.elaborate`, `flow.simulate.<config>`, and
+    /// `flow.compare`.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    pub fn run_recorded(&self, recorder: &mut Recorder) -> Result<TestReport, FlowError> {
+        let span = recorder.start("flow.parse");
+        let program = nenya::lang::parse(&self.source)
+            .map_err(|e| FlowError::Compile(CompileError::from(e)))?;
+        recorder.attr(span, "source_lines", program.source_lines);
+        recorder.end(span);
+
+        let span = recorder.start("flow.lower");
+        let design = compile_program(&self.name, &program, &self.options.compile)?;
+        recorder.attr(span, "configs", design.configs.len());
+        recorder.attr(span, "operators", design.operator_count());
+        recorder.end(span);
+
+        run_design_recorded(&design, &self.stimuli, &self.options, recorder)
     }
 }
 
@@ -342,6 +374,21 @@ pub fn run_design(
     stimuli: &[(String, Stimulus)],
     options: &FlowOptions,
 ) -> Result<TestReport, FlowError> {
+    run_design_recorded(design, stimuli, options, &mut Recorder::new())
+}
+
+/// [`run_design`] with stage spans traced into `recorder` (see
+/// [`TestFlow::run_recorded`] for the span names).
+///
+/// # Errors
+///
+/// See [`TestFlow::run`].
+pub fn run_design_recorded(
+    design: &Design,
+    stimuli: &[(String, Stimulus)],
+    options: &FlowOptions,
+    recorder: &mut Recorder,
+) -> Result<TestReport, FlowError> {
     // Initial memory images shared by both executions.
     let mut initial = design.blank_images();
     for (mem, stimulus) in stimuli {
@@ -354,14 +401,18 @@ pub fn run_design(
     }
 
     // Golden software execution.
+    let golden_span = recorder.start("flow.golden");
     let golden_started = Instant::now();
     let mut golden_mems = initial.clone();
     let golden = design
         .execute_golden(&mut golden_mems, options.golden_step_limit)
         .map_err(FlowError::Golden)?;
     let golden_seconds = golden_started.elapsed().as_secs_f64();
+    recorder.attr(golden_span, "instructions", golden.instructions);
+    recorder.end(golden_span);
 
     // Artifact generation (XML + stylesheet translations + metrics).
+    let transform_span = recorder.start("flow.transform");
     let rtg_doc = nenya::xml::emit_rtg(&design.rtg);
     let mut config_artifacts = Vec::new();
     let mut config_metrics = Vec::new();
@@ -400,6 +451,8 @@ pub fn run_design(
         });
         docs.push((config.name.clone(), dp_doc, fsm_doc));
     }
+    recorder.attr(transform_span, "configs", design.configs.len());
+    recorder.end(transform_span);
 
     // Simulation in RTG order, SRAM contents carried across
     // reconfigurations.
@@ -417,7 +470,12 @@ pub fn run_design(
             .position(|c| c.datapath.name == node.datapath)
             .ok_or_else(|| FlowError::Rtg(format!("unknown datapath '{}'", node.datapath)))?;
         let (config_name, dp_doc, fsm_doc) = &docs[config];
+        let elaborate_span = recorder.start("flow.elaborate");
+        recorder.attr(elaborate_span, "config", config_name.as_str());
         let mut cs = elaborate_config(dp_doc, fsm_doc)?;
+        recorder.attr(elaborate_span, "signals", cs.sim.signal_count());
+        recorder.attr(elaborate_span, "components", cs.sim.component_count());
+        recorder.end(elaborate_span);
 
         // Preload SRAM contents. A size disagreement between the design's
         // memory map and the elaborated netlist is itself a compiler bug
@@ -465,7 +523,12 @@ pub fn run_design(
             probe_handles.push((name.clone(), handle));
         }
 
+        let simulate_span = recorder.start(format!("flow.simulate.{config_name}"));
         let summary = cs.sim.run(SimTime(options.max_ticks))?;
+        recorder.attr(simulate_span, "events", summary.events);
+        recorder.attr(simulate_span, "delta_cycles", summary.delta_cycles);
+        recorder.attr(simulate_span, "end_time", summary.end_time.ticks());
+        recorder.end(simulate_span);
         match &summary.outcome {
             RunOutcome::Stopped(_) => {}
             RunOutcome::Failed(message) => {
@@ -488,6 +551,13 @@ pub fn run_design(
         config_metrics[config].cycles = cycles;
         config_metrics[config].events = summary.events;
         config_metrics[config].sim_seconds = summary.wall_seconds;
+        let kernel = cs.sim.stats();
+        let hot_components = cs
+            .sim
+            .hot_components(HOT_COMPONENT_LIMIT)
+            .into_iter()
+            .map(|(id, count)| (cs.sim.component_name(id).to_string(), count))
+            .collect();
         let vcd = options
             .trace
             .then(|| eventsim::vcd::render(&cs.sim, config_name));
@@ -505,6 +575,8 @@ pub fn run_design(
         runs.push(ConfigRun {
             name: config_name.clone(),
             summary,
+            kernel,
+            hot_components,
             cycles,
             vcd,
             probes,
@@ -521,6 +593,7 @@ pub fn run_design(
     }
 
     // Comparison of data content.
+    let compare_span = recorder.start("flow.compare");
     let mut mismatches = Vec::new();
     if failure.is_none() {
         for (name, golden_image) in &golden_mems {
@@ -528,6 +601,8 @@ pub fn run_design(
             mismatches.extend(diff_images(name, golden_image, sim_image));
         }
     }
+    recorder.attr(compare_span, "mismatches", mismatches.len());
+    recorder.end(compare_span);
 
     let passed = failure.is_none() && mismatches.is_empty();
     Ok(TestReport {

@@ -92,6 +92,57 @@ pub fn render_table1(rows: &[DesignMetrics]) -> String {
     out
 }
 
+/// [`render_table1`] with the measurement columns the paper's table
+/// omits: golden-execution seconds, simulated clock cycles, and kernel
+/// events. Used by `fpgatest test --verbose`.
+///
+/// ```text
+/// example   loJava ... operators  golden(s)  cycles  events  sim-time(s)
+/// ```
+pub fn render_table1_ext(rows: &[DesignMetrics]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>7} {:>10} {:>9} {:>12} {:>10} {:>10} {:>10} {:>12} {:>12}\n",
+        "example",
+        "loJava",
+        "loXML-FSM",
+        "loXML-dp",
+        "loBehav-FSM",
+        "operators",
+        "golden(s)",
+        "cycles",
+        "events",
+        "sim-time(s)"
+    ));
+    for design in rows {
+        for (i, config) in design.configs.iter().enumerate() {
+            let (name, lo_java, golden) = if i == 0 {
+                (
+                    design.design.as_str(),
+                    design.lo_java.to_string(),
+                    format!("{:.4}", design.golden_seconds),
+                )
+            } else {
+                ("", String::new(), String::new())
+            };
+            out.push_str(&format!(
+                "{:<12} {:>7} {:>10} {:>9} {:>12} {:>10} {:>10} {:>10} {:>12} {:>12.4}\n",
+                name,
+                lo_java,
+                config.lo_xml_fsm,
+                config.lo_xml_datapath,
+                config.lo_behav_fsm,
+                config.operators,
+                golden,
+                config.cycles,
+                config.events,
+                config.sim_seconds,
+            ));
+        }
+    }
+    out
+}
+
 impl fmt::Display for DesignMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&render_table1(std::slice::from_ref(self)))
@@ -158,5 +209,19 @@ mod tests {
     #[test]
     fn display_delegates_to_table() {
         assert!(sample().to_string().contains("fdct2"));
+    }
+
+    #[test]
+    fn extended_table_adds_measurement_columns() {
+        let text = render_table1_ext(&[sample()]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for header in ["golden(s)", "cycles", "events"] {
+            assert!(lines[0].contains(header), "{header} missing: {}", lines[0]);
+        }
+        assert!(lines[1].contains("0.0010")); // golden_seconds on first row only
+        assert!(lines[1].contains("50000"));
+        assert!(!lines[2].contains("0.0010"));
+        assert!(lines[2].contains("1100"));
     }
 }

@@ -20,6 +20,7 @@
 
 use crate::flow::{FlowError, FlowOptions, TestFlow, TestReport};
 use crate::stimulus::{self, Stimulus};
+use crate::telemetry::Recorder;
 use nenya::schedule::SchedulePolicy;
 use std::error::Error;
 use std::fmt;
@@ -160,19 +161,38 @@ impl Suite {
     /// Runs every case, never short-circuiting: a broken case must not
     /// hide results of the others.
     pub fn run(&self) -> SuiteReport {
+        self.run_recorded(&mut Recorder::new())
+    }
+
+    /// [`run`](Self::run) with tracing: each case gets a `case.<name>`
+    /// span, with the flow's stage spans nested beneath it.
+    pub fn run_recorded(&self, recorder: &mut Recorder) -> SuiteReport {
         let results = self
             .cases
             .iter()
             .map(|case| {
+                let span = recorder.start(format!("case.{}", case.name));
                 let mut flow = TestFlow::new(&case.name, &case.source)
                     .with_options(case.options.clone());
                 for (mem, stimulus) in &case.stimuli {
                     flow = flow.stimulus(mem, stimulus.clone());
                 }
-                let result = match flow.run() {
-                    Ok(report) => CaseResult::Finished(report),
-                    Err(e) => CaseResult::Errored(e),
+                let result = match flow.run_recorded(recorder) {
+                    Ok(report) => {
+                        recorder.attr(
+                            span,
+                            "status",
+                            if report.passed { "pass" } else { "fail" },
+                        );
+                        CaseResult::Finished(report)
+                    }
+                    Err(e) => {
+                        recorder.attr(span, "status", "error");
+                        recorder.attr(span, "error", e.to_string());
+                        CaseResult::Errored(e)
+                    }
                 };
+                recorder.end(span);
                 (case.name.clone(), result)
             })
             .collect();

@@ -1,0 +1,274 @@
+//! A vendored, zero-dependency stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real crates-io
+//! `criterion` cannot be fetched. This crate keeps the workspace's
+//! `cargo bench` targets compiling and running: it implements the API
+//! subset the bench files use (`Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `sample_size`, `b.iter`) with plain wall-clock timing and a compact
+//! mean/min/max report per benchmark — no statistics engine, no HTML
+//! reports, no comparison against saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's conventional display form.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is only the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Throughput annotation; printed alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording `sample_count` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then the measured samples.
+        let _ = routine();
+        for _ in 0..self.sample_count {
+            let started = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                let _ = std::hint::black_box(routine());
+            }
+            self.samples
+                .push(started.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark (criterion default 100 is far too
+    /// slow for a stub; we default to 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count: self.sample_size,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher.samples);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count: self.sample_size,
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher.samples);
+        self
+    }
+
+    /// Ends the group (all reporting already happened inline).
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &BenchmarkId, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{:<40} (no samples)", self.name, id.label);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().expect("non-empty");
+        let max = samples.iter().max().expect("non-empty");
+        let mut line = format!(
+            "{}/{:<40} mean {:>12?}  min {:>12?}  max {:>12?}  ({} samples)",
+            self.name,
+            id.label,
+            mean,
+            min,
+            max,
+            samples.len()
+        );
+        if let Some(throughput) = self.throughput {
+            let per_second = |count: u64| count as f64 / mean.as_secs_f64();
+            match throughput {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  [{:.0} elem/s]", per_second(n)));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  [{:.0} B/s]", per_second(n)));
+                }
+            }
+        }
+        println!("{line}");
+        self.criterion.benchmarks_run += 1;
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: u64,
+}
+
+impl Criterion {
+    /// Accepts (and ignores) criterion command-line arguments so
+    /// `cargo bench -- <filter>` does not error.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    /// Final summary, called by `criterion_main!`.
+    pub fn final_summary(&self) {
+        println!("{} benchmark(s) timed (vendored criterion stub)", self.benchmarks_run);
+    }
+}
+
+/// Re-export for `use criterion::black_box` call sites.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_a_closure() {
+        let mut criterion = Criterion::default();
+        {
+            let mut group = criterion.benchmark_group("unit");
+            group.sample_size(3);
+            group.throughput(Throughput::Elements(4));
+            let mut calls = 0u64;
+            group.bench_function(BenchmarkId::new("noop", 4), |b| {
+                b.iter(|| calls += 1)
+            });
+            // warm-up + 3 samples
+            assert_eq!(calls, 4);
+            group.finish();
+        }
+        assert_eq!(criterion.benchmarks_run, 1);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("unit");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &v| {
+            b.iter(|| assert_eq!(v, 7))
+        });
+    }
+}

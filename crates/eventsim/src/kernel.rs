@@ -71,8 +71,30 @@ pub struct RunSummary {
     pub updates: u64,
     /// Number of component evaluations.
     pub evals: u64,
+    /// Number of delta cycles entered (same-instant settle steps).
+    pub delta_cycles: u64,
+    /// Largest number of pending events observed during the run (future
+    /// queue plus undrained same-instant batches).
+    pub max_queue_depth: usize,
     /// Host wall-clock seconds spent inside the kernel loop.
     pub wall_seconds: f64,
+}
+
+/// Cumulative kernel counters since the simulator was created, across
+/// every [`Simulator::run`] call. One run's deltas are in [`RunSummary`];
+/// these absolute values feed the telemetry layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelStats {
+    /// Events dequeued.
+    pub events: u64,
+    /// Effective signal updates.
+    pub updates: u64,
+    /// Component evaluations.
+    pub evals: u64,
+    /// Delta cycles entered.
+    pub delta_cycles: u64,
+    /// Largest pending-event count ever observed.
+    pub max_queue_depth: usize,
 }
 
 /// Kernel-level error: the model itself is broken.
@@ -164,6 +186,9 @@ pub(crate) struct SimCore {
     events: u64,
     updates: u64,
     evals: u64,
+    delta_cycles: u64,
+    max_queue_depth: usize,
+    run_max_queue_depth: usize,
 }
 
 impl SimCore {
@@ -172,10 +197,12 @@ impl SimCore {
         let seq = self.seq;
         self.seq += 1;
         self.future.push(Reverse(Event { time, seq, kind }));
+        self.note_depth();
     }
 
     fn push_next_delta(&mut self, kind: EventKind) {
         self.next_delta.push(kind);
+        self.note_depth();
     }
 
     /// Schedules an evaluation in the next delta of the current instant,
@@ -187,8 +214,32 @@ impl SimCore {
             return;
         }
         self.eval_marks[component.0] = mark;
-        self.next_delta.push(EventKind::Eval(component));
+        self.push_next_delta(EventKind::Eval(component));
     }
+
+    /// Records the current pending-event count: the future queue plus the
+    /// undrained part of the current delta batch plus the next delta batch.
+    fn note_depth(&mut self) {
+        let depth = self.future.len() + self.next_delta.len() + (self.current.len() - self.cursor);
+        if depth > self.max_queue_depth {
+            self.max_queue_depth = depth;
+        }
+        if depth > self.run_max_queue_depth {
+            self.run_max_queue_depth = depth;
+        }
+    }
+}
+
+/// Observer of kernel run boundaries, for telemetry layers that want to
+/// time or log runs without owning the [`Simulator`]. Installed with
+/// [`Simulator::set_hook`]; all methods have empty defaults.
+pub trait KernelHook {
+    /// Called when [`Simulator::run`] enters its event loop.
+    fn on_run_start(&mut self, _now: SimTime) {}
+
+    /// Called when [`Simulator::run`] returns successfully, with the
+    /// summary that is about to be handed to the caller.
+    fn on_run_end(&mut self, _summary: &RunSummary) {}
 }
 
 /// The event-driven simulator: signals, components, and the event queue.
@@ -214,6 +265,10 @@ pub struct Simulator {
     core: SimCore,
     components: Vec<Option<Box<dyn Component>>>,
     component_names: Vec<String>,
+    /// Per-component reactive evaluation counts (init calls excluded) —
+    /// the "hot operator" histogram.
+    activations: Vec<u64>,
+    hook: Option<Box<dyn KernelHook>>,
     delta_limit: u32,
     initialized: bool,
 }
@@ -243,12 +298,23 @@ impl Simulator {
                 events: 0,
                 updates: 0,
                 evals: 0,
+                delta_cycles: 0,
+                max_queue_depth: 0,
+                run_max_queue_depth: 0,
             },
             components: Vec::new(),
             component_names: Vec::new(),
+            activations: Vec::new(),
+            hook: None,
             delta_limit: 4096,
             initialized: false,
         }
+    }
+
+    /// Installs a [`KernelHook`] observing run boundaries, replacing any
+    /// previous hook.
+    pub fn set_hook(&mut self, hook: Box<dyn KernelHook>) {
+        self.hook = Some(hook);
     }
 
     /// Overrides the delta-cycle limit used for zero-delay loop detection.
@@ -290,6 +356,7 @@ impl Simulator {
         }
         self.component_names.push(component.name().to_string());
         self.components.push(Some(component));
+        self.activations.push(0);
         self.core.eval_marks.push((u64::MAX, u32::MAX));
         id
     }
@@ -376,7 +443,13 @@ impl Simulator {
         let events0 = self.core.events;
         let updates0 = self.core.updates;
         let evals0 = self.core.evals;
+        let delta_cycles0 = self.core.delta_cycles;
+        self.core.run_max_queue_depth = 0;
         self.core.stop = None;
+        if let Some(mut hook) = self.hook.take() {
+            hook.on_run_start(SimTime(self.core.now));
+            self.hook = Some(hook);
+        }
 
         if !self.initialized {
             self.initialized = true;
@@ -428,6 +501,7 @@ impl Simulator {
             // Advance to the next delta of this instant.
             if !self.core.next_delta.is_empty() {
                 self.core.delta += 1;
+                self.core.delta_cycles += 1;
                 if self.core.delta > self.delta_limit {
                     return Err(SimError::DeltaOverflow {
                         time: SimTime(self.core.now),
@@ -469,14 +543,21 @@ impl Simulator {
             }
         };
 
-        Ok(RunSummary {
+        let summary = RunSummary {
             outcome,
             end_time: SimTime(self.core.now),
             events: self.core.events - events0,
             updates: self.core.updates - updates0,
             evals: self.core.evals - evals0,
+            delta_cycles: self.core.delta_cycles - delta_cycles0,
+            max_queue_depth: self.core.run_max_queue_depth,
             wall_seconds: started.elapsed().as_secs_f64(),
-        })
+        };
+        if let Some(mut hook) = self.hook.take() {
+            hook.on_run_end(&summary);
+            self.hook = Some(hook);
+        }
+        Ok(summary)
     }
 
     /// Runs to completion with a generous default limit, failing the run if
@@ -489,7 +570,46 @@ impl Simulator {
         self.run(SimTime(u64::MAX / 2))
     }
 
+    /// Cumulative kernel counters since the simulator was created.
+    pub fn stats(&self) -> KernelStats {
+        KernelStats {
+            events: self.core.events,
+            updates: self.core.updates,
+            evals: self.core.evals,
+            delta_cycles: self.core.delta_cycles,
+            max_queue_depth: self.core.max_queue_depth,
+        }
+    }
+
+    /// Number of reactive evaluations of one component (init excluded).
+    pub fn activation_count(&self, component: ComponentId) -> u64 {
+        self.activations[component.0]
+    }
+
+    /// Per-component reactive evaluation counts, indexed by component id.
+    pub fn activation_counts(&self) -> &[u64] {
+        &self.activations
+    }
+
+    /// The `top` most-activated components (ties broken by id), skipping
+    /// components that never reacted — the "hot operator" histogram.
+    pub fn hot_components(&self, top: usize) -> Vec<(ComponentId, u64)> {
+        let mut ranked: Vec<(ComponentId, u64)> = self
+            .activations
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (ComponentId(i), n))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        ranked.truncate(top);
+        ranked
+    }
+
     fn call_component(&mut self, id: ComponentId, init: bool) {
+        if !init {
+            self.activations[id.0] += 1;
+        }
         let mut component = self.components[id.0]
             .take()
             .expect("component re-entered during its own evaluation");
@@ -785,6 +905,96 @@ mod tests {
         let summary = sim.run(SimTime(200)).unwrap();
         assert_eq!(summary.outcome, RunOutcome::TimeLimit);
         assert!(sim.value(q).as_u64() > 3);
+    }
+
+    #[test]
+    fn counters_track_deltas_depth_and_activations() {
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        let b = sim.add_signal("b", 1);
+        let c = sim.add_signal("c", 1);
+        sim.add_component(Driver {
+            out: a,
+            value: Value::bit(true),
+            delay: 1,
+        });
+        let n1 = sim.add_component(Not { a, y: b });
+        let n2 = sim.add_component(Not { a: b, y: c });
+        let summary = sim.run(SimTime(10)).unwrap();
+        // a flips at t=1, ripples through two inverters: at least one delta
+        // cycle per stage of the chain.
+        assert!(summary.delta_cycles >= 2, "deltas: {}", summary.delta_cycles);
+        assert!(summary.max_queue_depth >= 1);
+        let stats = sim.stats();
+        assert_eq!(stats.events, summary.events);
+        assert_eq!(stats.delta_cycles, summary.delta_cycles);
+        assert_eq!(stats.max_queue_depth, summary.max_queue_depth);
+        // Each inverter reacted exactly once (dedup holds).
+        assert_eq!(sim.activation_count(n1), 1);
+        assert_eq!(sim.activation_count(n2), 1);
+        let hot = sim.hot_components(10);
+        assert_eq!(hot.len(), 2);
+        assert!(hot.iter().all(|&(_, n)| n == 1));
+    }
+
+    #[test]
+    fn run_summary_counters_are_per_run() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 1);
+        let y = sim.add_signal("y", 1);
+        sim.add_component(Driver {
+            out: s,
+            value: Value::bit(true),
+            delay: 5,
+        });
+        sim.add_component(Not { a: s, y });
+        let first = sim.run(SimTime(3)).unwrap();
+        assert_eq!(first.outcome, RunOutcome::TimeLimit);
+        let second = sim.run(SimTime(100)).unwrap();
+        // The delta ripple through the inverter at t=5 belongs to the
+        // second run only; cumulative stats cover both runs.
+        assert_eq!(first.delta_cycles, 0);
+        assert!(second.delta_cycles >= 1);
+        assert_eq!(sim.stats().delta_cycles, second.delta_cycles);
+        assert_eq!(
+            sim.stats().events,
+            first.events + second.events
+        );
+    }
+
+    #[test]
+    fn hook_observes_run_boundaries() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Log {
+            starts: Vec<SimTime>,
+            end_events: Vec<u64>,
+        }
+        struct Spy(Rc<RefCell<Log>>);
+        impl KernelHook for Spy {
+            fn on_run_start(&mut self, now: SimTime) {
+                self.0.borrow_mut().starts.push(now);
+            }
+            fn on_run_end(&mut self, summary: &RunSummary) {
+                self.0.borrow_mut().end_events.push(summary.events);
+            }
+        }
+
+        let log = Rc::new(RefCell::new(Log::default()));
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 1);
+        sim.add_component(Driver {
+            out: s,
+            value: Value::bit(true),
+            delay: 2,
+        });
+        sim.set_hook(Box::new(Spy(log.clone())));
+        let summary = sim.run(SimTime(10)).unwrap();
+        let log = log.borrow();
+        assert_eq!(log.starts, vec![SimTime(0)]);
+        assert_eq!(log.end_events, vec![summary.events]);
     }
 
     #[test]

@@ -53,6 +53,8 @@ mod value;
 pub mod vcd;
 
 pub use component::{Component, ComponentId, SignalId};
-pub use kernel::{Change, Context, RunOutcome, RunSummary, SimError, SimTime, Simulator};
+pub use kernel::{
+    Change, Context, KernelHook, KernelStats, RunOutcome, RunSummary, SimError, SimTime, Simulator,
+};
 pub use memory::{MemHandle, Sram};
 pub use value::{mask, sign_extend, Value, MAX_WIDTH};

@@ -33,12 +33,28 @@ impl ProbeHandle {
         self.history.borrow().last().copied()
     }
 
-    /// Number of recorded changes.
+    /// The recorded changes with `t0 <= time <= t1`, in order.
+    ///
+    /// As with [`len`](Self::len), the probed signal's initial value at
+    /// `t=0` counts as a change, so `changes_between(SimTime::ZERO, t1)`
+    /// includes it.
+    pub fn changes_between(&self, t0: SimTime, t1: SimTime) -> Vec<(SimTime, Value)> {
+        self.history
+            .borrow()
+            .iter()
+            .filter(|(t, _)| *t >= t0 && *t <= t1)
+            .copied()
+            .collect()
+    }
+
+    /// Number of recorded changes. The probed signal leaving `X` for its
+    /// initial value at `t=0` counts as a change.
     pub fn len(&self) -> usize {
         self.history.borrow().len()
     }
 
-    /// Whether nothing was recorded.
+    /// Whether nothing was recorded. The initial value at `t=0` counts as
+    /// a change, so this is `false` for any signal driven at start-up.
     pub fn is_empty(&self) -> bool {
         self.history.borrow().is_empty()
     }
@@ -249,6 +265,28 @@ mod tests {
         assert_eq!(values, [0, 1, 2, 3]);
         assert_eq!(handle.last().unwrap().1.as_u64(), 3);
         assert!(!handle.is_empty());
+    }
+
+    #[test]
+    fn changes_between_is_inclusive_and_counts_t0() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", 1);
+        let q = sim.add_signal("q", 8);
+        sim.add_component(Clock::new("clk0", clk, 10));
+        sim.add_component(Counter::new("cnt", clk, q));
+        let handle = ProbeHandle::new();
+        sim.add_component(Probe::new("p", q, handle.clone()));
+        sim.run(SimTime(30)).unwrap();
+        // Full history: q=0 at t=0, then 1,2,3 on edges at t=5,15,25.
+        let window = handle.changes_between(SimTime::ZERO, SimTime(15));
+        let values: Vec<u64> = window.iter().map(|(_, v)| v.as_u64()).collect();
+        assert_eq!(values, [0, 1, 2]);
+        // Both endpoints inclusive.
+        let edge = handle.changes_between(SimTime(15), SimTime(15));
+        assert_eq!(edge.len(), 1);
+        assert_eq!(edge[0].1.as_u64(), 2);
+        // Empty window.
+        assert!(handle.changes_between(SimTime(6), SimTime(14)).is_empty());
     }
 
     #[test]

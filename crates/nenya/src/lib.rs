@@ -260,13 +260,29 @@ impl From<PartitionError> for CompileError {
 /// problems.
 pub fn compile(name: &str, source: &str, options: &CompileOptions) -> Result<Design, CompileError> {
     let program = lang::parse(source)?;
+    compile_program(name, &program, options)
+}
 
+/// [`compile`] for an already-parsed [`lang::Program`].
+///
+/// Lets callers that want to time or report the front end separately (the
+/// flow telemetry layer) run [`lang::parse`] themselves and hand the AST
+/// over for lowering, scheduling, and generation.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for semantic or partitioning problems.
+pub fn compile_program(
+    name: &str,
+    program: &lang::Program,
+    options: &CompileOptions,
+) -> Result<Design, CompileError> {
     let mut configs = Vec::new();
     if options.partitions <= 1 {
-        let tac = lower(&program, name, options.width)?;
+        let tac = lower(program, name, options.width)?;
         configs.push(build_config(name.to_string(), tac, options));
     } else {
-        let plan = partition::partition(&program, options.partitions)?;
+        let plan = partition::partition(program, options.partitions)?;
         for (i, chunk) in plan.chunks.iter().enumerate() {
             let config_name = format!("{name}_c{i}");
             let xfer = if chunk.restore.is_empty() && chunk.save.is_empty() {
@@ -275,7 +291,7 @@ pub fn compile(name: &str, source: &str, options: &CompileOptions) -> Result<Des
                 Some((XFER_MEM, plan.xfer_size))
             };
             let tac = lower_partition(
-                &program,
+                program,
                 &config_name,
                 options.width,
                 &program.body.stmts[chunk.stmts.clone()],

@@ -1,0 +1,88 @@
+//! The [`Arbitrary`] trait and `any::<T>()`.
+
+use crate::sample::Index;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_bool()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly ASCII printable, occasionally any scalar value.
+        if rng.below(8) == 0 {
+            char::from_u32(rng.below(0x11_0000) as u32).unwrap_or('\u{FFFD}')
+        } else {
+            char::from_u32(0x20 + rng.below(0x5F) as u32).expect("printable ascii")
+        }
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Index {
+        Index(rng.next_u64())
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-domain strategy for `T` (`any::<i64>()`, `any::<bool>()`,
+/// `any::<prop::sample::Index>()`, …).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_takes_both_values() {
+        let mut rng = TestRng::for_test("bool");
+        let strat = any::<bool>();
+        let mut seen = [false, false];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    #[test]
+    fn index_is_usable() {
+        let mut rng = TestRng::for_test("index");
+        let i = any::<Index>().generate(&mut rng);
+        assert!(i.index(10) < 10);
+    }
+}

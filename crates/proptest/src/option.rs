@@ -1,0 +1,50 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy generating `Option<T>` (`None` one time in four).
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// Wraps a strategy to generate optional values.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::for_test("opt");
+        let strat = of(0i64..10);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                Some(v) => {
+                    assert!((0..10).contains(&v));
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0);
+    }
+}

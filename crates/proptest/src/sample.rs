@@ -1,0 +1,36 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// An index into a collection whose length is only known at use time;
+/// draw one with `any::<prop::sample::Index>()` and resolve it with
+/// [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(pub(crate) u64);
+
+impl Index {
+    /// Maps the drawn raw value into `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_into_bounds() {
+        assert_eq!(Index(10).index(3), 1);
+        assert_eq!(Index(2).index(100), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn zero_len_panics() {
+        let _ = Index(0).index(0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Regex-like string generation for `&str` strategies.
+//!
+//! Supports the subset this workspace's tests use: literal characters,
+//! character classes with ranges (`[a-z0-9_.-]`), the `\PC`
+//! printable-character escape, `.` (any printable), and the quantifiers
+//! `{n}`, `{m,n}`, `*`, `+`, `?`.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges; singles are `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// Any printable (non-control) character, ASCII-weighted.
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated character class in '{pattern}'");
+                i += 1; // ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "dangling escape in '{pattern}'");
+                let escaped = chars[i];
+                i += 1;
+                match escaped {
+                    // \PC — complement of the Unicode control category.
+                    'P' => {
+                        assert!(i < chars.len(), "\\P needs a category in '{pattern}'");
+                        i += 1; // the category letter (only C is used)
+                        Atom::Printable
+                    }
+                    'd' => Atom::Class(vec![('0', '9')]),
+                    'w' => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    'n' => Atom::Literal('\n'),
+                    't' => Atom::Literal('\t'),
+                    other => Atom::Literal(other),
+                }
+            }
+            '.' => {
+                i += 1;
+                Atom::Printable
+            }
+            literal => {
+                i += 1;
+                Atom::Literal(literal)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    i += 1;
+                    let mut first = String::new();
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        first.push(chars[i]);
+                        i += 1;
+                    }
+                    let min: u32 = first.parse().expect("quantifier minimum");
+                    let max = if i < chars.len() && chars[i] == ',' {
+                        i += 1;
+                        let mut second = String::new();
+                        while i < chars.len() && chars[i].is_ascii_digit() {
+                            second.push(chars[i]);
+                            i += 1;
+                        }
+                        second.parse().expect("quantifier maximum")
+                    } else {
+                        min
+                    };
+                    assert!(i < chars.len() && chars[i] == '}', "unterminated quantifier");
+                    i += 1;
+                    (min, max)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// A handful of multi-byte characters so "printable" strings exercise
+/// UTF-8 handling, not just ASCII.
+const UNICODE_POOL: &[char] = &['é', '名', 'Ω', '☃', '‽', 'ß'];
+
+fn generate_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let span = (*hi as u64) - (*lo as u64) + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo);
+                }
+                pick -= span;
+            }
+            unreachable!("pick bounded by total")
+        }
+        Atom::Printable => {
+            if rng.below(10) == 0 {
+                UNICODE_POOL[rng.below(UNICODE_POOL.len() as u64) as usize]
+            } else {
+                // ASCII printable space..tilde.
+                char::from_u32(0x20 + rng.below(0x5F) as u32).expect("ascii printable")
+            }
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub(crate) fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as u32;
+        for _ in 0..count {
+            out.push(generate_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_pattern() {
+        let mut rng = TestRng::for_test("lit");
+        assert_eq!(generate_pattern("abc", &mut rng), "abc");
+    }
+
+    #[test]
+    fn class_with_ranges_and_singles() {
+        let mut rng = TestRng::for_test("class");
+        for _ in 0..100 {
+            let s = generate_pattern("[a-c_.-]", &mut rng);
+            let c = s.chars().next().unwrap();
+            assert!(matches!(c, 'a'..='c' | '_' | '.' | '-'), "got {c:?}");
+        }
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        let mut rng = TestRng::for_test("rep");
+        for _ in 0..100 {
+            let s = generate_pattern("[ab]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.chars().count()));
+        }
+    }
+
+    #[test]
+    fn printable_never_control() {
+        let mut rng = TestRng::for_test("pc");
+        for _ in 0..50 {
+            let s = generate_pattern("\\PC{0,40}", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+}

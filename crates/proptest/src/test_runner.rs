@@ -1,0 +1,105 @@
+//! Test-runner support types: configuration, case errors, and the
+//! deterministic RNG strategies draw from.
+
+/// Per-test configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; draw fresh ones.
+    Reject(String),
+    /// `prop_assert*!` failed; the property is violated.
+    Fail(String),
+}
+
+/// Deterministic splitmix64 generator.
+///
+/// Each test derives its stream from the test name so adding a test never
+/// perturbs another test's inputs; `PROPTEST_SEED` reseeds every stream
+/// for exploration.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        let mut seed: u64 = 0x9E37_79B9_7F4A_7C15;
+        for b in name.bytes() {
+            seed = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
+        }
+        if let Ok(env) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = env.trim().parse::<u64>() {
+                seed ^= extra.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            }
+        }
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Modulo bias is irrelevant for test-input generation.
+        self.next_u64() % n
+    }
+
+    /// Uniform boolean.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn different_names_differ() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("y");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_is_bounded() {
+        let mut rng = TestRng::for_test("bounds");
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! `fpgatest` — the command-line front end of the test infrastructure.
 //!
 //! ```text
-//! fpgatest run <suite.manifest>            run a whole suite (the ANT-build role)
+//! fpgatest run <suite.manifest> [--jobs N] run a whole suite (the ANT-build role)
 //! fpgatest test <prog.src> [options]       run one program through the flow
 //! fpgatest compile <prog.src> --out <dir>  emit XML/hds/dot/behavior artifacts
 //! fpgatest figure1                         print the infrastructure diagram (dot)
@@ -18,6 +18,9 @@
 //! --trace                   print where the VCD of each configuration went
 //! --artifacts <dir>         write XML/hds/dot/behavior/VCD files
 //! ```
+//!
+//! `--jobs N` runs suite cases on `N` worker threads; the report and
+//! telemetry keep the manifest's order regardless of completion order.
 //!
 //! Observability options (`run` and `test`):
 //!
@@ -71,11 +74,11 @@ fn usage() {
         "fpgatest — functional testing of compiler-generated FPGA designs
 
 USAGE:
-  fpgatest run <suite.manifest> [--metrics-out FILE] [--trace-log FILE]
-               [--baseline FILE] [--verbose]
+  fpgatest run <suite.manifest> [--jobs N] [--metrics-out FILE]
+               [--trace-log FILE] [--baseline FILE] [--verbose]
   fpgatest test <prog.src|suite.manifest> [--stimulus mem=file]... [--width N]
                 [--partitions K] [--policy list|one-op-per-state]
-                [--optimize] [--trace] [--artifacts DIR]
+                [--optimize] [--trace] [--artifacts DIR] [--jobs N]
                 [--metrics-out FILE] [--trace-log FILE] [--baseline FILE]
                 [--verbose]
   fpgatest compile <prog.src> --out DIR [--width N] [--partitions K] [--optimize]
@@ -158,7 +161,7 @@ fn print_metrics(report: &SuiteReport, verbose: bool) {
     }
 }
 
-fn run_suite(manifest: &Path, telemetry_args: &TelemetryArgs) -> ExitCode {
+fn run_suite(manifest: &Path, telemetry_args: &TelemetryArgs, jobs: usize) -> ExitCode {
     let suite = match suite::load_manifest(manifest) {
         Ok(s) => s,
         Err(e) => {
@@ -167,7 +170,7 @@ fn run_suite(manifest: &Path, telemetry_args: &TelemetryArgs) -> ExitCode {
         }
     };
     let mut recorder = Recorder::new();
-    let report = suite.run_recorded(&mut recorder);
+    let report = suite.run_parallel_recorded(jobs, &mut recorder);
     print!("{}", report.render());
     print_metrics(&report, telemetry_args.verbose);
     if let Err(message) = emit_telemetry(&report, &recorder, telemetry_args) {
@@ -184,6 +187,7 @@ fn run_suite(manifest: &Path, telemetry_args: &TelemetryArgs) -> ExitCode {
 fn cmd_run(args: &[String]) -> ExitCode {
     let mut manifest = None;
     let mut telemetry_args = TelemetryArgs::default();
+    let mut jobs = 1usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |what: &str| -> Result<String, String> {
@@ -191,6 +195,16 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 .cloned()
                 .ok_or_else(|| format!("'{what}' needs a value"))
         };
+        if arg == "--jobs" {
+            match value("--jobs").and_then(|v| parse_jobs(&v)) {
+                Ok(n) => jobs = n,
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    return ExitCode::from(2);
+                }
+            }
+            continue;
+        }
         match telemetry_args.accept(arg, &mut value) {
             Ok(true) => {}
             Ok(false) if manifest.is_none() && !arg.starts_with("--") => {
@@ -210,7 +224,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
         eprintln!("'run' needs a manifest path");
         return ExitCode::from(2);
     };
-    run_suite(&manifest, &telemetry_args)
+    run_suite(&manifest, &telemetry_args, jobs)
+}
+
+fn parse_jobs(raw: &str) -> Result<usize, String> {
+    match raw.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err("--jobs needs an integer >= 1".to_string()),
+    }
 }
 
 struct TestArgs {
@@ -219,6 +240,7 @@ struct TestArgs {
     options: FlowOptions,
     artifacts: Option<PathBuf>,
     telemetry: TelemetryArgs,
+    jobs: usize,
 }
 
 fn parse_test_args(args: &[String]) -> Result<TestArgs, String> {
@@ -227,6 +249,7 @@ fn parse_test_args(args: &[String]) -> Result<TestArgs, String> {
     let mut options = FlowOptions::default();
     let mut artifacts = None;
     let mut telemetry_args = TelemetryArgs::default();
+    let mut jobs = 1usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |what: &str| -> Result<String, String> {
@@ -265,6 +288,7 @@ fn parse_test_args(args: &[String]) -> Result<TestArgs, String> {
             "--optimize" => options.compile.optimize = true,
             "--trace" => options.trace = true,
             "--artifacts" => artifacts = Some(PathBuf::from(value("--artifacts")?)),
+            "--jobs" => jobs = parse_jobs(&value("--jobs")?)?,
             other if source.is_none() && !other.starts_with("--") => {
                 source = Some(PathBuf::from(other));
             }
@@ -277,6 +301,7 @@ fn parse_test_args(args: &[String]) -> Result<TestArgs, String> {
         options,
         artifacts,
         telemetry: telemetry_args,
+        jobs,
     })
 }
 
@@ -291,7 +316,7 @@ fn cmd_test(args: &[String]) -> ExitCode {
     // A manifest runs the whole suite, so the observability flags work
     // uniformly across `run` and `test`.
     if parsed.source.extension().is_some_and(|e| e == "manifest") {
-        return run_suite(&parsed.source, &parsed.telemetry);
+        return run_suite(&parsed.source, &parsed.telemetry, parsed.jobs);
     }
     let source = match std::fs::read_to_string(&parsed.source) {
         Ok(s) => s,

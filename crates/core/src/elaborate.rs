@@ -8,7 +8,7 @@
 //! generated Java).
 
 use eventsim::netlist::ElabMap;
-use eventsim::ops::{ControlUnit, FsmState, FsmTable, FsmTransition};
+use eventsim::ops::{ControlUnit, FsmCoverageHandle, FsmState, FsmTable, FsmTransition};
 use eventsim::{MemHandle, SignalId, Simulator};
 use nenya::fsm::Fsm;
 use std::collections::HashMap;
@@ -61,6 +61,13 @@ pub struct ConfigSim {
     pub clock_period: u64,
     /// The intermediate `.hds` text (kept as a test artifact).
     pub hds_text: String,
+    /// FSM state names in control-table order (state 0 is initial).
+    pub state_names: Vec<String>,
+    /// Total number of transitions declared in the control table.
+    pub transition_total: usize,
+    /// Live coverage handle for the control unit, present when the
+    /// configuration was elaborated with [`elaborate_config_instrumented`].
+    pub fsm_coverage: Option<FsmCoverageHandle>,
 }
 
 /// Elaborates one configuration from its two XML documents.
@@ -88,6 +95,30 @@ pub fn elaborate_config_with(
     fsm_doc: &Document,
     stop_when_done: bool,
 ) -> Result<ConfigSim, ElaborateConfigError> {
+    elaborate_config_impl(dp_doc, fsm_doc, stop_when_done, None)
+}
+
+/// [`elaborate_config`] with the control unit instrumented for FSM
+/// state/transition coverage; the returned [`ConfigSim::fsm_coverage`]
+/// handle stays valid across the run.
+///
+/// # Errors
+///
+/// As for [`elaborate_config`].
+pub fn elaborate_config_instrumented(
+    dp_doc: &Document,
+    fsm_doc: &Document,
+    stop_when_done: bool,
+) -> Result<ConfigSim, ElaborateConfigError> {
+    elaborate_config_impl(dp_doc, fsm_doc, stop_when_done, Some(FsmCoverageHandle::new()))
+}
+
+fn elaborate_config_impl(
+    dp_doc: &Document,
+    fsm_doc: &Document,
+    stop_when_done: bool,
+    coverage: Option<FsmCoverageHandle>,
+) -> Result<ConfigSim, ElaborateConfigError> {
     // Structural path: datapath.xml → .hds → netlist → simulator.
     let sheet = xform::stylesheets::datapath_to_hds();
     let hds_text = xform::apply(&sheet, dp_doc.root())
@@ -108,7 +139,8 @@ pub fn elaborate_config_with(
         .ok_or_else(|| ElaborateConfigError::Dialect("datapath lacks clock attribute".into()))?;
     let clk = lookup(&map, clock_name)?;
     let done = lookup(&map, "done")?;
-    attach_control_unit_with(&mut sim, &map, &fsm, clk, stop_when_done)?;
+    let (state_names, transition_total) =
+        attach_control_unit_cov(&mut sim, &map, &fsm, clk, stop_when_done, coverage.clone())?;
 
     Ok(ConfigSim {
         sim,
@@ -117,6 +149,9 @@ pub fn elaborate_config_with(
         clk,
         clock_period: 10,
         hds_text,
+        state_names,
+        transition_total,
+        fsm_coverage: coverage,
     })
 }
 
@@ -244,7 +279,27 @@ pub fn attach_control_unit_with(
     clk: SignalId,
     stop_when_done: bool,
 ) -> Result<(), ElaborateConfigError> {
+    attach_control_unit_cov(sim, map, fsm, clk, stop_when_done, None).map(|_| ())
+}
+
+/// [`attach_control_unit_with`] plus an optional coverage handle; returns
+/// the state names in table order and the total transition count, which
+/// coverage reports need to compute "visited / total" ratios.
+///
+/// # Errors
+///
+/// As for [`attach_control_unit`].
+pub fn attach_control_unit_cov(
+    sim: &mut Simulator,
+    map: &ElabMap,
+    fsm: &Fsm,
+    clk: SignalId,
+    stop_when_done: bool,
+    coverage: Option<FsmCoverageHandle>,
+) -> Result<(Vec<String>, usize), ElaborateConfigError> {
     let (table, condition_names, output_names) = fsm_to_table(fsm)?;
+    let state_names: Vec<String> = table.states().iter().map(|s| s.name.clone()).collect();
+    let transition_total: usize = table.states().iter().map(|s| s.transitions.len()).sum();
     let mut conditions = Vec::with_capacity(condition_names.len());
     for name in &condition_names {
         conditions.push(lookup_signal(map, name)?);
@@ -256,11 +311,13 @@ pub fn attach_control_unit_with(
         widths.push(*width);
     }
 
-    sim.add_component(
-        ControlUnit::new(fsm.name.clone(), clk, conditions, outputs, widths, table)
-            .with_stop_when_done(stop_when_done),
-    );
-    Ok(())
+    let mut unit = ControlUnit::new(fsm.name.clone(), clk, conditions, outputs, widths, table)
+        .with_stop_when_done(stop_when_done);
+    if let Some(handle) = coverage {
+        unit = unit.with_coverage(handle);
+    }
+    sim.add_component(unit);
+    Ok((state_names, transition_total))
 }
 
 fn lookup_signal(map: &ElabMap, name: &str) -> Result<SignalId, ElaborateConfigError> {

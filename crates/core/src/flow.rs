@@ -11,12 +11,13 @@
 //!    SRAM contents across reconfigurations,
 //! 6. compare final memory contents and produce a [`TestReport`].
 
-use crate::elaborate::{elaborate_config, ElaborateConfigError};
+use crate::elaborate::{elaborate_config, elaborate_config_instrumented, ElaborateConfigError};
 use crate::memcmp::{diff_images, render_mismatches, Mismatch};
 use crate::metrics::{ConfigMetrics, DesignMetrics};
 use crate::stimulus::{MemImage, Stimulus};
 use crate::telemetry::Recorder;
 use eventsim::{KernelStats, RunOutcome, SimError, SimTime};
+use nenya::datapath::FU_KINDS;
 use nenya::schedule::SchedulePolicy;
 use nenya::{compile_program, CompileError, CompileOptions, Design};
 use std::collections::BTreeMap;
@@ -42,6 +43,9 @@ pub struct FlowOptions {
     /// connections"): every change is captured per configuration and
     /// returned in [`ConfigRun::probes`].
     pub probes: Vec<String>,
+    /// Collect FSM state/transition and operator-activation coverage per
+    /// configuration (see [`ConfigRun::coverage`]).
+    pub coverage: bool,
 }
 
 /// How many entries [`ConfigRun::hot_components`] keeps.
@@ -56,8 +60,27 @@ impl Default for FlowOptions {
             trace: false,
             keep_artifacts: true,
             probes: Vec::new(),
+            coverage: false,
         }
     }
+}
+
+/// Execution coverage of one configuration: which control-FSM states and
+/// transitions ran, and how often each functional-unit kind reacted.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConfigCoverage {
+    /// Names of FSM states entered at least once, in table order.
+    pub visited_states: Vec<String>,
+    /// Total number of FSM states in the control table.
+    pub state_total: usize,
+    /// Number of distinct `(from, to)` transitions taken.
+    pub transitions_taken: usize,
+    /// Total number of transitions declared in the control table.
+    pub transition_total: usize,
+    /// Reactive-evaluation counts summed per functional-unit kind
+    /// (`add`, `mul`, …). Kinds instantiated in the datapath but never
+    /// activated appear with count 0.
+    pub operator_activations: BTreeMap<String, u64>,
 }
 
 /// Textual artifacts of one configuration.
@@ -111,6 +134,8 @@ pub struct ConfigRun {
     /// Recorded `(tick, value)` histories of the probed signals
     /// (`None` = `X`).
     pub probes: BTreeMap<String, Vec<(u64, Option<i64>)>>,
+    /// Execution coverage, when [`FlowOptions::coverage`] was set.
+    pub coverage: Option<ConfigCoverage>,
 }
 
 /// The outcome of a full test-flow run.
@@ -315,6 +340,13 @@ impl TestFlow {
         self
     }
 
+    /// Enables FSM state/transition and operator-activation coverage
+    /// collection per configuration.
+    pub fn with_coverage(mut self, coverage: bool) -> Self {
+        self.options.coverage = coverage;
+        self
+    }
+
     /// Records every change of a datapath signal (by name). Temps live in
     /// registers named `t<N>_q`; memory ports are `<mem>_addr`,
     /// `<mem>_dout`, …; the completion flag is `done`.
@@ -472,7 +504,11 @@ pub fn run_design_recorded(
         let (config_name, dp_doc, fsm_doc) = &docs[config];
         let elaborate_span = recorder.start("flow.elaborate");
         recorder.attr(elaborate_span, "config", config_name.as_str());
-        let mut cs = elaborate_config(dp_doc, fsm_doc)?;
+        let mut cs = if options.coverage {
+            elaborate_config_instrumented(dp_doc, fsm_doc, true)?
+        } else {
+            elaborate_config(dp_doc, fsm_doc)?
+        };
         recorder.attr(elaborate_span, "signals", cs.sim.signal_count());
         recorder.attr(elaborate_span, "components", cs.sim.component_count());
         recorder.end(elaborate_span);
@@ -572,6 +608,40 @@ pub fn run_design_recorded(
                 (name, history)
             })
             .collect();
+        let coverage = cs.fsm_coverage.as_ref().map(|handle| {
+            let fsm_cov = handle.snapshot();
+            let visited_states = cs
+                .state_names
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| fsm_cov.state_visits.get(*i).copied().unwrap_or(0) > 0)
+                .map(|(_, name)| name.clone())
+                .collect();
+            // Sum kernel activations per functional-unit kind; kinds
+            // instantiated but never reacted stay at 0 so callers can see
+            // unexercised hardware.
+            let kind_of: BTreeMap<&str, &str> = design.configs[config]
+                .datapath
+                .cells
+                .iter()
+                .filter(|c| FU_KINDS.contains(&c.kind.as_str()))
+                .map(|c| (c.name.as_str(), c.kind.as_str()))
+                .collect();
+            let mut operator_activations: BTreeMap<String, u64> =
+                kind_of.values().map(|kind| (kind.to_string(), 0)).collect();
+            for (id, count) in cs.sim.hot_components(usize::MAX) {
+                if let Some(kind) = kind_of.get(cs.sim.component_name(id)) {
+                    *operator_activations.entry(kind.to_string()).or_insert(0) += count;
+                }
+            }
+            ConfigCoverage {
+                visited_states,
+                state_total: cs.state_names.len(),
+                transitions_taken: fsm_cov.transitions_taken(),
+                transition_total: cs.transition_total,
+                operator_activations,
+            }
+        });
         runs.push(ConfigRun {
             name: config_name.clone(),
             summary,
@@ -580,6 +650,7 @@ pub fn run_design_recorded(
             cycles,
             vcd,
             probes,
+            coverage,
         });
 
         if failure.is_some() {
@@ -733,6 +804,32 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, FlowError::Probe { .. }), "{err}");
+    }
+
+    #[test]
+    fn coverage_reports_states_and_operators() {
+        let report = TestFlow::new(
+            "cov",
+            "mem out[4]; void main() { int i; for (i = 0; i < 4; i = i + 1) { out[i] = i + 7; } }",
+        )
+        .with_coverage(true)
+        .run()
+        .unwrap();
+        let cov = report.runs[0].coverage.as_ref().expect("coverage collected");
+        // A straight-line run visits every state and takes every transition
+        // at least once, except possibly untaken conditional arms.
+        assert!(cov.state_total > 0);
+        assert_eq!(cov.visited_states.len(), cov.state_total);
+        assert!(cov.transitions_taken > 0);
+        assert!(cov.transitions_taken <= cov.transition_total);
+        // The loop exercises an adder and a comparator.
+        assert!(cov.operator_activations.get("add").copied().unwrap_or(0) > 0);
+        assert!(cov.operator_activations.get("lt").copied().unwrap_or(0) > 0);
+        // Without the option, no coverage is collected.
+        let plain = TestFlow::new("nc", "mem out[1]; void main() { out[0] = 1; }")
+            .run()
+            .unwrap();
+        assert!(plain.runs[0].coverage.is_none());
     }
 
     #[test]

@@ -25,6 +25,8 @@ use nenya::schedule::SchedulePolicy;
 use std::error::Error;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One test case of a suite.
 #[derive(Debug, Clone)]
@@ -170,34 +172,76 @@ impl Suite {
         let results = self
             .cases
             .iter()
-            .map(|case| {
-                let span = recorder.start(format!("case.{}", case.name));
-                let mut flow = TestFlow::new(&case.name, &case.source)
-                    .with_options(case.options.clone());
-                for (mem, stimulus) in &case.stimuli {
-                    flow = flow.stimulus(mem, stimulus.clone());
-                }
-                let result = match flow.run_recorded(recorder) {
-                    Ok(report) => {
-                        recorder.attr(
-                            span,
-                            "status",
-                            if report.passed { "pass" } else { "fail" },
-                        );
-                        CaseResult::Finished(report)
-                    }
-                    Err(e) => {
-                        recorder.attr(span, "status", "error");
-                        recorder.attr(span, "error", e.to_string());
-                        CaseResult::Errored(e)
-                    }
-                };
-                recorder.end(span);
-                (case.name.clone(), result)
-            })
+            .map(|case| (case.name.clone(), run_case(case, recorder)))
             .collect();
         SuiteReport { results }
     }
+
+    /// Runs cases on a pool of `jobs` worker threads. Results (and their
+    /// telemetry spans) are reported in suite order regardless of which
+    /// worker finished first, so output is identical to [`run`](Self::run).
+    pub fn run_parallel(&self, jobs: usize) -> SuiteReport {
+        self.run_parallel_recorded(jobs, &mut Recorder::new())
+    }
+
+    /// [`run_parallel`](Self::run_parallel) with tracing. Each worker
+    /// records into its own [`Recorder`]; the per-case span trees are
+    /// absorbed into `recorder` in suite order after all workers finish.
+    pub fn run_parallel_recorded(&self, jobs: usize, recorder: &mut Recorder) -> SuiteReport {
+        let jobs = jobs.max(1).min(self.cases.len().max(1));
+        if jobs <= 1 {
+            return self.run_recorded(recorder);
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<(CaseResult, Recorder)>>> =
+            self.cases.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(case) = self.cases.get(index) else {
+                        break;
+                    };
+                    let mut worker_recorder = Recorder::new();
+                    let result = run_case(case, &mut worker_recorder);
+                    *slots[index].lock().expect("slot poisoned") =
+                        Some((result, worker_recorder));
+                });
+            }
+        });
+        let mut results = Vec::with_capacity(self.cases.len());
+        for (case, slot) in self.cases.iter().zip(slots) {
+            let (result, worker_recorder) = slot
+                .into_inner()
+                .expect("slot poisoned")
+                .expect("worker filled every slot");
+            recorder.absorb(worker_recorder);
+            results.push((case.name.clone(), result));
+        }
+        SuiteReport { results }
+    }
+}
+
+/// Runs one case with its `case.<name>` span.
+fn run_case(case: &TestCase, recorder: &mut Recorder) -> CaseResult {
+    let span = recorder.start(format!("case.{}", case.name));
+    let mut flow = TestFlow::new(&case.name, &case.source).with_options(case.options.clone());
+    for (mem, stimulus) in &case.stimuli {
+        flow = flow.stimulus(mem, stimulus.clone());
+    }
+    let result = match flow.run_recorded(recorder) {
+        Ok(report) => {
+            recorder.attr(span, "status", if report.passed { "pass" } else { "fail" });
+            CaseResult::Finished(report)
+        }
+        Err(e) => {
+            recorder.attr(span, "status", "error");
+            recorder.attr(span, "error", e.to_string());
+            CaseResult::Errored(e)
+        }
+    };
+    recorder.end(span);
+    result
 }
 
 /// Error produced when loading a suite manifest.
@@ -211,6 +255,8 @@ pub enum LoadSuiteError {
         line: usize,
         /// Problem description.
         message: String,
+        /// The offending manifest line, verbatim.
+        text: String,
     },
     /// A referenced stimulus file is malformed.
     Stimulus(PathBuf, stimulus::ParseStimulusError),
@@ -220,8 +266,12 @@ impl fmt::Display for LoadSuiteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LoadSuiteError::Io(path, e) => write!(f, "cannot read {}: {e}", path.display()),
-            LoadSuiteError::Manifest { line, message } => {
-                write!(f, "manifest line {line}: {message}")
+            LoadSuiteError::Manifest {
+                line,
+                message,
+                text,
+            } => {
+                write!(f, "manifest line {line}: {message}\n  {line} | {text}")
             }
             LoadSuiteError::Stimulus(path, e) => {
                 write!(f, "stimulus {}: {e}", path.display())
@@ -269,6 +319,7 @@ pub fn parse_manifest(text: &str, base: &Path) -> Result<Suite, LoadSuiteError> 
         let manifest_err = |message: String| LoadSuiteError::Manifest {
             line: lineno,
             message,
+            text: raw.trim_end().to_string(),
         };
         match keyword {
             "case" => {
@@ -415,5 +466,47 @@ case copy
             parse_manifest("case a\n  policy turbo\n", base),
             Err(LoadSuiteError::Manifest { .. })
         ));
+    }
+
+    #[test]
+    fn manifest_errors_carry_the_offending_line() {
+        let err = parse_manifest("case a\n  bogus 1  # what\n", Path::new(".")).unwrap_err();
+        let LoadSuiteError::Manifest { line, text, .. } = &err else {
+            panic!("expected manifest error, got {err}");
+        };
+        assert_eq!(*line, 2);
+        assert_eq!(text, "  bogus 1  # what");
+        let rendered = err.to_string();
+        assert!(rendered.contains("line 2"), "{rendered}");
+        assert!(rendered.contains("bogus 1  # what"), "{rendered}");
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_order_and_verdicts() {
+        let suite = Suite::new()
+            .with_case(passing_case("a"))
+            .with_case(TestCase::new("broken", "void main() {")) // parse error
+            .with_case(passing_case("b"))
+            .with_case(passing_case("c"));
+        let sequential = suite.run();
+        for jobs in [1, 2, 4, 8] {
+            let mut recorder = Recorder::new();
+            let parallel = suite.run_parallel_recorded(jobs, &mut recorder);
+            let names: Vec<&str> = parallel.results.iter().map(|(n, _)| n.as_str()).collect();
+            assert_eq!(names, ["a", "broken", "b", "c"], "jobs={jobs}");
+            assert_eq!(parallel.passed(), sequential.passed(), "jobs={jobs}");
+            assert_eq!(parallel.render(), sequential.render(), "jobs={jobs}");
+            // Case spans land in suite order regardless of worker timing.
+            let case_spans: Vec<&str> = recorder
+                .span_names()
+                .into_iter()
+                .filter(|n| n.starts_with("case."))
+                .collect();
+            assert_eq!(
+                case_spans,
+                ["case.a", "case.broken", "case.b", "case.c"],
+                "jobs={jobs}"
+            );
+        }
     }
 }

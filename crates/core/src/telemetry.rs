@@ -550,6 +550,32 @@ impl Recorder {
         self.spans.iter().map(|s| s.name.as_str()).collect()
     }
 
+    /// Merges another recorder's spans into this one, preserving their
+    /// tree shape. The absorbed spans keep their relative timing but are
+    /// rebased onto this recorder's epoch, so a span forest built by
+    /// worker threads (each with its own recorder) reads as one coherent
+    /// timeline. Absorbed roots stay roots — they do not become children
+    /// of any span currently open here.
+    pub fn absorb(&mut self, other: Recorder) {
+        let base = self.spans.len();
+        let offset = other
+            .epoch
+            .saturating_duration_since(self.epoch)
+            .as_secs_f64();
+        for mut span in other.spans {
+            span.start_seconds += offset;
+            span.parent = span.parent.map(|p| p + base);
+            for child in &mut span.children {
+                *child += base;
+            }
+            if !span.closed {
+                span.closed = true;
+                span.wall_seconds = span.started.elapsed().as_secs_f64();
+            }
+            self.spans.push(span);
+        }
+    }
+
     /// The span forest as JSON (one object per root, children nested).
     pub fn to_json(&self) -> Json {
         let roots: Vec<usize> = (0..self.spans.len())
@@ -662,6 +688,35 @@ fn finished_design_json(name: &str, report: &TestReport) -> Json {
                             .collect(),
                     ),
                 ));
+                if let Some(cov) = &run.coverage {
+                    members.push((
+                        "coverage".to_string(),
+                        Json::obj([
+                            ("states_visited", cov.visited_states.len().into()),
+                            ("state_total", cov.state_total.into()),
+                            (
+                                "visited_states",
+                                Json::Arr(
+                                    cov.visited_states
+                                        .iter()
+                                        .map(|s| s.as_str().into())
+                                        .collect(),
+                                ),
+                            ),
+                            ("transitions_taken", cov.transitions_taken.into()),
+                            ("transition_total", cov.transition_total.into()),
+                            (
+                                "operator_activations",
+                                Json::Obj(
+                                    cov.operator_activations
+                                        .iter()
+                                        .map(|(kind, count)| (kind.clone(), (*count).into()))
+                                        .collect(),
+                                ),
+                            ),
+                        ]),
+                    ));
+                }
             }
             Json::Obj(members)
         })
@@ -926,6 +981,34 @@ mod tests {
         let inner = rec.find("inner").unwrap();
         assert!(inner.wall_seconds > 0.0);
         assert!(outer.wall_seconds >= inner.wall_seconds);
+    }
+
+    #[test]
+    fn absorb_merges_span_forests() {
+        let mut main = Recorder::new();
+        let root = main.start("suite");
+        main.end(root);
+
+        let mut worker = Recorder::new();
+        let outer = worker.start("case.a");
+        let inner = worker.start("flow.parse");
+        worker.end(inner);
+        worker.end(outer);
+
+        main.absorb(worker);
+        assert_eq!(main.span_names(), ["suite", "case.a", "flow.parse"]);
+        // The absorbed tree keeps its shape: case.a is a root with one child.
+        let tree = main.to_json();
+        let roots = tree.as_array().unwrap();
+        assert_eq!(roots.len(), 2);
+        let children = roots[1].get("children").unwrap().as_array().unwrap();
+        assert_eq!(children.len(), 1);
+        assert_eq!(
+            children[0].get("name").unwrap().as_str(),
+            Some("flow.parse")
+        );
+        // Timing is rebased onto the absorbing recorder's epoch.
+        assert!(main.find("case.a").unwrap().start_seconds >= 0.0);
     }
 
     #[test]

@@ -6,72 +6,27 @@
 //! independent end-to-end cross-check of compiler + stylesheets + netlist
 //! loader + simulator + control units.
 
+use fpgafuzz::gen::{generate_case, Budget, Case};
 use fpgatest::flow::TestFlow;
 use fpgatest::stimulus::{self, Stimulus};
 use proptest::prelude::*;
 
-fn arb_expr(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        (0i64..50).prop_map(|v| v.to_string()),
-        prop_oneof![Just("v0"), Just("v1"), Just("v2")].prop_map(str::to_string),
-        (0i64..8).prop_map(|i| format!("inp[{i}]")),
-    ];
-    if depth == 0 {
-        leaf.boxed()
-    } else {
-        let sub = arb_expr(depth - 1);
-        prop_oneof![
-            leaf,
-            (
-                sub.clone(),
-                prop_oneof![
-                    Just("+"),
-                    Just("-"),
-                    Just("*"),
-                    Just("&"),
-                    Just("|"),
-                    Just("^"),
-                    Just(">>"),
-                ],
-                sub.clone()
-            )
-                .prop_map(|(a, op, b)| format!("({a} {op} {b})")),
-            sub.prop_map(|a| format!("(~{a})")),
-        ]
-        .boxed()
+/// Random programs come from the fuzzer's valid-by-construction generator
+/// rather than ad-hoc string templates: a `(seed, index)` pair fully
+/// determines the case, so any failure reproduces with
+/// `fpgafuzz repro --seed S --index I`.
+fn arb_case() -> impl Strategy<Value = Case> {
+    (any::<u64>(), 0u64..1024).prop_map(|(seed, index)| {
+        generate_case(seed, index, &Budget::default()).expect("generator emits valid programs")
+    })
+}
+
+fn flow(case: &Case) -> TestFlow {
+    let mut flow = TestFlow::new("gen", &case.source);
+    for (mem, values) in &case.stimuli {
+        flow = flow.stimulus(mem, Stimulus::from_values(values.iter().copied()));
     }
-}
-
-fn arb_stmt() -> BoxedStrategy<String> {
-    let var = prop_oneof![Just("v0"), Just("v1"), Just("v2")];
-    prop_oneof![
-        (var.clone(), arb_expr(2)).prop_map(|(v, e)| format!("{v} = {e};")),
-        (arb_expr(1), arb_expr(2)).prop_map(|(a, e)| format!("out[({a}) & 7] = {e};")),
-        (var, 1i64..4, arb_expr(1)).prop_map(|(v, n, e)| {
-            format!("for ({v} = 0; {v} < {n}; {v} = {v} + 1) {{ out[{v}] = {e}; }}")
-        }),
-        (arb_expr(1), arb_expr(1)).prop_map(|(a, b)| {
-            format!("if (({a}) < ({b})) {{ v0 = {a}; }} else {{ v1 = {b}; }}")
-        }),
-    ]
-    .boxed()
-}
-
-fn render(stmts: &[String]) -> String {
-    let mut src =
-        String::from("mem inp[8];\nmem out[8];\nvoid main() {\nint v0 = 1;\nint v1 = 2;\nint v2 = 3;\n");
-    for stmt in stmts {
-        src.push_str(stmt);
-        src.push('\n');
-    }
-    src.push('}');
-    src
-}
-
-fn flow(src: &str) -> TestFlow {
-    TestFlow::new("gen", src)
-        .stimulus("inp", Stimulus::from_values([9, -3, 14, 0, 27, -8, 5, 1]))
-        .stimulus("out", Stimulus::from_values([0; 8]))
+    flow
 }
 
 proptest! {
@@ -80,25 +35,21 @@ proptest! {
     /// Generated hardware == golden software, word for word, on random
     /// programs — through the complete XML/stylesheet/netlist path.
     #[test]
-    fn hardware_matches_golden_on_random_programs(
-        stmts in proptest::collection::vec(arb_stmt(), 2..6)
-    ) {
-        let src = render(&stmts);
-        let report = flow(&src).run().expect("flow runs");
-        prop_assert!(report.passed, "flow failed for:\n{}\n{}", src, report.render());
+    fn hardware_matches_golden_on_random_programs(case in arb_case()) {
+        let report = flow(&case).run().expect("flow runs");
+        prop_assert!(report.passed, "flow failed for:\n{}\n{}", case.source, report.render());
     }
 
     /// The same holds with the optimizer enabled, and the memory contents
     /// agree with the unoptimized run.
     #[test]
-    fn optimized_hardware_matches_too(
-        stmts in proptest::collection::vec(arb_stmt(), 2..5)
-    ) {
-        let src = render(&stmts);
-        let plain = flow(&src).run().expect("flow runs");
-        let optimized = flow(&src).with_optimize(true).run().expect("flow runs");
+    fn optimized_hardware_matches_too(case in arb_case()) {
+        let plain = flow(&case).run().expect("flow runs");
+        let optimized = flow(&case).with_optimize(true).run().expect("flow runs");
         prop_assert!(plain.passed && optimized.passed);
-        prop_assert_eq!(&plain.sim_mems["out"], &optimized.sim_mems["out"]);
+        for (mem, _) in &case.stimuli {
+            prop_assert_eq!(&plain.sim_mems[mem], &optimized.sim_mems[mem]);
+        }
     }
 }
 

@@ -11,8 +11,11 @@
 use crate::component::{Component, Sensitivity, SignalId};
 use crate::kernel::Context;
 use crate::value::Value;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+use std::rc::Rc;
 
 /// One outgoing transition of a state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -158,6 +161,50 @@ impl FsmTable {
     }
 }
 
+/// Execution coverage accumulated by a [`ControlUnit`] over one run.
+///
+/// `state_visits[i]` counts entries into state `i` (the initial state is
+/// counted once at init); `transitions` counts each `(from, to)` edge
+/// actually taken on a clock edge, including explicit self-loops. Both use
+/// table indices, so state 0 is always the initial state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsmCoverage {
+    /// Per-state entry counts, indexed like [`FsmTable::states`].
+    pub state_visits: Vec<u64>,
+    /// Taken-transition counts keyed by `(from_state, to_state)`.
+    pub transitions: BTreeMap<(usize, usize), u64>,
+}
+
+impl FsmCoverage {
+    /// Number of distinct states entered at least once.
+    pub fn states_visited(&self) -> usize {
+        self.state_visits.iter().filter(|&&n| n > 0).count()
+    }
+
+    /// Number of distinct `(from, to)` edges taken at least once.
+    pub fn transitions_taken(&self) -> usize {
+        self.transitions.len()
+    }
+}
+
+/// Shared handle giving the caller access to a [`ControlUnit`]'s coverage
+/// after the simulator has consumed the component (same pattern as probe
+/// handles).
+#[derive(Clone, Default)]
+pub struct FsmCoverageHandle(Rc<RefCell<FsmCoverage>>);
+
+impl FsmCoverageHandle {
+    /// Creates a fresh, empty handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies out the coverage accumulated so far.
+    pub fn snapshot(&self) -> FsmCoverage {
+        self.0.borrow().clone()
+    }
+}
+
 /// The behavioral component executing an [`FsmTable`].
 ///
 /// Moore semantics: the outputs of the current state are driven
@@ -179,6 +226,7 @@ pub struct ControlUnit {
     /// updates for outputs that actually change (control vectors are wide
     /// but sparse).
     driven: Vec<Option<i64>>,
+    coverage: Option<FsmCoverageHandle>,
 }
 
 impl ControlUnit {
@@ -227,6 +275,7 @@ impl ControlUnit {
             stop_when_done: true,
             cycles: 0,
             driven,
+            coverage: None,
         }
     }
 
@@ -235,6 +284,30 @@ impl ControlUnit {
     pub fn with_stop_when_done(mut self, stop: bool) -> Self {
         self.stop_when_done = stop;
         self
+    }
+
+    /// Attaches a coverage handle; state entries and taken transitions are
+    /// recorded into it as the FSM executes.
+    pub fn with_coverage(mut self, handle: FsmCoverageHandle) -> Self {
+        self.coverage = Some(handle);
+        self
+    }
+
+    fn record_visit(&self, state: usize) {
+        if let Some(handle) = &self.coverage {
+            let mut cov = handle.0.borrow_mut();
+            if cov.state_visits.len() < self.table.states().len() {
+                cov.state_visits.resize(self.table.states().len(), 0);
+            }
+            cov.state_visits[state] += 1;
+        }
+    }
+
+    fn record_transition(&self, from: usize, to: usize) {
+        if let Some(handle) = &self.coverage {
+            let mut cov = handle.0.borrow_mut();
+            *cov.transitions.entry((from, to)).or_insert(0) += 1;
+        }
     }
 
     /// Index of the current state.
@@ -276,6 +349,7 @@ impl Component for ControlUnit {
 
     fn init(&mut self, ctx: &mut Context<'_>) {
         self.state = 0;
+        self.record_visit(0);
         self.drive_outputs(ctx);
         if self.table.states()[0].terminal && self.stop_when_done {
             ctx.stop(format!("{}: done", self.name));
@@ -317,6 +391,8 @@ impl Component for ControlUnit {
             // normal encoding, but a fully guarded state may legally hold).
             return;
         };
+        self.record_transition(self.state, next);
+        self.record_visit(next);
         if next != self.state {
             self.state = next;
             self.drive_outputs(ctx);
@@ -557,6 +633,27 @@ mod tests {
         sim.add_component(ControlUnit::new("fsm0", clk, vec![c], vec![], vec![], table));
         let summary = sim.run(SimTime(100)).unwrap();
         assert!(matches!(summary.outcome, RunOutcome::Failed(ref m) if m.contains("X")));
+    }
+
+    #[test]
+    fn coverage_records_visits_and_transitions() {
+        let handle = FsmCoverageHandle::new();
+        let mut sim = Simulator::new();
+        let clk = sim.add_signal("clk", 1);
+        let out = sim.add_signal("ctl", 8);
+        sim.add_component(Clock::new("clk0", clk, 10));
+        sim.add_component(
+            ControlUnit::new("fsm0", clk, vec![], vec![out], vec![8], linear_table(3))
+                .with_coverage(handle.clone()),
+        );
+        sim.run(SimTime(1000)).unwrap();
+        let cov = handle.snapshot();
+        // s0,s1,s2,done all entered exactly once.
+        assert_eq!(cov.state_visits, vec![1, 1, 1, 1]);
+        assert_eq!(cov.states_visited(), 4);
+        assert_eq!(cov.transitions_taken(), 3);
+        assert_eq!(cov.transitions.get(&(0, 1)), Some(&1));
+        assert_eq!(cov.transitions.get(&(2, 3)), Some(&1));
     }
 
     #[test]

@@ -11,5 +11,8 @@ mod register;
 
 pub use clock::{Clock, ResetGen};
 pub use comb::{eval_binop, eval_unop, BinOp, ConstDriver, Mux, OpKind, UnOp};
-pub use control::{ControlUnit, FsmState, FsmTable, FsmTransition, ValidateFsmError};
+pub use control::{
+    ControlUnit, FsmCoverage, FsmCoverageHandle, FsmState, FsmTable, FsmTransition,
+    ValidateFsmError,
+};
 pub use register::{Counter, Register};

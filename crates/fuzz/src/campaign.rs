@@ -1,0 +1,193 @@
+//! The fuzzing campaign: generate → execute → track coverage → shrink.
+//!
+//! This is the engine behind `fpgafuzz run`. It lives in the library so
+//! integration tests and the CI smoke job exercise exactly the code the
+//! CLI runs. The produced log is fully deterministic for a fresh run —
+//! no wall-clock, no OS randomness, no hash-order iteration — so two
+//! invocations with the same seed and case count emit bit-identical
+//! output (the repo's reproducibility contract).
+
+use crate::corpus::Corpus;
+use crate::coverage::{missing_ops, CoverageMap};
+use crate::exec::{run_case, CaseOutcome, ExecOptions, Injection};
+use crate::gen::{generate_case, Budget, Case};
+use crate::shrink::{line_count, shrink};
+use std::fmt::Write as _;
+use std::io;
+use std::path::PathBuf;
+
+/// Campaign knobs, mirroring the `fpgafuzz run` flags.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Root seed for the whole run.
+    pub seed: u64,
+    /// Number of cases to generate and execute.
+    pub cases: u64,
+    /// Design data width.
+    pub width: u32,
+    /// Where to persist coverage-increasing cases (`None` = in-memory
+    /// only).
+    pub corpus_dir: Option<PathBuf>,
+    /// A deliberately planted bug, for validating the fuzzer itself.
+    pub injection: Option<Injection>,
+    /// Executor-invocation budget per shrink.
+    pub max_shrink_evals: usize,
+    /// Kernel-tick watchdog per configuration.
+    pub max_ticks: u64,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            seed: 0,
+            cases: 100,
+            width: 16,
+            corpus_dir: None,
+            injection: None,
+            max_shrink_evals: 500,
+            max_ticks: 5_000_000,
+        }
+    }
+}
+
+/// What a campaign produced.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// The deterministic human-readable log, ready to print.
+    pub log: String,
+    /// Cases that diverged, already shrunk.
+    pub shrunk: Vec<Case>,
+    /// Divergence count.
+    pub divergences: usize,
+    /// Generator-error count (invalid cases: *our* bugs, not the
+    /// compiler's).
+    pub generator_errors: usize,
+    /// Accumulated coverage at the end of the run.
+    pub coverage: CoverageMap,
+    /// How many coverage keys this run added over the starting map.
+    pub new_keys: usize,
+}
+
+/// Runs a campaign.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the corpus directory cannot be
+/// read or written; execution itself never errors (failures are counted
+/// in the report).
+pub fn run_campaign(opts: &CampaignOptions) -> io::Result<CampaignReport> {
+    let corpus = match &opts.corpus_dir {
+        Some(dir) => Some(Corpus::open(dir.clone())?),
+        None => None,
+    };
+    let mut coverage = match &corpus {
+        Some(corpus) => corpus.load_coverage()?,
+        None => CoverageMap::new(),
+    };
+    let exec = ExecOptions {
+        max_ticks: opts.max_ticks,
+        injection: opts.injection,
+        ..ExecOptions::default()
+    };
+    let mut budget = Budget {
+        width: opts.width,
+        ..Budget::default()
+    };
+
+    let mut log = String::new();
+    let _ = writeln!(
+        log,
+        "fpgafuzz: seed {} cases {} width {}{}",
+        opts.seed,
+        opts.cases,
+        opts.width,
+        match opts.injection {
+            Some(Injection::BranchPolarity) => " inject branch-polarity",
+            None => "",
+        }
+    );
+
+    let mut shrunk = Vec::new();
+    let mut divergences = 0usize;
+    let mut generator_errors = 0usize;
+    let mut new_keys = 0usize;
+    let mut saved = 0usize;
+
+    for index in 0..opts.cases {
+        // Coverage feedback: bias generation toward operator kinds the
+        // accumulated map has not seen activated yet.
+        budget.op_bias = missing_ops(&coverage);
+        let case = match generate_case(opts.seed, index, &budget) {
+            Ok(case) => case,
+            Err(e) => {
+                generator_errors += 1;
+                let _ = writeln!(log, "case {index}: generator error: {e}");
+                continue;
+            }
+        };
+        match run_case(&case, opts.width, &exec) {
+            CaseOutcome::Pass { coverage: seen } => {
+                let fresh: Vec<String> = seen
+                    .iter()
+                    .filter(|key| !coverage.contains(key))
+                    .map(String::from)
+                    .collect();
+                if !fresh.is_empty() {
+                    new_keys += fresh.len();
+                    coverage.merge(seen);
+                    if let Some(corpus) = &corpus {
+                        corpus.save_case(&case, &fresh)?;
+                        saved += 1;
+                    }
+                    let _ = writeln!(log, "case {index}: +{} coverage keys", fresh.len());
+                }
+            }
+            CaseOutcome::Divergence(d) => {
+                divergences += 1;
+                let _ = writeln!(
+                    log,
+                    "case {index}: DIVERGENCE [{}] {:?}: {}",
+                    d.variant, d.kind, d.detail
+                );
+                let report = shrink(&case, opts.width, &exec, opts.max_shrink_evals);
+                let _ = writeln!(
+                    log,
+                    "case {index}: shrunk {} -> {} lines in {} evals:",
+                    line_count(&case),
+                    line_count(&report.case),
+                    report.evals
+                );
+                for line in report.case.source.lines() {
+                    let _ = writeln!(log, "    {line}");
+                }
+                shrunk.push(report.case);
+            }
+            CaseOutcome::GeneratorError(e) => {
+                generator_errors += 1;
+                let _ = writeln!(log, "case {index}: generator error: {e}");
+            }
+        }
+    }
+
+    if let Some(corpus) = &corpus {
+        corpus.save_coverage(&coverage)?;
+    }
+    let _ = writeln!(
+        log,
+        "coverage: {} keys (+{new_keys} new, {saved} cases saved)",
+        coverage.len()
+    );
+    let _ = writeln!(
+        log,
+        "result: {divergences} divergences, {generator_errors} generator errors"
+    );
+
+    Ok(CampaignReport {
+        log,
+        shrunk,
+        divergences,
+        generator_errors,
+        coverage,
+        new_keys,
+    })
+}

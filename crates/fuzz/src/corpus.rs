@@ -1,0 +1,140 @@
+//! The on-disk corpus: coverage-increasing cases and the accumulated
+//! coverage map.
+//!
+//! Layout (everything plain text, deterministic):
+//!
+//! ```text
+//! corpus/
+//!   coverage.txt              # one coverage key per line, sorted
+//!   seed42-case17.src         # a case that added at least one new key
+//!   seed42-case17.meta        # the keys that case added, sorted
+//! ```
+//!
+//! Re-running with the same seed over an existing corpus is idempotent:
+//! file names derive from `(seed, index)` and contents from the case, so
+//! nothing changes on disk.
+
+use crate::coverage::CoverageMap;
+use crate::gen::Case;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A corpus directory.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    dir: PathBuf,
+}
+
+impl Corpus {
+    /// Opens (creating if needed) a corpus directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory cannot be
+    /// created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Corpus { dir })
+    }
+
+    /// The corpus directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Loads the accumulated coverage map (empty if none saved yet).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error for an unreadable file.
+    pub fn load_coverage(&self) -> io::Result<CoverageMap> {
+        let path = self.dir.join("coverage.txt");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => Ok(CoverageMap::parse(&text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(CoverageMap::new()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Writes the accumulated coverage map.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on write failure.
+    pub fn save_coverage(&self, coverage: &CoverageMap) -> io::Result<()> {
+        std::fs::write(self.dir.join("coverage.txt"), coverage.render())
+    }
+
+    /// Saves a coverage-increasing case: its source plus the keys it
+    /// added. Returns the source path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on write failure.
+    pub fn save_case(&self, case: &Case, new_keys: &[String]) -> io::Result<PathBuf> {
+        let stem = format!("seed{}-case{}", case.seed, case.index);
+        let src = self.dir.join(format!("{stem}.src"));
+        std::fs::write(&src, &case.source)?;
+        let mut meta = String::new();
+        for key in new_keys {
+            meta.push_str(key);
+            meta.push('\n');
+        }
+        std::fs::write(self.dir.join(format!("{stem}.meta")), meta)?;
+        Ok(src)
+    }
+
+    /// The saved case sources, sorted by file name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory is unreadable.
+    pub fn cases(&self) -> io::Result<Vec<PathBuf>> {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(&self.dir)?
+            .filter_map(|entry| entry.ok())
+            .map(|entry| entry.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "src"))
+            .collect();
+        paths.sort();
+        Ok(paths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_case, Budget};
+
+    fn temp_corpus(tag: &str) -> Corpus {
+        let dir = std::env::temp_dir().join(format!("fpgafuzz_corpus_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        Corpus::open(dir).unwrap()
+    }
+
+    #[test]
+    fn coverage_round_trips_through_disk() {
+        let corpus = temp_corpus("cov");
+        assert!(corpus.load_coverage().unwrap().is_empty());
+        let mut map = CoverageMap::new();
+        map.insert("op:add");
+        map.insert("prog:if");
+        corpus.save_coverage(&map).unwrap();
+        assert_eq!(corpus.load_coverage().unwrap(), map);
+    }
+
+    #[test]
+    fn saved_cases_are_listed_and_deterministic() {
+        let corpus = temp_corpus("cases");
+        let case = generate_case(42, 3, &Budget::default()).unwrap();
+        let path = corpus
+            .save_case(&case, &["op:add".to_string()])
+            .unwrap();
+        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("seed42-case3"));
+        // Saving again changes nothing (idempotent by construction).
+        let again = corpus.save_case(&case, &["op:add".to_string()]).unwrap();
+        assert_eq!(path, again);
+        assert_eq!(corpus.cases().unwrap(), vec![path.clone()]);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), case.source);
+    }
+}

@@ -1,0 +1,268 @@
+//! Coverage feedback: what a case exercised, as a set of string keys.
+//!
+//! Two sources feed the map: structural features of the generated
+//! program (`prog:*` keys) and execution coverage extracted from the
+//! flow's telemetry layer — FSM state/transition counts bucketed into
+//! powers of two (`fsm:*`) and activated functional-unit kinds (`op:*`).
+//! A case that contributes any key the corpus has not seen is worth
+//! keeping, and operator kinds still missing from the map bias future
+//! generation toward the hardware they would instantiate.
+
+use fpgatest::flow::TestReport;
+use nenya::lang::{BinaryOp, Block, Expr, Program, Stmt, Type};
+use std::collections::BTreeSet;
+
+/// An ordered set of coverage keys (ordered so reports and corpus files
+/// are deterministic).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageMap {
+    keys: BTreeSet<String>,
+}
+
+impl CoverageMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a key; true when it was new.
+    pub fn insert(&mut self, key: impl Into<String>) -> bool {
+        self.keys.insert(key.into())
+    }
+
+    /// Merges another map in, returning how many keys were new.
+    pub fn merge(&mut self, other: CoverageMap) -> usize {
+        let before = self.keys.len();
+        self.keys.extend(other.keys);
+        self.keys.len() - before
+    }
+
+    /// Whether the key is present.
+    pub fn contains(&self, key: &str) -> bool {
+        self.keys.contains(key)
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The keys in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.keys.iter().map(String::as_str)
+    }
+
+    /// Parses the one-key-per-line format produced by [`render`](Self::render).
+    pub fn parse(text: &str) -> CoverageMap {
+        let keys = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(String::from)
+            .collect();
+        CoverageMap { keys }
+    }
+
+    /// One key per line, sorted — the corpus's on-disk format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for key in &self.keys {
+            out.push_str(key);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Operator kinds the map has not seen activated, mapped back to the
+/// AST operators whose lowering instantiates them — the generation bias.
+pub fn missing_ops(coverage: &CoverageMap) -> Vec<BinaryOp> {
+    const KIND_OPS: &[(&str, BinaryOp)] = &[
+        ("add", BinaryOp::Add),
+        ("sub", BinaryOp::Sub),
+        ("mul", BinaryOp::Mul),
+        ("div", BinaryOp::Div),
+        ("rem", BinaryOp::Rem),
+        ("and", BinaryOp::BitAnd),
+        ("or", BinaryOp::BitOr),
+        ("xor", BinaryOp::BitXor),
+        ("shl", BinaryOp::Shl),
+        ("shr", BinaryOp::Shr),
+        ("ushr", BinaryOp::Ushr),
+        ("eq", BinaryOp::Eq),
+        ("ne", BinaryOp::Ne),
+        ("lt", BinaryOp::Lt),
+        ("le", BinaryOp::Le),
+        ("gt", BinaryOp::Gt),
+        ("ge", BinaryOp::Ge),
+    ];
+    KIND_OPS
+        .iter()
+        .filter(|(kind, _)| !coverage.contains(&format!("op:{kind}")))
+        .map(|(_, op)| *op)
+        .collect()
+}
+
+/// Structural coverage of the program itself.
+pub fn program_coverage(program: &Program) -> CoverageMap {
+    let mut map = CoverageMap::new();
+    map.insert(format!(
+        "prog:mems:{}",
+        bucket(program.mems.len() as u64)
+    ));
+    walk_block(&program.body, 0, &mut map);
+    map
+}
+
+fn walk_block(block: &Block, depth: usize, map: &mut CoverageMap) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Decl { ty, init, .. } => {
+                if *ty == Type::Bool {
+                    map.insert("prog:bool-var");
+                }
+                if let Some(expr) = init {
+                    walk_expr(expr, map);
+                }
+            }
+            Stmt::Assign { value, .. } => walk_expr(value, map),
+            Stmt::MemStore { addr, value, .. } => {
+                map.insert("prog:store");
+                walk_expr(addr, map);
+                walk_expr(value, map);
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                map.insert("prog:if");
+                if !else_block.stmts.is_empty() {
+                    map.insert("prog:else");
+                }
+                map.insert(format!("prog:nest:{depth}"));
+                walk_expr(cond, map);
+                walk_block(then_block, depth + 1, map);
+                walk_block(else_block, depth + 1, map);
+            }
+            Stmt::While { cond, body } => {
+                map.insert("prog:while");
+                map.insert(format!("prog:nest:{depth}"));
+                walk_expr(cond, map);
+                walk_block(body, depth + 1, map);
+            }
+            Stmt::For { cond, body, .. } => {
+                map.insert("prog:for");
+                map.insert(format!("prog:nest:{depth}"));
+                walk_expr(cond, map);
+                walk_block(body, depth + 1, map);
+            }
+        }
+    }
+}
+
+fn walk_expr(expr: &Expr, map: &mut CoverageMap) {
+    match expr {
+        Expr::Int(_) | Expr::Bool(_) | Expr::Var(_) => {}
+        Expr::MemLoad { addr, .. } => {
+            map.insert("prog:load");
+            walk_expr(addr, map);
+        }
+        Expr::Unary { expr, .. } => walk_expr(expr, map),
+        Expr::Binary { op, lhs, rhs } => {
+            map.insert(format!("prog:binop:{}", op.symbol()));
+            walk_expr(lhs, map);
+            walk_expr(rhs, map);
+        }
+    }
+}
+
+/// Execution coverage extracted from a flow report's per-configuration
+/// coverage blocks.
+pub fn case_coverage(report: &TestReport) -> CoverageMap {
+    let mut map = CoverageMap::new();
+    for run in &report.runs {
+        let Some(cov) = &run.coverage else { continue };
+        for (kind, count) in &cov.operator_activations {
+            if *count > 0 {
+                map.insert(format!("op:{kind}"));
+            }
+        }
+        map.insert(format!("fsm:states:{}", bucket(cov.visited_states.len() as u64)));
+        map.insert(format!("fsm:trans:{}", bucket(cov.transitions_taken as u64)));
+    }
+    map
+}
+
+/// Power-of-two bucket: 0, 1, 2, 4, 8, … — coarse enough that coverage
+/// keys saturate instead of growing without bound.
+fn bucket(n: u64) -> u64 {
+    match n {
+        0 => 0,
+        _ => 1u64 << (63 - n.leading_zeros()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(4), 4);
+        assert_eq!(bucket(7), 4);
+        assert_eq!(bucket(8), 8);
+    }
+
+    #[test]
+    fn merge_counts_new_keys() {
+        let mut a = CoverageMap::new();
+        a.insert("op:add");
+        let mut b = CoverageMap::new();
+        b.insert("op:add");
+        b.insert("op:mul");
+        assert_eq!(a.merge(b), 1);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let mut map = CoverageMap::new();
+        map.insert("op:add");
+        map.insert("prog:if");
+        assert_eq!(CoverageMap::parse(&map.render()), map);
+    }
+
+    #[test]
+    fn missing_ops_shrinks_as_coverage_grows() {
+        let mut map = CoverageMap::new();
+        let all = missing_ops(&map).len();
+        map.insert("op:add");
+        map.insert("op:lt");
+        assert_eq!(missing_ops(&map).len(), all - 2);
+        assert!(!missing_ops(&map).contains(&BinaryOp::Add));
+    }
+
+    #[test]
+    fn program_coverage_sees_structure() {
+        let program = nenya::lang::parse(
+            "mem m0[4]; void main() { int v0 = 1; if ((v0 < 2)) { m0[0] = m0[1]; } }",
+        )
+        .unwrap();
+        let map = program_coverage(&program);
+        assert!(map.contains("prog:if"));
+        assert!(map.contains("prog:load"));
+        assert!(map.contains("prog:store"));
+        assert!(map.contains("prog:binop:<"));
+        assert!(!map.contains("prog:while"));
+    }
+}

@@ -1,0 +1,258 @@
+//! The differential executor: golden interpreter vs full flow.
+//!
+//! Each case runs through [`fpgatest::flow::run_design`], which executes
+//! the golden TAC interpreter *and* elaborates + simulates the design,
+//! then compares final memory images word for word. The executor drives
+//! that oracle across compile variants — both schedule policies and 1 vs
+//! 2 temporal partitions — and classifies the outcome:
+//!
+//! * any memory mismatch, simulation failure, elaboration error, or
+//!   watchdog timeout is a **divergence** (a compiler bug, or our
+//!   injected one);
+//! * a compile or golden-reference error is a **generator error** — the
+//!   case violated the valid-by-construction contract, so the generator
+//!   (not the compiler) is at fault.
+
+use crate::coverage::{case_coverage, CoverageMap};
+use crate::gen::Case;
+use fpgatest::flow::{run_design, FlowError, FlowOptions};
+use fpgatest::stimulus::Stimulus;
+use nenya::schedule::SchedulePolicy;
+use nenya::{compile_program, CompileOptions, Design};
+
+/// A deliberately planted compiler bug, for validating that the fuzzer
+/// catches what it is supposed to catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injection {
+    /// Flip the polarity of the first conditional FSM transition — the
+    /// classic "branch taken the wrong way" lowering bug.
+    BranchPolarity,
+}
+
+impl Injection {
+    /// Applies the bug to a compiled design. Returns `false` when the
+    /// design has nothing to corrupt (e.g. no conditional transitions),
+    /// in which case the case runs unmodified.
+    pub fn apply(self, design: &mut Design) -> bool {
+        match self {
+            Injection::BranchPolarity => {
+                for config in &mut design.configs {
+                    if let Some(t) = config
+                        .fsm
+                        .states
+                        .iter_mut()
+                        .flat_map(|s| s.transitions.iter_mut())
+                        .find(|t| t.cond.is_some())
+                    {
+                        let (signal, when) = t.cond.clone().expect("conditional");
+                        t.cond = Some((signal, !when));
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+}
+
+/// Executor knobs. The watchdog is far below the flow default because an
+/// injected control bug can loop the FSM forever — the timeout then *is*
+/// the divergence signal and should fire in milliseconds, not minutes.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Kernel-tick watchdog per configuration.
+    pub max_ticks: u64,
+    /// Golden-reference step budget.
+    pub golden_step_limit: u64,
+    /// The planted bug, if any.
+    pub injection: Option<Injection>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            max_ticks: 5_000_000,
+            golden_step_limit: 1_000_000,
+            injection: None,
+        }
+    }
+}
+
+/// One compile variant of the differential matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Variant {
+    /// Schedule policy under test.
+    pub policy: SchedulePolicy,
+    /// Temporal partition count.
+    pub partitions: usize,
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/p{}", self.policy, self.partitions)
+    }
+}
+
+/// The variants a given case index runs: always the baseline
+/// (list schedule, single partition), plus one alternate cycled by index
+/// so a whole run covers the full policy × partition matrix.
+pub fn variants_for(index: u64) -> Vec<Variant> {
+    let baseline = Variant {
+        policy: SchedulePolicy::List,
+        partitions: 1,
+    };
+    let alternate = match index % 3 {
+        0 => Variant {
+            policy: SchedulePolicy::OneOpPerState,
+            partitions: 1,
+        },
+        1 => Variant {
+            policy: SchedulePolicy::List,
+            partitions: 2,
+        },
+        _ => Variant {
+            policy: SchedulePolicy::OneOpPerState,
+            partitions: 2,
+        },
+    };
+    vec![baseline, alternate]
+}
+
+/// How a divergence manifested. The shrinker preserves this class, so a
+/// memory mismatch cannot shrink into an unrelated infinite loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivKind {
+    /// Simulation finished but memory contents disagree with golden.
+    Mismatch,
+    /// Simulation aborted (X condition, bad store, assertion).
+    SimFailure,
+    /// The watchdog fired — the hardware never reached `done`.
+    Timeout,
+    /// The flow itself broke (elaboration, kernel, RTG).
+    FlowBroken,
+}
+
+/// A detected divergence between the golden reference and the simulated
+/// hardware.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The variant that diverged.
+    pub variant: Variant,
+    /// How it manifested.
+    pub kind: DivKind,
+    /// What went wrong (mismatch summary, failure message, or timeout).
+    pub detail: String,
+}
+
+/// Outcome of one case across its variants.
+#[derive(Debug)]
+pub enum CaseOutcome {
+    /// Golden and simulation agreed on every variant.
+    Pass {
+        /// Coverage observed across all variants.
+        coverage: CoverageMap,
+    },
+    /// At least one variant disagreed — a compiler bug (or the injected
+    /// one).
+    Divergence(Divergence),
+    /// The case itself is invalid (compile/golden error): a generator
+    /// bug, not a compiler bug.
+    GeneratorError(String),
+}
+
+/// Runs one case through every variant, with the given width.
+pub fn run_case(case: &Case, width: u32, opts: &ExecOptions) -> CaseOutcome {
+    let mut coverage = CoverageMap::new();
+    coverage.merge(crate::coverage::program_coverage(&case.program));
+    let stimuli: Vec<(String, Stimulus)> = case
+        .stimuli
+        .iter()
+        .map(|(mem, values)| (mem.clone(), Stimulus::from_values(values.iter().copied())))
+        .collect();
+
+    for variant in variants_for(case.index) {
+        // A 2-partition split needs at least 2 top-level statements; the
+        // generator guarantees that, but shrinking can reduce below it —
+        // the variant is then skipped rather than misreported.
+        if variant.partitions > case.program.body.stmts.len() {
+            continue;
+        }
+        let compile = CompileOptions {
+            width,
+            policy: variant.policy,
+            partitions: variant.partitions,
+            optimize: false,
+        };
+        let name = format!("fuzz_{}_{}", case.seed, case.index);
+        let mut design = match compile_program(&name, &case.program, &compile) {
+            Ok(design) => design,
+            Err(e) => return CaseOutcome::GeneratorError(format!("{variant}: compile: {e}")),
+        };
+        if let Some(injection) = opts.injection {
+            injection.apply(&mut design);
+        }
+        let flow_options = FlowOptions {
+            compile,
+            max_ticks: opts.max_ticks,
+            golden_step_limit: opts.golden_step_limit,
+            keep_artifacts: false,
+            coverage: true,
+            ..FlowOptions::default()
+        };
+        match run_design(&design, &stimuli, &flow_options) {
+            Ok(report) if report.passed => {
+                coverage.merge(case_coverage(&report));
+                coverage.insert(format!("cfg:{variant}"));
+            }
+            Ok(report) => {
+                let (kind, detail) = match &report.failure {
+                    Some(failure) => (DivKind::SimFailure, failure.clone()),
+                    None => (
+                        DivKind::Mismatch,
+                        format!(
+                            "{} memory mismatches (first: {})",
+                            report.mismatches.len(),
+                            report
+                                .mismatches
+                                .first()
+                                .map(|m| m.to_string())
+                                .unwrap_or_default()
+                        ),
+                    ),
+                };
+                return CaseOutcome::Divergence(Divergence {
+                    variant,
+                    kind,
+                    detail,
+                });
+            }
+            // The golden side already proved the program meaningful, so a
+            // flow that cannot even produce a verdict indicts the
+            // compiler/simulator path: count it as a divergence.
+            Err(
+                e @ (FlowError::Elaborate(_)
+                | FlowError::Kernel(_)
+                | FlowError::Timeout { .. }
+                | FlowError::Rtg(_)
+                | FlowError::Probe { .. }),
+            ) => {
+                let kind = match &e {
+                    FlowError::Timeout { .. } => DivKind::Timeout,
+                    _ => DivKind::FlowBroken,
+                };
+                return CaseOutcome::Divergence(Divergence {
+                    variant,
+                    kind,
+                    detail: e.to_string(),
+                });
+            }
+            Err(e) => return CaseOutcome::GeneratorError(format!("{variant}: {e}")),
+        }
+    }
+    CaseOutcome::Pass { coverage }
+}
+
+/// Whether the case still diverges — the shrinker's predicate.
+pub fn diverges(case: &Case, width: u32, opts: &ExecOptions) -> bool {
+    matches!(run_case(case, width, opts), CaseOutcome::Divergence(_))
+}

@@ -1,0 +1,731 @@
+//! Random-program generation.
+//!
+//! Programs are built *valid by construction* so that every generated
+//! case parses, lowers, and executes cleanly on the golden reference:
+//!
+//! * every variable is initialized at its declaration;
+//! * memory addresses are masked with `& (size-1)` (sizes are powers of
+//!   two), so loads and stores are always in range;
+//! * every memory word is seeded by a stimulus, so no load reads `X`;
+//! * divisors are wrapped as `(expr | 1)`, which is odd and hence
+//!   nonzero;
+//! * loops count a fresh variable up to a small bound, and that counter
+//!   is never an assignment target inside the loop, so trip counts are
+//!   finite;
+//! * top-level variables are `int` only (booleans cannot transfer
+//!   between temporal partitions); `boolean` locals appear in nested
+//!   blocks.
+//!
+//! The generated AST is rendered to source text and re-parsed, so the
+//! parser is part of the differential surface too.
+
+use crate::rng::Rng;
+use nenya::lang::{BinaryOp, Block, Expr, MemDecl, Program, Stmt, Type, UnaryOp};
+
+/// Size/shape budgets for generation. The defaults keep cases small
+/// enough that a full compile→simulate run takes milliseconds.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// Design data width in bits.
+    pub width: u32,
+    /// Maximum number of memories (at least 1 is always generated).
+    pub max_mems: usize,
+    /// Memory sizes are `2^k` words with `k` in `1..=max_mem_size_log2`.
+    pub max_mem_size_log2: u32,
+    /// Maximum top-level statement groups (beyond the variable prelude).
+    pub max_top_stmts: usize,
+    /// Maximum statement groups per nested block.
+    pub max_block_stmts: usize,
+    /// Maximum control-structure nesting depth.
+    pub max_depth: usize,
+    /// Maximum expression tree depth.
+    pub max_expr_depth: usize,
+    /// Maximum loop trip count.
+    pub max_loop_iters: i64,
+    /// Operators to weight extra (coverage feedback: kinds the corpus has
+    /// not yet activated).
+    pub op_bias: Vec<BinaryOp>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            width: 16,
+            max_mems: 3,
+            max_mem_size_log2: 3,
+            max_top_stmts: 5,
+            max_block_stmts: 3,
+            max_depth: 2,
+            max_expr_depth: 3,
+            max_loop_iters: 4,
+            op_bias: Vec::new(),
+        }
+    }
+}
+
+/// One generated test case: the rendered source, its parsed AST, and the
+/// full-coverage memory stimuli.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// The fuzzer seed this case came from.
+    pub seed: u64,
+    /// The case index within the run.
+    pub index: u64,
+    /// Rendered source text.
+    pub source: String,
+    /// The program parsed back from `source`.
+    pub program: Program,
+    /// Initial contents for every memory (every word seeded).
+    pub stimuli: Vec<(String, Vec<i64>)>,
+}
+
+/// Generates case `index` of a run seeded with `seed`.
+///
+/// # Errors
+///
+/// Returns a message when the rendered program fails to parse — by
+/// construction that indicates a generator (or parser) bug, and the
+/// executor reports it as such rather than a compiler divergence.
+pub fn generate_case(seed: u64, index: u64, budget: &Budget) -> Result<Case, String> {
+    let mut rng = Rng::new(seed).derive(index);
+    let ast = Generator::new(&mut rng, budget).program();
+    let source = render(&ast);
+    let program = nenya::lang::parse(&source)
+        .map_err(|e| format!("generated program does not parse: {e}\n{source}"))?;
+    let stimuli = stimuli_for(&program.mems, seed, index, budget.width);
+    Ok(Case {
+        seed,
+        index,
+        source,
+        program,
+        stimuli,
+    })
+}
+
+/// Deterministic full-coverage stimuli: every word of every memory gets a
+/// width-truncated pseudo-random value. Keyed by memory *name*, so a
+/// shrunk program (fewer memories, smaller sizes) still sees a prefix of
+/// the same values.
+pub fn stimuli_for(
+    mems: &[MemDecl],
+    seed: u64,
+    index: u64,
+    width: u32,
+) -> Vec<(String, Vec<i64>)> {
+    mems.iter()
+        .map(|mem| {
+            let mut lane = 0xcbf2_9ce4_8422_2325u64;
+            for b in mem.name.bytes() {
+                lane = (lane ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut rng = Rng::new(seed).derive(index).derive(lane);
+            let values = (0..mem.size)
+                .map(|_| nenya::interp::truncate(rng.next_u64() as i64, width))
+                .collect();
+            (mem.name.clone(), values)
+        })
+        .collect()
+}
+
+const INT_OPS: &[BinaryOp] = &[
+    BinaryOp::Add,
+    BinaryOp::Sub,
+    BinaryOp::Mul,
+    BinaryOp::Div,
+    BinaryOp::Rem,
+    BinaryOp::BitAnd,
+    BinaryOp::BitOr,
+    BinaryOp::BitXor,
+    BinaryOp::Shl,
+    BinaryOp::Shr,
+    BinaryOp::Ushr,
+];
+
+const CMP_OPS: &[BinaryOp] = &[
+    BinaryOp::Eq,
+    BinaryOp::Ne,
+    BinaryOp::Lt,
+    BinaryOp::Le,
+    BinaryOp::Gt,
+    BinaryOp::Ge,
+];
+
+struct Generator<'a> {
+    rng: &'a mut Rng,
+    budget: &'a Budget,
+    mems: Vec<(String, usize)>,
+    /// Visible variables per scope (innermost last).
+    scopes: Vec<Vec<(String, Type)>>,
+    /// Counters of active loops — never assignment targets.
+    loop_vars: Vec<String>,
+    next_var: usize,
+    int_ops: Vec<BinaryOp>,
+    cmp_ops: Vec<BinaryOp>,
+}
+
+impl<'a> Generator<'a> {
+    fn new(rng: &'a mut Rng, budget: &'a Budget) -> Self {
+        // Coverage bias: unexercised operator kinds get triple weight.
+        let mut int_ops = INT_OPS.to_vec();
+        let mut cmp_ops = CMP_OPS.to_vec();
+        for op in &budget.op_bias {
+            let pool = if CMP_OPS.contains(op) {
+                &mut cmp_ops
+            } else {
+                &mut int_ops
+            };
+            pool.push(*op);
+            pool.push(*op);
+        }
+        Generator {
+            rng,
+            budget,
+            mems: Vec::new(),
+            scopes: vec![Vec::new()],
+            loop_vars: Vec::new(),
+            next_var: 0,
+            int_ops,
+            cmp_ops,
+        }
+    }
+
+    fn program(&mut self) -> Program {
+        let mem_count = 1 + self.rng.below(self.budget.max_mems as u64) as usize;
+        let mems: Vec<MemDecl> = (0..mem_count)
+            .map(|i| {
+                let size = 1usize << (1 + self.rng.below(self.budget.max_mem_size_log2 as u64));
+                MemDecl {
+                    name: format!("m{i}"),
+                    size,
+                    width: None,
+                }
+            })
+            .collect();
+        self.mems = mems.iter().map(|m| (m.name.clone(), m.size)).collect();
+
+        let mut stmts = Vec::new();
+        // Prelude: 1–3 top-level int variables, all initialized.
+        let var_count = 1 + self.rng.below(3) as usize;
+        for _ in 0..var_count {
+            let name = self.fresh("v");
+            let init = Expr::Int(self.small_const());
+            self.declare(&name, Type::Int);
+            stmts.push(Stmt::Decl {
+                ty: Type::Int,
+                name,
+                init: Some(init),
+            });
+        }
+        let group_count = 1 + self.rng.below(self.budget.max_top_stmts as u64) as usize;
+        for _ in 0..group_count {
+            stmts.extend(self.stmt_group(0, false));
+        }
+        // Epilogue: dump every top-level variable into memory so the
+        // differential comparison observes all of them.
+        let outputs: Vec<String> = self.scopes[0]
+            .iter()
+            .filter(|(_, ty)| *ty == Type::Int)
+            .map(|(name, _)| name.clone())
+            .collect();
+        let (mem, size) = self.mems[0].clone();
+        for (slot, name) in outputs.into_iter().enumerate() {
+            stmts.push(Stmt::MemStore {
+                mem: mem.clone(),
+                addr: Expr::Int((slot % size) as i64),
+                value: Expr::Var(name),
+            });
+        }
+
+        Program {
+            mems,
+            body: Block { stmts },
+            source_lines: 0, // recomputed by the re-parse
+        }
+    }
+
+    /// One "statement group": usually a single statement, but loops come
+    /// with their counter declaration.
+    fn stmt_group(&mut self, depth: usize, nested: bool) -> Vec<Stmt> {
+        let can_nest = depth < self.budget.max_depth;
+        loop {
+            match self.rng.below(10) {
+                0..=2 => {
+                    if let Some(stmt) = self.assign() {
+                        return vec![stmt];
+                    }
+                }
+                3 | 4 => return vec![self.mem_store()],
+                5 => {
+                    let name = self.fresh("v");
+                    let init = self.int_expr(self.budget.max_expr_depth);
+                    self.declare(&name, Type::Int);
+                    return vec![Stmt::Decl {
+                        ty: Type::Int,
+                        name,
+                        init: Some(init),
+                    }];
+                }
+                6 if nested => {
+                    let name = self.fresh("b");
+                    let init = self.bool_expr(2);
+                    self.declare(&name, Type::Bool);
+                    return vec![Stmt::Decl {
+                        ty: Type::Bool,
+                        name,
+                        init: Some(init),
+                    }];
+                }
+                7 if can_nest => return vec![self.if_stmt(depth)],
+                8 if can_nest => return self.for_loop(depth),
+                9 if can_nest => return self.while_loop(depth),
+                _ => {}
+            }
+        }
+    }
+
+    fn block(&mut self, depth: usize) -> Block {
+        self.scopes.push(Vec::new());
+        let group_count = 1 + self.rng.below(self.budget.max_block_stmts as u64) as usize;
+        let mut stmts = Vec::new();
+        for _ in 0..group_count {
+            stmts.extend(self.stmt_group(depth, true));
+        }
+        self.scopes.pop();
+        Block { stmts }
+    }
+
+    fn if_stmt(&mut self, depth: usize) -> Stmt {
+        let cond = self.bool_expr(2);
+        let then_block = self.block(depth + 1);
+        let else_block = if self.rng.chance(1, 2) {
+            self.block(depth + 1)
+        } else {
+            Block::default()
+        };
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        }
+    }
+
+    fn for_loop(&mut self, depth: usize) -> Vec<Stmt> {
+        let counter = self.fresh("i");
+        self.declare(&counter, Type::Int);
+        let decl = Stmt::Decl {
+            ty: Type::Int,
+            name: counter.clone(),
+            init: Some(Expr::Int(0)),
+        };
+        let bound = self.rng.range_i64(1, self.budget.max_loop_iters);
+        self.loop_vars.push(counter.clone());
+        let body = self.block(depth + 1);
+        self.loop_vars.pop();
+        let for_stmt = Stmt::For {
+            init: Box::new(Stmt::Assign {
+                name: counter.clone(),
+                value: Expr::Int(0),
+            }),
+            cond: Expr::Binary {
+                op: BinaryOp::Lt,
+                lhs: Box::new(Expr::Var(counter.clone())),
+                rhs: Box::new(Expr::Int(bound)),
+            },
+            update: Box::new(Stmt::Assign {
+                name: counter.clone(),
+                value: Expr::Binary {
+                    op: BinaryOp::Add,
+                    lhs: Box::new(Expr::Var(counter)),
+                    rhs: Box::new(Expr::Int(1)),
+                },
+            }),
+            body,
+        };
+        vec![decl, for_stmt]
+    }
+
+    fn while_loop(&mut self, depth: usize) -> Vec<Stmt> {
+        let counter = self.fresh("w");
+        self.declare(&counter, Type::Int);
+        let decl = Stmt::Decl {
+            ty: Type::Int,
+            name: counter.clone(),
+            init: Some(Expr::Int(0)),
+        };
+        let bound = self.rng.range_i64(1, self.budget.max_loop_iters);
+        self.loop_vars.push(counter.clone());
+        let mut body = self.block(depth + 1);
+        self.loop_vars.pop();
+        body.stmts.push(Stmt::Assign {
+            name: counter.clone(),
+            value: Expr::Binary {
+                op: BinaryOp::Add,
+                lhs: Box::new(Expr::Var(counter.clone())),
+                rhs: Box::new(Expr::Int(1)),
+            },
+        });
+        let while_stmt = Stmt::While {
+            cond: Expr::Binary {
+                op: BinaryOp::Lt,
+                lhs: Box::new(Expr::Var(counter)),
+                rhs: Box::new(Expr::Int(bound)),
+            },
+            body,
+        };
+        vec![decl, while_stmt]
+    }
+
+    fn assign(&mut self) -> Option<Stmt> {
+        let targets: Vec<String> = self
+            .scopes
+            .iter()
+            .flatten()
+            .filter(|(name, ty)| *ty == Type::Int && !self.loop_vars.contains(name))
+            .map(|(name, _)| name.clone())
+            .collect();
+        if targets.is_empty() {
+            return None;
+        }
+        let name = self.rng.pick(&targets).clone();
+        let value = self.int_expr(self.budget.max_expr_depth);
+        Some(Stmt::Assign { name, value })
+    }
+
+    fn mem_store(&mut self) -> Stmt {
+        let (mem, size) = self.rng.pick(&self.mems).clone();
+        let addr = self.addr_expr(size);
+        let value = self.int_expr(self.budget.max_expr_depth);
+        Stmt::MemStore { mem, addr, value }
+    }
+
+    /// An always-in-range address: `expr & (size-1)` (sizes are powers of
+    /// two, so the mask is exact and the result non-negative).
+    fn addr_expr(&mut self, size: usize) -> Expr {
+        let inner = self.int_expr(1);
+        Expr::Binary {
+            op: BinaryOp::BitAnd,
+            lhs: Box::new(inner),
+            rhs: Box::new(Expr::Int(size as i64 - 1)),
+        }
+    }
+
+    fn small_const(&mut self) -> i64 {
+        let cap = 1i64 << (self.budget.width.saturating_sub(2).min(8));
+        self.rng.range_i64(-cap, cap)
+    }
+
+    fn int_var(&mut self) -> Option<Expr> {
+        let vars: Vec<String> = self
+            .scopes
+            .iter()
+            .flatten()
+            .filter(|(_, ty)| *ty == Type::Int)
+            .map(|(name, _)| name.clone())
+            .collect();
+        if vars.is_empty() {
+            return None;
+        }
+        Some(Expr::Var(self.rng.pick(&vars).clone()))
+    }
+
+    fn int_expr(&mut self, depth: usize) -> Expr {
+        if depth == 0 || self.rng.chance(1, 4) {
+            return match self.rng.below(3) {
+                0 => Expr::Int(self.small_const()),
+                1 => self.int_var().unwrap_or(Expr::Int(1)),
+                _ => {
+                    let (mem, size) = self.rng.pick(&self.mems).clone();
+                    let addr = if depth == 0 {
+                        Expr::Int(self.rng.below(size as u64) as i64)
+                    } else {
+                        self.addr_expr(size)
+                    };
+                    Expr::MemLoad {
+                        mem,
+                        addr: Box::new(addr),
+                    }
+                }
+            };
+        }
+        if self.rng.chance(1, 6) {
+            let op = *self.rng.pick(&[UnaryOp::Neg, UnaryOp::BitNot]);
+            return Expr::Unary {
+                op,
+                expr: Box::new(self.int_expr(depth - 1)),
+            };
+        }
+        let ops = self.int_ops.clone();
+        let op = *self.rng.pick(&ops);
+        let lhs = Box::new(self.int_expr(depth - 1));
+        let rhs = match op {
+            // Odd, hence nonzero: division can never trap.
+            BinaryOp::Div | BinaryOp::Rem => Box::new(Expr::Binary {
+                op: BinaryOp::BitOr,
+                lhs: Box::new(self.int_expr(depth - 1)),
+                rhs: Box::new(Expr::Int(1)),
+            }),
+            // Small literal shift amounts keep both sides in the defined
+            // range (the interpreter masks with & 63 anyway).
+            BinaryOp::Shl | BinaryOp::Shr | BinaryOp::Ushr => {
+                Expr::Int(self.rng.below(self.budget.width.min(8) as u64) as i64).into()
+            }
+            _ => Box::new(self.int_expr(depth - 1)),
+        };
+        Expr::Binary { op, lhs, rhs }
+    }
+
+    fn bool_expr(&mut self, depth: usize) -> Expr {
+        let bools: Vec<String> = self
+            .scopes
+            .iter()
+            .flatten()
+            .filter(|(_, ty)| *ty == Type::Bool)
+            .map(|(name, _)| name.clone())
+            .collect();
+        if !bools.is_empty() && self.rng.chance(1, 5) {
+            return Expr::Var(self.rng.pick(&bools).clone());
+        }
+        if depth > 0 && self.rng.chance(1, 4) {
+            return match self.rng.below(3) {
+                0 => Expr::Binary {
+                    op: BinaryOp::LogAnd,
+                    lhs: Box::new(self.bool_expr(depth - 1)),
+                    rhs: Box::new(self.bool_expr(depth - 1)),
+                },
+                1 => Expr::Binary {
+                    op: BinaryOp::LogOr,
+                    lhs: Box::new(self.bool_expr(depth - 1)),
+                    rhs: Box::new(self.bool_expr(depth - 1)),
+                },
+                _ => Expr::Unary {
+                    op: UnaryOp::LogNot,
+                    expr: Box::new(self.bool_expr(depth - 1)),
+                },
+            };
+        }
+        let ops = self.cmp_ops.clone();
+        let op = *self.rng.pick(&ops);
+        Expr::Binary {
+            op,
+            lhs: Box::new(self.int_expr(2)),
+            rhs: Box::new(self.int_expr(2)),
+        }
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        let name = format!("{prefix}{}", self.next_var);
+        self.next_var += 1;
+        name
+    }
+
+    fn declare(&mut self, name: &str, ty: Type) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .push((name.to_string(), ty));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------
+
+/// Renders a program as parseable source text, one statement per line.
+pub fn render(program: &Program) -> String {
+    let mut out = String::new();
+    for mem in &program.mems {
+        match mem.width {
+            Some(w) => out.push_str(&format!("mem {}[{}] width {};\n", mem.name, mem.size, w)),
+            None => out.push_str(&format!("mem {}[{}];\n", mem.name, mem.size)),
+        }
+    }
+    out.push_str("void main() {\n");
+    for stmt in &program.body.stmts {
+        render_stmt(&mut out, stmt, 1);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn render_stmt(out: &mut String, stmt: &Stmt, level: usize) {
+    indent(out, level);
+    match stmt {
+        Stmt::Decl { ty, name, init } => {
+            match init {
+                Some(expr) => out.push_str(&format!("{ty} {name} = {};\n", render_expr(expr))),
+                None => out.push_str(&format!("{ty} {name};\n")),
+            };
+        }
+        Stmt::Assign { name, value } => {
+            out.push_str(&format!("{name} = {};\n", render_expr(value)));
+        }
+        Stmt::MemStore { mem, addr, value } => {
+            out.push_str(&format!(
+                "{mem}[{}] = {};\n",
+                render_expr(addr),
+                render_expr(value)
+            ));
+        }
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
+            out.push_str(&format!("if ({}) {{\n", render_expr(cond)));
+            for inner in &then_block.stmts {
+                render_stmt(out, inner, level + 1);
+            }
+            indent(out, level);
+            if else_block.stmts.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for inner in &else_block.stmts {
+                    render_stmt(out, inner, level + 1);
+                }
+                indent(out, level);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::While { cond, body } => {
+            out.push_str(&format!("while ({}) {{\n", render_expr(cond)));
+            for inner in &body.stmts {
+                render_stmt(out, inner, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+        } => {
+            out.push_str(&format!(
+                "for ({}; {}; {}) {{\n",
+                render_assign_header(init),
+                render_expr(cond),
+                render_assign_header(update)
+            ));
+            for inner in &body.stmts {
+                render_stmt(out, inner, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+    }
+}
+
+fn render_assign_header(stmt: &Stmt) -> String {
+    match stmt {
+        Stmt::Assign { name, value } => format!("{name} = {}", render_expr(value)),
+        other => unreachable!("for-header is always an assignment, got {other:?}"),
+    }
+}
+
+/// Renders an expression fully parenthesized, so operator precedence can
+/// never disagree between the AST and its re-parse.
+pub fn render_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Int(v) => {
+            if *v < 0 {
+                format!("({v})")
+            } else {
+                format!("{v}")
+            }
+        }
+        Expr::Bool(b) => b.to_string(),
+        Expr::Var(name) => name.clone(),
+        Expr::MemLoad { mem, addr } => format!("{mem}[{}]", render_expr(addr)),
+        Expr::Unary { op, expr } => {
+            let symbol = match op {
+                UnaryOp::Neg => "-",
+                UnaryOp::BitNot => "~",
+                UnaryOp::LogNot => "!",
+            };
+            format!("({symbol}{})", render_expr(expr))
+        }
+        Expr::Binary { op, lhs, rhs } => format!(
+            "({} {} {})",
+            render_expr(lhs),
+            op.symbol(),
+            render_expr(rhs)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_cases_are_reproducible() {
+        let budget = Budget::default();
+        for index in 0..20 {
+            let a = generate_case(11, index, &budget).unwrap();
+            let b = generate_case(11, index, &budget).unwrap();
+            assert_eq!(a.source, b.source, "index {index}");
+            assert_eq!(a.stimuli, b.stimuli, "index {index}");
+        }
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let budget = Budget::default();
+        let a = generate_case(11, 0, &budget).unwrap();
+        let b = generate_case(11, 1, &budget).unwrap();
+        assert_ne!(a.source, b.source);
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let budget = Budget::default();
+        for index in 0..50 {
+            let case = generate_case(3, index, &budget).unwrap();
+            // The AST parsed back from the rendering re-renders identically:
+            // rendering is a faithful inverse of parsing.
+            assert_eq!(render(&case.program), case.source, "index {index}");
+        }
+    }
+
+    #[test]
+    fn stimuli_cover_every_word_and_respect_width() {
+        let budget = Budget::default();
+        let case = generate_case(5, 0, &budget).unwrap();
+        assert_eq!(case.stimuli.len(), case.program.mems.len());
+        for ((mem, values), decl) in case.stimuli.iter().zip(&case.program.mems) {
+            assert_eq!(mem, &decl.name);
+            assert_eq!(values.len(), decl.size);
+            for v in values {
+                assert_eq!(*v, nenya::interp::truncate(*v, budget.width));
+            }
+        }
+    }
+
+    #[test]
+    fn stimuli_are_stable_per_memory_name() {
+        // Shrinking may drop memories; the survivors must keep their values
+        // so a shrunk case reproduces the same execution.
+        let mems = vec![
+            MemDecl {
+                name: "m0".into(),
+                size: 4,
+                width: None,
+            },
+            MemDecl {
+                name: "m1".into(),
+                size: 8,
+                width: None,
+            },
+        ];
+        let full = stimuli_for(&mems, 9, 2, 16);
+        let reduced = stimuli_for(&mems[1..], 9, 2, 16);
+        assert_eq!(full[1], reduced[0]);
+    }
+}

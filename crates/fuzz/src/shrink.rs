@@ -1,0 +1,489 @@
+//! Deterministic greedy shrinking of failing cases.
+//!
+//! The shrinker repeatedly tries small structural edits — remove a
+//! statement, splice a control body into its parent, drop an unused
+//! memory, halve a memory, replace a binary expression with one of its
+//! operands, zero or halve a constant — and keeps an edit only when the
+//! edited case *still diverges the same way* (same variant, same
+//! [`DivKind`](crate::exec::DivKind)). Preserving the divergence class
+//! matters: without it, a memory-mismatch bug could "shrink" into an
+//! unrelated infinite loop that merely times out.
+//!
+//! Every accepted edit strictly reduces a lexicographic size metric
+//! (statements + memories, expression nodes, constant magnitude, source
+//! length), so shrinking always terminates; `max_evals` additionally
+//! bounds the number of executor invocations. Candidate programs are
+//! rendered and re-parsed like generated ones, and stimuli are re-derived
+//! per memory name, so surviving memories keep their original contents.
+
+use crate::exec::{run_case, CaseOutcome, Divergence, ExecOptions};
+use crate::gen::{render, stimuli_for, Case};
+use nenya::lang::{Block, Expr, Program, Stmt};
+
+/// The outcome of a shrink run.
+#[derive(Debug)]
+pub struct ShrinkReport {
+    /// The smallest case found that still diverges like the original.
+    pub case: Case,
+    /// How many executor invocations were spent (including the initial
+    /// classification run).
+    pub evals: usize,
+    /// How many greedy rounds ran before reaching a fixpoint.
+    pub rounds: usize,
+}
+
+/// Shrinks a diverging case. A case that does not diverge is returned
+/// unchanged.
+pub fn shrink(case: &Case, width: u32, opts: &ExecOptions, max_evals: usize) -> ShrinkReport {
+    let original = match run_case(case, width, opts) {
+        CaseOutcome::Divergence(d) => d,
+        _ => {
+            return ShrinkReport {
+                case: case.clone(),
+                evals: 1,
+                rounds: 0,
+            }
+        }
+    };
+    let mut best = case.clone();
+    let mut evals = 1usize;
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        let mut improved = false;
+        for candidate in candidates(&best.program) {
+            if evals >= max_evals {
+                return ShrinkReport {
+                    case: best,
+                    evals,
+                    rounds,
+                };
+            }
+            let Some(next) = rebuild(&best, candidate, width) else {
+                continue;
+            };
+            if metric(&next) >= metric(&best) {
+                continue;
+            }
+            evals += 1;
+            if still_diverges(&next, width, opts, &original) {
+                best = next;
+                improved = true;
+                break; // restart enumeration on the smaller program
+            }
+        }
+        if !improved {
+            return ShrinkReport {
+                case: best,
+                evals,
+                rounds,
+            };
+        }
+    }
+}
+
+/// Lines of the rendered source — the size the acceptance criterion is
+/// stated in.
+pub fn line_count(case: &Case) -> usize {
+    case.source.lines().count()
+}
+
+fn still_diverges(case: &Case, width: u32, opts: &ExecOptions, original: &Divergence) -> bool {
+    matches!(
+        run_case(case, width, opts),
+        CaseOutcome::Divergence(d) if d.kind == original.kind && d.variant == original.variant
+    )
+}
+
+fn rebuild(base: &Case, program: Program, width: u32) -> Option<Case> {
+    let source = render(&program);
+    let program = nenya::lang::parse(&source).ok()?;
+    let stimuli = stimuli_for(&program.mems, base.seed, base.index, width);
+    Some(Case {
+        seed: base.seed,
+        index: base.index,
+        source,
+        program,
+        stimuli,
+    })
+}
+
+/// Strictly decreasing under every accepted edit, which guarantees the
+/// greedy loop terminates.
+fn metric(case: &Case) -> (usize, usize, u64, usize) {
+    let program = &case.program;
+    let mut stmts = program.mems.len();
+    let mut exprs = 0usize;
+    let mut consts: u64 = program.mems.iter().map(|m| m.size as u64).sum();
+    count_block(&program.body, &mut stmts, &mut exprs, &mut consts);
+    (stmts, exprs, consts, case.source.len())
+}
+
+fn count_block(block: &Block, stmts: &mut usize, exprs: &mut usize, consts: &mut u64) {
+    for stmt in &block.stmts {
+        *stmts += 1;
+        match stmt {
+            Stmt::Decl { init, .. } => {
+                if let Some(expr) = init {
+                    count_expr(expr, exprs, consts);
+                }
+            }
+            Stmt::Assign { value, .. } => count_expr(value, exprs, consts),
+            Stmt::MemStore { addr, value, .. } => {
+                count_expr(addr, exprs, consts);
+                count_expr(value, exprs, consts);
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                count_expr(cond, exprs, consts);
+                count_block(then_block, stmts, exprs, consts);
+                count_block(else_block, stmts, exprs, consts);
+            }
+            Stmt::While { cond, body } => {
+                count_expr(cond, exprs, consts);
+                count_block(body, stmts, exprs, consts);
+            }
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
+                if let Stmt::Assign { value, .. } = &**init {
+                    count_expr(value, exprs, consts);
+                }
+                count_expr(cond, exprs, consts);
+                if let Stmt::Assign { value, .. } = &**update {
+                    count_expr(value, exprs, consts);
+                }
+                count_block(body, stmts, exprs, consts);
+            }
+        }
+    }
+}
+
+fn count_expr(expr: &Expr, exprs: &mut usize, consts: &mut u64) {
+    *exprs += 1;
+    match expr {
+        Expr::Int(v) => *consts += v.unsigned_abs(),
+        Expr::Bool(_) | Expr::Var(_) => {}
+        Expr::MemLoad { addr, .. } => count_expr(addr, exprs, consts),
+        Expr::Unary { expr, .. } => count_expr(expr, exprs, consts),
+        Expr::Binary { lhs, rhs, .. } => {
+            count_expr(lhs, exprs, consts);
+            count_expr(rhs, exprs, consts);
+        }
+    }
+}
+
+/// All single-edit neighbours of a program, most aggressive first.
+fn candidates(program: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    // 1. Remove one statement (DFS order).
+    let mut t = 0;
+    loop {
+        let mut p = program.clone();
+        let mut target = t;
+        if !remove_stmt(&mut p.body, &mut target) {
+            break;
+        }
+        out.push(p);
+        t += 1;
+    }
+    // 2. Splice one control statement's body into its parent.
+    let mut t = 0;
+    loop {
+        let mut p = program.clone();
+        let mut target = t;
+        if !unwrap_stmt(&mut p.body, &mut target) {
+            break;
+        }
+        out.push(p);
+        t += 1;
+    }
+    // 3. Drop an unused memory (always keep at least one).
+    for i in 0..program.mems.len() {
+        if program.mems.len() > 1 && !mem_used(&program.body, &program.mems[i].name) {
+            let mut p = program.clone();
+            p.mems.remove(i);
+            out.push(p);
+        }
+    }
+    // 4. Halve a memory. Address masks may now exceed the memory; such
+    //    candidates fail compile or golden and the predicate rejects them.
+    for i in 0..program.mems.len() {
+        if program.mems[i].size >= 4 {
+            let mut p = program.clone();
+            p.mems[i].size /= 2;
+            out.push(p);
+        }
+    }
+    // 5. Expression edits: replace a binary with an operand, then zero or
+    //    halve constants.
+    for kind in [
+        ExprEdit::TakeLhs,
+        ExprEdit::TakeRhs,
+        ExprEdit::Zero,
+        ExprEdit::Halve,
+    ] {
+        let mut t = 0;
+        loop {
+            let mut p = program.clone();
+            let mut target = t;
+            if !edit_block(&mut p.body, &mut target, kind) {
+                break;
+            }
+            out.push(p);
+            t += 1;
+        }
+    }
+    out
+}
+
+fn remove_stmt(block: &mut Block, target: &mut usize) -> bool {
+    let mut i = 0;
+    while i < block.stmts.len() {
+        if *target == 0 {
+            block.stmts.remove(i);
+            return true;
+        }
+        *target -= 1;
+        let done = match &mut block.stmts[i] {
+            Stmt::If {
+                then_block,
+                else_block,
+                ..
+            } => remove_stmt(then_block, target) || remove_stmt(else_block, target),
+            Stmt::While { body, .. } | Stmt::For { body, .. } => remove_stmt(body, target),
+            _ => false,
+        };
+        if done {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+fn unwrap_stmt(block: &mut Block, target: &mut usize) -> bool {
+    let mut i = 0;
+    while i < block.stmts.len() {
+        let is_ctrl = matches!(
+            block.stmts[i],
+            Stmt::If { .. } | Stmt::While { .. } | Stmt::For { .. }
+        );
+        if is_ctrl {
+            if *target == 0 {
+                let inner = match block.stmts.remove(i) {
+                    Stmt::If {
+                        then_block,
+                        mut else_block,
+                        ..
+                    } => {
+                        let mut stmts = then_block.stmts;
+                        stmts.append(&mut else_block.stmts);
+                        stmts
+                    }
+                    Stmt::While { body, .. } | Stmt::For { body, .. } => body.stmts,
+                    _ => unreachable!("is_ctrl checked above"),
+                };
+                for (j, stmt) in inner.into_iter().enumerate() {
+                    block.stmts.insert(i + j, stmt);
+                }
+                return true;
+            }
+            *target -= 1;
+        }
+        let done = match &mut block.stmts[i] {
+            Stmt::If {
+                then_block,
+                else_block,
+                ..
+            } => unwrap_stmt(then_block, target) || unwrap_stmt(else_block, target),
+            Stmt::While { body, .. } | Stmt::For { body, .. } => unwrap_stmt(body, target),
+            _ => false,
+        };
+        if done {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+fn mem_used(block: &Block, name: &str) -> bool {
+    block.stmts.iter().any(|stmt| match stmt {
+        Stmt::Decl { init, .. } => init.as_ref().is_some_and(|e| expr_uses_mem(e, name)),
+        Stmt::Assign { value, .. } => expr_uses_mem(value, name),
+        Stmt::MemStore { mem, addr, value } => {
+            mem == name || expr_uses_mem(addr, name) || expr_uses_mem(value, name)
+        }
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
+            expr_uses_mem(cond, name) || mem_used(then_block, name) || mem_used(else_block, name)
+        }
+        Stmt::While { cond, body } => expr_uses_mem(cond, name) || mem_used(body, name),
+        Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+        } => {
+            let header = |s: &Stmt| match s {
+                Stmt::Assign { value, .. } => expr_uses_mem(value, name),
+                _ => false,
+            };
+            header(init) || expr_uses_mem(cond, name) || header(update) || mem_used(body, name)
+        }
+    })
+}
+
+fn expr_uses_mem(expr: &Expr, name: &str) -> bool {
+    match expr {
+        Expr::Int(_) | Expr::Bool(_) | Expr::Var(_) => false,
+        Expr::MemLoad { mem, addr } => mem == name || expr_uses_mem(addr, name),
+        Expr::Unary { expr, .. } => expr_uses_mem(expr, name),
+        Expr::Binary { lhs, rhs, .. } => expr_uses_mem(lhs, name) || expr_uses_mem(rhs, name),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExprEdit {
+    TakeLhs,
+    TakeRhs,
+    Zero,
+    Halve,
+}
+
+fn edit_block(block: &mut Block, target: &mut usize, kind: ExprEdit) -> bool {
+    for stmt in &mut block.stmts {
+        let done = match stmt {
+            Stmt::Decl { init, .. } => init
+                .as_mut()
+                .is_some_and(|e| edit_expr(e, target, kind)),
+            Stmt::Assign { value, .. } => edit_expr(value, target, kind),
+            Stmt::MemStore { addr, value, .. } => {
+                edit_expr(addr, target, kind) || edit_expr(value, target, kind)
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                edit_expr(cond, target, kind)
+                    || edit_block(then_block, target, kind)
+                    || edit_block(else_block, target, kind)
+            }
+            Stmt::While { cond, body } => {
+                edit_expr(cond, target, kind) || edit_block(body, target, kind)
+            }
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
+                edit_header(init, target, kind)
+                    || edit_expr(cond, target, kind)
+                    || edit_header(update, target, kind)
+                    || edit_block(body, target, kind)
+            }
+        };
+        if done {
+            return true;
+        }
+    }
+    false
+}
+
+fn edit_header(stmt: &mut Stmt, target: &mut usize, kind: ExprEdit) -> bool {
+    match stmt {
+        Stmt::Assign { value, .. } => edit_expr(value, target, kind),
+        _ => false,
+    }
+}
+
+fn edit_expr(expr: &mut Expr, target: &mut usize, kind: ExprEdit) -> bool {
+    let applicable = match (kind, &*expr) {
+        (ExprEdit::TakeLhs | ExprEdit::TakeRhs, Expr::Binary { .. }) => true,
+        (ExprEdit::TakeLhs, Expr::Unary { .. }) => true,
+        (ExprEdit::Zero, Expr::Int(v)) => *v != 0,
+        (ExprEdit::Halve, Expr::Int(v)) => v.unsigned_abs() > 1,
+        _ => false,
+    };
+    if applicable {
+        if *target == 0 {
+            match (kind, &mut *expr) {
+                (ExprEdit::TakeLhs, Expr::Binary { lhs, .. }) => {
+                    *expr = std::mem::replace(&mut **lhs, Expr::Int(0));
+                }
+                (ExprEdit::TakeLhs, Expr::Unary { expr: inner, .. }) => {
+                    *expr = std::mem::replace(&mut **inner, Expr::Int(0));
+                }
+                (ExprEdit::TakeRhs, Expr::Binary { rhs, .. }) => {
+                    *expr = std::mem::replace(&mut **rhs, Expr::Int(0));
+                }
+                (ExprEdit::Zero, Expr::Int(v)) => *v = 0,
+                (ExprEdit::Halve, Expr::Int(v)) => *v /= 2,
+                _ => unreachable!("applicability checked above"),
+            }
+            return true;
+        }
+        *target -= 1;
+    }
+    match expr {
+        Expr::MemLoad { addr, .. } => edit_expr(addr, target, kind),
+        Expr::Unary { expr, .. } => edit_expr(expr, target, kind),
+        Expr::Binary { lhs, rhs, .. } => {
+            edit_expr(lhs, target, kind) || edit_expr(rhs, target, kind)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{diverges, Injection};
+    use crate::gen::{generate_case, Budget};
+
+    #[test]
+    fn non_diverging_case_is_returned_unchanged() {
+        let budget = Budget::default();
+        let case = generate_case(1, 0, &budget).unwrap();
+        let opts = ExecOptions::default();
+        let report = shrink(&case, budget.width, &opts, 100);
+        assert_eq!(report.case.source, case.source);
+        assert_eq!(report.rounds, 0);
+    }
+
+    #[test]
+    fn shrinking_preserves_divergence_and_reduces() {
+        let budget = Budget::default();
+        let opts = ExecOptions {
+            injection: Some(Injection::BranchPolarity),
+            max_ticks: 50_000,
+            ..ExecOptions::default()
+        };
+        for index in 0..50 {
+            let case = generate_case(42, index, &budget).unwrap();
+            if !diverges(&case, budget.width, &opts) {
+                continue;
+            }
+            let report = shrink(&case, budget.width, &opts, 500);
+            assert!(report.case.source.len() <= case.source.len());
+            assert!(diverges(&report.case, budget.width, &opts));
+            // Shrinking is deterministic.
+            let again = shrink(&case, budget.width, &opts, 500);
+            assert_eq!(report.case.source, again.case.source);
+            return;
+        }
+        panic!("no diverging case among the first 50 under injection");
+    }
+}

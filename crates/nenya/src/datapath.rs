@@ -64,13 +64,17 @@ pub struct Datapath {
     pub conditions: Vec<String>,
 }
 
+/// The functional-unit kinds a datapath can instantiate (the shared
+/// operator vocabulary; everything else is routing/storage: `reg`, `mux`,
+/// `sram`, …).
+pub const FU_KINDS: &[&str] = &[
+    "add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr", "ushr", "eq", "ne", "lt",
+    "le", "gt", "ge", "not", "neg",
+];
+
 impl Datapath {
     /// Number of functional units (the Table I "operators" column).
     pub fn operator_count(&self) -> usize {
-        const FU_KINDS: &[&str] = &[
-            "add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr", "ushr", "eq",
-            "ne", "lt", "le", "gt", "ge", "not", "neg",
-        ];
         self.cells
             .iter()
             .filter(|c| FU_KINDS.contains(&c.kind.as_str()))
@@ -193,10 +197,16 @@ pub fn generate(prog: &TacProgram, schedule: &Schedule) -> (Datapath, ControlPla
             Instr::Bin { kind, dst, a, b } => {
                 let y = format!("fu{i}_y");
                 let width = prog.temp_width(*dst);
+                // FUs operate at operand width: comparisons narrow wide
+                // operands to a 1-bit result themselves, while logical
+                // and/or over booleans must be 1-bit throughout — sizing
+                // them at the design width would drive a wide result onto
+                // the 1-bit output signal.
+                let op_width = prog.temp_width(*a).max(prog.temp_width(*b));
                 dp.signals.push((y.clone(), width));
                 dp.cells.push(
                     Cell::new(format!("fu{i}"), kind.name())
-                        .param("width", prog.width)
+                        .param("width", op_width)
                         .conn("a", temp_q(*a))
                         .conn("b", temp_q(*b))
                         .conn("y", y.clone()),

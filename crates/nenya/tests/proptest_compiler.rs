@@ -4,86 +4,44 @@
 //! executing a program split into k configurations (with scalar transfer
 //! through the `__xfer` memory) leaves every user memory with exactly the
 //! contents the unpartitioned program produces.
+//!
+//! Random programs come from the fuzzer's valid-by-construction generator
+//! (`fpgafuzz::gen`) rather than ad-hoc string templates: the strategy
+//! draws a `(seed, index)` pair and materializes the deterministic case
+//! for it, so every program here covers the full statement and operator
+//! surface the fuzzer knows how to emit, and any failure is reproducible
+//! with `fpgafuzz repro --seed S --index I`.
 
+use fpgafuzz::gen::{generate_case, render, Budget, Case};
 use nenya::{compile, CompileOptions};
 use proptest::prelude::*;
 
-/// Generates random but always-valid programs: four pre-initialized `int`
-/// variables, one input memory and one output memory, and 4–8 top-level
-/// statements drawn from assignments, guarded stores, bounded loops, and
-/// conditionals. Addresses are masked with `& 15`, divisors avoided, so
-/// the only possible runtime error path is exercised deliberately
-/// elsewhere.
-#[derive(Debug, Clone)]
-struct ProgramSpec {
-    stmts: Vec<String>,
+fn arb_case() -> impl Strategy<Value = Case> {
+    (any::<u64>(), 0u64..1024).prop_map(|(seed, index)| {
+        generate_case(seed, index, &Budget::default()).expect("generator emits valid programs")
+    })
 }
 
-fn arb_expr(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        (0i64..64).prop_map(|v| v.to_string()),
-        prop_oneof![Just("v0"), Just("v1"), Just("v2"), Just("v3")].prop_map(str::to_string),
-        (0i64..16).prop_map(|i| format!("inp[{i}]")),
-    ];
-    if depth == 0 {
-        leaf.boxed()
-    } else {
-        let sub = arb_expr(depth - 1);
-        prop_oneof![
-            leaf,
-            (sub.clone(), prop_oneof![
-                Just("+"), Just("-"), Just("*"), Just("&"), Just("|"), Just("^")
-            ], sub.clone())
-                .prop_map(|(a, op, b)| format!("({a} {op} {b})")),
-            sub.clone().prop_map(|a| format!("(-{a})")),
-            sub.prop_map(|a| format!("(~{a})")),
-        ]
-        .boxed()
+fn options() -> CompileOptions {
+    CompileOptions {
+        width: Budget::default().width,
+        ..CompileOptions::default()
     }
 }
 
-fn arb_stmt() -> BoxedStrategy<String> {
-    let var = prop_oneof![Just("v0"), Just("v1"), Just("v2"), Just("v3")];
-    prop_oneof![
-        (var.clone(), arb_expr(2)).prop_map(|(v, e)| format!("{v} = {e};")),
-        (arb_expr(1), arb_expr(2)).prop_map(|(a, e)| format!("out[({a}) & 15] = {e};")),
-        (var.clone(), 1i64..5, arb_expr(1), arb_expr(1)).prop_map(|(v, n, a, e)| {
-            format!(
-                "for ({v} = 0; {v} < {n}; {v} = {v} + 1) {{ out[({a} + {v}) & 15] = {e}; }}"
-            )
-        }),
-        (arb_expr(1), arb_expr(1), var).prop_map(|(a, b, v)| {
-            format!("if (({a}) < ({b})) {{ {v} = {a}; }} else {{ {v} = {b}; }}")
-        }),
-    ]
-    .boxed()
-}
-
-fn arb_program() -> impl Strategy<Value = ProgramSpec> {
-    proptest::collection::vec(arb_stmt(), 4..9).prop_map(|stmts| ProgramSpec { stmts })
-}
-
-fn render(spec: &ProgramSpec) -> String {
-    let mut src = String::from("mem inp[16];\nmem out[16];\nvoid main() {\n");
-    src.push_str("int v0 = 1;\nint v1 = 2;\nint v2 = 3;\nint v3 = 4;\n");
-    for stmt in &spec.stmts {
-        src.push_str(stmt);
-        src.push('\n');
-    }
-    src.push('}');
-    src
-}
-
-fn seeded_images(design: &nenya::Design) -> std::collections::BTreeMap<String, Vec<Option<i64>>> {
+/// Seeds a design's blank images with the case's stimuli (every word of
+/// every user memory defined; internal memories like `__xfer` stay
+/// blank, exactly as the flow runs them).
+fn seeded_images(
+    design: &nenya::Design,
+    case: &Case,
+) -> std::collections::BTreeMap<String, Vec<Option<i64>>> {
     let mut images = design.blank_images();
-    let inp = images.get_mut("inp").expect("inp memory exists");
-    for (i, word) in inp.iter_mut().enumerate() {
-        *word = Some((i as i64 * 7 - 20) % 100);
-    }
-    // `out` starts zeroed so every program leaves deterministic contents.
-    let out = images.get_mut("out").expect("out memory exists");
-    for word in out.iter_mut() {
-        *word = Some(0);
+    for (mem, values) in &case.stimuli {
+        let image = images.get_mut(mem).expect("stimulus memory exists");
+        for (word, value) in image.iter_mut().zip(values) {
+            *word = Some(*value);
+        }
     }
     images
 }
@@ -91,28 +49,41 @@ fn seeded_images(design: &nenya::Design) -> std::collections::BTreeMap<String, V
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
+    /// Every fpgafuzz-generated program parses (the generator re-parses
+    /// its own rendering), lowers, and interprets without panicking —
+    /// the generator/compiler contract the fuzzer's divergence triage
+    /// rests on.
+    #[test]
+    fn fuzz_cases_parse_lower_and_interpret(case in arb_case()) {
+        prop_assert_eq!(render(&case.program), case.source.clone());
+        let design = compile("gen", &case.source, &options()).unwrap();
+        let mut images = seeded_images(&design, &case);
+        design
+            .execute_golden(&mut images, 2_000_000)
+            .expect("golden interpretation terminates");
+    }
+
     /// Partitioned execution (2- and 3-way) matches unpartitioned
     /// execution on every user memory.
     #[test]
-    fn partitioning_preserves_semantics(spec in arb_program()) {
-        let src = render(&spec);
-        let reference = compile("ref", &src, &CompileOptions::default()).unwrap();
-        let mut ref_images = seeded_images(&reference);
+    fn partitioning_preserves_semantics(case in arb_case()) {
+        let reference = compile("ref", &case.source, &options()).unwrap();
+        let mut ref_images = seeded_images(&reference, &case);
         reference
             .execute_golden(&mut ref_images, 2_000_000)
             .expect("reference executes");
 
         for k in [2usize, 3] {
-            let options = CompileOptions { partitions: k, ..CompileOptions::default() };
-            let design = compile("part", &src, &options).unwrap();
-            let mut images = seeded_images(&design);
+            let opts = CompileOptions { partitions: k, ..options() };
+            let design = compile("part", &case.source, &opts).unwrap();
+            let mut images = seeded_images(&design, &case);
             design
                 .execute_golden(&mut images, 2_000_000)
                 .expect("partitioned design executes");
-            for mem in ["inp", "out"] {
+            for (mem, _) in &case.stimuli {
                 prop_assert_eq!(
                     &images[mem], &ref_images[mem],
-                    "memory '{}' diverged with k={} for source:\n{}", mem, k, src
+                    "memory '{}' diverged with k={} for source:\n{}", mem, k, case.source
                 );
             }
         }
@@ -121,9 +92,8 @@ proptest! {
     /// The compiler never panics and always produces internally
     /// consistent artifacts on generated programs.
     #[test]
-    fn compile_produces_consistent_artifacts(spec in arb_program()) {
-        let src = render(&spec);
-        let design = compile("gen", &src, &CompileOptions::default()).unwrap();
+    fn compile_produces_consistent_artifacts(case in arb_case()) {
+        let design = compile("gen", &case.source, &options()).unwrap();
         for config in &design.configs {
             prop_assert_eq!(config.tac.validate(), Ok(()));
             prop_assert_eq!(config.schedule.validate(&config.tac), Ok(()));
@@ -135,9 +105,8 @@ proptest! {
 
     /// XML serialization round-trips for generated designs.
     #[test]
-    fn xml_roundtrips_for_generated_designs(spec in arb_program()) {
-        let src = render(&spec);
-        let design = compile("gen", &src, &CompileOptions::default()).unwrap();
+    fn xml_roundtrips_for_generated_designs(case in arb_case()) {
+        let design = compile("gen", &case.source, &options()).unwrap();
         for config in &design.configs {
             let dp_doc = nenya::xml::emit_datapath(&config.datapath);
             let reparsed = xmlite::Document::parse(&dp_doc.to_pretty_string()).unwrap();
@@ -158,12 +127,11 @@ proptest! {
     /// same memory contents as the unoptimized one, while never growing
     /// the design.
     #[test]
-    fn optimization_preserves_semantics(spec in arb_program()) {
-        let src = render(&spec);
-        let plain = compile("plain", &src, &CompileOptions::default()).unwrap();
-        let optimized = compile("opt", &src, &CompileOptions {
+    fn optimization_preserves_semantics(case in arb_case()) {
+        let plain = compile("plain", &case.source, &options()).unwrap();
+        let optimized = compile("opt", &case.source, &CompileOptions {
             optimize: true,
-            ..CompileOptions::default()
+            ..options()
         }).unwrap();
 
         prop_assert!(
@@ -171,23 +139,25 @@ proptest! {
         );
         prop_assert!(optimized.operator_count() <= plain.operator_count());
 
-        let mut a = seeded_images(&plain);
+        let mut a = seeded_images(&plain, &case);
         plain.execute_golden(&mut a, 2_000_000).expect("plain executes");
-        let mut b = seeded_images(&optimized);
+        let mut b = seeded_images(&optimized, &case);
         optimized.execute_golden(&mut b, 2_000_000).expect("optimized executes");
-        for mem in ["inp", "out"] {
-            prop_assert_eq!(&a[mem], &b[mem], "memory '{}' diverged for:\n{}", mem, src);
+        for (mem, _) in &case.stimuli {
+            prop_assert_eq!(
+                &a[mem], &b[mem],
+                "memory '{}' diverged for:\n{}", mem, case.source
+            );
         }
     }
 
     /// List scheduling never produces more states than one-op-per-state.
     #[test]
-    fn list_schedule_never_worse(spec in arb_program()) {
-        let src = render(&spec);
-        let packed = compile("p", &src, &CompileOptions::default()).unwrap();
-        let naive = compile("n", &src, &CompileOptions {
+    fn list_schedule_never_worse(case in arb_case()) {
+        let packed = compile("p", &case.source, &options()).unwrap();
+        let naive = compile("n", &case.source, &CompileOptions {
             policy: nenya::schedule::SchedulePolicy::OneOpPerState,
-            ..CompileOptions::default()
+            ..options()
         }).unwrap();
         prop_assert!(
             packed.configs[0].schedule.state_count()
@@ -205,20 +175,20 @@ proptest! {
         let _ = nenya::lang::parse(&input);
     }
 
-    /// Deleting a random chunk from a valid program either still compiles
-    /// or produces a proper error — never a panic.
+    /// Deleting a random chunk from a valid generated program either
+    /// still compiles or produces a proper error — never a panic.
     #[test]
     fn mutated_programs_never_panic(
-        spec in arb_program(),
+        case in arb_case(),
         start in any::<prop::sample::Index>(),
         len in 1usize..40
     ) {
-        let src = render(&spec);
+        let src = &case.source;
         let begin = start.index(src.len());
         let end = (begin + len).min(src.len());
         let mut mutated = String::with_capacity(src.len());
         mutated.push_str(&src[..begin]);
         mutated.push_str(&src[end..]);
-        let _ = compile("m", &mutated, &CompileOptions::default());
+        let _ = compile("m", &mutated, &options());
     }
 }

@@ -798,6 +798,35 @@ mod tests {
     }
 
     #[test]
+    fn wiring_many_probes_does_not_rescan() {
+        // Each probe resolves its signal through the simulator's name
+        // index (O(1)); the wiring loop is linear in the number of
+        // probes. 512 probes over this design complete in well under a
+        // second — the historical per-probe linear scan made this loop
+        // quadratic in generated designs with many probes.
+        let mut flow = TestFlow::new(
+            "p",
+            "mem out[4]; void main() { int i; for (i = 0; i < 4; i = i + 1) { out[i] = i; } }",
+        );
+        for _ in 0..256 {
+            flow = flow.probe("done").probe("out_we");
+        }
+        let started = std::time::Instant::now();
+        let report = flow.run().unwrap();
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(60),
+            "probe wiring took {:?}",
+            started.elapsed()
+        );
+        let probes = &report.runs[0].probes;
+        assert_eq!(probes["done"].last().map(|(_, v)| *v), Some(Some(-1)));
+        assert_eq!(
+            probes["out_we"].iter().filter(|(_, v)| *v == Some(-1)).count(),
+            4
+        );
+    }
+
+    #[test]
     fn unknown_probe_signal_is_an_error() {
         let err = TestFlow::new("p", "mem out[1]; void main() { out[0] = 1; }")
             .probe("no_such_signal")

@@ -110,4 +110,18 @@ pub trait Component {
 
     /// Called whenever an input changed or a wake-up fired.
     fn react(&mut self, ctx: &mut Context<'_>);
+
+    /// An optional evaluation gate, the kernel-level analogue of a clock
+    /// enable. Returning `Some(signal)` promises that whenever `signal`
+    /// is not currently true (zero or `X`), [`react`](Component::react)
+    /// is a no-op: it reads nothing else and schedules nothing. The
+    /// kernel then skips the dispatch entirely while still counting the
+    /// evaluation, which makes the pervasive "disabled register on a
+    /// clock edge" case nearly free.
+    ///
+    /// Queried once at registration, like [`inputs`](Component::inputs).
+    /// The default (`None`) never skips.
+    fn eval_gate(&self) -> Option<SignalId> {
+        None
+    }
 }

@@ -5,11 +5,31 @@
 //! separated into *delta* steps so that zero-delay combinational logic
 //! settles deterministically; a bounded delta count per instant detects
 //! zero-delay oscillation (one of the paper's required "stop mechanisms").
+//!
+//! # Hot-path layout
+//!
+//! The kernel stores simulation state in a cache-friendly structure-of-
+//! arrays form:
+//!
+//! * Signal values live in one dense `Vec<Value>`; names, widths, and
+//!   trace flags are kept in cold side arrays so that the `get`/`set`
+//!   traffic of component evaluations stays in a compact working set.
+//! * Sink adjacency (which components react to which signal) is a flat
+//!   CSR-style arena built by [`Simulator::seal`]: one shared `Vec` of
+//!   component indices plus a per-signal range. Within each range the
+//!   level-sensitive (`Sense::Any`) sinks come first and the edge-
+//!   sensitive (`Sense::Rising`) sinks after a split point, so a
+//!   non-rising update (e.g. the falling clock edge) never touches the
+//!   edge-triggered sinks at all.
+//! * Future events are split between a small time wheel for near events
+//!   (clock-period-dominated traffic) and a binary heap for far events,
+//!   making the common clock tick O(1) instead of O(log n).
 
 use crate::component::{Component, ComponentId, SignalId};
 use crate::value::Value;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::time::Instant;
@@ -73,8 +93,8 @@ pub struct RunSummary {
     pub evals: u64,
     /// Number of delta cycles entered (same-instant settle steps).
     pub delta_cycles: u64,
-    /// Largest number of pending events observed during the run (future
-    /// queue plus undrained same-instant batches).
+    /// Largest number of pending events observed during the run: the time
+    /// wheel plus the far-event heap plus undrained same-instant batches.
     pub max_queue_depth: usize,
     /// Host wall-clock seconds spent inside the kernel loop.
     pub wall_seconds: f64,
@@ -93,7 +113,8 @@ pub struct KernelStats {
     pub evals: u64,
     /// Delta cycles entered.
     pub delta_cycles: u64,
-    /// Largest pending-event count ever observed.
+    /// Largest pending-event count ever observed (wheel + heap + delta
+    /// batches).
     pub max_queue_depth: usize,
 }
 
@@ -129,7 +150,8 @@ enum EventKind {
     Eval(ComponentId),
 }
 
-/// A future-time event (same-instant delta events live in flat queues).
+/// A far-future event held in the heap (near events live in the wheel,
+/// same-instant delta events in flat batches).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Event {
     time: u64,
@@ -149,13 +171,13 @@ impl PartialOrd for Event {
     }
 }
 
-struct SignalState {
-    name: String,
-    width: u32,
-    value: Value,
-    sinks: Vec<(ComponentId, crate::component::Sense)>,
-    traced: bool,
-}
+/// Number of slots in the near-event time wheel. Events scheduled fewer
+/// than this many ticks ahead go into the wheel (O(1) insert/extract);
+/// farther events fall back to the heap. 64 comfortably covers the
+/// conventional 10-tick clock period and every operator delay the
+/// compiler emits.
+const WHEEL_SLOTS: usize = 64;
+const WHEEL_MASK: usize = WHEEL_SLOTS - 1;
 
 /// One recorded waveform change (used by the VCD writer and probes).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -168,15 +190,52 @@ pub struct Change {
     pub value: Value,
 }
 
+/// CSR-style sink adjacency: for signal `s`, `arena[ranges[s].start..
+/// ranges[s].split]` holds the level-sensitive sinks and
+/// `arena[ranges[s].split..ranges[s].end]` the rising-edge sinks, both in
+/// component registration order.
+#[derive(Debug, Default)]
+struct SinkTable {
+    arena: Vec<u32>,
+    ranges: Vec<SinkRange>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SinkRange {
+    start: u32,
+    split: u32,
+    end: u32,
+}
+
+/// Per-signal sink lists accumulated during component registration, the
+/// source from which [`SinkTable`] is (re)built at seal time.
+#[derive(Debug, Default, Clone)]
+struct SinkBuild {
+    any: Vec<u32>,
+    rising: Vec<u32>,
+}
+
 pub(crate) struct SimCore {
-    signals: Vec<SignalState>,
+    /// Current signal values, densely packed (the hot array).
+    values: Vec<Value>,
+    /// Signal widths, parallel to `values`.
+    widths: Vec<u32>,
+    /// Waveform-recording flags, parallel to `values`.
+    traced: Vec<bool>,
+    /// Signal names (cold; only read by diagnostics and lookups).
+    names: Vec<String>,
     /// Events of the instant currently being processed, drained in order.
     current: Vec<EventKind>,
     cursor: usize,
     /// Events scheduled for the next delta cycle of the current instant.
     next_delta: Vec<EventKind>,
-    /// Strictly later events (ordered by time, then insertion).
+    /// Far-future events (ordered by time, then insertion).
     future: BinaryHeap<Reverse<Event>>,
+    /// Near-future events, indexed by `time % WHEEL_SLOTS`. Each slot
+    /// holds `(seq, kind)` pairs in insertion order.
+    wheel: Vec<Vec<(u64, EventKind)>>,
+    /// Total number of events currently in the wheel.
+    wheel_len: usize,
     seq: u64,
     now: u64,
     delta: u32,
@@ -196,7 +255,17 @@ impl SimCore {
         debug_assert!(time > self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.future.push(Reverse(Event { time, seq, kind }));
+        let dt = time - self.now;
+        if dt < WHEEL_SLOTS as u64 {
+            // Near event: O(1) wheel insert. Within the (now, now+64)
+            // window each tick maps to a distinct slot, and `now` only
+            // ever advances to the earliest pending time, so a slot never
+            // mixes events of different instants.
+            self.wheel[time as usize & WHEEL_MASK].push((seq, kind));
+            self.wheel_len += 1;
+        } else {
+            self.future.push(Reverse(Event { time, seq, kind }));
+        }
         self.note_depth();
     }
 
@@ -208,6 +277,7 @@ impl SimCore {
     /// Schedules an evaluation in the next delta of the current instant,
     /// deduplicated: one evaluation per component per (time, delta) is
     /// enough since react reads whole input state, not individual edges.
+    #[inline]
     fn schedule_eval_next(&mut self, component: ComponentId) {
         let mark = (self.now, self.delta + 1);
         if self.eval_marks[component.0] == mark {
@@ -217,16 +287,76 @@ impl SimCore {
         self.push_next_delta(EventKind::Eval(component));
     }
 
-    /// Records the current pending-event count: the future queue plus the
-    /// undrained part of the current delta batch plus the next delta batch.
+    /// Records the current pending-event count: the time wheel plus the
+    /// far-event heap plus the undrained part of the current delta batch
+    /// plus the next delta batch.
+    #[inline]
     fn note_depth(&mut self) {
-        let depth = self.future.len() + self.next_delta.len() + (self.current.len() - self.cursor);
+        let depth = self.future.len()
+            + self.wheel_len
+            + self.next_delta.len()
+            + (self.current.len() - self.cursor);
         if depth > self.max_queue_depth {
             self.max_queue_depth = depth;
         }
         if depth > self.run_max_queue_depth {
             self.run_max_queue_depth = depth;
         }
+    }
+
+    /// The instant of the earliest pending future event, across the time
+    /// wheel and the far-event heap.
+    fn next_event_time(&self) -> Option<u64> {
+        let heap_time = self.future.peek().map(|Reverse(event)| event.time);
+        if self.wheel_len > 0 {
+            for t in self.now + 1..self.now + WHEEL_SLOTS as u64 {
+                if !self.wheel[t as usize & WHEEL_MASK].is_empty() {
+                    return Some(match heap_time {
+                        Some(h) if h < t => h,
+                        _ => t,
+                    });
+                }
+            }
+            debug_assert!(false, "wheel_len > 0 but no occupied slot in window");
+        }
+        heap_time
+    }
+
+    /// Advances `now` to `t` and gathers every event scheduled for `t`
+    /// into the `current` batch, merging the wheel slot with same-time
+    /// heap events in global insertion (seq) order.
+    fn advance_to(&mut self, t: u64) {
+        self.now = t;
+        self.delta = 0;
+        self.current.clear();
+        self.cursor = 0;
+        let mut slot = std::mem::take(&mut self.wheel[t as usize & WHEEL_MASK]);
+        self.wheel_len -= slot.len();
+        let mut i = 0;
+        loop {
+            let heap_seq = match self.future.peek() {
+                Some(Reverse(event)) if event.time == t => Some(event.seq),
+                _ => None,
+            };
+            match (slot.get(i), heap_seq) {
+                (Some(&(wheel_seq, _)), Some(heap_seq)) if heap_seq < wheel_seq => {
+                    let Reverse(event) = self.future.pop().expect("peeked");
+                    self.current.push(event.kind);
+                }
+                (Some(&(_, kind)), _) => {
+                    self.current.push(kind);
+                    i += 1;
+                }
+                (None, Some(_)) => {
+                    let Reverse(event) = self.future.pop().expect("peeked");
+                    self.current.push(event.kind);
+                }
+                (None, None) => break,
+            }
+        }
+        // Hand the slot's buffer back so its capacity is reused.
+        slot.clear();
+        self.wheel[t as usize & WHEEL_MASK] = slot;
     }
 }
 
@@ -263,11 +393,21 @@ pub trait KernelHook {
 /// ```
 pub struct Simulator {
     core: SimCore,
-    components: Vec<Option<Box<dyn Component>>>,
+    components: Vec<Box<dyn Component>>,
     component_names: Vec<String>,
     /// Per-component reactive evaluation counts (init calls excluded) —
     /// the "hot operator" histogram.
     activations: Vec<u64>,
+    /// Per-component evaluation gate ([`Component::eval_gate`]), encoded
+    /// as a signal index or `u32::MAX` for "no gate".
+    gates: Vec<u32>,
+    /// Signal name → id of the *first* signal registered under that name.
+    name_index: HashMap<String, SignalId>,
+    /// Per-signal sink lists in registration order (seal-time source).
+    build_sinks: Vec<SinkBuild>,
+    /// Flattened sink adjacency used by the event loop.
+    sinks: SinkTable,
+    sealed: bool,
     hook: Option<Box<dyn KernelHook>>,
     delta_limit: u32,
     initialized: bool,
@@ -284,11 +424,16 @@ impl Simulator {
     pub fn new() -> Self {
         Simulator {
             core: SimCore {
-                signals: Vec::new(),
+                values: Vec::new(),
+                widths: Vec::new(),
+                traced: Vec::new(),
+                names: Vec::new(),
                 current: Vec::new(),
                 cursor: 0,
                 next_delta: Vec::new(),
                 future: BinaryHeap::new(),
+                wheel: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+                wheel_len: 0,
                 seq: 0,
                 now: 0,
                 delta: 0,
@@ -305,6 +450,11 @@ impl Simulator {
             components: Vec::new(),
             component_names: Vec::new(),
             activations: Vec::new(),
+            gates: Vec::new(),
+            name_index: HashMap::new(),
+            build_sinks: Vec::new(),
+            sinks: SinkTable::default(),
+            sealed: false,
             hook: None,
             delta_limit: 4096,
             initialized: false,
@@ -328,14 +478,14 @@ impl Simulator {
     ///
     /// Panics when `width` is outside `1..=64`.
     pub fn add_signal(&mut self, name: impl Into<String>, width: u32) -> SignalId {
-        let id = SignalId(self.core.signals.len());
-        self.core.signals.push(SignalState {
-            name: name.into(),
-            width,
-            value: Value::x(width),
-            sinks: Vec::new(),
-            traced: false,
-        });
+        let id = SignalId(self.core.values.len());
+        let name = name.into();
+        self.core.values.push(Value::x(width));
+        self.core.widths.push(width);
+        self.core.traced.push(false);
+        self.name_index.entry(name.clone()).or_insert(id);
+        self.core.names.push(name);
+        self.build_sinks.push(SinkBuild::default());
         id
     }
 
@@ -350,35 +500,63 @@ impl Simulator {
     pub fn add_boxed_component(&mut self, component: Box<dyn Component>) -> ComponentId {
         let id = ComponentId(self.components.len());
         for input in component.inputs() {
-            self.core.signals[input.signal.0]
-                .sinks
-                .push((id, input.sense));
+            let build = &mut self.build_sinks[input.signal.0];
+            match input.sense {
+                crate::component::Sense::Any => build.any.push(id.0 as u32),
+                crate::component::Sense::Rising => build.rising.push(id.0 as u32),
+            }
         }
+        self.sealed = false;
         self.component_names.push(component.name().to_string());
-        self.components.push(Some(component));
+        self.gates.push(match component.eval_gate() {
+            Some(signal) => signal.0 as u32,
+            None => u32::MAX,
+        });
+        self.components.push(component);
         self.activations.push(0);
         self.core.eval_marks.push((u64::MAX, u32::MAX));
         id
     }
 
+    /// Flattens the registered sensitivity lists into the CSR sink arena
+    /// the event loop iterates. Called automatically by
+    /// [`run`](Self::run); explicit calls are only useful to front-load
+    /// the (cheap) rebuild. Adding a component after sealing marks the
+    /// table dirty and the next run reseals.
+    pub fn seal(&mut self) {
+        let signal_count = self.core.values.len();
+        self.sinks.arena.clear();
+        self.sinks.ranges.clear();
+        self.sinks.ranges.reserve(signal_count);
+        for build in &self.build_sinks {
+            let start = self.sinks.arena.len() as u32;
+            self.sinks.arena.extend_from_slice(&build.any);
+            let split = self.sinks.arena.len() as u32;
+            self.sinks.arena.extend_from_slice(&build.rising);
+            let end = self.sinks.arena.len() as u32;
+            self.sinks.ranges.push(SinkRange { start, split, end });
+        }
+        self.sealed = true;
+    }
+
     /// Current value of a signal.
     pub fn value(&self, signal: SignalId) -> Value {
-        self.core.signals[signal.0].value
+        self.core.values[signal.0]
     }
 
     /// Name of a signal.
     pub fn signal_name(&self, signal: SignalId) -> &str {
-        &self.core.signals[signal.0].name
+        &self.core.names[signal.0]
     }
 
     /// Width of a signal.
     pub fn signal_width(&self, signal: SignalId) -> u32 {
-        self.core.signals[signal.0].width
+        self.core.widths[signal.0]
     }
 
     /// Number of signals.
     pub fn signal_count(&self) -> usize {
-        self.core.signals.len()
+        self.core.values.len()
     }
 
     /// Number of components.
@@ -386,13 +564,10 @@ impl Simulator {
         self.components.len()
     }
 
-    /// Looks a signal up by name (first match).
+    /// Looks a signal up by name through the name index (first signal
+    /// registered under the name, O(1)).
     pub fn find_signal(&self, name: &str) -> Option<SignalId> {
-        self.core
-            .signals
-            .iter()
-            .position(|s| s.name == name)
-            .map(SignalId)
+        self.name_index.get(name).copied()
     }
 
     /// Name of a component.
@@ -403,7 +578,7 @@ impl Simulator {
     /// Marks a signal for waveform recording (see [`Self::changes`] and
     /// [`crate::vcd`]).
     pub fn trace_signal(&mut self, signal: SignalId) {
-        self.core.signals[signal.0].traced = true;
+        self.core.traced[signal.0] = true;
     }
 
     /// The recorded changes of all traced signals, in order.
@@ -414,10 +589,10 @@ impl Simulator {
     /// The signals currently marked for tracing, in id order.
     pub fn traced_signals(&self) -> Vec<SignalId> {
         self.core
-            .signals
+            .traced
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.traced)
+            .filter(|(_, &t)| t)
             .map(|(i, _)| SignalId(i))
             .collect()
     }
@@ -446,6 +621,9 @@ impl Simulator {
         let delta_cycles0 = self.core.delta_cycles;
         self.core.run_max_queue_depth = 0;
         self.core.stop = None;
+        if !self.sealed {
+            self.seal();
+        }
         if let Some(mut hook) = self.hook.take() {
             hook.on_run_start(SimTime(self.core.now));
             self.hook = Some(hook);
@@ -460,42 +638,55 @@ impl Simulator {
 
         let outcome = loop {
             // Drain the current delta batch.
-            if self.core.cursor < self.core.current.len() {
+            while self.core.cursor < self.core.current.len() {
                 let kind = self.core.current[self.core.cursor];
                 self.core.cursor += 1;
                 self.core.events += 1;
                 match kind {
                     EventKind::Update(signal, value) => {
-                        let state = &mut self.core.signals[signal.0];
-                        debug_assert_eq!(state.width, value.width());
-                        if state.value != value {
-                            state.value = value;
+                        let index = signal.0;
+                        debug_assert_eq!(self.core.widths[index], value.width());
+                        let old = self.core.values[index];
+                        if old != value {
+                            self.core.values[index] = value;
                             self.core.updates += 1;
-                            if state.traced {
+                            if self.core.traced[index] {
                                 self.core.trace.push(Change {
                                     time: SimTime(self.core.now),
                                     signal,
                                     value,
                                 });
                             }
-                            let triggers_rising = value.is_true();
-                            // Take the sink list to iterate without
-                            // borrowing the core (and without allocating).
-                            let sinks = std::mem::take(&mut self.core.signals[signal.0].sinks);
-                            for &(sink, sense) in &sinks {
-                                if sense == crate::component::Sense::Any || triggers_rising {
-                                    self.core.schedule_eval_next(sink);
-                                }
+                            // A genuine rising edge: the old value was not
+                            // true (0 or X), the new one is. Leaving X for
+                            // a true value counts as the first edge; a
+                            // change between two non-zero values (1→2 on a
+                            // multi-bit net) does not.
+                            let range = self.sinks.ranges[index];
+                            let end = if value.is_true() && !old.is_true() {
+                                range.end
+                            } else {
+                                range.split
+                            };
+                            for i in range.start..end {
+                                let sink = ComponentId(self.sinks.arena[i as usize] as usize);
+                                self.core.schedule_eval_next(sink);
                             }
-                            self.core.signals[signal.0].sinks = sinks;
                         }
                     }
                     EventKind::Eval(component) => {
                         self.core.evals += 1;
-                        self.call_component(component, false);
+                        let gate = self.gates[component.0];
+                        if gate == u32::MAX || self.core.values[gate as usize].is_true() {
+                            self.call_component(component, false);
+                        } else {
+                            // Gated no-op (see [`Component::eval_gate`]):
+                            // counters advance exactly as if `react` had
+                            // run and returned immediately.
+                            self.activations[component.0] += 1;
+                        }
                     }
                 }
-                continue;
             }
 
             // Advance to the next delta of this instant.
@@ -522,25 +713,14 @@ impl Simulator {
             }
 
             // Advance time to the next future batch.
-            let Some(Reverse(head)) = self.core.future.peek() else {
+            let Some(t) = self.core.next_event_time() else {
                 break RunOutcome::QueueEmpty;
             };
-            if head.time > limit.0 {
+            if t > limit.0 {
                 self.core.now = limit.0;
                 break RunOutcome::TimeLimit;
             }
-            let t = head.time;
-            self.core.now = t;
-            self.core.delta = 0;
-            self.core.current.clear();
-            self.core.cursor = 0;
-            while let Some(Reverse(head)) = self.core.future.peek() {
-                if head.time != t {
-                    break;
-                }
-                let Reverse(event) = self.core.future.pop().expect("peeked");
-                self.core.current.push(event.kind);
-            }
+            self.core.advance_to(t);
         };
 
         let summary = RunSummary {
@@ -606,25 +786,23 @@ impl Simulator {
         ranked
     }
 
+    // Components are dispatched in place: `Context` borrows only `core`,
+    // which is disjoint from the component storage, so no take/restore
+    // dance is needed on the hot path.
+    #[inline]
     fn call_component(&mut self, id: ComponentId, init: bool) {
         if !init {
             self.activations[id.0] += 1;
         }
-        let mut component = self.components[id.0]
-            .take()
-            .expect("component re-entered during its own evaluation");
-        {
-            let mut ctx = Context {
-                core: &mut self.core,
-                id,
-            };
-            if init {
-                component.init(&mut ctx);
-            } else {
-                component.react(&mut ctx);
-            }
+        let mut ctx = Context {
+            core: &mut self.core,
+            id,
+        };
+        if init {
+            self.components[id.0].init(&mut ctx);
+        } else {
+            self.components[id.0].react(&mut ctx);
         }
-        self.components[id.0] = Some(component);
     }
 }
 
@@ -642,8 +820,9 @@ impl Context<'_> {
     }
 
     /// Reads the current value of a signal.
+    #[inline]
     pub fn get(&self, signal: SignalId) -> Value {
-        self.core.signals[signal.0].value
+        self.core.values[signal.0]
     }
 
     /// Schedules a zero-delay write: the signal takes the value in the next
@@ -653,6 +832,7 @@ impl Context<'_> {
     ///
     /// Panics when the value width does not match the signal width — that
     /// is an elaboration bug, not a runtime condition.
+    #[inline]
     pub fn set(&mut self, signal: SignalId, value: Value) {
         self.check_width(signal, &value);
         self.core.push_next_delta(EventKind::Update(signal, value));
@@ -660,6 +840,11 @@ impl Context<'_> {
 
     /// Schedules a write `delay` ticks in the future (delta 0 of that
     /// instant). A `delay` of zero behaves like [`set`](Self::set).
+    ///
+    /// A delay that would overflow the 64-bit time axis saturates to
+    /// `u64::MAX` ticks instead of wrapping into the past; an event that
+    /// cannot be placed after the current instant (only possible at the
+    /// very end of the time axis) is dropped.
     ///
     /// # Panics
     ///
@@ -670,14 +855,21 @@ impl Context<'_> {
             return;
         }
         self.check_width(signal, &value);
-        let time = self.core.now + delay;
+        let time = self.core.now.saturating_add(delay);
+        if time == self.core.now {
+            return;
+        }
         self.core.push_future(time, EventKind::Update(signal, value));
     }
 
     /// Requests a re-evaluation of this component `delay` ticks from now
-    /// (self-scheduling, used by generators such as clocks).
+    /// (self-scheduling, used by generators such as clocks). Overflowing
+    /// delays saturate as for [`set_after`](Self::set_after).
     pub fn wake_after(&mut self, delay: u64) {
-        let time = self.core.now + delay.max(1);
+        let time = self.core.now.saturating_add(delay.max(1));
+        if time == self.core.now {
+            return;
+        }
         let id = self.id;
         self.core.push_future(time, EventKind::Eval(id));
     }
@@ -695,14 +887,15 @@ impl Context<'_> {
         self.core.stop = Some(RunOutcome::Failed(message.into()));
     }
 
+    #[inline]
     fn check_width(&self, signal: SignalId, value: &Value) {
-        let state = &self.core.signals[signal.0];
+        let width = self.core.widths[signal.0];
         assert_eq!(
-            state.width,
+            width,
             value.width(),
             "width mismatch driving signal '{}' ({} bits) with {} ",
-            state.name,
-            state.width,
+            self.core.names[signal.0],
+            width,
             value
         );
     }
@@ -756,6 +949,25 @@ mod tests {
         }
     }
 
+    /// Counts how often it was evaluated (for edge-sensitivity tests).
+    struct EvalCounter {
+        watched: SignalId,
+        sense: crate::component::Sense,
+    }
+
+    impl Component for EvalCounter {
+        fn name(&self) -> &str {
+            "eval_counter"
+        }
+        fn inputs(&self) -> Vec<crate::component::Sensitivity> {
+            vec![crate::component::Sensitivity {
+                signal: self.watched,
+                sense: self.sense,
+            }]
+        }
+        fn react(&mut self, _ctx: &mut Context<'_>) {}
+    }
+
     #[test]
     fn empty_simulator_drains_immediately() {
         let mut sim = Simulator::new();
@@ -777,6 +989,66 @@ mod tests {
         assert_eq!(sim.value(s).as_u64(), 42);
         assert_eq!(summary.end_time, SimTime(7));
         assert_eq!(summary.updates, 1);
+    }
+
+    #[test]
+    fn far_events_use_the_heap_and_still_fire() {
+        let mut sim = Simulator::new();
+        let near = sim.add_signal("near", 8);
+        let far = sim.add_signal("far", 8);
+        sim.add_component(Driver {
+            out: near,
+            value: Value::known(8, 1),
+            delay: 3, // wheel
+        });
+        sim.add_component(Driver {
+            out: far,
+            value: Value::known(8, 2),
+            delay: 1_000_000, // heap
+        });
+        let summary = sim.run(SimTime(2_000_000)).unwrap();
+        assert_eq!(summary.outcome, RunOutcome::QueueEmpty);
+        assert_eq!(sim.value(near).as_u64(), 1);
+        assert_eq!(sim.value(far).as_u64(), 2);
+        assert_eq!(summary.end_time, SimTime(1_000_000));
+    }
+
+    #[test]
+    fn same_instant_wheel_and_heap_events_merge_in_schedule_order() {
+        // Two writes to the same signal at the same instant: one scheduled
+        // far ahead (heap), one scheduled later in wall-clock order but
+        // near (wheel). The later-scheduled write must win, exactly as if
+        // both had sat in one queue.
+        struct TwoPhase {
+            out: SignalId,
+            phase: u8,
+        }
+        impl Component for TwoPhase {
+            fn name(&self) -> &str {
+                "two_phase"
+            }
+            fn inputs(&self) -> Vec<crate::component::Sensitivity> {
+                Vec::new()
+            }
+            fn init(&mut self, ctx: &mut Context<'_>) {
+                // t=100 via the heap (delta 100 >= wheel span).
+                ctx.set_after(self.out, Value::known(8, 1), 100);
+                ctx.wake_after(90);
+            }
+            fn react(&mut self, ctx: &mut Context<'_>) {
+                if self.phase == 0 {
+                    self.phase = 1;
+                    // Scheduled at t=90 for t=100: lands in the wheel, and
+                    // its seq is later than the heap event's.
+                    ctx.set_after(self.out, Value::known(8, 2), 10);
+                }
+            }
+        }
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 8);
+        sim.add_component(TwoPhase { out: s, phase: 0 });
+        sim.run(SimTime(200)).unwrap();
+        assert_eq!(sim.value(s).as_u64(), 2, "later-scheduled write wins");
     }
 
     #[test]
@@ -857,6 +1129,138 @@ mod tests {
     }
 
     #[test]
+    fn rising_sense_requires_a_genuine_edge() {
+        // Regression (pre-overhaul bug): any change *to* a truthy value
+        // fired rising-edge sinks, so a 2-bit signal changing 1→2 — or
+        // 2→3 — retriggered "edge-triggered" components.
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 2);
+        let driver = sim.add_component(Driver {
+            out: s,
+            value: Value::known(2, 1),
+            delay: 1,
+        });
+        sim.add_component(Driver {
+            out: s,
+            value: Value::known(2, 2),
+            delay: 5,
+        });
+        sim.add_component(Driver {
+            out: s,
+            value: Value::known(2, 0),
+            delay: 9,
+        });
+        sim.add_component(Driver {
+            out: s,
+            value: Value::known(2, 3),
+            delay: 13,
+        });
+        let rising = sim.add_component(EvalCounter {
+            watched: s,
+            sense: crate::component::Sense::Rising,
+        });
+        let any = sim.add_component(EvalCounter {
+            watched: s,
+            sense: crate::component::Sense::Any,
+        });
+        let _ = driver;
+        sim.run(SimTime(100)).unwrap();
+        // X→1 (first edge) and 0→3 (second edge) fire; 1→2 must not.
+        assert_eq!(sim.activation_count(rising), 2);
+        // The Any sink sees all four changes.
+        assert_eq!(sim.activation_count(any), 4);
+    }
+
+    #[test]
+    fn rising_sense_fires_on_x_to_one() {
+        // Documented choice: a net leaving X for a true value counts as
+        // its first rising edge (a register whose clock is initialized
+        // high latches once at start-up instead of missing the edge).
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 1);
+        sim.add_component(Driver {
+            out: s,
+            value: Value::bit(true),
+            delay: 2,
+        });
+        let rising = sim.add_component(EvalCounter {
+            watched: s,
+            sense: crate::component::Sense::Rising,
+        });
+        sim.run(SimTime(10)).unwrap();
+        assert_eq!(sim.activation_count(rising), 1);
+    }
+
+    #[test]
+    fn overflowing_delay_saturates_instead_of_wrapping() {
+        // Regression: `now + delay` used to wrap, tripping the
+        // push-future debug assertion (or silently scheduling in the past
+        // in release builds). The event now saturates to the end of the
+        // time axis and simply never fires within any reachable limit.
+        struct HugeDelay {
+            out: SignalId,
+        }
+        impl Component for HugeDelay {
+            fn name(&self) -> &str {
+                "huge"
+            }
+            fn inputs(&self) -> Vec<crate::component::Sensitivity> {
+                Vec::new()
+            }
+            fn init(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_after(self.out, Value::bit(true), 5);
+            }
+            fn react(&mut self, _ctx: &mut Context<'_>) {}
+        }
+        struct WakeForever;
+        impl Component for WakeForever {
+            fn name(&self) -> &str {
+                "wake_forever"
+            }
+            fn inputs(&self) -> Vec<crate::component::Sensitivity> {
+                Vec::new()
+            }
+            fn init(&mut self, ctx: &mut Context<'_>) {
+                ctx.wake_after(1);
+            }
+            fn react(&mut self, ctx: &mut Context<'_>) {
+                // At t=1: both of these used to wrap past u64::MAX.
+                ctx.wake_after(u64::MAX);
+            }
+        }
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 1);
+        let t = sim.add_signal("t", 1);
+        sim.add_component(HugeDelay { out: t });
+        sim.add_component(WakeForever);
+        // A write scheduled with a delay that overflows the time axis.
+        struct OverflowSet {
+            out: SignalId,
+        }
+        impl Component for OverflowSet {
+            fn name(&self) -> &str {
+                "overflow_set"
+            }
+            fn inputs(&self) -> Vec<crate::component::Sensitivity> {
+                Vec::new()
+            }
+            fn init(&mut self, ctx: &mut Context<'_>) {
+                ctx.wake_after(3);
+            }
+            fn react(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_after(self.out, Value::bit(false), u64::MAX - 1);
+            }
+        }
+        sim.add_component(OverflowSet { out: s });
+        let summary = sim.run_to_quiescence().unwrap();
+        // The saturated events sit beyond the quiescence limit: the run
+        // ends at the limit, not in a panic or a time warp.
+        assert_eq!(summary.outcome, RunOutcome::TimeLimit);
+        assert!(sim.value(t).is_true());
+        assert!(sim.value(s).is_x(), "saturated write never fired");
+    }
+
+    #[test]
     fn tracing_records_changes() {
         let mut sim = Simulator::new();
         let s = sim.add_signal("s", 4);
@@ -905,6 +1309,31 @@ mod tests {
         let summary = sim.run(SimTime(200)).unwrap();
         assert_eq!(summary.outcome, RunOutcome::TimeLimit);
         assert!(sim.value(q).as_u64() > 3);
+    }
+
+    #[test]
+    fn components_added_after_a_run_are_wired_in() {
+        // Adding a component dirties the sealed sink table; the next run
+        // reseals and the new sink sees subsequent updates.
+        let mut sim = Simulator::new();
+        let a = sim.add_signal("a", 1);
+        let b = sim.add_signal("b", 1);
+        sim.add_component(Driver {
+            out: a,
+            value: Value::bit(true),
+            delay: 1,
+        });
+        sim.add_component(Driver {
+            out: a,
+            value: Value::bit(false),
+            delay: 10,
+        });
+        sim.run(SimTime(5)).unwrap();
+        assert!(sim.value(a).is_true());
+        sim.add_component(Not { a, y: b });
+        sim.run(SimTime(50)).unwrap();
+        assert!(sim.value(a).is_false());
+        assert!(sim.value(b).is_true(), "late-added inverter reacted");
     }
 
     #[test]
@@ -1006,5 +1435,88 @@ mod tests {
         assert_eq!(sim.find_signal("gamma"), None);
         assert_eq!(sim.signal_name(a), "alpha");
         assert_eq!(sim.signal_width(a), 1);
+    }
+
+    #[test]
+    fn find_signal_does_not_rescan() {
+        // Probe wiring resolves every probe name through `find_signal`;
+        // with the historical linear scan, N lookups over N signals are
+        // quadratic (here: 2.5e9 string compares, tens of seconds in a
+        // debug build). Through the name index the whole loop is
+        // milliseconds, so the generous bound cleanly separates the two
+        // while staying robust to slow CI machines.
+        let n = 50_000;
+        let mut sim = Simulator::new();
+        let mut ids = Vec::with_capacity(n);
+        for i in 0..n {
+            ids.push(sim.add_signal(format!("net_{i}"), 8));
+        }
+        let started = std::time::Instant::now();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(sim.find_signal(&format!("net_{i}")), Some(*id));
+        }
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "find_signal rescanned: {n} lookups took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn eval_gate_skips_dispatch_but_keeps_counters() {
+        // A gated component whose gate is low must still be *counted* as
+        // evaluated (evals and the activation histogram are part of the
+        // kernel's observable contract), the dispatch is just skipped.
+        struct Gated {
+            en: SignalId,
+            out: SignalId,
+        }
+        impl Component for Gated {
+            fn name(&self) -> &str {
+                "gated"
+            }
+            fn inputs(&self) -> Vec<crate::component::Sensitivity> {
+                vec![crate::component::Sensitivity::any(self.en)]
+            }
+            fn react(&mut self, ctx: &mut Context<'_>) {
+                if ctx.get(self.en).is_true() {
+                    ctx.set(self.out, Value::bit(true));
+                }
+            }
+            fn eval_gate(&self) -> Option<SignalId> {
+                Some(self.en)
+            }
+        }
+        let mut sim = Simulator::new();
+        let en = sim.add_signal("en", 1);
+        let out = sim.add_signal("out", 1);
+        sim.add_component(Driver {
+            out: en,
+            value: Value::bit(false),
+            delay: 1,
+        });
+        sim.add_component(Driver {
+            out: en,
+            value: Value::bit(true),
+            delay: 5,
+        });
+        let gated = sim.add_component(Gated { en, out });
+        sim.run(SimTime(20)).unwrap();
+        // Both en changes count as evaluations; only the second one
+        // actually dispatched and drove the output.
+        assert_eq!(sim.activation_count(gated), 2);
+        assert_eq!(sim.stats().evals, 2);
+        assert!(sim.value(out).is_true());
+    }
+
+    #[test]
+    fn find_signal_returns_first_registration_for_duplicates() {
+        // The name index must preserve the historical linear-scan
+        // semantics: the first signal registered under a name wins.
+        let mut sim = Simulator::new();
+        let first = sim.add_signal("dup", 4);
+        let _second = sim.add_signal("dup", 8);
+        assert_eq!(sim.find_signal("dup"), Some(first));
+        assert_eq!(sim.signal_width(sim.find_signal("dup").unwrap()), 4);
     }
 }

@@ -186,6 +186,10 @@ impl Netlist {
             }
             elaborate_instance(instance, sim, &mut map)?;
         }
+        // Elaboration registers every sink this netlist will ever have;
+        // sealing here builds the flat sink table up front instead of on
+        // the first `run`.
+        sim.seal();
         Ok(map)
     }
 }

@@ -85,6 +85,16 @@ impl Component for Register {
         let d = ctx.get(self.d).resize(self.width);
         ctx.set(self.q, d);
     }
+
+    fn eval_gate(&self) -> Option<SignalId> {
+        // Without a reset, a disabled register does nothing on the clock
+        // edge — the kernel can skip the dispatch. A reset input must
+        // always be sampled, so resettable registers never gate.
+        match self.rst {
+            None => self.en,
+            Some(_) => None,
+        }
+    }
 }
 
 /// A rising-edge event counter, useful in test benches and examples.

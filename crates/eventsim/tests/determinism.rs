@@ -1,0 +1,210 @@
+//! Kernel determinism under component registration order.
+//!
+//! Elaborating the same netlist with its instances permuted must produce
+//! the same simulation: identical per-signal waveforms, identical final
+//! memory contents, identical run outcome, and identical event/update/
+//! eval/delta counters. Evaluation *order* inside a delta cycle is the
+//! only thing registration order may influence, and delta semantics (all
+//! reads see the previous delta's values) make that order invisible.
+
+use eventsim::netlist::{Instance, Netlist};
+use eventsim::{RunOutcome, SimTime, Simulator, Value};
+use std::collections::BTreeMap;
+
+const WIDTH: u32 = 16;
+
+/// A small synchronous design exercising every scheduling path: a clock,
+/// a counter-driven address walk, combinational logic settling over
+/// deltas, an enable-gated register, an SRAM written on clock edges, and
+/// a watchpoint that stops the run.
+fn build_netlist() -> Netlist {
+    let mut nl = Netlist::new("perm");
+    for (name, width) in [
+        ("clk", 1),
+        ("cnt", WIDTH),
+        ("addr", WIDTH),
+        ("sum", WIDTH),
+        ("prod", WIDTH),
+        ("en", 1),
+        ("held", WIDTH),
+        ("dout", WIDTH),
+        ("one", WIDTH),
+        ("three", WIDTH),
+    ] {
+        nl.add_signal(name, width);
+    }
+    nl.add_instance(
+        Instance::new("clock0", "clock")
+            .with_param("period", 10)
+            .with_conn("y", "clk"),
+    );
+    nl.add_instance(
+        Instance::new("c1", "const")
+            .with_param("width", WIDTH)
+            .with_param("value", 1)
+            .with_conn("y", "one"),
+    );
+    nl.add_instance(
+        Instance::new("c3", "const")
+            .with_param("width", WIDTH)
+            .with_param("value", 3)
+            .with_conn("y", "three"),
+    );
+    nl.add_instance(
+        Instance::new("cnt0", "counter")
+            .with_param("width", WIDTH)
+            .with_conn("clk", "clk")
+            .with_conn("q", "cnt"),
+    );
+    // addr = cnt & 3 (keeps the SRAM address in range).
+    nl.add_instance(
+        Instance::new("mask", "and")
+            .with_param("width", WIDTH)
+            .with_conn("a", "cnt")
+            .with_conn("b", "three")
+            .with_conn("y", "addr"),
+    );
+    // sum = cnt + 1, prod = sum * 3: a two-stage delta ripple per edge.
+    nl.add_instance(
+        Instance::new("add0", "add")
+            .with_param("width", WIDTH)
+            .with_conn("a", "cnt")
+            .with_conn("b", "one")
+            .with_conn("y", "sum"),
+    );
+    nl.add_instance(
+        Instance::new("mul0", "mul")
+            .with_param("width", WIDTH)
+            .with_conn("a", "sum")
+            .with_conn("b", "three")
+            .with_conn("y", "prod"),
+    );
+    // en = cnt & 1: the register latches on every other edge only.
+    nl.add_instance(
+        Instance::new("lsb", "and")
+            .with_param("width", 1)
+            .with_conn("a", "cnt")
+            .with_conn("b", "one")
+            .with_conn("y", "en"),
+    );
+    nl.add_instance(
+        Instance::new("hold", "reg")
+            .with_param("width", WIDTH)
+            .with_conn("clk", "clk")
+            .with_conn("d", "prod")
+            .with_conn("q", "held")
+            .with_conn("en", "en"),
+    );
+    nl.add_instance(
+        Instance::new("m0", "sram")
+            .with_param("width", WIDTH)
+            .with_param("size", 4)
+            .with_conn("clk", "clk")
+            .with_conn("en", "one")
+            .with_conn("we", "one")
+            .with_conn("addr", "addr")
+            .with_conn("din", "prod")
+            .with_conn("dout", "dout"),
+    );
+    nl.add_instance(
+        Instance::new("stopper", "watchpoint")
+            .with_param("value", 12)
+            .with_conn("sig", "cnt"),
+    );
+    nl
+}
+
+struct Observed {
+    outcome: RunOutcome,
+    end_time: SimTime,
+    events: u64,
+    updates: u64,
+    evals: u64,
+    delta_cycles: u64,
+    /// Per-signal waveform: name → [(time, value)].
+    waves: BTreeMap<String, Vec<(u64, Value)>>,
+    /// Final memory contents.
+    mems: BTreeMap<String, Vec<Option<i64>>>,
+    finals: BTreeMap<String, Value>,
+}
+
+fn run_permutation(rotate: usize) -> Observed {
+    let base = build_netlist();
+    // Re-add instances rotated: same netlist, different registration order.
+    let mut nl = Netlist::new("perm");
+    for decl in base.signals() {
+        nl.add_signal(decl.name.clone(), decl.width);
+    }
+    let instances: Vec<Instance> = base.instances().to_vec();
+    let n = instances.len();
+    for i in 0..n {
+        nl.add_instance(instances[(i + rotate) % n].clone());
+    }
+
+    let mut sim = Simulator::new();
+    let map = nl.elaborate(&mut sim).expect("netlist elaborates");
+    for decl in base.signals() {
+        sim.trace_signal(map.signal(&decl.name).unwrap());
+    }
+    let summary = sim.run(SimTime(1_000)).expect("run completes");
+
+    let mut waves: BTreeMap<String, Vec<(u64, Value)>> = BTreeMap::new();
+    for change in sim.changes() {
+        waves
+            .entry(sim.signal_name(change.signal).to_string())
+            .or_default()
+            .push((change.time.ticks(), change.value));
+    }
+    let mems = map
+        .mems
+        .iter()
+        .map(|(name, handle)| (name.clone(), handle.snapshot()))
+        .collect();
+    let finals = base
+        .signals()
+        .iter()
+        .map(|decl| {
+            let id = map.signal(&decl.name).unwrap();
+            (decl.name.clone(), sim.value(id))
+        })
+        .collect();
+    Observed {
+        outcome: summary.outcome,
+        end_time: summary.end_time,
+        events: summary.events,
+        updates: summary.updates,
+        evals: summary.evals,
+        delta_cycles: summary.delta_cycles,
+        waves,
+        mems,
+        finals,
+    }
+}
+
+#[test]
+fn registration_order_does_not_change_results() {
+    let reference = run_permutation(0);
+    assert!(
+        matches!(reference.outcome, RunOutcome::Stopped(_)),
+        "watchpoint stops the run: {:?}",
+        reference.outcome
+    );
+    assert!(!reference.waves.is_empty());
+    assert!(reference.mems.contains_key("m0"));
+
+    for rotate in [1, 3, 5, 7] {
+        let permuted = run_permutation(rotate);
+        assert_eq!(permuted.outcome, reference.outcome, "rotate {rotate}");
+        assert_eq!(permuted.end_time, reference.end_time, "rotate {rotate}");
+        assert_eq!(permuted.events, reference.events, "rotate {rotate}");
+        assert_eq!(permuted.updates, reference.updates, "rotate {rotate}");
+        assert_eq!(permuted.evals, reference.evals, "rotate {rotate}");
+        assert_eq!(
+            permuted.delta_cycles, reference.delta_cycles,
+            "rotate {rotate}"
+        );
+        assert_eq!(permuted.waves, reference.waves, "rotate {rotate}");
+        assert_eq!(permuted.mems, reference.mems, "rotate {rotate}");
+        assert_eq!(permuted.finals, reference.finals, "rotate {rotate}");
+    }
+}

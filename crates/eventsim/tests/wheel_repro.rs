@@ -1,0 +1,35 @@
+use eventsim::{SimTime, Simulator, Value};
+use eventsim::component::{Component, Sensitivity};
+use eventsim::SignalId;
+use eventsim::Context;
+
+struct LateScheduler { out: SignalId, fired: bool }
+impl Component for LateScheduler {
+    fn name(&self) -> &str { "late" }
+    fn inputs(&self) -> Vec<Sensitivity> { Vec::new() }
+    fn init(&mut self, ctx: &mut Context<'_>) { ctx.wake_after(90); }
+    fn react(&mut self, ctx: &mut Context<'_>) {
+        if !self.fired {
+            self.fired = true;
+            // at t=90, schedule update for t=150 -> lands in the wheel
+            ctx.set_after(self.out, Value::bit(true), 60);
+        }
+    }
+}
+
+#[test]
+fn shrinking_limit_then_resume() {
+    let mut sim = Simulator::new();
+    let s = sim.add_signal("s", 1);
+    sim.trace_signal(s);
+    sim.add_component(LateScheduler { out: s, fired: false });
+    let r1 = sim.run(SimTime(100)).unwrap();
+    eprintln!("run1: end={} now={}", r1.end_time, sim.now());
+    let r2 = sim.run(SimTime(50)).unwrap(); // limit < now: now moves backwards
+    eprintln!("run2: end={} now={}", r2.end_time, sim.now());
+    let r3 = sim.run(SimTime(200)).unwrap();
+    eprintln!("run3: end={} outcome={:?}", r3.end_time, r3.outcome);
+    let changes = sim.changes();
+    for c in changes { eprintln!("change at {} = {}", c.time, c.value); }
+    assert_eq!(changes[0].time, SimTime(150), "event fired at wrong time");
+}

@@ -1,0 +1,203 @@
+//! Engine-ablation benchmark: event kernel vs cycle sweeper vs levelized
+//! engine on the paper's FDCT1 workload.
+//!
+//! Runs FDCT1 at one or more image sizes through all three simulation
+//! engines (`fpgatest --engine {event,cycle,level}`) and writes a
+//! `fpgatest-metrics-v1` report (default `BENCH_ablation.json`, keys
+//! sorted for byte-stable diffs) extended with an `ablation_bench`
+//! comparison block: per engine wall-clock, cycles, and evaluation
+//! counts, plus the level engine's speedup over the naive cycle sweeper
+//! and its ratio to the event kernel.
+//!
+//! The run doubles as an equivalence gate: the three engines must leave
+//! word-identical final memories, and their cycle counts may differ by
+//! at most one (the compiled engines count the cycle-0 reset step; the
+//! event path derives cycles from the stop time). Any disagreement exits
+//! non-zero — CI runs this at 4,096 pixels as `ablation-smoke`.
+//!
+//! Usage: `ablation_bench [--pixels N]... [--repeat R] [--metrics-out
+//! FILE]` (default sizes 1024, 4096, 16384, 65536; `R` defaults to 2 and
+//! the reported wall-clock is the best of the repeats).
+
+use bench::{fdct_flow, run_checked_recorded};
+use fpgatest::flow::{Engine, TestReport};
+use fpgatest::suite::{CaseResult, SuiteReport};
+use fpgatest::telemetry::{self, Json, Recorder};
+use nenya::schedule::SchedulePolicy;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct EngineRow {
+    engine: Engine,
+    wall_seconds: f64,
+    cycles: u64,
+    evals: u64,
+    report: TestReport,
+}
+
+fn main() -> ExitCode {
+    let mut pixels: Vec<usize> = Vec::new();
+    let mut repeat: usize = 2;
+    let mut metrics_out = PathBuf::from("BENCH_ablation.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--pixels" => pixels.push(
+                value("--pixels")
+                    .parse()
+                    .expect("--pixels must be an integer"),
+            ),
+            "--repeat" => {
+                repeat = value("--repeat")
+                    .parse()
+                    .expect("--repeat must be an integer");
+                assert!(repeat >= 1, "--repeat must be at least 1");
+            }
+            "--metrics-out" => metrics_out = PathBuf::from(value("--metrics-out")),
+            other => {
+                eprintln!("ablation_bench: unknown argument '{other}'");
+                eprintln!("usage: ablation_bench [--pixels N]... [--repeat R] [--metrics-out FILE]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if pixels.is_empty() {
+        pixels = vec![1024, 4096, 16384, 65536];
+    }
+
+    println!("engine ablation (FDCT1): event kernel vs cycle sweeper vs levelized\n");
+    let mut recorder = Recorder::new();
+    let mut reports = Vec::new();
+    let mut comparison_rows = Vec::new();
+    let mut disagreement = false;
+    for &px in &pixels {
+        let mut rows: Vec<EngineRow> = Vec::new();
+        for engine in Engine::ALL {
+            let label = format!("fdct1_{px}px_{engine}");
+            let flow = fdct_flow(px, 1, SchedulePolicy::List).with_engine(engine);
+            // Best-of-`repeat` wall-clock; counters asserted stable.
+            let mut best: Option<(f64, TestReport)> = None;
+            for _ in 0..repeat {
+                let report = run_checked_recorded(&flow, &mut recorder, &label);
+                let wall = report.runs[0].summary.wall_seconds;
+                if let Some((_, prev)) = &best {
+                    assert_eq!(
+                        report.runs[0].kernel, prev.runs[0].kernel,
+                        "{engine} counters not deterministic across repeats at {px} px"
+                    );
+                }
+                if best.as_ref().is_none_or(|(w, _)| wall < *w) {
+                    best = Some((wall, report));
+                }
+            }
+            let (wall_seconds, report) = best.expect("at least one repeat");
+            let run = &report.runs[0];
+            rows.push(EngineRow {
+                engine,
+                wall_seconds,
+                cycles: run.cycles,
+                evals: run.kernel.evals,
+                report,
+            });
+        }
+
+        // Equivalence gate: word-identical memories, cycle counts within
+        // one of the event kernel's.
+        let event = &rows[0];
+        for row in &rows[1..] {
+            if row.report.sim_mems != event.report.sim_mems {
+                eprintln!(
+                    "ablation_bench: ENGINE DISAGREEMENT at {px} px: \
+                     '{}' final memories differ from the event kernel",
+                    row.engine
+                );
+                disagreement = true;
+            }
+            if row.cycles.abs_diff(event.cycles) > 1 {
+                eprintln!(
+                    "ablation_bench: CYCLE DRIFT at {px} px: '{}' ran {} cycles, \
+                     event kernel {} (allowed difference: 1)",
+                    row.engine, row.cycles, event.cycles
+                );
+                disagreement = true;
+            }
+        }
+
+        let wall_of = |engine: Engine| {
+            rows.iter()
+                .find(|r| r.engine == engine)
+                .expect("all engines ran")
+                .wall_seconds
+        };
+        let level_speedup_vs_cycle = wall_of(Engine::Cycle) / wall_of(Engine::Level);
+        let level_ratio_vs_event = wall_of(Engine::Level) / wall_of(Engine::Event);
+
+        println!("  {px:>7} px:");
+        for row in &rows {
+            println!(
+                "    {:<5} {:>9.3} s   cycles={} evals={}",
+                row.engine.to_string(),
+                row.wall_seconds,
+                row.cycles,
+                row.evals
+            );
+        }
+        println!(
+            "    level vs cycle: {level_speedup_vs_cycle:.2}x faster;  \
+             level/event wall ratio: {level_ratio_vs_event:.2}"
+        );
+
+        let engine_rows: Vec<Json> = rows
+            .iter()
+            .map(|row| {
+                Json::obj([
+                    ("engine", Json::from(row.engine.to_string())),
+                    ("wall_seconds", Json::from(row.wall_seconds)),
+                    ("cycles", Json::from(row.cycles as f64)),
+                    ("evals", Json::from(row.evals as f64)),
+                ])
+            })
+            .collect();
+        comparison_rows.push(Json::obj([
+            ("pixels", Json::from(px as f64)),
+            ("engines", Json::Arr(engine_rows)),
+            ("level_speedup_vs_cycle", Json::from(level_speedup_vs_cycle)),
+            ("level_ratio_vs_event", Json::from(level_ratio_vs_event)),
+        ]));
+        for row in rows {
+            reports.push((format!("fdct1_{px}px_{}", row.engine), row.report));
+        }
+    }
+
+    // The standard metrics report plus the comparison block, keys sorted
+    // so the file is byte-stable across runs of the same build.
+    let suite = SuiteReport {
+        results: reports
+            .into_iter()
+            .map(|(name, report)| (name, CaseResult::Finished(report)))
+            .collect(),
+    };
+    let mut json = telemetry::suite_json(&suite, &recorder);
+    if let Json::Obj(pairs) = &mut json {
+        pairs.push((
+            "ablation_bench".to_string(),
+            Json::obj([("sizes", Json::Arr(comparison_rows))]),
+        ));
+    }
+    json.sort_keys();
+    if let Err(e) = std::fs::write(&metrics_out, json.emit_pretty()) {
+        eprintln!("ablation_bench: writing {}: {e}", metrics_out.display());
+        return ExitCode::from(2);
+    }
+    println!("\nwrote {}", metrics_out.display());
+
+    if disagreement {
+        eprintln!("ablation_bench: engines disagree — the compiled engines are not equivalent");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

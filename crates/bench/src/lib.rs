@@ -156,6 +156,26 @@ mod tests {
     }
 
     #[test]
+    fn engines_agree_on_paper_workloads() {
+        use fpgatest::flow::Engine;
+        let workloads: Vec<(&str, TestFlow)> = vec![
+            ("fdct1", fdct_flow(256, 1, SchedulePolicy::List)),
+            ("fdct2", fdct_flow(256, 2, SchedulePolicy::List)),
+            ("hamming", hamming_flow(16)),
+        ];
+        for (name, flow) in workloads {
+            let event = run_checked(&flow.clone().with_engine(Engine::Event));
+            for engine in [Engine::Cycle, Engine::Level] {
+                let compiled = run_checked(&flow.clone().with_engine(engine));
+                assert_eq!(
+                    compiled.sim_mems, event.sim_mems,
+                    "{name}: {engine} engine memories differ from the event kernel"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn comparison_rendering() {
         let text = render_comparisons(
             "demo",

@@ -17,7 +17,13 @@
 //! --optimize                enable the compiler's TAC optimizations
 //! --trace                   print where the VCD of each configuration went
 //! --artifacts <dir>         write XML/hds/dot/behavior/VCD files
+//! --engine <event|cycle|level>
+//!                           simulation engine (default event; see
+//!                           DESIGN.md's engine-selection matrix)
 //! ```
+//!
+//! `run` also accepts `--engine`, which overrides the engine for every
+//! case in the manifest.
 //!
 //! `--jobs N` runs suite cases on `N` worker threads; the report and
 //! telemetry keep the manifest's order regardless of completion order.
@@ -39,11 +45,12 @@
 //! Exit code 0 = everything passed; 1 = verification failed; 2 = usage or
 //! flow error.
 
-use fpgatest::flow::{FlowOptions, TestFlow};
+use fpgatest::flow::{Engine, FlowOptions, TestFlow};
 use fpgatest::suite::{CaseResult, SuiteReport};
 use fpgatest::telemetry::{self, Json, Recorder};
 use fpgatest::{metrics, stimulus, suite};
 use nenya::schedule::SchedulePolicy;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -74,11 +81,13 @@ fn usage() {
         "fpgatest — functional testing of compiler-generated FPGA designs
 
 USAGE:
-  fpgatest run <suite.manifest> [--jobs N] [--metrics-out FILE]
-               [--trace-log FILE] [--baseline FILE] [--verbose]
+  fpgatest run <suite.manifest> [--jobs N] [--engine event|cycle|level]
+               [--metrics-out FILE] [--trace-log FILE] [--baseline FILE]
+               [--verbose]
   fpgatest test <prog.src|suite.manifest> [--stimulus mem=file]... [--width N]
                 [--partitions K] [--policy list|one-op-per-state]
                 [--optimize] [--trace] [--artifacts DIR] [--jobs N]
+                [--engine event|cycle|level]
                 [--metrics-out FILE] [--trace-log FILE] [--baseline FILE]
                 [--verbose]
   fpgatest compile <prog.src> --out DIR [--width N] [--partitions K] [--optimize]
@@ -127,8 +136,12 @@ fn emit_telemetry(
         println!("metrics written to {}", path.display());
     }
     if let Some(path) = &args.trace_log {
-        std::fs::write(path, recorder.to_jsonl())
-            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        let write = || -> std::io::Result<()> {
+            let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+            recorder.write_jsonl(&mut out)?;
+            out.flush()
+        };
+        write().map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         println!("trace log written to {}", path.display());
     }
     if let Some(path) = &args.baseline {
@@ -161,14 +174,22 @@ fn print_metrics(report: &SuiteReport, verbose: bool) {
     }
 }
 
-fn run_suite(manifest: &Path, telemetry_args: &TelemetryArgs, jobs: usize) -> ExitCode {
-    let suite = match suite::load_manifest(manifest) {
+fn run_suite(
+    manifest: &Path,
+    telemetry_args: &TelemetryArgs,
+    jobs: usize,
+    engine: Option<Engine>,
+) -> ExitCode {
+    let mut suite = match suite::load_manifest(manifest) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+    if let Some(engine) = engine {
+        suite.set_engine(engine);
+    }
     let mut recorder = Recorder::new();
     let report = suite.run_parallel_recorded(jobs, &mut recorder);
     print!("{}", report.render());
@@ -188,6 +209,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut manifest = None;
     let mut telemetry_args = TelemetryArgs::default();
     let mut jobs = 1usize;
+    let mut engine = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |what: &str| -> Result<String, String> {
@@ -198,6 +220,16 @@ fn cmd_run(args: &[String]) -> ExitCode {
         if arg == "--jobs" {
             match value("--jobs").and_then(|v| parse_jobs(&v)) {
                 Ok(n) => jobs = n,
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    return ExitCode::from(2);
+                }
+            }
+            continue;
+        }
+        if arg == "--engine" {
+            match value("--engine").and_then(|v| v.parse::<Engine>()) {
+                Ok(e) => engine = Some(e),
                 Err(message) => {
                     eprintln!("error: {message}");
                     return ExitCode::from(2);
@@ -224,7 +256,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
         eprintln!("'run' needs a manifest path");
         return ExitCode::from(2);
     };
-    run_suite(&manifest, &telemetry_args, jobs)
+    run_suite(&manifest, &telemetry_args, jobs, engine)
 }
 
 fn parse_jobs(raw: &str) -> Result<usize, String> {
@@ -286,6 +318,7 @@ fn parse_test_args(args: &[String]) -> Result<TestArgs, String> {
                 };
             }
             "--optimize" => options.compile.optimize = true,
+            "--engine" => options.engine = value("--engine")?.parse()?,
             "--trace" => options.trace = true,
             "--artifacts" => artifacts = Some(PathBuf::from(value("--artifacts")?)),
             "--jobs" => jobs = parse_jobs(&value("--jobs")?)?,
@@ -316,7 +349,8 @@ fn cmd_test(args: &[String]) -> ExitCode {
     // A manifest runs the whole suite, so the observability flags work
     // uniformly across `run` and `test`.
     if parsed.source.extension().is_some_and(|e| e == "manifest") {
-        return run_suite(&parsed.source, &parsed.telemetry, parsed.jobs);
+        let engine = (parsed.options.engine != Engine::default()).then_some(parsed.options.engine);
+        return run_suite(&parsed.source, &parsed.telemetry, parsed.jobs, engine);
     }
     let source = match std::fs::read_to_string(&parsed.source) {
         Ok(s) => s,
@@ -404,7 +438,11 @@ fn write_artifacts(dir: &Path, report: &fpgatest::TestReport) -> std::io::Result
     }
     for run in &report.runs {
         if let Some(vcd) = &run.vcd {
-            std::fs::write(dir.join(format!("{}.vcd", run.name)), vcd)?;
+            // Traces dominate artifact volume; buffer the write.
+            let file = std::fs::File::create(dir.join(format!("{}.vcd", run.name)))?;
+            let mut out = std::io::BufWriter::new(file);
+            out.write_all(vcd.as_bytes())?;
+            out.flush()?;
         }
     }
     for (mem, image) in &report.sim_mems {

@@ -16,7 +16,10 @@ use crate::memcmp::{diff_images, render_mismatches, Mismatch};
 use crate::metrics::{ConfigMetrics, DesignMetrics};
 use crate::stimulus::{MemImage, Stimulus};
 use crate::telemetry::Recorder;
-use eventsim::{KernelStats, RunOutcome, SimError, SimTime};
+use eventsim::cyclesim::{CycleOutcome, CycleSim, CycleSimError, CycleSummary};
+use eventsim::levelsim::LevelSim;
+use eventsim::ops::FsmTable;
+use eventsim::{KernelStats, MemHandle, RunOutcome, SimError, SimTime};
 use nenya::datapath::FU_KINDS;
 use nenya::schedule::SchedulePolicy;
 use nenya::{compile_program, CompileError, CompileOptions, Design};
@@ -25,11 +28,61 @@ use std::error::Error;
 use std::fmt;
 use std::time::Instant;
 
+/// Which simulation engine executes the elaborated configurations.
+///
+/// All three engines interpret the same netlist + FSM-table vocabulary and
+/// must produce word-identical final memories (`fpgafuzz` enforces this on
+/// every generated program). See DESIGN.md's engine-selection matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The delta-cycle event kernel — full observability (probes, VCD,
+    /// coverage) and the paper's reference engine.
+    #[default]
+    Event,
+    /// The naive sweep-until-fixpoint cycle engine — the slow comparator.
+    Cycle,
+    /// The levelized compiled-schedule engine — fastest on dense
+    /// datapaths; no probe/trace/coverage support.
+    Level,
+}
+
+impl Engine {
+    /// All engines, in documentation order.
+    pub const ALL: [Engine; 3] = [Engine::Event, Engine::Cycle, Engine::Level];
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Engine::Event => "event",
+            Engine::Cycle => "cycle",
+            Engine::Level => "level",
+        })
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "event" => Ok(Engine::Event),
+            "cycle" => Ok(Engine::Cycle),
+            "level" => Ok(Engine::Level),
+            other => Err(format!(
+                "unknown engine '{other}' (expected event, cycle, or level)"
+            )),
+        }
+    }
+}
+
 /// Options controlling a test-flow run.
 #[derive(Debug, Clone)]
 pub struct FlowOptions {
     /// Compiler options (width, scheduling policy, partitions).
     pub compile: CompileOptions,
+    /// Simulation engine (see [`Engine`]).
+    pub engine: Engine,
     /// Simulation watchdog in kernel ticks per configuration.
     pub max_ticks: u64,
     /// Step budget for the golden reference execution.
@@ -51,10 +104,73 @@ pub struct FlowOptions {
 /// How many entries [`ConfigRun::hot_components`] keeps.
 const HOT_COMPONENT_LIMIT: usize = 10;
 
+/// Kernel ticks per clock cycle, matching the event path's elaborated
+/// clock generator (`ConfigSim::clock_period`); the compiled engines use it
+/// to convert the tick watchdog into a cycle budget and back.
+const COMPILED_CLOCK_PERIOD: u64 = 10;
+
+/// Uniform front for the two compiled (non-event) engines.
+enum CompiledSim {
+    Cycle(CycleSim),
+    Level(LevelSim),
+}
+
+impl CompiledSim {
+    fn build(engine: Engine, netlist: &eventsim::netlist::Netlist) -> Result<Self, CycleSimError> {
+        match engine {
+            Engine::Cycle => CycleSim::from_netlist(netlist).map(CompiledSim::Cycle),
+            Engine::Level => netlist.compile_levelized().map(CompiledSim::Level),
+            Engine::Event => unreachable!("event engine does not use CompiledSim"),
+        }
+    }
+
+    fn add_control_unit(
+        &mut self,
+        name: &str,
+        conditions: &[&str],
+        outputs: &[(&str, u32)],
+        table: FsmTable,
+    ) -> Result<(), CycleSimError> {
+        match self {
+            CompiledSim::Cycle(s) => s.add_control_unit(name, conditions, outputs, table),
+            CompiledSim::Level(s) => s.add_control_unit(name, conditions, outputs, table),
+        }
+    }
+
+    fn mem(&self, name: &str) -> Option<&MemHandle> {
+        match self {
+            CompiledSim::Cycle(s) => s.mem(name),
+            CompiledSim::Level(s) => s.mem(name),
+        }
+    }
+
+    fn run(&mut self, max_cycles: u64) -> Result<CycleSummary, CycleSimError> {
+        match self {
+            CompiledSim::Cycle(s) => s.run(max_cycles),
+            CompiledSim::Level(s) => s.run(max_cycles),
+        }
+    }
+
+    fn cycles(&self) -> u64 {
+        match self {
+            CompiledSim::Cycle(s) => s.cycles(),
+            CompiledSim::Level(s) => s.cycles(),
+        }
+    }
+
+    fn comb_evals(&self) -> u64 {
+        match self {
+            CompiledSim::Cycle(s) => s.comb_evals(),
+            CompiledSim::Level(s) => s.comb_evals(),
+        }
+    }
+}
+
 impl Default for FlowOptions {
     fn default() -> Self {
         FlowOptions {
             compile: CompileOptions::default(),
+            engine: Engine::default(),
             max_ticks: 2_000_000_000,
             golden_step_limit: 200_000_000,
             trace: false,
@@ -225,6 +341,14 @@ pub enum FlowError {
         /// The unknown signal.
         signal: String,
     },
+    /// The selected engine cannot honour a requested feature
+    /// (probes/trace/coverage need the event kernel).
+    Engine {
+        /// The selected engine.
+        engine: Engine,
+        /// What was requested.
+        feature: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -241,6 +365,9 @@ impl fmt::Display for FlowError {
             FlowError::Rtg(m) => write!(f, "rtg: {m}"),
             FlowError::Probe { config, signal } => {
                 write!(f, "configuration '{config}' has no signal '{signal}' to probe")
+            }
+            FlowError::Engine { engine, feature } => {
+                write!(f, "engine '{engine}' does not support {feature} (use --engine event)")
             }
         }
     }
@@ -325,6 +452,12 @@ impl TestFlow {
     /// Sets the scheduling policy.
     pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
         self.options.compile.policy = policy;
+        self
+    }
+
+    /// Selects the simulation engine.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.options.engine = engine;
         self
     }
 
@@ -421,6 +554,24 @@ pub fn run_design_recorded(
     options: &FlowOptions,
     recorder: &mut Recorder,
 ) -> Result<TestReport, FlowError> {
+    if options.engine != Engine::Event {
+        let unsupported = if options.trace {
+            Some("VCD tracing")
+        } else if !options.probes.is_empty() {
+            Some("signal probes")
+        } else if options.coverage {
+            Some("coverage collection")
+        } else {
+            None
+        };
+        if let Some(feature) = unsupported {
+            return Err(FlowError::Engine {
+                engine: options.engine,
+                feature: feature.to_string(),
+            });
+        }
+    }
+
     // Initial memory images shared by both executions.
     let mut initial = design.blank_images();
     for (mem, stimulus) in stimuli {
@@ -502,6 +653,136 @@ pub fn run_design_recorded(
             .position(|c| c.datapath.name == node.datapath)
             .ok_or_else(|| FlowError::Rtg(format!("unknown datapath '{}'", node.datapath)))?;
         let (config_name, dp_doc, fsm_doc) = &docs[config];
+
+        if options.engine != Engine::Event {
+            // Compiled (cycle/level) path: interpret the same .hds netlist
+            // and FSM table against the flat model instead of elaborating
+            // event-kernel components.
+            let elaborate_span = recorder.start("flow.elaborate");
+            recorder.attr(elaborate_span, "config", config_name.as_str());
+            recorder.attr(elaborate_span, "engine", options.engine.to_string());
+            let netlist = eventsim::hds::parse(&config_artifacts[config].hds)
+                .map_err(|e| FlowError::Elaborate(ElaborateConfigError::Hds(e.to_string())))?;
+            let mut csim = CompiledSim::build(options.engine, &netlist)
+                .map_err(|e| FlowError::Elaborate(ElaborateConfigError::Netlist(e.to_string())))?;
+            let fsm = nenya::xml::parse_fsm(fsm_doc)
+                .map_err(|e| FlowError::Elaborate(ElaborateConfigError::Dialect(e.to_string())))?;
+            let (table, cond_names, out_names) = crate::elaborate::fsm_to_table(&fsm)?;
+            let conds: Vec<&str> = cond_names.iter().map(String::as_str).collect();
+            let outs: Vec<(&str, u32)> =
+                out_names.iter().map(|(n, w)| (n.as_str(), *w)).collect();
+            csim.add_control_unit(&fsm.name, &conds, &outs, table)
+                .map_err(|e| FlowError::Elaborate(ElaborateConfigError::Netlist(e.to_string())))?;
+            recorder.end(elaborate_span);
+
+            // Preload SRAM contents (same contract as the event path).
+            let mem_list: Vec<String> = netlist
+                .instances()
+                .iter()
+                .filter(|i| i.kind == "sram")
+                .map(|i| i.name.clone())
+                .collect();
+            for mem_name in &mem_list {
+                let handle = csim.mem(mem_name).expect("sram instances have handles");
+                let image = sim_mems.get(mem_name).ok_or_else(|| {
+                    FlowError::Stimulus(format!("memory '{mem_name}' missing from design"))
+                })?;
+                if image.len() != handle.size() {
+                    failure = Some(format!(
+                        "configuration '{config_name}': memory '{mem_name}' has {} words in the netlist but {} in the design",
+                        handle.size(),
+                        image.len()
+                    ));
+                    break;
+                }
+                for (addr, word) in image.iter().enumerate() {
+                    if let Some(v) = word {
+                        handle.store(addr, *v);
+                    }
+                }
+            }
+            if failure.is_some() {
+                break;
+            }
+
+            let simulate_span = recorder.start(format!("flow.simulate.{config_name}"));
+            let max_cycles = options.max_ticks / COMPILED_CLOCK_PERIOD;
+            let started = Instant::now();
+            let result = csim.run(max_cycles);
+            let wall_seconds = started.elapsed().as_secs_f64();
+            let (outcome, cycles, comb_evals) = match result {
+                Ok(CycleSummary {
+                    outcome: CycleOutcome::CycleLimit,
+                    ..
+                }) => {
+                    return Err(FlowError::Timeout {
+                        config: config_name.clone(),
+                        max_ticks: options.max_ticks,
+                    });
+                }
+                Ok(summary) => {
+                    let outcome = match &summary.outcome {
+                        CycleOutcome::Done => RunOutcome::Stopped("control unit done".into()),
+                        CycleOutcome::Watchpoint(name) => {
+                            RunOutcome::Stopped(format!("watchpoint '{name}'"))
+                        }
+                        CycleOutcome::CycleLimit => unreachable!("matched above"),
+                    };
+                    (outcome, summary.cycles, summary.comb_evals)
+                }
+                Err(e @ (CycleSimError::Failed(_) | CycleSimError::NoFixpoint { .. })) => {
+                    failure = Some(format!("configuration '{config_name}': {e}"));
+                    (
+                        RunOutcome::Failed(e.to_string()),
+                        csim.cycles(),
+                        csim.comb_evals(),
+                    )
+                }
+                // Build/CombinationalCycle cannot occur after construction.
+                Err(e) => {
+                    return Err(FlowError::Elaborate(ElaborateConfigError::Netlist(
+                        e.to_string(),
+                    )));
+                }
+            };
+            recorder.attr(simulate_span, "cycles", cycles);
+            recorder.attr(simulate_span, "comb_evals", comb_evals);
+            recorder.end(simulate_span);
+
+            config_metrics[config].cycles = cycles;
+            config_metrics[config].sim_seconds = wall_seconds;
+            runs.push(ConfigRun {
+                name: config_name.clone(),
+                summary: eventsim::RunSummary {
+                    outcome,
+                    end_time: SimTime(cycles * COMPILED_CLOCK_PERIOD),
+                    events: 0,
+                    updates: 0,
+                    evals: comb_evals,
+                    delta_cycles: 0,
+                    max_queue_depth: 0,
+                    wall_seconds,
+                },
+                kernel: KernelStats {
+                    evals: comb_evals,
+                    ..KernelStats::default()
+                },
+                hot_components: Vec::new(),
+                cycles,
+                vcd: None,
+                probes: BTreeMap::new(),
+                coverage: None,
+            });
+            if failure.is_some() {
+                break;
+            }
+            for mem_name in &mem_list {
+                let handle = csim.mem(mem_name).expect("sram instances have handles");
+                sim_mems.insert(mem_name.clone(), handle.snapshot());
+            }
+            continue;
+        }
+
         let elaborate_span = recorder.start("flow.elaborate");
         recorder.attr(elaborate_span, "config", config_name.as_str());
         let mut cs = if options.coverage {
@@ -859,6 +1140,84 @@ mod tests {
             .run()
             .unwrap();
         assert!(plain.runs[0].coverage.is_none());
+    }
+
+    #[test]
+    fn all_engines_agree_on_final_memories() {
+        let source = "mem inp[8]; mem out[8];
+             void main() { int i; for (i = 0; i < 8; i = i + 1) { out[i] = inp[i] * 3 - 1; } }";
+        let stim = Stimulus::from_values([5, 4, 3, 2, 1, 0, -1, -2]);
+        let mut reports = Vec::new();
+        for engine in Engine::ALL {
+            let report = TestFlow::new("tri", source)
+                .with_engine(engine)
+                .stimulus("inp", stim.clone())
+                .run()
+                .unwrap();
+            assert!(report.passed, "engine {engine}: {}", report.render());
+            reports.push((engine, report));
+        }
+        let (_, reference) = &reports[0];
+        for (engine, report) in &reports[1..] {
+            assert_eq!(
+                report.sim_mems, reference.sim_mems,
+                "engine {engine} disagrees with the event kernel"
+            );
+            // The compiled engines count the cycle-0 reset step; the event
+            // path derives cycles from the stop time. At most one apart.
+            assert!(
+                report.runs[0].cycles.abs_diff(reference.runs[0].cycles) <= 1,
+                "engine {engine} cycles {} vs event {}",
+                report.runs[0].cycles,
+                reference.runs[0].cycles
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_engines_work_across_reconfigurations() {
+        for engine in [Engine::Cycle, Engine::Level] {
+            let report = TestFlow::new(
+                "twophase",
+                "mem a[8]; mem b[8];
+                 void main() {
+                     int i;
+                     for (i = 0; i < 8; i = i + 1) { a[i] = i * 3; }
+                     int j;
+                     for (j = 0; j < 8; j = j + 1) { b[j] = a[j] + 1; }
+                 }",
+            )
+            .with_partitions(2)
+            .with_engine(engine)
+            .run()
+            .unwrap();
+            assert!(report.passed, "engine {engine}: {}", report.render());
+            assert_eq!(report.runs.len(), 2);
+            assert_eq!(report.sim_mems["b"][7], Some(22));
+        }
+    }
+
+    #[test]
+    fn compiled_engines_reject_observability_features() {
+        let base = || TestFlow::new("e", "mem out[1]; void main() { out[0] = 1; }");
+        for engine in [Engine::Cycle, Engine::Level] {
+            for flow in [
+                base().with_engine(engine).with_trace(true),
+                base().with_engine(engine).probe("done"),
+                base().with_engine(engine).with_coverage(true),
+            ] {
+                let err = flow.run().unwrap_err();
+                assert!(matches!(err, FlowError::Engine { .. }), "{err}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_parses_and_displays() {
+        for engine in Engine::ALL {
+            assert_eq!(engine.to_string().parse::<Engine>().unwrap(), engine);
+        }
+        assert!("verilator".parse::<Engine>().is_err());
     }
 
     #[test]

@@ -160,6 +160,14 @@ impl Suite {
         &self.cases
     }
 
+    /// Forces every case onto one simulation engine (the CLI's `--engine`
+    /// flag): manifests do not choose engines, the invocation does.
+    pub fn set_engine(&mut self, engine: crate::flow::Engine) {
+        for case in &mut self.cases {
+            case.options.engine = engine;
+        }
+    }
+
     /// Runs every case, never short-circuiting: a broken case must not
     /// hide results of the others.
     pub fn run(&self) -> SuiteReport {

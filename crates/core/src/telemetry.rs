@@ -92,6 +92,27 @@ impl Json {
         )
     }
 
+    /// Recursively sorts every object's members by key (stable, so
+    /// duplicate keys keep their relative order). Emitted reports become
+    /// byte-stable regardless of construction order — the `BENCH_*.json`
+    /// files are canonicalized this way so runs diff cleanly.
+    pub fn sort_keys(&mut self) {
+        match self {
+            Json::Obj(members) => {
+                for (_, value) in members.iter_mut() {
+                    value.sort_keys();
+                }
+                members.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+            Json::Arr(items) => {
+                for value in items {
+                    value.sort_keys();
+                }
+            }
+            _ => {}
+        }
+    }
+
     /// Object member lookup.
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
@@ -606,7 +627,18 @@ impl Recorder {
     /// The flat JSONL trace log: one `{"type":"span",...}` object per
     /// line, in start order, with depth instead of nesting.
     pub fn to_jsonl(&self) -> String {
-        let mut out = String::new();
+        let mut out = Vec::new();
+        self.write_jsonl(&mut out)
+            .expect("writing JSONL to a Vec cannot fail");
+        String::from_utf8(out).expect("JSONL output is UTF-8")
+    }
+
+    /// Streams the JSONL trace log into `out`, one span per line.
+    ///
+    /// Identical output to [`Recorder::to_jsonl`]; wrap `out` in a
+    /// [`std::io::BufWriter`] when targeting a file so long traces go
+    /// out line by line instead of through one in-memory string.
+    pub fn write_jsonl<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<()> {
         for span in &self.spans {
             let mut members = vec![
                 ("type".to_string(), Json::Str("span".into())),
@@ -618,10 +650,9 @@ impl Recorder {
             if !span.attrs.is_empty() {
                 members.push(("attrs".to_string(), Json::Obj(span.attrs.clone())));
             }
-            out.push_str(&Json::Obj(members).emit());
-            out.push('\n');
+            writeln!(out, "{}", Json::Obj(members).emit())?;
         }
-        out
+        Ok(())
     }
 }
 
@@ -902,6 +933,23 @@ mod tests {
         assert_eq!(Json::Num(5.0).emit(), "5");
         assert_eq!(Json::Num(0.5).emit(), "0.5");
         assert_eq!(Json::Num(-3.0).emit(), "-3");
+    }
+
+    #[test]
+    fn sort_keys_canonicalizes_nested_objects() {
+        let mut value = Json::obj([
+            ("zebra", 1u64.into()),
+            (
+                "items",
+                Json::Arr(vec![Json::obj([("b", 2u64.into()), ("a", 3u64.into())])]),
+            ),
+            ("alpha", 4u64.into()),
+        ]);
+        value.sort_keys();
+        assert_eq!(
+            value.emit(),
+            r#"{"alpha":4,"items":[{"a":3,"b":2}],"zebra":1}"#
+        );
     }
 
     #[test]

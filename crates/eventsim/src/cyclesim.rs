@@ -6,22 +6,43 @@
 //! provides the slow comparator: a simulator that, every clock cycle,
 //! re-evaluates **every** combinational instance in repeated sweeps until
 //! the netlist settles — no event queue, no activity tracking. The
-//! `ablation_kernel` bench compares it against the event kernel on the same
-//! netlists.
+//! `ablation_kernel` bench and the `ablation_bench` bin compare it against
+//! the event kernel and the levelized engine on the same netlists.
 //!
 //! It interprets the same [`Netlist`] (plus behavioral FSM tables) as
-//! [`Netlist::elaborate`], so both engines can run identical designs and
-//! their final memory contents can be compared word for word.
+//! [`Netlist::elaborate`], so all engines can run identical designs and
+//! their final memory contents can be compared word for word. The model
+//! itself (construction, evaluation, edge commit) is shared with
+//! [`crate::levelsim`] via [`crate::simmodel`].
 
 use crate::memory::MemHandle;
 use crate::netlist::Netlist;
-use crate::ops::{eval_binop, eval_unop, FsmTable, OpKind};
+use crate::ops::FsmTable;
+use crate::simmodel::{eval_comb, FlatModel};
 use crate::value::Value;
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-/// Errors raised while building or running a [`CycleSim`].
+/// How many unstable/involved instances an error message spells out before
+/// eliding the rest.
+const REPORT_CAP: usize = 8;
+
+pub(crate) fn write_instance_report(
+    f: &mut fmt::Formatter<'_>,
+    items: &[(String, String)],
+) -> fmt::Result {
+    for (i, (name, detail)) in items.iter().take(REPORT_CAP).enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        write!(f, "{sep}{name} ({detail})")?;
+    }
+    if items.len() > REPORT_CAP {
+        write!(f, ", … {} more", items.len() - REPORT_CAP)?;
+    }
+    Ok(())
+}
+
+/// Errors raised while building or running a [`CycleSim`] (or its levelized
+/// sibling [`crate::levelsim::LevelSim`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CycleSimError {
     /// The netlist references something the cycle engine cannot model.
@@ -30,6 +51,15 @@ pub enum CycleSimError {
     NoFixpoint {
         /// The cycle during which settling failed.
         cycle: u64,
+        /// Instances still toggling in the last sweep, as
+        /// `(instance name, "output = value")` pairs.
+        unstable: Vec<(String, String)>,
+    },
+    /// The netlist contains a true combinational cycle — reported at build
+    /// time by the level engine instead of burning a sweep budget.
+    CombinationalCycle {
+        /// Instances on one concrete cycle, in dependency order.
+        instances: Vec<String>,
     },
     /// The design failed (division by zero, bad memory access, X
     /// condition).
@@ -40,8 +70,29 @@ impl fmt::Display for CycleSimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CycleSimError::Build(m) => write!(f, "cannot build cycle model: {m}"),
-            CycleSimError::NoFixpoint { cycle } => {
-                write!(f, "combinational logic did not settle in cycle {cycle}")
+            CycleSimError::NoFixpoint { cycle, unstable } => {
+                write!(f, "combinational logic did not settle in cycle {cycle}")?;
+                if !unstable.is_empty() {
+                    write!(f, "; still toggling: ")?;
+                    write_instance_report(f, unstable)?;
+                }
+                Ok(())
+            }
+            CycleSimError::CombinationalCycle { instances } => {
+                write!(f, "combinational cycle: ")?;
+                for (i, name) in instances.iter().take(REPORT_CAP).enumerate() {
+                    let sep = if i == 0 { "" } else { " -> " };
+                    write!(f, "{sep}{name}")?;
+                }
+                if instances.len() > REPORT_CAP {
+                    write!(f, " -> … {} more", instances.len() - REPORT_CAP)?;
+                }
+                match instances.first() {
+                    Some(first) if instances.len() <= REPORT_CAP => {
+                        write!(f, " -> {first}")
+                    }
+                    _ => Ok(()),
+                }
             }
             CycleSimError::Failed(m) => write!(f, "design failure: {m}"),
         }
@@ -73,87 +124,15 @@ pub struct CycleSummary {
     pub comb_evals: u64,
 }
 
-enum Comb {
-    Bin {
-        kind: OpKind,
-        a: usize,
-        b: usize,
-        y: usize,
-        width: u32,
-        name: String,
-    },
-    Un {
-        kind: OpKind,
-        a: usize,
-        y: usize,
-        width: u32,
-        name: String,
-    },
-    Mux {
-        sel: usize,
-        inputs: Vec<usize>,
-        y: usize,
-        width: u32,
-    },
-    /// SRAM asynchronous read path.
-    SramRead {
-        mem: usize,
-        en: usize,
-        we: usize,
-        addr: usize,
-        dout: usize,
-        name: String,
-    },
-}
-
-struct RegModel {
-    d: usize,
-    q: usize,
-    en: Option<usize>,
-    rst: Option<usize>,
-    width: u32,
-}
-
-struct SramModel {
-    mem: usize,
-    en: usize,
-    we: usize,
-    addr: usize,
-    din: usize,
-    name: String,
-}
-
-struct FsmModel {
-    name: String,
-    table: FsmTable,
-    conditions: Vec<usize>,
-    outputs: Vec<usize>,
-    output_widths: Vec<u32>,
-    state: usize,
-}
-
-struct WatchModel {
-    name: String,
-    sig: usize,
-    value: i64,
-}
-
 /// The cycle-based engine. See the [module docs](self).
 pub struct CycleSim {
-    names: Vec<String>,
-    values: Vec<Value>,
-    combs: Vec<Comb>,
-    regs: Vec<RegModel>,
-    srams: Vec<SramModel>,
-    fsms: Vec<FsmModel>,
-    watches: Vec<WatchModel>,
-    mems: Vec<MemHandle>,
-    mem_names: HashMap<String, usize>,
-    signal_index: HashMap<String, usize>,
-    reset_signals: Vec<usize>,
+    model: FlatModel,
     sweep_limit: u32,
     cycles: u64,
     comb_evals: u64,
+    changed_scratch: Vec<usize>,
+    sram_scratch: Vec<usize>,
+    unstable_scratch: Vec<usize>,
 }
 
 impl CycleSim {
@@ -168,190 +147,15 @@ impl CycleSim {
     /// engine cannot model (the supported set matches
     /// [`Netlist::elaborate`]).
     pub fn from_netlist(netlist: &Netlist) -> Result<Self, CycleSimError> {
-        let mut sim = CycleSim {
-            names: Vec::new(),
-            values: Vec::new(),
-            combs: Vec::new(),
-            regs: Vec::new(),
-            srams: Vec::new(),
-            fsms: Vec::new(),
-            watches: Vec::new(),
-            mems: Vec::new(),
-            mem_names: HashMap::new(),
-            signal_index: HashMap::new(),
-            reset_signals: Vec::new(),
+        Ok(CycleSim {
+            model: FlatModel::from_netlist(netlist)?,
             sweep_limit: 1000,
             cycles: 0,
             comb_evals: 0,
-        };
-        for decl in netlist.signals() {
-            if sim.signal_index.contains_key(&decl.name) {
-                return Err(CycleSimError::Build(format!(
-                    "duplicate signal '{}'",
-                    decl.name
-                )));
-            }
-            sim.signal_index
-                .insert(decl.name.clone(), sim.values.len());
-            sim.names.push(decl.name.clone());
-            sim.values.push(Value::x(decl.width));
-        }
-        for inst in netlist.instances() {
-            sim.add_instance(inst)?;
-        }
-        Ok(sim)
-    }
-
-    fn sig(&self, inst: &crate::netlist::Instance, port: &str) -> Result<usize, CycleSimError> {
-        let name = inst.conn(port).ok_or_else(|| {
-            CycleSimError::Build(format!("instance '{}' misses port '{}'", inst.name, port))
-        })?;
-        self.signal_index
-            .get(name)
-            .copied()
-            .ok_or_else(|| CycleSimError::Build(format!("unknown signal '{name}'")))
-    }
-
-    fn param<T: std::str::FromStr>(
-        inst: &crate::netlist::Instance,
-        key: &str,
-        default: Option<T>,
-    ) -> Result<T, CycleSimError> {
-        match inst.param(key) {
-            Some(raw) => raw.parse().map_err(|_| {
-                CycleSimError::Build(format!(
-                    "instance '{}': bad parameter '{}'='{}'",
-                    inst.name, key, raw
-                ))
-            }),
-            None => default.ok_or_else(|| {
-                CycleSimError::Build(format!(
-                    "instance '{}': missing parameter '{}'",
-                    inst.name, key
-                ))
-            }),
-        }
-    }
-
-    fn add_instance(&mut self, inst: &crate::netlist::Instance) -> Result<(), CycleSimError> {
-        if let Ok(kind) = inst.kind.parse::<OpKind>() {
-            let width: u32 = Self::param(inst, "width", None)?;
-            let y = self.sig(inst, "y")?;
-            let a = self.sig(inst, "a")?;
-            if kind.is_unary() {
-                self.combs.push(Comb::Un {
-                    kind,
-                    a,
-                    y,
-                    width,
-                    name: inst.name.clone(),
-                });
-            } else {
-                let b = self.sig(inst, "b")?;
-                self.combs.push(Comb::Bin {
-                    kind,
-                    a,
-                    b,
-                    y,
-                    width,
-                    name: inst.name.clone(),
-                });
-            }
-            return Ok(());
-        }
-        match inst.kind.as_str() {
-            "clock" => { /* absorbed by the cycle abstraction */ }
-            "reset" => {
-                let y = self.sig(inst, "y")?;
-                self.reset_signals.push(y);
-            }
-            "const" => {
-                let width: u32 = Self::param(inst, "width", None)?;
-                let value: i64 = Self::param(inst, "value", None)?;
-                let y = self.sig(inst, "y")?;
-                self.values[y] = Value::known(width, value);
-            }
-            "mux" => {
-                let width: u32 = Self::param(inst, "width", None)?;
-                let n: usize = Self::param(inst, "inputs", None)?;
-                let sel = self.sig(inst, "sel")?;
-                let y = self.sig(inst, "y")?;
-                let mut inputs = Vec::with_capacity(n);
-                for i in 0..n {
-                    inputs.push(self.sig(inst, &format!("i{i}"))?);
-                }
-                self.combs.push(Comb::Mux {
-                    sel,
-                    inputs,
-                    y,
-                    width,
-                });
-            }
-            "reg" => {
-                let width: u32 = Self::param(inst, "width", None)?;
-                let d = self.sig(inst, "d")?;
-                let q = self.sig(inst, "q")?;
-                let en = inst.conn("en").map(|_| self.sig(inst, "en")).transpose()?;
-                let rst = inst.conn("rst").map(|_| self.sig(inst, "rst")).transpose()?;
-                self.regs.push(RegModel {
-                    d,
-                    q,
-                    en,
-                    rst,
-                    width,
-                });
-            }
-            "counter" => {
-                return Err(CycleSimError::Build(
-                    "counter is not supported by the cycle engine".to_string(),
-                ));
-            }
-            "sram" => {
-                let width: u32 = Self::param(inst, "width", None)?;
-                let size: usize = Self::param(inst, "size", None)?;
-                let mem = MemHandle::new(&inst.name, size, width);
-                let mem_index = self.mems.len();
-                self.mems.push(mem);
-                self.mem_names.insert(inst.name.clone(), mem_index);
-                let en = self.sig(inst, "en")?;
-                let we = self.sig(inst, "we")?;
-                let addr = self.sig(inst, "addr")?;
-                let din = self.sig(inst, "din")?;
-                let dout = self.sig(inst, "dout")?;
-                self.combs.push(Comb::SramRead {
-                    mem: mem_index,
-                    en,
-                    we,
-                    addr,
-                    dout,
-                    name: inst.name.clone(),
-                });
-                self.srams.push(SramModel {
-                    mem: mem_index,
-                    en,
-                    we,
-                    addr,
-                    din,
-                    name: inst.name.clone(),
-                });
-            }
-            "watchpoint" => {
-                let value: i64 = Self::param(inst, "value", None)?;
-                let sig = self.sig(inst, "sig")?;
-                self.watches.push(WatchModel {
-                    name: inst.name.clone(),
-                    sig,
-                    value,
-                });
-            }
-            other => {
-                return Err(CycleSimError::Build(format!(
-                    "instance '{}' has kind '{}' unsupported by the cycle engine",
-                    inst.name, other
-                )));
-            }
-        }
-        Ok(())
+            changed_scratch: Vec::new(),
+            sram_scratch: Vec::new(),
+            unstable_scratch: Vec::new(),
+        })
     }
 
     /// Attaches a behavioral control unit (same table as
@@ -368,54 +172,18 @@ impl CycleSim {
         outputs: &[(&str, u32)],
         table: FsmTable,
     ) -> Result<(), CycleSimError> {
-        let name = name.into();
-        if conditions.len() != table.condition_count() || outputs.len() != table.output_count() {
-            return Err(CycleSimError::Build(format!(
-                "control unit '{name}': signal count mismatch with table"
-            )));
-        }
-        let mut cond_ids = Vec::new();
-        for c in conditions {
-            cond_ids.push(
-                self.signal_index
-                    .get(*c)
-                    .copied()
-                    .ok_or_else(|| CycleSimError::Build(format!("unknown signal '{c}'")))?,
-            );
-        }
-        let mut out_ids = Vec::new();
-        let mut out_widths = Vec::new();
-        for (o, w) in outputs {
-            out_ids.push(
-                self.signal_index
-                    .get(*o)
-                    .copied()
-                    .ok_or_else(|| CycleSimError::Build(format!("unknown signal '{o}'")))?,
-            );
-            out_widths.push(*w);
-        }
-        let fsm = FsmModel {
-            name,
-            table,
-            conditions: cond_ids,
-            outputs: out_ids,
-            output_widths: out_widths,
-            state: 0,
-        };
-        // Drive initial state outputs.
-        drive_fsm_outputs(&fsm, &mut self.values);
-        self.fsms.push(fsm);
-        Ok(())
+        self.model
+            .add_control_unit(name.into(), conditions, outputs, table)
     }
 
     /// Content handle of an SRAM instance.
     pub fn mem(&self, name: &str) -> Option<&MemHandle> {
-        self.mem_names.get(name).map(|&i| &self.mems[i])
+        self.model.mem(name)
     }
 
     /// Current value of a named signal.
     pub fn value(&self, name: &str) -> Option<Value> {
-        self.signal_index.get(name).map(|&i| self.values[i])
+        self.model.value(name)
     }
 
     /// Cycles executed so far.
@@ -423,23 +191,37 @@ impl CycleSim {
         self.cycles
     }
 
+    /// Combinational evaluations performed so far.
+    pub fn comb_evals(&self) -> u64 {
+        self.comb_evals
+    }
+
     fn settle(&mut self) -> Result<(), CycleSimError> {
+        // Track which instances changed during the most recent sweep so a
+        // blown budget can name the culprits instead of just a cycle count.
+        // The scratch vector lives on the struct so the per-cycle hot path
+        // never allocates.
+        let mut last_changed = std::mem::take(&mut self.unstable_scratch);
         for _sweep in 0..self.sweep_limit {
-            let mut changed = false;
-            for comb in &self.combs {
+            last_changed.clear();
+            for index in 0..self.model.combs.len() {
                 self.comb_evals += 1;
-                let out = eval_comb(comb, &self.values, &self.mems)?;
-                let (y, value) = out;
-                if self.values[y] != value {
-                    self.values[y] = value;
-                    changed = true;
+                let (y, value) =
+                    eval_comb(&self.model.combs[index], &self.model.values, &self.model.mems)?;
+                if self.model.values[y] != value {
+                    self.model.values[y] = value;
+                    last_changed.push(index);
                 }
             }
-            if !changed {
+            if last_changed.is_empty() {
+                self.unstable_scratch = last_changed;
                 return Ok(());
             }
         }
-        Err(CycleSimError::NoFixpoint { cycle: self.cycles })
+        Err(CycleSimError::NoFixpoint {
+            cycle: self.cycles,
+            unstable: self.model.describe_combs(&last_changed),
+        })
     }
 
     /// Executes one clock cycle: settle combinational logic, then commit
@@ -453,113 +235,25 @@ impl CycleSim {
     pub fn step(&mut self) -> Result<Option<CycleOutcome>, CycleSimError> {
         // Reset generators assert during cycle 0.
         let reset_active = self.cycles == 0;
-        for &y in &self.reset_signals {
-            self.values[y] = Value::bit(reset_active);
+        for i in 0..self.model.reset_signals.len() {
+            let y = self.model.reset_signals[i];
+            self.model.values[y] = Value::bit(reset_active);
         }
 
         self.settle()?;
 
-        // Sample phase: compute register/memory/fsm updates from settled
-        // values, then commit (non-blocking semantics).
-        let mut reg_next = Vec::with_capacity(self.regs.len());
-        for reg in &self.regs {
-            let mut next = None;
-            if let Some(rst) = reg.rst {
-                if self.values[rst].is_true() {
-                    next = Some(Value::known(reg.width, 0));
-                }
-            }
-            if next.is_none() {
-                let enabled = match reg.en {
-                    Some(en) => self.values[en].is_true(),
-                    None => true,
-                };
-                if enabled {
-                    next = Some(self.values[reg.d].resize(reg.width));
-                }
-            }
-            reg_next.push(next);
-        }
-
-        for sram in &self.srams {
-            if self.values[sram.en].is_true() && self.values[sram.we].is_true() {
-                let addr = self.values[sram.addr]
-                    .try_u64()
-                    .ok_or_else(|| CycleSimError::Failed(format!("{}: X address", sram.name)))?
-                    as usize;
-                let mem = &self.mems[sram.mem];
-                if addr >= mem.size() {
-                    return Err(CycleSimError::Failed(format!(
-                        "{}: address {} out of range",
-                        sram.name, addr
-                    )));
-                }
-                let din = self.values[sram.din]
-                    .try_i64()
-                    .ok_or_else(|| CycleSimError::Failed(format!("{}: X write data", sram.name)))?;
-                mem.store(addr, din);
-            }
-        }
-
-        let mut done = false;
-        for i in 0..self.fsms.len() {
-            let (next_state, failed) = {
-                let fsm = &self.fsms[i];
-                let current = &fsm.table.states()[fsm.state];
-                if current.terminal {
-                    (fsm.state, None)
-                } else {
-                    let mut next = fsm.state;
-                    let mut failed = None;
-                    for transition in &current.transitions {
-                        match transition.condition {
-                            None => {
-                                next = transition.target;
-                                break;
-                            }
-                            Some((index, expected)) => {
-                                let v = self.values[fsm.conditions[index]];
-                                if v.is_x() {
-                                    failed = Some(format!(
-                                        "{}: X condition in state '{}'",
-                                        fsm.name, current.name
-                                    ));
-                                    break;
-                                }
-                                if v.is_true() == expected {
-                                    next = transition.target;
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                    (next, failed)
-                }
-            };
-            if let Some(message) = failed {
-                return Err(CycleSimError::Failed(message));
-            }
-            self.fsms[i].state = next_state;
-            drive_fsm_outputs(&self.fsms[i], &mut self.values);
-            if self.fsms[i].table.states()[next_state].terminal {
-                done = true;
-            }
-        }
-
-        for (reg, next) in self.regs.iter().zip(reg_next) {
-            if let Some(v) = next {
-                self.values[reg.q] = v;
-            }
-        }
+        self.changed_scratch.clear();
+        self.sram_scratch.clear();
+        let effects =
+            self.model
+                .commit_edge(&mut self.changed_scratch, &mut self.sram_scratch, None)?;
 
         self.cycles += 1;
 
-        for watch in &self.watches {
-            if self.values[watch.sig].try_i64() == Some(watch.value) {
-                return Ok(Some(CycleOutcome::Watchpoint(watch.name.clone())));
-            }
+        if let Some(name) = effects.watch {
+            return Ok(Some(CycleOutcome::Watchpoint(name)));
         }
-        if done {
+        if effects.done {
             return Ok(Some(CycleOutcome::Done));
         }
         Ok(None)
@@ -587,102 +281,6 @@ impl CycleSim {
             cycles: self.cycles - start_cycles,
             comb_evals: self.comb_evals - start_evals,
         })
-    }
-}
-
-fn drive_fsm_outputs(fsm: &FsmModel, values: &mut [Value]) {
-    let state = &fsm.table.states()[fsm.state];
-    for (i, &signal) in fsm.outputs.iter().enumerate() {
-        let value = state
-            .outputs
-            .iter()
-            .find(|(out, _)| *out == i)
-            .map(|(_, v)| *v)
-            .unwrap_or(0);
-        values[signal] = Value::known(fsm.output_widths[i], value);
-    }
-}
-
-fn eval_comb(
-    comb: &Comb,
-    values: &[Value],
-    mems: &[MemHandle],
-) -> Result<(usize, Value), CycleSimError> {
-    match comb {
-        Comb::Bin {
-            kind,
-            a,
-            b,
-            y,
-            width,
-            name,
-        } => {
-            let out_width = if kind.is_comparison() { 1 } else { *width };
-            let out = match (values[*a].try_i64(), values[*b].try_i64()) {
-                (Some(a), Some(b)) => eval_binop(*kind, a, b, *width)
-                    .map_err(|m| CycleSimError::Failed(format!("{name}: {m}")))?,
-                _ => Value::x(out_width),
-            };
-            Ok((*y, out))
-        }
-        Comb::Un {
-            kind,
-            a,
-            y,
-            width,
-            name,
-        } => {
-            let out = match values[*a].try_i64() {
-                Some(a) => eval_unop(*kind, a, *width)
-                    .map_err(|m| CycleSimError::Failed(format!("{name}: {m}")))?,
-                None => Value::x(*width),
-            };
-            Ok((*y, out))
-        }
-        Comb::Mux {
-            sel,
-            inputs,
-            y,
-            width,
-        } => {
-            let out = match values[*sel].try_u64() {
-                Some(s) => match inputs.get(s as usize) {
-                    Some(&i) => values[i].resize(*width),
-                    None => Value::x(*width),
-                },
-                None => Value::x(*width),
-            };
-            Ok((*y, out))
-        }
-        Comb::SramRead {
-            mem,
-            en,
-            we,
-            addr,
-            dout,
-            name,
-        } => {
-            let m = &mems[*mem];
-            let width = m.width();
-            if !values[*en].is_true() || values[*we].is_true() {
-                // dout undefined while disabled; during writes it follows
-                // the committed word only after the edge, so leave X within
-                // the cycle (registers never sample it mid-write in
-                // generated designs).
-                return Ok((*dout, Value::x(width)));
-            }
-            // Bad addresses on the (combinational) read path yield X, as
-            // in the event kernel; only committing writes fail.
-            let out = match values[*addr].try_u64() {
-                Some(a) if (a as usize) < m.size() => match m.load(a as usize) {
-                    Some(v) => Value::known(width, v),
-                    None => Value::x(width),
-                },
-                _ => Value::x(width),
-            };
-            let _ = name;
-            Ok((*dout, out))
-        }
     }
 }
 
@@ -861,5 +459,45 @@ mod tests {
         );
         let mut sim = CycleSim::from_netlist(&nl).unwrap();
         assert!(matches!(sim.step(), Err(CycleSimError::Failed(_))));
+    }
+
+    #[test]
+    fn no_fixpoint_names_the_toggling_instances() {
+        // A ring oscillator: y = not y, seeded to a known value by a const
+        // driver (an all-X loop would settle at X), plus an innocent
+        // bystander.
+        let mut nl = Netlist::new("osc");
+        nl.add_signal("y", 1);
+        nl.add_signal("a", 8);
+        nl.add_signal("b", 8);
+        nl.add_instance(
+            Instance::new("cy", "const")
+                .with_param("width", 1).with_param("value", 0).with_conn("y", "y"),
+        );
+        nl.add_instance(
+            Instance::new("osc0", "not")
+                .with_param("width", 1)
+                .with_conn("a", "y").with_conn("y", "y"),
+        );
+        nl.add_instance(
+            Instance::new("ca", "const")
+                .with_param("width", 8).with_param("value", 1).with_conn("y", "a"),
+        );
+        nl.add_instance(
+            Instance::new("inc0", "add")
+                .with_param("width", 8)
+                .with_conn("a", "a").with_conn("b", "a").with_conn("y", "b"),
+        );
+        let mut sim = CycleSim::from_netlist(&nl).unwrap();
+        match sim.step() {
+            Err(CycleSimError::NoFixpoint { cycle, unstable }) => {
+                assert_eq!(cycle, 0);
+                assert_eq!(unstable.len(), 1, "only the oscillator is unstable");
+                assert_eq!(unstable[0].0, "osc0");
+                let rendered = CycleSimError::NoFixpoint { cycle, unstable }.to_string();
+                assert!(rendered.contains("osc0"), "message names the instance: {rendered}");
+            }
+            other => panic!("expected NoFixpoint, got {other:?}"),
+        }
     }
 }

@@ -717,7 +717,10 @@ impl Simulator {
                 break RunOutcome::QueueEmpty;
             };
             if t > limit.0 {
-                self.core.now = limit.0;
+                // A resume may pass a limit below `now`; time never moves
+                // backwards (the wheel indexes slots relative to `now`, so
+                // rewinding would alias far events into the near window).
+                self.core.now = limit.0.max(self.core.now);
                 break RunOutcome::TimeLimit;
             }
             self.core.advance_to(t);

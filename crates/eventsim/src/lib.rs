@@ -20,6 +20,9 @@
 //! * [`vcd`] — waveform export.
 //! * [`cyclesim`] — a naive evaluate-everything-per-cycle baseline used by
 //!   the kernel-vs-baseline ablation benchmark.
+//! * [`levelsim`] — a levelized compiled-schedule engine: ranks the
+//!   combinational netlist at build time and evaluates each rank once per
+//!   clock phase with a dirty bitset (see `Netlist::compile_levelized`).
 //!
 //! ## Example
 //!
@@ -45,14 +48,16 @@ pub mod cyclesim;
 pub mod cpu;
 pub mod hds;
 mod kernel;
+pub mod levelsim;
 mod memory;
 pub mod netlist;
 pub mod ops;
 pub mod probe;
+mod simmodel;
 mod value;
 pub mod vcd;
 
-pub use component::{Component, ComponentId, SignalId};
+pub use component::{Component, ComponentId, Sensitivity, SignalId};
 pub use kernel::{
     Change, Context, KernelHook, KernelStats, RunOutcome, RunSummary, SimError, SimTime, Simulator,
 };

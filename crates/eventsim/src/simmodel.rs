@@ -1,0 +1,679 @@
+//! Flat signal/instance model shared by the compiled (non-event) engines.
+//!
+//! Both [`crate::cyclesim::CycleSim`] and [`crate::levelsim::LevelSim`]
+//! interpret the same [`Netlist`](crate::netlist::Netlist) vocabulary as
+//! [`Netlist::elaborate`](crate::netlist::Netlist::elaborate), but against a
+//! dense in-memory model: every signal and memory name is interned into a
+//! slot index at construction time, so the per-cycle paths touch only flat
+//! `Vec`s. The `HashMap` name tables survive solely for the public
+//! `value()`/`mem()` accessors and for build-time wiring.
+//!
+//! The engines differ only in how they *settle* combinational logic each
+//! cycle (repeated sweeps vs. a levelized single pass); the model itself —
+//! construction, combinational evaluation, and the rising-edge sample/commit
+//! phase — lives here so the two engines cannot drift apart semantically.
+
+use crate::cyclesim::CycleSimError;
+use crate::memory::MemHandle;
+use crate::netlist::{Instance, Netlist};
+use crate::ops::{eval_binop, eval_unop, FsmTable, OpKind};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A combinational instance, with all ports resolved to value slots.
+pub(crate) enum Comb {
+    Bin {
+        kind: OpKind,
+        a: usize,
+        b: usize,
+        y: usize,
+        width: u32,
+        name: String,
+    },
+    Un {
+        kind: OpKind,
+        a: usize,
+        y: usize,
+        width: u32,
+        name: String,
+    },
+    Mux {
+        sel: usize,
+        inputs: Vec<usize>,
+        y: usize,
+        width: u32,
+        name: String,
+    },
+    /// SRAM asynchronous read path.
+    SramRead {
+        mem: usize,
+        en: usize,
+        we: usize,
+        addr: usize,
+        dout: usize,
+        name: String,
+    },
+}
+
+impl Comb {
+    pub(crate) fn name(&self) -> &str {
+        match self {
+            Comb::Bin { name, .. }
+            | Comb::Un { name, .. }
+            | Comb::Mux { name, .. }
+            | Comb::SramRead { name, .. } => name,
+        }
+    }
+
+    /// The output slot this instance drives.
+    pub(crate) fn y(&self) -> usize {
+        match self {
+            Comb::Bin { y, .. } | Comb::Un { y, .. } | Comb::Mux { y, .. } => *y,
+            Comb::SramRead { dout, .. } => *dout,
+        }
+    }
+
+    /// Appends every input slot (duplicates possible) to `out`.
+    pub(crate) fn inputs(&self, out: &mut Vec<usize>) {
+        match self {
+            Comb::Bin { a, b, .. } => out.extend([*a, *b]),
+            Comb::Un { a, .. } => out.push(*a),
+            Comb::Mux { sel, inputs, .. } => {
+                out.push(*sel);
+                out.extend(inputs.iter().copied());
+            }
+            Comb::SramRead { en, we, addr, .. } => out.extend([*en, *we, *addr]),
+        }
+    }
+}
+
+pub(crate) struct RegModel {
+    pub d: usize,
+    pub q: usize,
+    pub en: Option<usize>,
+    pub rst: Option<usize>,
+    pub width: u32,
+}
+
+pub(crate) struct SramModel {
+    pub mem: usize,
+    pub en: usize,
+    pub we: usize,
+    pub addr: usize,
+    pub din: usize,
+    pub name: String,
+}
+
+pub(crate) struct FsmModel {
+    pub name: String,
+    pub table: FsmTable,
+    pub conditions: Vec<usize>,
+    pub outputs: Vec<usize>,
+    /// Dense Moore-output values per state: `state_values[state][i]` is
+    /// what output `i` drives there (0 when the state leaves it
+    /// unlisted). Precomputed so the per-cycle drive is a flat compare
+    /// loop instead of a per-output search of the state's output list.
+    pub state_values: Vec<Vec<Value>>,
+    pub state: usize,
+}
+
+pub(crate) struct WatchModel {
+    pub name: String,
+    pub sig: usize,
+    pub value: i64,
+}
+
+/// What a rising edge did, beyond mutating the model.
+pub(crate) struct EdgeEffects {
+    /// A control unit reached a terminal state.
+    pub done: bool,
+    /// First watchpoint whose value matched after the commit.
+    pub watch: Option<String>,
+}
+
+/// The dense model both compiled engines execute against.
+pub(crate) struct FlatModel {
+    pub names: Vec<String>,
+    pub values: Vec<Value>,
+    pub combs: Vec<Comb>,
+    pub regs: Vec<RegModel>,
+    pub srams: Vec<SramModel>,
+    pub fsms: Vec<FsmModel>,
+    pub watches: Vec<WatchModel>,
+    pub mems: Vec<MemHandle>,
+    pub mem_names: HashMap<String, usize>,
+    pub signal_index: HashMap<String, usize>,
+    pub reset_signals: Vec<usize>,
+    /// Reused by [`FlatModel::commit_edge`] for the sampled
+    /// `(register index, next value)` pairs, so the per-cycle hot path
+    /// never allocates.
+    reg_next: Vec<(usize, Value)>,
+}
+
+impl FlatModel {
+    /// Builds the flat model from a structural netlist.
+    ///
+    /// `clock` instances are absorbed into the cycle abstraction; `reset`
+    /// instances assert during cycle 0 only (applied by the engines).
+    pub(crate) fn from_netlist(netlist: &Netlist) -> Result<Self, CycleSimError> {
+        let mut model = FlatModel {
+            names: Vec::new(),
+            values: Vec::new(),
+            combs: Vec::new(),
+            regs: Vec::new(),
+            srams: Vec::new(),
+            fsms: Vec::new(),
+            watches: Vec::new(),
+            mems: Vec::new(),
+            mem_names: HashMap::new(),
+            signal_index: HashMap::new(),
+            reset_signals: Vec::new(),
+            reg_next: Vec::new(),
+        };
+        for decl in netlist.signals() {
+            if model.signal_index.contains_key(&decl.name) {
+                return Err(CycleSimError::Build(format!(
+                    "duplicate signal '{}'",
+                    decl.name
+                )));
+            }
+            model
+                .signal_index
+                .insert(decl.name.clone(), model.values.len());
+            model.names.push(decl.name.clone());
+            model.values.push(Value::x(decl.width));
+        }
+        for inst in netlist.instances() {
+            model.add_instance(inst)?;
+        }
+        Ok(model)
+    }
+
+    fn sig(&self, inst: &Instance, port: &str) -> Result<usize, CycleSimError> {
+        let name = inst.conn(port).ok_or_else(|| {
+            CycleSimError::Build(format!("instance '{}' misses port '{}'", inst.name, port))
+        })?;
+        self.signal_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| CycleSimError::Build(format!("unknown signal '{name}'")))
+    }
+
+    fn param<T: std::str::FromStr>(
+        inst: &Instance,
+        key: &str,
+        default: Option<T>,
+    ) -> Result<T, CycleSimError> {
+        match inst.param(key) {
+            Some(raw) => raw.parse().map_err(|_| {
+                CycleSimError::Build(format!(
+                    "instance '{}': bad parameter '{}'='{}'",
+                    inst.name, key, raw
+                ))
+            }),
+            None => default.ok_or_else(|| {
+                CycleSimError::Build(format!(
+                    "instance '{}': missing parameter '{}'",
+                    inst.name, key
+                ))
+            }),
+        }
+    }
+
+    fn add_instance(&mut self, inst: &Instance) -> Result<(), CycleSimError> {
+        if let Ok(kind) = inst.kind.parse::<OpKind>() {
+            let width: u32 = Self::param(inst, "width", None)?;
+            let y = self.sig(inst, "y")?;
+            let a = self.sig(inst, "a")?;
+            if kind.is_unary() {
+                self.combs.push(Comb::Un {
+                    kind,
+                    a,
+                    y,
+                    width,
+                    name: inst.name.clone(),
+                });
+            } else {
+                let b = self.sig(inst, "b")?;
+                self.combs.push(Comb::Bin {
+                    kind,
+                    a,
+                    b,
+                    y,
+                    width,
+                    name: inst.name.clone(),
+                });
+            }
+            return Ok(());
+        }
+        match inst.kind.as_str() {
+            "clock" => { /* absorbed by the cycle abstraction */ }
+            "reset" => {
+                let y = self.sig(inst, "y")?;
+                self.reset_signals.push(y);
+            }
+            "const" => {
+                let width: u32 = Self::param(inst, "width", None)?;
+                let value: i64 = Self::param(inst, "value", None)?;
+                let y = self.sig(inst, "y")?;
+                self.values[y] = Value::known(width, value);
+            }
+            "mux" => {
+                let width: u32 = Self::param(inst, "width", None)?;
+                let n: usize = Self::param(inst, "inputs", None)?;
+                let sel = self.sig(inst, "sel")?;
+                let y = self.sig(inst, "y")?;
+                let mut inputs = Vec::with_capacity(n);
+                for i in 0..n {
+                    inputs.push(self.sig(inst, &format!("i{i}"))?);
+                }
+                self.combs.push(Comb::Mux {
+                    sel,
+                    inputs,
+                    y,
+                    width,
+                    name: inst.name.clone(),
+                });
+            }
+            "reg" => {
+                let width: u32 = Self::param(inst, "width", None)?;
+                let d = self.sig(inst, "d")?;
+                let q = self.sig(inst, "q")?;
+                let en = inst.conn("en").map(|_| self.sig(inst, "en")).transpose()?;
+                let rst = inst.conn("rst").map(|_| self.sig(inst, "rst")).transpose()?;
+                self.regs.push(RegModel {
+                    d,
+                    q,
+                    en,
+                    rst,
+                    width,
+                });
+            }
+            "counter" => {
+                return Err(CycleSimError::Build(
+                    "counter is not supported by the cycle engine".to_string(),
+                ));
+            }
+            "sram" => {
+                let width: u32 = Self::param(inst, "width", None)?;
+                let size: usize = Self::param(inst, "size", None)?;
+                let mem = MemHandle::new(&inst.name, size, width);
+                let mem_index = self.mems.len();
+                self.mems.push(mem);
+                self.mem_names.insert(inst.name.clone(), mem_index);
+                let en = self.sig(inst, "en")?;
+                let we = self.sig(inst, "we")?;
+                let addr = self.sig(inst, "addr")?;
+                let din = self.sig(inst, "din")?;
+                let dout = self.sig(inst, "dout")?;
+                self.combs.push(Comb::SramRead {
+                    mem: mem_index,
+                    en,
+                    we,
+                    addr,
+                    dout,
+                    name: inst.name.clone(),
+                });
+                self.srams.push(SramModel {
+                    mem: mem_index,
+                    en,
+                    we,
+                    addr,
+                    din,
+                    name: inst.name.clone(),
+                });
+            }
+            "watchpoint" => {
+                let value: i64 = Self::param(inst, "value", None)?;
+                let sig = self.sig(inst, "sig")?;
+                self.watches.push(WatchModel {
+                    name: inst.name.clone(),
+                    sig,
+                    value,
+                });
+            }
+            other => {
+                return Err(CycleSimError::Build(format!(
+                    "instance '{}' has kind '{}' unsupported by the cycle engine",
+                    inst.name, other
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Attaches a behavioral control unit (same table as
+    /// [`crate::ops::ControlUnit`]). Initial-state outputs are driven
+    /// immediately.
+    pub(crate) fn add_control_unit(
+        &mut self,
+        name: String,
+        conditions: &[&str],
+        outputs: &[(&str, u32)],
+        table: FsmTable,
+    ) -> Result<(), CycleSimError> {
+        if conditions.len() != table.condition_count() || outputs.len() != table.output_count() {
+            return Err(CycleSimError::Build(format!(
+                "control unit '{name}': signal count mismatch with table"
+            )));
+        }
+        let mut cond_ids = Vec::new();
+        for c in conditions {
+            cond_ids.push(
+                self.signal_index
+                    .get(*c)
+                    .copied()
+                    .ok_or_else(|| CycleSimError::Build(format!("unknown signal '{c}'")))?,
+            );
+        }
+        let mut out_ids = Vec::new();
+        let mut out_widths = Vec::new();
+        for (o, w) in outputs {
+            out_ids.push(
+                self.signal_index
+                    .get(*o)
+                    .copied()
+                    .ok_or_else(|| CycleSimError::Build(format!("unknown signal '{o}'")))?,
+            );
+            out_widths.push(*w);
+        }
+        let state_values = table
+            .states()
+            .iter()
+            .map(|state| {
+                (0..out_ids.len())
+                    .map(|i| {
+                        let value = state
+                            .outputs
+                            .iter()
+                            .find(|(out, _)| *out == i)
+                            .map(|(_, v)| *v)
+                            .unwrap_or(0);
+                        Value::known(out_widths[i], value)
+                    })
+                    .collect()
+            })
+            .collect();
+        let fsm = FsmModel {
+            name,
+            table,
+            conditions: cond_ids,
+            outputs: out_ids,
+            state_values,
+            state: 0,
+        };
+        let mut scratch = Vec::new();
+        drive_fsm_outputs(&fsm, &mut self.values, &mut scratch);
+        self.fsms.push(fsm);
+        Ok(())
+    }
+
+    /// Content handle of an SRAM instance.
+    pub(crate) fn mem(&self, name: &str) -> Option<&MemHandle> {
+        self.mem_names.get(name).map(|&i| &self.mems[i])
+    }
+
+    /// Current value of a named signal.
+    pub(crate) fn value(&self, name: &str) -> Option<Value> {
+        self.signal_index.get(name).map(|&i| self.values[i])
+    }
+
+    /// The rising-edge sample/commit phase, shared verbatim by both engines:
+    /// next-state values for registers are sampled from the settled netlist,
+    /// SRAM writes commit, FSMs transition and drive their Moore outputs,
+    /// and finally register outputs commit (non-blocking semantics).
+    ///
+    /// Every slot whose value actually changed is appended to `changed`, and
+    /// the index (into `self.srams`) of every memory that committed a write
+    /// is appended to `written_srams` — the level engine uses both to mark
+    /// downstream combinational logic dirty; the sweep engine ignores them.
+    ///
+    /// With `reg_filter: Some(bits)` only the registers whose bit is set are
+    /// sampled (the set is drained). A register none of whose inputs
+    /// (`d`/`en`/`rst`) changed since its last sample would resample the
+    /// same value and commit nothing, so skipping it is unobservable — the
+    /// level engine maintains that dirty set; the sweep engine passes
+    /// `None` and samples everything.
+    pub(crate) fn commit_edge(
+        &mut self,
+        changed: &mut Vec<usize>,
+        written_srams: &mut Vec<usize>,
+        reg_filter: Option<&mut Vec<u64>>,
+    ) -> Result<EdgeEffects, CycleSimError> {
+        let mut reg_next = std::mem::take(&mut self.reg_next);
+        reg_next.clear();
+        match reg_filter {
+            None => {
+                for (index, reg) in self.regs.iter().enumerate() {
+                    if let Some(v) = sample_reg(reg, &self.values) {
+                        reg_next.push((index, v));
+                    }
+                }
+            }
+            Some(bits) => {
+                for (word, bits) in bits.iter_mut().enumerate() {
+                    while *bits != 0 {
+                        let bit = bits.trailing_zeros() as usize;
+                        *bits &= !(1u64 << bit);
+                        let index = word * 64 + bit;
+                        if let Some(v) = sample_reg(&self.regs[index], &self.values) {
+                            reg_next.push((index, v));
+                        }
+                    }
+                }
+            }
+        }
+
+        for (index, sram) in self.srams.iter().enumerate() {
+            if self.values[sram.en].is_true() && self.values[sram.we].is_true() {
+                let addr = self.values[sram.addr]
+                    .try_u64()
+                    .ok_or_else(|| CycleSimError::Failed(format!("{}: X address", sram.name)))?
+                    as usize;
+                let mem = &self.mems[sram.mem];
+                if addr >= mem.size() {
+                    return Err(CycleSimError::Failed(format!(
+                        "{}: address {} out of range",
+                        sram.name, addr
+                    )));
+                }
+                let din = self.values[sram.din]
+                    .try_i64()
+                    .ok_or_else(|| CycleSimError::Failed(format!("{}: X write data", sram.name)))?;
+                mem.store(addr, din);
+                written_srams.push(index);
+            }
+        }
+
+        let mut done = false;
+        for i in 0..self.fsms.len() {
+            let (next_state, failed) = {
+                let fsm = &self.fsms[i];
+                let current = &fsm.table.states()[fsm.state];
+                if current.terminal {
+                    (fsm.state, None)
+                } else {
+                    let mut next = fsm.state;
+                    let mut failed = None;
+                    for transition in &current.transitions {
+                        match transition.condition {
+                            None => {
+                                next = transition.target;
+                                break;
+                            }
+                            Some((index, expected)) => {
+                                let v = self.values[fsm.conditions[index]];
+                                if v.is_x() {
+                                    failed = Some(format!(
+                                        "{}: X condition in state '{}'",
+                                        fsm.name, current.name
+                                    ));
+                                    break;
+                                }
+                                if v.is_true() == expected {
+                                    next = transition.target;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    (next, failed)
+                }
+            };
+            if let Some(message) = failed {
+                return Err(CycleSimError::Failed(message));
+            }
+            self.fsms[i].state = next_state;
+            let fsm = &self.fsms[i];
+            let values = &mut self.values;
+            drive_fsm_outputs(fsm, values, changed);
+            if fsm.table.states()[next_state].terminal {
+                done = true;
+            }
+        }
+
+        for &(index, v) in &reg_next {
+            let q = self.regs[index].q;
+            if self.values[q] != v {
+                self.values[q] = v;
+                changed.push(q);
+            }
+        }
+        self.reg_next = reg_next;
+
+        let watch = self.watches.iter().find_map(|watch| {
+            (self.values[watch.sig].try_i64() == Some(watch.value)).then(|| watch.name.clone())
+        });
+        Ok(EdgeEffects { done, watch })
+    }
+
+    /// Renders `(instance name, output value)` pairs for a set of
+    /// combinational instances — the actionable part of a
+    /// [`CycleSimError::NoFixpoint`] report, also reused for the level
+    /// engine's combinational-cycle report.
+    pub(crate) fn describe_combs(&self, indices: &[usize]) -> Vec<(String, String)> {
+        indices
+            .iter()
+            .map(|&i| {
+                let comb = &self.combs[i];
+                (
+                    comb.name().to_string(),
+                    format!("{} = {}", self.names[comb.y()], self.values[comb.y()]),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Samples one register's next value from the settled netlist: reset wins,
+/// then the enable gate; `None` means the register holds its value.
+#[inline]
+fn sample_reg(reg: &RegModel, values: &[Value]) -> Option<Value> {
+    if let Some(rst) = reg.rst {
+        if values[rst].is_true() {
+            return Some(Value::known(reg.width, 0));
+        }
+    }
+    let enabled = match reg.en {
+        Some(en) => values[en].is_true(),
+        None => true,
+    };
+    enabled.then(|| values[reg.d].resize(reg.width))
+}
+
+/// Drives the Moore outputs of `fsm`'s current state, appending every slot
+/// whose value actually changed to `changed`.
+pub(crate) fn drive_fsm_outputs(fsm: &FsmModel, values: &mut [Value], changed: &mut Vec<usize>) {
+    let state_values = &fsm.state_values[fsm.state];
+    for (&signal, &value) in fsm.outputs.iter().zip(state_values) {
+        if values[signal] != value {
+            values[signal] = value;
+            changed.push(signal);
+        }
+    }
+}
+
+/// Evaluates one combinational instance against the current values,
+/// returning `(output slot, new value)` without writing it back.
+pub(crate) fn eval_comb(
+    comb: &Comb,
+    values: &[Value],
+    mems: &[MemHandle],
+) -> Result<(usize, Value), CycleSimError> {
+    match comb {
+        Comb::Bin {
+            kind,
+            a,
+            b,
+            y,
+            width,
+            name,
+        } => {
+            let out_width = if kind.is_comparison() { 1 } else { *width };
+            let out = match (values[*a].try_i64(), values[*b].try_i64()) {
+                (Some(a), Some(b)) => eval_binop(*kind, a, b, *width)
+                    .map_err(|m| CycleSimError::Failed(format!("{name}: {m}")))?,
+                _ => Value::x(out_width),
+            };
+            Ok((*y, out))
+        }
+        Comb::Un {
+            kind,
+            a,
+            y,
+            width,
+            name,
+        } => {
+            let out = match values[*a].try_i64() {
+                Some(a) => eval_unop(*kind, a, *width)
+                    .map_err(|m| CycleSimError::Failed(format!("{name}: {m}")))?,
+                None => Value::x(*width),
+            };
+            Ok((*y, out))
+        }
+        Comb::Mux {
+            sel,
+            inputs,
+            y,
+            width,
+            ..
+        } => {
+            let out = match values[*sel].try_u64() {
+                Some(s) => match inputs.get(s as usize) {
+                    Some(&i) => values[i].resize(*width),
+                    None => Value::x(*width),
+                },
+                None => Value::x(*width),
+            };
+            Ok((*y, out))
+        }
+        Comb::SramRead {
+            mem,
+            en,
+            we,
+            addr,
+            dout,
+            ..
+        } => {
+            let m = &mems[*mem];
+            let width = m.width();
+            if !values[*en].is_true() || values[*we].is_true() {
+                // dout undefined while disabled; during writes it follows
+                // the committed word only after the edge, so leave X within
+                // the cycle (registers never sample it mid-write in
+                // generated designs).
+                return Ok((*dout, Value::x(width)));
+            }
+            // Bad addresses on the (combinational) read path yield X, as
+            // in the event kernel; only committing writes fail.
+            let out = match values[*addr].try_u64() {
+                Some(a) if (a as usize) < m.size() => match m.load(a as usize) {
+                    Some(v) => Value::known(width, v),
+                    None => Value::x(width),
+                },
+                _ => Value::x(width),
+            };
+            Ok((*dout, out))
+        }
+    }
+}

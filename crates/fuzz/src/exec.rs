@@ -15,7 +15,7 @@
 
 use crate::coverage::{case_coverage, CoverageMap};
 use crate::gen::Case;
-use fpgatest::flow::{run_design, FlowError, FlowOptions};
+use fpgatest::flow::{run_design, Engine, FlowError, FlowOptions, TestReport};
 use fpgatest::stimulus::Stimulus;
 use nenya::schedule::SchedulePolicy;
 use nenya::{compile_program, CompileOptions, Design};
@@ -130,6 +130,10 @@ pub enum DivKind {
     Timeout,
     /// The flow itself broke (elaboration, kernel, RTG).
     FlowBroken,
+    /// The event kernel passed but a compiled engine (cycle or level)
+    /// produced different final memories, failed, or broke — a
+    /// simulator-equivalence bug rather than a compiler bug.
+    EngineMismatch,
 }
 
 /// A detected divergence between the golden reference and the simulated
@@ -203,6 +207,12 @@ pub fn run_case(case: &Case, width: u32, opts: &ExecOptions) -> CaseOutcome {
             Ok(report) if report.passed => {
                 coverage.merge(case_coverage(&report));
                 coverage.insert(format!("cfg:{variant}"));
+                if let Some(divergence) = check_engines(&design, &stimuli, &flow_options, &report) {
+                    return CaseOutcome::Divergence(Divergence {
+                        variant,
+                        ..divergence
+                    });
+                }
             }
             Ok(report) => {
                 let (kind, detail) = match &report.failure {
@@ -250,6 +260,62 @@ pub fn run_case(case: &Case, width: u32, opts: &ExecOptions) -> CaseOutcome {
         }
     }
     CaseOutcome::Pass { coverage }
+}
+
+/// The cross-engine leg of the differential matrix: once the event
+/// kernel passes a variant, the same design re-runs on the compiled
+/// cycle and level engines and the final memories must be
+/// word-identical to the event kernel's. Coverage stays off on these
+/// runs — the compiled engines reject observability features, and the
+/// pass-side coverage keys must not change just because extra engines
+/// ran. Any disagreement, failure, or flow error comes back as an
+/// [`DivKind::EngineMismatch`] divergence (the caller fills in the
+/// variant).
+fn check_engines(
+    design: &Design,
+    stimuli: &[(String, Stimulus)],
+    event_options: &FlowOptions,
+    event_report: &TestReport,
+) -> Option<Divergence> {
+    for engine in [Engine::Cycle, Engine::Level] {
+        let options = FlowOptions {
+            engine,
+            coverage: false,
+            ..event_options.clone()
+        };
+        let detail = match run_design(design, stimuli, &options) {
+            Ok(report) if report.passed => {
+                if report.sim_mems == event_report.sim_mems {
+                    continue;
+                }
+                let first = report
+                    .sim_mems
+                    .iter()
+                    .find_map(|(mem, image)| {
+                        (event_report.sim_mems.get(mem) != Some(image)).then(|| mem.clone())
+                    })
+                    .unwrap_or_else(|| "<memory set>".into());
+                format!("engine '{engine}' disagrees with the event kernel on memory '{first}'")
+            }
+            Ok(report) => match &report.failure {
+                Some(failure) => format!("engine '{engine}': {failure}"),
+                None => format!(
+                    "engine '{engine}': {} memory mismatches vs golden",
+                    report.mismatches.len()
+                ),
+            },
+            Err(e) => format!("engine '{engine}': {e}"),
+        };
+        return Some(Divergence {
+            variant: Variant {
+                policy: SchedulePolicy::List,
+                partitions: 1,
+            },
+            kind: DivKind::EngineMismatch,
+            detail,
+        });
+    }
+    None
 }
 
 /// Whether the case still diverges — the shrinker's predicate.

@@ -1,0 +1,140 @@
+//! Cross-engine equivalence over the checked-in corpus, plus the
+//! levelization-order property.
+//!
+//! The event kernel is the reference semantics; the compiled cycle and
+//! level engines must leave *word-identical* final memories on every
+//! corpus case. A second, structural property checks the level engine's
+//! schedule itself: in the rank table of every generated netlist, each
+//! combinational instance is ranked strictly after all of its producers,
+//! so a single ascending pass per clock phase is sufficient.
+
+use fpgafuzz::gen::{generate_case, Budget, Case};
+use fpgatest::flow::{Engine, TestFlow};
+use fpgatest::stimulus::Stimulus;
+use nenya::{compile_program, CompileOptions};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// The campaign's default width (matches `tests/replay.rs`).
+const WIDTH: u32 = 16;
+
+fn corpus_cases() -> Vec<(u64, u64)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut cases: Vec<(u64, u64)> = std::fs::read_dir(&dir)
+        .expect("corpus directory is checked in")
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            if path.extension()? != "src" {
+                return None;
+            }
+            let stem = path.file_stem()?.to_str()?;
+            let rest = stem.strip_prefix("seed")?;
+            let (seed, case) = rest.split_once("-case")?;
+            Some((seed.parse().ok()?, case.parse().ok()?))
+        })
+        .collect();
+    cases.sort_unstable();
+    assert!(!cases.is_empty(), "no .src files in {}", dir.display());
+    cases
+}
+
+fn regenerate(seed: u64, index: u64) -> Case {
+    let budget = Budget {
+        width: WIDTH,
+        ..Budget::default()
+    };
+    generate_case(seed, index, &budget).expect("generator emits valid programs")
+}
+
+fn flow(case: &Case, engine: Engine) -> TestFlow {
+    let mut flow = TestFlow::new("gen", &case.source)
+        .with_width(WIDTH)
+        .with_engine(engine);
+    for (mem, values) in &case.stimuli {
+        flow = flow.stimulus(mem, Stimulus::from_values(values.iter().copied()));
+    }
+    flow
+}
+
+/// Every corpus case, replayed on all three engines: all must pass the
+/// golden comparison *and* agree with each other word for word.
+#[test]
+fn corpus_final_memories_identical_across_engines() {
+    for (seed, index) in corpus_cases() {
+        let case = regenerate(seed, index);
+        let event = flow(&case, Engine::Event)
+            .run()
+            .unwrap_or_else(|e| panic!("case {seed}/{index}: event flow: {e}"));
+        assert!(
+            event.passed,
+            "case {seed}/{index} fails on the event kernel:\n{}",
+            event.render()
+        );
+        for engine in [Engine::Cycle, Engine::Level] {
+            let compiled = flow(&case, engine)
+                .run()
+                .unwrap_or_else(|e| panic!("case {seed}/{index}: {engine} flow: {e}"));
+            assert!(
+                compiled.passed,
+                "case {seed}/{index} fails on the {engine} engine:\n{}",
+                compiled.render()
+            );
+            assert_eq!(
+                compiled.sim_mems, event.sim_mems,
+                "case {seed}/{index}: {engine} engine memories differ from the event kernel"
+            );
+        }
+    }
+}
+
+/// Levelizes every configuration of a compiled design and returns the
+/// rank tables, one per configuration.
+fn rank_tables(case: &Case) -> Vec<Vec<eventsim::levelsim::RankEntry>> {
+    let options = CompileOptions {
+        width: WIDTH,
+        ..CompileOptions::default()
+    };
+    let design =
+        compile_program("gen", &case.program, &options).expect("generator emits valid programs");
+    design
+        .configs
+        .iter()
+        .map(|config| {
+            let dp_doc = nenya::xml::emit_datapath(&config.datapath);
+            let hds = xform::apply(&xform::stylesheets::datapath_to_hds(), dp_doc.root())
+                .expect("datapath stylesheet applies");
+            let netlist = eventsim::hds::parse(&hds).expect("stylesheet output parses");
+            let sim = netlist
+                .compile_levelized()
+                .expect("generated datapaths are acyclic");
+            sim.rank_table()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// In every levelized schedule, each combinational instance ranks
+    /// strictly after all of its combinational producers — the property
+    /// that makes one ascending sweep per clock phase sufficient.
+    #[test]
+    fn levelization_ranks_respect_sources(
+        seed in any::<u64>(),
+        index in 0u64..1024,
+    ) {
+        let case = regenerate(seed, index);
+        for table in rank_tables(&case) {
+            prop_assert!(!table.is_empty(), "no combinational instances levelized");
+            for entry in &table {
+                for (producer, producer_rank) in &entry.sources {
+                    prop_assert!(
+                        entry.rank > *producer_rank,
+                        "'{}' (rank {}) does not come after its producer '{}' (rank {})",
+                        entry.instance, entry.rank, producer, producer_rank
+                    );
+                }
+            }
+        }
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! fpgatest run <suite.manifest> [--jobs N] run a whole suite (the ANT-build role)
 //! fpgatest test <prog.src> [options]       run one program through the flow
+//! fpgatest faults <suite.manifest>         run a fault-injection campaign
 //! fpgatest compile <prog.src> --out <dir>  emit XML/hds/dot/behavior artifacts
 //! fpgatest figure1                         print the infrastructure diagram (dot)
 //! ```
@@ -42,9 +43,40 @@
 //! `test` also accepts a `.manifest` path, which runs the whole suite
 //! (equivalent to `run`) so the observability flags apply uniformly.
 //!
-//! Exit code 0 = everything passed; 1 = verification failed; 2 = usage or
-//! flow error.
+//! `test` fault/watchdog options (also available as manifest directives
+//! `fault`, `max_ticks`, `timeout`):
+//!
+//! ```text
+//! --fault <spec>            inject a hardware fault into the simulated
+//!                           design (repeatable): stuck0:SIG.BIT,
+//!                           stuck1:SIG.BIT, flip:SIG.BIT@CYCLE,
+//!                           seu:SIG.BIT@CYCLE, sram:MEM@ADDR.BIT
+//! --max-ticks <n>           per-configuration tick watchdog
+//! --timeout <ms>            wall-clock watchdog around each case
+//! ```
+//!
+//! `faults` options:
+//!
+//! ```text
+//! --design <name>           campaign only this case (repeatable)
+//! --engine <event|cycle|level>
+//! --seed <n>                site-sampling seed (default 1)
+//! --sites <n>               injections per case (default 200)
+//! --max-ticks <n>           per-injection tick watchdog (default: 5x the
+//!                           clean run)
+//! --report <file>           write the fpgatest-faults-v1 JSON report
+//! --min-detected <f>        fail unless every campaign detects at least
+//!                           this fraction
+//! --baseline <file>         fail if coverage regressed vs a previous
+//!                           --report file
+//! ```
+//!
+//! Exit codes: 0 = everything passed; 1 = verification failed (or fault
+//! coverage below the requested floor/baseline); 2 = usage or flow
+//! error; 3 = a case crashed the harness (caught panic); 4 = a watchdog
+//! (tick or wall-clock) tripped.
 
+use fpgatest::faults::{campaign_json, run_campaign, CampaignOptions, FaultSpec, InjectionOutcome};
 use fpgatest::flow::{Engine, FlowOptions, TestFlow};
 use fpgatest::suite::{CaseResult, SuiteReport};
 use fpgatest::telemetry::{self, Json, Recorder};
@@ -59,6 +91,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("test") => cmd_test(&args[1..]),
+        Some("faults") => cmd_faults(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         Some("figure1") => {
             print!("{}", fpgatest::dot::flow_diagram());
@@ -87,11 +120,17 @@ USAGE:
   fpgatest test <prog.src|suite.manifest> [--stimulus mem=file]... [--width N]
                 [--partitions K] [--policy list|one-op-per-state]
                 [--optimize] [--trace] [--artifacts DIR] [--jobs N]
-                [--engine event|cycle|level]
+                [--engine event|cycle|level] [--fault SPEC]...
+                [--max-ticks N] [--timeout MS]
                 [--metrics-out FILE] [--trace-log FILE] [--baseline FILE]
                 [--verbose]
+  fpgatest faults <suite.manifest> [--design NAME]... [--engine E] [--seed N]
+                [--sites N] [--max-ticks N] [--report FILE]
+                [--min-detected F] [--baseline FILE]
   fpgatest compile <prog.src> --out DIR [--width N] [--partitions K] [--optimize]
-  fpgatest figure1 > figure1.dot"
+  fpgatest figure1 > figure1.dot
+
+exit codes: 0 pass, 1 fail, 2 usage/flow error, 3 harness crash, 4 watchdog"
     );
 }
 
@@ -161,7 +200,7 @@ fn print_metrics(report: &SuiteReport, verbose: bool) {
         .iter()
         .filter_map(|(_, result)| match result {
             CaseResult::Finished(r) => Some(r.metrics.clone()),
-            CaseResult::Errored(_) => None,
+            _ => None,
         })
         .collect();
     if rows.is_empty() {
@@ -198,11 +237,7 @@ fn run_suite(
         eprintln!("error: {message}");
         return ExitCode::from(2);
     }
-    if report.all_passed() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    ExitCode::from(u8::try_from(report.exit_code()).unwrap_or(1))
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
@@ -257,6 +292,204 @@ fn cmd_run(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     };
     run_suite(&manifest, &telemetry_args, jobs, engine)
+}
+
+/// `fpgatest faults <suite.manifest>` — run a fault-injection campaign
+/// against every case of a manifest (or `--design NAME` only), classify
+/// each injection, and optionally gate on a coverage floor or a
+/// previously checked-in report.
+fn cmd_faults(args: &[String]) -> ExitCode {
+    let mut manifest = None;
+    let mut engine = Engine::default();
+    let mut seed = 1u64;
+    let mut sites = 200usize;
+    let mut max_ticks = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut report_out: Option<PathBuf> = None;
+    let mut min_detected: Option<f64> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut it = args.iter();
+    let result = (|| -> Result<(), String> {
+        while let Some(arg) = it.next() {
+            let mut value = |what: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("'{what}' needs a value"))
+            };
+            match arg.as_str() {
+                "--engine" => engine = value("--engine")?.parse()?,
+                "--seed" => {
+                    seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed needs an integer".to_string())?;
+                }
+                "--sites" => {
+                    sites = value("--sites")?
+                        .parse()
+                        .map_err(|_| "--sites needs an integer".to_string())?;
+                }
+                "--max-ticks" => {
+                    max_ticks = Some(
+                        value("--max-ticks")?
+                            .parse()
+                            .map_err(|_| "--max-ticks needs an integer".to_string())?,
+                    );
+                }
+                "--design" => only.push(value("--design")?),
+                "--report" => report_out = Some(PathBuf::from(value("--report")?)),
+                "--min-detected" => {
+                    min_detected = Some(
+                        value("--min-detected")?
+                            .parse()
+                            .map_err(|_| "--min-detected needs a fraction".to_string())?,
+                    );
+                }
+                "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
+                other if manifest.is_none() && !other.starts_with("--") => {
+                    manifest = Some(PathBuf::from(other));
+                }
+                other => return Err(format!("unexpected argument '{other}'")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(message) = result {
+        eprintln!("error: {message}");
+        return ExitCode::from(2);
+    }
+    let Some(manifest) = manifest else {
+        eprintln!("'faults' needs a manifest path");
+        return ExitCode::from(2);
+    };
+    let suite = match suite::load_manifest(&manifest) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cases: Vec<_> = suite
+        .cases()
+        .iter()
+        .filter(|c| only.is_empty() || only.iter().any(|n| n == &c.name))
+        .collect();
+    if cases.is_empty() {
+        eprintln!("error: no matching cases in {}", manifest.display());
+        return ExitCode::from(2);
+    }
+
+    let options = CampaignOptions {
+        seed,
+        sites,
+        engine,
+        max_ticks,
+    };
+    let mut campaigns = Vec::new();
+    for case in cases {
+        match run_campaign(case, &options) {
+            Ok(report) => {
+                print!("{}", report.render());
+                campaigns.push(report);
+            }
+            Err(e) => {
+                eprintln!("error: campaign '{}': {e}", case.name);
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let json = Json::obj([
+        ("schema", "fpgatest-faults-v1".into()),
+        (
+            "campaigns",
+            Json::Arr(campaigns.iter().map(campaign_json).collect()),
+        ),
+    ]);
+    if let Some(path) = &report_out {
+        if let Err(e) = std::fs::write(path, json.emit_pretty()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("fault report written to {}", path.display());
+    }
+
+    // A crashed injection is a harness bug regardless of coverage.
+    let crashed: usize = campaigns
+        .iter()
+        .map(|c| c.count(InjectionOutcome::Crashed))
+        .sum();
+    if crashed > 0 {
+        eprintln!("error: {crashed} injections crashed the harness");
+        return ExitCode::from(3);
+    }
+    if let Some(floor) = min_detected {
+        for campaign in &campaigns {
+            if campaign.detected_fraction() < floor {
+                eprintln!(
+                    "error: '{}' detected fraction {:.3} below floor {floor:.3}",
+                    campaign.design,
+                    campaign.detected_fraction()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &baseline {
+        match check_faults_baseline(&campaigns, path) {
+            Ok(lines) => print!("{lines}"),
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Compares campaign coverage against a checked-in `fpgatest-faults-v1`
+/// report: every design present in the baseline must detect at least the
+/// baseline's fraction (small float slack for summary rounding).
+fn check_faults_baseline(
+    campaigns: &[fpgatest::faults::CampaignReport],
+    path: &Path,
+) -> Result<String, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let json = Json::parse(&text).map_err(|e| format!("baseline {}: {e}", path.display()))?;
+    let empty: [Json; 0] = [];
+    let entries = json
+        .get("campaigns")
+        .and_then(Json::as_array)
+        .unwrap_or(&empty);
+    let mut out = String::new();
+    for campaign in campaigns {
+        let Some(entry) = entries
+            .iter()
+            .find(|e| e.get("design").and_then(Json::as_str) == Some(campaign.design.as_str()))
+        else {
+            out.push_str(&format!(
+                "baseline: no entry for '{}' (new design)\n",
+                campaign.design
+            ));
+            continue;
+        };
+        let floor = entry
+            .get("detected_fraction")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let now = campaign.detected_fraction();
+        if now + 1e-9 < floor {
+            return Err(format!(
+                "'{}' detected fraction regressed: {now:.3} < baseline {floor:.3}",
+                campaign.design
+            ));
+        }
+        out.push_str(&format!(
+            "baseline: '{}' detected {now:.3} (baseline {floor:.3}) ok\n",
+            campaign.design
+        ));
+    }
+    Ok(out)
 }
 
 fn parse_jobs(raw: &str) -> Result<usize, String> {
@@ -319,6 +552,19 @@ fn parse_test_args(args: &[String]) -> Result<TestArgs, String> {
             }
             "--optimize" => options.compile.optimize = true,
             "--engine" => options.engine = value("--engine")?.parse()?,
+            "--fault" => options.faults.push(FaultSpec::parse(&value("--fault")?)?),
+            "--max-ticks" => {
+                options.max_ticks = value("--max-ticks")?
+                    .parse()
+                    .map_err(|_| "--max-ticks needs an integer".to_string())?;
+            }
+            "--timeout" => {
+                options.wall_timeout_ms = Some(
+                    value("--timeout")?
+                        .parse()
+                        .map_err(|_| "--timeout needs milliseconds".to_string())?,
+                );
+            }
             "--trace" => options.trace = true,
             "--artifacts" => artifacts = Some(PathBuf::from(value("--artifacts")?)),
             "--jobs" => jobs = parse_jobs(&value("--jobs")?)?,
@@ -385,6 +631,10 @@ fn cmd_test(args: &[String]) -> ExitCode {
     let mut recorder = Recorder::new();
     let report = match flow.run_recorded(&mut recorder) {
         Ok(r) => r,
+        Err(e @ fpgatest::flow::FlowError::Timeout { .. }) => {
+            eprintln!("timeout: {e}");
+            return ExitCode::from(4);
+        }
         Err(e) => {
             eprintln!("flow error: {e}");
             return ExitCode::from(2);

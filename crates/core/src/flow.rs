@@ -12,6 +12,7 @@
 //! 6. compare final memory contents and produce a [`TestReport`].
 
 use crate::elaborate::{elaborate_config, elaborate_config_instrumented, ElaborateConfigError};
+use crate::faults::FaultSpec;
 use crate::memcmp::{diff_images, render_mismatches, Mismatch};
 use crate::metrics::{ConfigMetrics, DesignMetrics};
 use crate::stimulus::{MemImage, Stimulus};
@@ -99,6 +100,19 @@ pub struct FlowOptions {
     /// Collect FSM state/transition and operator-activation coverage per
     /// configuration (see [`ConfigRun::coverage`]).
     pub coverage: bool,
+    /// Hardware faults to inject into the simulated design (never the
+    /// golden reference). A fault naming a signal or memory absent from
+    /// every executed configuration is a [`FlowError::Fault`]; a fault
+    /// class the selected engine cannot express is recorded in
+    /// [`TestReport::fault_skips`] instead of being silently dropped.
+    pub faults: Vec<FaultSpec>,
+    /// Wall-clock watchdog in milliseconds, enforced by the suite runner
+    /// around the whole case (the flow itself only counts ticks).
+    pub wall_timeout_ms: Option<u64>,
+    /// Test hook: panic at the start of the flow, exercising the suite
+    /// runner's crash isolation.
+    #[doc(hidden)]
+    pub planted_panic: bool,
 }
 
 /// How many entries [`ConfigRun::hot_components`] keeps.
@@ -164,6 +178,20 @@ impl CompiledSim {
             CompiledSim::Level(s) => s.comb_evals(),
         }
     }
+
+    fn inject_stuck(&mut self, signal: &str, bit: u32, value: bool) -> Result<bool, CycleSimError> {
+        match self {
+            CompiledSim::Cycle(s) => s.inject_stuck_at(signal, bit, value),
+            CompiledSim::Level(s) => s.inject_stuck_at(signal, bit, value),
+        }
+    }
+
+    fn inject_flip(&mut self, signal: &str, bit: u32, cycle: u64) -> Result<bool, CycleSimError> {
+        match self {
+            CompiledSim::Cycle(s) => s.inject_transient_flip(signal, bit, cycle),
+            CompiledSim::Level(s) => s.inject_transient_flip(signal, bit, cycle),
+        }
+    }
 }
 
 impl Default for FlowOptions {
@@ -177,6 +205,9 @@ impl Default for FlowOptions {
             keep_artifacts: true,
             probes: Vec::new(),
             coverage: false,
+            faults: Vec::new(),
+            wall_timeout_ms: None,
+            planted_panic: false,
         }
     }
 }
@@ -278,6 +309,11 @@ pub struct TestReport {
     pub sim_mems: BTreeMap<String, MemImage>,
     /// Final golden memory contents.
     pub golden_mems: BTreeMap<String, MemImage>,
+    /// Requested faults the selected engine could not express, each with
+    /// a reason. Non-empty skips mean the verdict does *not* cover those
+    /// faults — campaign classification treats them as skipped, never as
+    /// a silent pass.
+    pub fault_skips: Vec<String>,
 }
 
 impl TestReport {
@@ -291,6 +327,9 @@ impl TestReport {
         ));
         if let Some(failure) = &self.failure {
             out.push_str(&format!("  simulation failure: {failure}\n"));
+        }
+        for skip in &self.fault_skips {
+            out.push_str(&format!("  fault skipped: {skip}\n"));
         }
         if !self.mismatches.is_empty() {
             out.push_str(&format!("  {} memory mismatches:\n", self.mismatches.len()));
@@ -349,6 +388,10 @@ pub enum FlowError {
         /// What was requested.
         feature: String,
     },
+    /// A requested fault injection is unusable: the target signal or
+    /// memory exists in no executed configuration, or the bit/address is
+    /// out of range.
+    Fault(String),
 }
 
 impl fmt::Display for FlowError {
@@ -369,6 +412,7 @@ impl fmt::Display for FlowError {
             FlowError::Engine { engine, feature } => {
                 write!(f, "engine '{engine}' does not support {feature} (use --engine event)")
             }
+            FlowError::Fault(m) => write!(f, "fault injection: {m}"),
         }
     }
 }
@@ -554,6 +598,9 @@ pub fn run_design_recorded(
     options: &FlowOptions,
     recorder: &mut Recorder,
 ) -> Result<TestReport, FlowError> {
+    if options.planted_panic {
+        panic!("planted panic: FlowOptions::planted_panic is set");
+    }
     if options.engine != Engine::Event {
         let unsupported = if options.trace {
             Some("VCD tracing")
@@ -642,6 +689,36 @@ pub fn run_design_recorded(
     let mut sim_mems = initial;
     let mut runs = Vec::new();
     let mut failure = None;
+
+    // Fault bookkeeping: every requested fault must either be injected
+    // somewhere or be reported as a skip — never silently dropped. SRAM
+    // corruption edits the initial images once, before the first
+    // configuration preloads them (the flipped word must not re-flip at
+    // later reconfigurations).
+    let mut fault_applied = vec![false; options.faults.len()];
+    let mut fault_skips = Vec::new();
+    for (i, fault) in options.faults.iter().enumerate() {
+        if options.engine == Engine::Level && fault.is_transient() {
+            fault_skips.push(format!(
+                "{fault}: the level engine cannot express transient faults"
+            ));
+            fault_applied[i] = true;
+            continue;
+        }
+        if let FaultSpec::SramCorrupt { mem, addr, bit } = fault {
+            if let Some(image) = sim_mems.get_mut(mem) {
+                if *addr >= image.len() || *bit >= design.width {
+                    return Err(FlowError::Fault(format!(
+                        "{fault}: address or bit out of range for '{mem}' ({} words of width {})",
+                        image.len(),
+                        design.width
+                    )));
+                }
+                image[*addr] = Some(image[*addr].unwrap_or(0) ^ (1i64 << bit));
+                fault_applied[i] = true;
+            }
+        }
+    }
     let order = design
         .rtg
         .execution_order()
@@ -673,6 +750,29 @@ pub fn run_design_recorded(
                 out_names.iter().map(|(n, w)| (n.as_str(), *w)).collect();
             csim.add_control_unit(&fsm.name, &conds, &outs, table)
                 .map_err(|e| FlowError::Elaborate(ElaborateConfigError::Netlist(e.to_string())))?;
+
+            // Inject the signal faults this configuration can host (a
+            // signal may exist in several configurations; the fault lands
+            // in all of them, like a real manufacturing defect would).
+            for (i, fault) in options.faults.iter().enumerate() {
+                let injected = match fault {
+                    FaultSpec::StuckAt { signal, bit, value } => csim
+                        .inject_stuck(signal, *bit, *value)
+                        .map_err(|e| FlowError::Fault(format!("{fault}: {e}")))?,
+                    FaultSpec::BitFlip { signal, bit, cycle }
+                    | FaultSpec::SeuReg { signal, bit, cycle } => {
+                        if options.engine == Engine::Level {
+                            continue; // already recorded in fault_skips
+                        }
+                        csim.inject_flip(signal, *bit, *cycle)
+                            .map_err(|e| FlowError::Fault(format!("{fault}: {e}")))?
+                    }
+                    FaultSpec::SramCorrupt { .. } => continue, // image edit above
+                };
+                if injected {
+                    fault_applied[i] = true;
+                }
+            }
             recorder.end(elaborate_span);
 
             // Preload SRAM contents (same contract as the event path).
@@ -840,6 +940,44 @@ pub fn run_design_recorded(
             probe_handles.push((name.clone(), handle));
         }
 
+        // Inject signal faults as ordinary kernel components; with no
+        // faults requested nothing is added and the event schedule (and
+        // every kernel counter) is bit-identical to a clean run.
+        for (i, fault) in options.faults.iter().enumerate() {
+            match fault {
+                FaultSpec::StuckAt { signal, bit, value } => {
+                    if let Some(id) = cs.sim.find_signal(signal) {
+                        check_fault_bit(fault, *bit, cs.sim.signal_width(id))?;
+                        cs.sim.add_component(eventsim::faults::StuckAtClamp::new(
+                            format!("fault{i}"),
+                            id,
+                            *bit,
+                            *value,
+                        ));
+                        fault_applied[i] = true;
+                    }
+                }
+                FaultSpec::BitFlip { signal, bit, cycle }
+                | FaultSpec::SeuReg { signal, bit, cycle } => {
+                    if let Some(id) = cs.sim.find_signal(signal) {
+                        check_fault_bit(fault, *bit, cs.sim.signal_width(id))?;
+                        // Rising edges land at clock_period/2 + N*period;
+                        // the flip fires one tick earlier so edge-sampled
+                        // logic observes the upset value.
+                        let edge = cs.clock_period / 2 + cycle * cs.clock_period;
+                        cs.sim.add_component(eventsim::faults::TransientFlip::new(
+                            format!("fault{i}"),
+                            id,
+                            *bit,
+                            edge.saturating_sub(1),
+                        ));
+                        fault_applied[i] = true;
+                    }
+                }
+                FaultSpec::SramCorrupt { .. } => {} // image edit above
+            }
+        }
+
         let simulate_span = recorder.start(format!("flow.simulate.{config_name}"));
         let summary = cs.sim.run(SimTime(options.max_ticks))?;
         recorder.attr(simulate_span, "events", summary.events);
@@ -944,6 +1082,19 @@ pub fn run_design_recorded(
         }
     }
 
+    // A fault that matched nothing anywhere is a campaign bug, not a
+    // verdict — but only when every configuration actually ran (an early
+    // failure may have skipped the configuration hosting the target).
+    if failure.is_none() {
+        for (i, fault) in options.faults.iter().enumerate() {
+            if !fault_applied[i] {
+                return Err(FlowError::Fault(format!(
+                    "'{fault}' matched no signal or memory in any executed configuration"
+                )));
+            }
+        }
+    }
+
     // Comparison of data content.
     let compare_span = recorder.start("flow.compare");
     let mut mismatches = Vec::new();
@@ -983,7 +1134,18 @@ pub fn run_design_recorded(
         }),
         sim_mems,
         golden_mems,
+        fault_skips,
     })
+}
+
+/// Rejects fault bit indices outside the target signal's width.
+fn check_fault_bit(fault: &FaultSpec, bit: u32, width: u32) -> Result<(), FlowError> {
+    if bit >= width {
+        return Err(FlowError::Fault(format!(
+            "{fault}: bit {bit} out of range for width {width}"
+        )));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -18,15 +18,19 @@
 //!   stimulus code code.stim
 //! ```
 
+use crate::faults::FaultSpec;
 use crate::flow::{FlowError, FlowOptions, TestFlow, TestReport};
 use crate::stimulus::{self, Stimulus};
 use crate::telemetry::Recorder;
 use nenya::schedule::SchedulePolicy;
 use std::error::Error;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// One test case of a suite.
 #[derive(Debug, Clone)]
@@ -73,12 +77,36 @@ pub enum CaseResult {
     Finished(TestReport),
     /// The flow could not run (compile error, bad stimulus, …).
     Errored(FlowError),
+    /// The flow panicked. The panic was caught; the other cases of the
+    /// run are unaffected. Always a harness bug, never a design verdict,
+    /// which is why it gets its own exit code (3) instead of folding into
+    /// FAIL.
+    Crashed(String),
+    /// A watchdog tripped before the flow produced a verdict: either the
+    /// per-configuration tick budget ([`FlowOptions::max_ticks`]) or the
+    /// wall-clock budget ([`FlowOptions::wall_timeout_ms`]).
+    TimedOut {
+        /// What tripped, e.g. `configuration 'f' exceeded 5000 ticks`.
+        reason: String,
+    },
 }
 
 impl CaseResult {
     /// Whether the case counts as passing.
     pub fn passed(&self) -> bool {
         matches!(self, CaseResult::Finished(r) if r.passed)
+    }
+
+    /// The `status` word used in renders and telemetry: `pass`, `fail`,
+    /// `error`, `crash`, or `timeout`.
+    pub fn status(&self) -> &'static str {
+        match self {
+            CaseResult::Finished(r) if r.passed => "pass",
+            CaseResult::Finished(_) => "fail",
+            CaseResult::Errored(_) => "error",
+            CaseResult::Crashed(_) => "crash",
+            CaseResult::TimedOut { .. } => "timeout",
+        }
     }
 }
 
@@ -105,6 +133,38 @@ impl SuiteReport {
         self.failed() == 0
     }
 
+    /// Number of cases whose flow panicked.
+    pub fn crashed(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|(_, r)| matches!(r, CaseResult::Crashed(_)))
+            .count()
+    }
+
+    /// Number of cases stopped by a watchdog.
+    pub fn timed_out(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|(_, r)| matches!(r, CaseResult::TimedOut { .. }))
+            .count()
+    }
+
+    /// The process exit code for this run: 0 all passed, 3 when any case
+    /// crashed the harness, 4 when any case hit a watchdog (and none
+    /// crashed), 1 for ordinary failures/errors. Crashes outrank
+    /// timeouts because they always indicate a harness bug.
+    pub fn exit_code(&self) -> i32 {
+        if self.crashed() > 0 {
+            3
+        } else if self.timed_out() > 0 {
+            4
+        } else if self.all_passed() {
+            0
+        } else {
+            1
+        }
+    }
+
     /// Renders a one-line-per-case summary.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -119,6 +179,8 @@ impl SuiteReport {
                     format!("FAIL ({why})")
                 }
                 CaseResult::Errored(e) => format!("ERROR ({e})"),
+                CaseResult::Crashed(m) => format!("CRASH ({m})"),
+                CaseResult::TimedOut { reason } => format!("TIMEOUT ({reason})"),
             };
             out.push_str(&format!("{name:<20} {status}\n"));
         }
@@ -219,10 +281,19 @@ impl Suite {
         });
         let mut results = Vec::with_capacity(self.cases.len());
         for (case, slot) in self.cases.iter().zip(slots) {
-            let (result, worker_recorder) = slot
-                .into_inner()
-                .expect("slot poisoned")
-                .expect("worker filled every slot");
+            // A slot can legitimately be empty: if a worker dies in a way
+            // `run_case` cannot absorb, the suite must still report every
+            // case rather than abort the whole report.
+            let (result, worker_recorder) = match slot.into_inner().expect("slot poisoned") {
+                Some(filled) => filled,
+                None => (
+                    CaseResult::Crashed(format!(
+                        "worker died before reporting case '{}'",
+                        case.name
+                    )),
+                    Recorder::new(),
+                ),
+            };
             recorder.absorb(worker_recorder);
             results.push((case.name.clone(), result));
         }
@@ -230,24 +301,76 @@ impl Suite {
     }
 }
 
-/// Runs one case with its `case.<name>` span.
+/// Runs one case, crash- and hang-proofed: panics inside the flow are
+/// caught and reported as [`CaseResult::Crashed`], tick-watchdog trips
+/// become [`CaseResult::TimedOut`], and when the case carries a
+/// wall-clock budget the whole flow runs on a watchdogged thread.
 fn run_case(case: &TestCase, recorder: &mut Recorder) -> CaseResult {
-    let span = recorder.start(format!("case.{}", case.name));
-    let mut flow = TestFlow::new(&case.name, &case.source).with_options(case.options.clone());
-    for (mem, stimulus) in &case.stimuli {
-        flow = flow.stimulus(mem, stimulus.clone());
-    }
-    let result = match flow.run_recorded(recorder) {
-        Ok(report) => {
-            recorder.attr(span, "status", if report.passed { "pass" } else { "fail" });
-            CaseResult::Finished(report)
-        }
-        Err(e) => {
-            recorder.attr(span, "status", "error");
-            recorder.attr(span, "error", e.to_string());
-            CaseResult::Errored(e)
-        }
+    let Some(wall_ms) = case.options.wall_timeout_ms else {
+        return run_case_traced(case, recorder);
     };
+    // The flow holds `Rc`-based memory handles, so the case cannot be
+    // abandoned mid-run from outside; instead the whole case runs on its
+    // own thread and the watchdog gives up *waiting*. On a trip the
+    // thread is left detached (it still counts ticks and will stop at
+    // `max_ticks`); its telemetry is discarded.
+    let (sender, receiver) = std::sync::mpsc::channel();
+    let case_owned = case.clone();
+    std::thread::spawn(move || {
+        let mut worker_recorder = Recorder::new();
+        let result = run_case_traced(&case_owned, &mut worker_recorder);
+        let _ = sender.send((result, worker_recorder));
+    });
+    match receiver.recv_timeout(Duration::from_millis(wall_ms)) {
+        Ok((result, worker_recorder)) => {
+            recorder.absorb(worker_recorder);
+            result
+        }
+        Err(error) => {
+            let result = match error {
+                RecvTimeoutError::Timeout => CaseResult::TimedOut {
+                    reason: format!("wall clock exceeded {wall_ms} ms"),
+                },
+                RecvTimeoutError::Disconnected => {
+                    CaseResult::Crashed("case worker died without reporting".to_string())
+                }
+            };
+            // Synthesize the case span the worker never delivered, so
+            // span order still mirrors suite order.
+            let span = recorder.start(format!("case.{}", case.name));
+            recorder.attr(span, "status", result.status());
+            recorder.end(span);
+            result
+        }
+    }
+}
+
+/// Runs one case with its `case.<name>` span on the calling thread.
+fn run_case_traced(case: &TestCase, recorder: &mut Recorder) -> CaseResult {
+    let span = recorder.start(format!("case.{}", case.name));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut flow = TestFlow::new(&case.name, &case.source).with_options(case.options.clone());
+        for (mem, stimulus) in &case.stimuli {
+            flow = flow.stimulus(mem, stimulus.clone());
+        }
+        flow.run_recorded(recorder)
+    }));
+    let result = match outcome {
+        Ok(Ok(report)) => CaseResult::Finished(report),
+        Ok(Err(FlowError::Timeout { config, max_ticks })) => CaseResult::TimedOut {
+            reason: format!("configuration '{config}' exceeded {max_ticks} ticks"),
+        },
+        Ok(Err(e)) => CaseResult::Errored(e),
+        Err(payload) => CaseResult::Crashed(crate::faults::panic_message(&*payload)),
+    };
+    recorder.attr(span, "status", result.status());
+    match &result {
+        CaseResult::Errored(e) => recorder.attr(span, "error", e.to_string()),
+        CaseResult::Crashed(m) => recorder.attr(span, "panic", m.clone()),
+        CaseResult::TimedOut { reason } => recorder.attr(span, "timeout", reason.clone()),
+        CaseResult::Finished(_) => {}
+    }
+    // `end` also closes any flow spans a panic left dangling.
     recorder.end(span);
     result
 }
@@ -382,6 +505,29 @@ pub fn parse_manifest(text: &str, base: &Path) -> Result<Suite, LoadSuiteError> 
                     }
                     "optimize" => {
                         case.options.compile.optimize = true;
+                    }
+                    "max_ticks" => {
+                        let n = tokens
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| manifest_err("'max_ticks' needs an integer".into()))?;
+                        case.options.max_ticks = n;
+                    }
+                    "timeout" => {
+                        let ms = tokens
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| {
+                                manifest_err("'timeout' needs milliseconds".into())
+                            })?;
+                        case.options.wall_timeout_ms = Some(ms);
+                    }
+                    "fault" => {
+                        let spec = tokens
+                            .next()
+                            .ok_or_else(|| manifest_err("'fault' needs a spec".into()))?;
+                        let fault = FaultSpec::parse(spec).map_err(manifest_err)?;
+                        case.options.faults.push(fault);
                     }
                     "policy" => {
                         let p = tokens

@@ -670,6 +670,16 @@ pub fn design_json(name: &str, result: &CaseResult) -> Json {
             ("status", "error".into()),
             ("error", e.to_string().into()),
         ]),
+        CaseResult::Crashed(message) => Json::obj([
+            ("design", name.into()),
+            ("status", "crash".into()),
+            ("panic", message.as_str().into()),
+        ]),
+        CaseResult::TimedOut { reason } => Json::obj([
+            ("design", name.into()),
+            ("status", "timeout".into()),
+            ("timeout", reason.as_str().into()),
+        ]),
         CaseResult::Finished(report) => finished_design_json(name, report),
     }
 }
@@ -766,6 +776,10 @@ fn finished_design_json(name: &str, report: &TestReport) -> Json {
                 None => Json::Null,
             },
         ),
+        (
+            "fault_skips",
+            Json::Arr(report.fault_skips.iter().map(|s| s.as_str().into()).collect()),
+        ),
         ("lo_java", metrics.lo_java.into()),
         (
             "golden",
@@ -794,6 +808,8 @@ pub fn suite_json(report: &SuiteReport, recorder: &Recorder) -> Json {
             Json::obj([
                 ("passed", report.passed().into()),
                 ("failed", report.failed().into()),
+                ("crashed", report.crashed().into()),
+                ("timed_out", report.timed_out().into()),
                 ("total", report.results.len().into()),
             ]),
         ),

@@ -186,6 +186,42 @@ impl CycleSim {
         self.model.value(name)
     }
 
+    /// Injects a stuck-at fault on one bit of a named signal: every write
+    /// to the signal is clamped, so the bit holds `value` for the rest of
+    /// the run. Returns `false` (without injecting) when the signal does
+    /// not exist in this model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleSimError::Build`] when `bit` is out of range for
+    /// the signal's width.
+    pub fn inject_stuck_at(
+        &mut self,
+        signal: &str,
+        bit: u32,
+        value: bool,
+    ) -> Result<bool, CycleSimError> {
+        Ok(self.model.inject_stuck(signal, bit, value)?.is_some())
+    }
+
+    /// Injects a transient single-bit flip (an SEU) on a named signal at
+    /// clock cycle `cycle`: the bit is inverted just before that cycle's
+    /// settle, so downstream logic and the edge commit observe the faulty
+    /// value, and normal operation restores it afterwards. Returns
+    /// `false` (without injecting) when the signal does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleSimError::Build`] when `bit` is out of range.
+    pub fn inject_transient_flip(
+        &mut self,
+        signal: &str,
+        bit: u32,
+        cycle: u64,
+    ) -> Result<bool, CycleSimError> {
+        Ok(self.model.inject_flip(signal, bit, cycle)?.is_some())
+    }
+
     /// Cycles executed so far.
     pub fn cycles(&self) -> u64 {
         self.cycles
@@ -208,6 +244,7 @@ impl CycleSim {
                 self.comb_evals += 1;
                 let (y, value) =
                     eval_comb(&self.model.combs[index], &self.model.values, &self.model.mems)?;
+                let value = self.model.clamp_value(y, value);
                 if self.model.values[y] != value {
                     self.model.values[y] = value;
                     last_changed.push(index);
@@ -233,11 +270,30 @@ impl CycleSim {
     ///
     /// Propagates settling failures and design failures.
     pub fn step(&mut self) -> Result<Option<CycleOutcome>, CycleSimError> {
+        // Transient fault flips scheduled for this cycle apply before the
+        // settle, so the faulty value propagates through combinational
+        // logic and is sampled by the edge commit — mirroring the event
+        // kernel's flip-just-before-the-edge timing. A flip on a
+        // comb-driven slot is recomputed away by the sweep; flips are
+        // meaningful on sequential outputs (registers, FSM outputs).
+        if !self.model.fault_flips.is_empty() {
+            for i in 0..self.model.fault_flips.len() {
+                let (cycle, slot, mask) = self.model.fault_flips[i];
+                if cycle == self.cycles {
+                    let v = self.model.values[slot];
+                    if let Some(bits) = v.try_u64() {
+                        self.model.values[slot] = Value::known(v.width(), (bits ^ mask) as i64);
+                    }
+                }
+            }
+        }
+
         // Reset generators assert during cycle 0.
         let reset_active = self.cycles == 0;
         for i in 0..self.model.reset_signals.len() {
             let y = self.model.reset_signals[i];
-            self.model.values[y] = Value::bit(reset_active);
+            let value = self.model.clamp_value(y, Value::bit(reset_active));
+            self.model.values[y] = value;
         }
 
         self.settle()?;

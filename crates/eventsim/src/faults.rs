@@ -1,0 +1,200 @@
+//! Event-kernel fault-injection components.
+//!
+//! Faults ride the ordinary component machinery, so the kernel needs no
+//! special cases: a [`StuckAtClamp`] is a component sensitive to its
+//! target signal that re-forces the clamped bit whenever anything else
+//! drives it, and a [`TransientFlip`] is a self-scheduled one-shot that
+//! inverts a bit just before a chosen instant. When no faults are
+//! registered, nothing is added to the simulator and the event schedule
+//! (and therefore every kernel counter) is bit-identical to a clean run.
+//!
+//! Clamp semantics: the clamped value lands one delta cycle after the
+//! driving write, so within a single simulation instant the raw value is
+//! briefly visible (enough, e.g., for a rising-edge glitch on a clamped
+//! clock). Across instants — which is how registers, FSMs, and memories
+//! sample their inputs in generated designs — the clamp always wins.
+//! Whole-value `X` passes through unchanged: the fault forces known bits
+//! only once the signal resolves.
+
+use crate::component::{Component, Sensitivity, SignalId};
+use crate::kernel::Context;
+use crate::value::Value;
+
+/// Permanently clamps one bit of a signal to a fixed value (stuck-at-0 or
+/// stuck-at-1), re-asserting the clamp whenever the signal changes.
+pub struct StuckAtClamp {
+    name: String,
+    signal: SignalId,
+    and_mask: u64,
+    or_mask: u64,
+}
+
+impl StuckAtClamp {
+    /// A clamp forcing `bit` of `signal` to `value`. The caller is
+    /// responsible for checking `bit` against the signal's width (the
+    /// kernel panics on width-mismatched writes).
+    pub fn new(name: impl Into<String>, signal: SignalId, bit: u32, value: bool) -> Self {
+        let mask = 1u64 << bit;
+        StuckAtClamp {
+            name: name.into(),
+            signal,
+            and_mask: if value { u64::MAX } else { !mask },
+            or_mask: if value { mask } else { 0 },
+        }
+    }
+
+    fn clamp(&self, ctx: &mut Context<'_>) {
+        let v = ctx.get(self.signal);
+        let Some(bits) = v.try_u64() else {
+            return;
+        };
+        let clamped = (bits & self.and_mask) | self.or_mask;
+        if clamped != bits {
+            ctx.set(self.signal, Value::known(v.width(), clamped as i64));
+        }
+    }
+}
+
+impl Component for StuckAtClamp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Sensitivity> {
+        vec![Sensitivity::any(self.signal)]
+    }
+
+    fn init(&mut self, ctx: &mut Context<'_>) {
+        self.clamp(ctx);
+    }
+
+    fn react(&mut self, ctx: &mut Context<'_>) {
+        self.clamp(ctx);
+    }
+}
+
+/// Inverts one bit of a signal at a chosen simulation instant, once — a
+/// transient single-event upset. The flipped value persists until the
+/// signal's normal driver next writes it (for a register output: until
+/// the next enabled clock edge), which is exactly the SEU model.
+pub struct TransientFlip {
+    name: String,
+    signal: SignalId,
+    mask: u64,
+    at_tick: u64,
+    fired: bool,
+}
+
+impl TransientFlip {
+    /// A one-shot flip of `bit` on `signal` at simulation time
+    /// `at_tick`. To be observed by edge-sampling logic, schedule it just
+    /// before a rising clock edge (the flow uses `edge_time - 1`). The
+    /// caller is responsible for checking `bit` against the signal's
+    /// width.
+    pub fn new(name: impl Into<String>, signal: SignalId, bit: u32, at_tick: u64) -> Self {
+        TransientFlip {
+            name: name.into(),
+            signal,
+            mask: 1u64 << bit,
+            at_tick,
+            fired: false,
+        }
+    }
+}
+
+impl Component for TransientFlip {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Sensitivity> {
+        Vec::new()
+    }
+
+    fn init(&mut self, ctx: &mut Context<'_>) {
+        ctx.wake_after(self.at_tick.max(1));
+    }
+
+    fn react(&mut self, ctx: &mut Context<'_>) {
+        if self.fired {
+            return;
+        }
+        self.fired = true;
+        let v = ctx.get(self.signal);
+        if let Some(bits) = v.try_u64() {
+            ctx.set(self.signal, Value::known(v.width(), (bits ^ self.mask) as i64));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{SimTime, Simulator};
+    use crate::ops::Clock;
+
+    #[test]
+    fn stuck_at_clamps_every_write() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 8);
+        let clk = sim.add_signal("clk", 1);
+        sim.add_component(Clock::new("clock0", clk, 10));
+        // A driver writing an incrementing value each rising edge.
+        struct Driver {
+            clk: SignalId,
+            s: SignalId,
+            n: i64,
+        }
+        impl Component for Driver {
+            fn name(&self) -> &str {
+                "driver"
+            }
+            fn inputs(&self) -> Vec<Sensitivity> {
+                vec![Sensitivity::rising(self.clk)]
+            }
+            fn react(&mut self, ctx: &mut Context<'_>) {
+                self.n += 1;
+                ctx.set(self.s, Value::known(8, self.n));
+            }
+        }
+        sim.add_component(Driver { clk, s, n: 0 });
+        sim.add_component(StuckAtClamp::new("fault0", s, 0, false));
+        sim.run(SimTime(100)).unwrap();
+        // The driver wrote 1..=10; bit 0 is always forced low.
+        assert_eq!(sim.value(s).try_u64(), Some(10 & !1));
+    }
+
+    #[test]
+    fn transient_flip_fires_once_and_is_overwritten_by_the_driver() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 8);
+        struct Const(SignalId);
+        impl Component for Const {
+            fn name(&self) -> &str {
+                "c"
+            }
+            fn inputs(&self) -> Vec<Sensitivity> {
+                Vec::new()
+            }
+            fn init(&mut self, ctx: &mut Context<'_>) {
+                ctx.set(self.0, Value::known(8, 0x10));
+            }
+            fn react(&mut self, _ctx: &mut Context<'_>) {}
+        }
+        sim.add_component(Const(s));
+        sim.add_component(TransientFlip::new("seu0", s, 2, 7));
+        sim.run(SimTime(100)).unwrap();
+        // Nothing redrives s after the flip, so the upset persists.
+        assert_eq!(sim.value(s).try_u64(), Some(0x10 ^ 0x4));
+    }
+
+    #[test]
+    fn x_values_pass_through_unchanged() {
+        let mut sim = Simulator::new();
+        let s = sim.add_signal("s", 4);
+        sim.add_component(StuckAtClamp::new("fault0", s, 1, true));
+        sim.add_component(TransientFlip::new("seu0", s, 0, 3));
+        sim.run(SimTime(50)).unwrap();
+        assert!(sim.value(s).is_x(), "faults never resolve an X value");
+    }
+}

@@ -288,6 +288,51 @@ impl LevelSim {
         self.model.value(name)
     }
 
+    /// Injects a stuck-at fault on one bit of a named signal: every write
+    /// to the signal is clamped, so the bit holds `value` for the rest of
+    /// the run. Returns `false` (without injecting) when the signal does
+    /// not exist in this model. The clamped slot's readers are marked
+    /// dirty so the incremental schedule re-evaluates them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleSimError::Build`] when `bit` is out of range for
+    /// the signal's width.
+    pub fn inject_stuck_at(
+        &mut self,
+        signal: &str,
+        bit: u32,
+        value: bool,
+    ) -> Result<bool, CycleSimError> {
+        match self.model.inject_stuck(signal, bit, value)? {
+            Some(slot) => {
+                self.mark_slot(slot);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Transient faults are **not** expressible on this engine: the
+    /// incremental schedule cannot cheaply restore a flipped value and
+    /// re-dirty its producers mid-run, so the method always fails. The
+    /// flow layer reports this fault class as skipped-with-reason for the
+    /// level engine instead of calling here.
+    ///
+    /// # Errors
+    ///
+    /// Always returns [`CycleSimError::Build`].
+    pub fn inject_transient_flip(
+        &mut self,
+        signal: &str,
+        _bit: u32,
+        _cycle: u64,
+    ) -> Result<bool, CycleSimError> {
+        Err(CycleSimError::Build(format!(
+            "the level engine cannot express a transient flip on '{signal}'"
+        )))
+    }
+
     /// Cycles executed so far.
     pub fn cycles(&self) -> u64 {
         self.cycles
@@ -392,6 +437,7 @@ impl LevelSim {
                     &self.model.values,
                     &self.model.mems,
                 )?;
+                let value = self.model.clamp_value(y, value);
                 if self.model.values[y] != value {
                     self.model.values[y] = value;
                     self.mark_slot(y);
@@ -415,7 +461,7 @@ impl LevelSim {
         let reset_active = self.cycles == 0;
         for i in 0..self.model.reset_signals.len() {
             let y = self.model.reset_signals[i];
-            let v = Value::bit(reset_active);
+            let v = self.model.clamp_value(y, Value::bit(reset_active));
             if self.model.values[y] != v {
                 self.model.values[y] = v;
                 self.mark_slot(y);

@@ -46,6 +46,7 @@
 mod component;
 pub mod cyclesim;
 pub mod cpu;
+pub mod faults;
 pub mod hds;
 mod kernel;
 pub mod levelsim;

@@ -144,6 +144,14 @@ pub(crate) struct FlatModel {
     pub mem_names: HashMap<String, usize>,
     pub signal_index: HashMap<String, usize>,
     pub reset_signals: Vec<usize>,
+    /// Per-slot stuck-at clamp masks `(and, or)`, applied at every value
+    /// write site. Empty (the common case) means no faults are injected
+    /// and the hot paths skip clamping entirely.
+    pub fault_clamps: Vec<(u64, u64)>,
+    /// Pending transient bit flips as `(cycle, slot, xor mask)` — applied
+    /// by the sweep engine at the start of the matching cycle. Empty when
+    /// no transient faults are injected.
+    pub fault_flips: Vec<(u64, usize, u64)>,
     /// Reused by [`FlatModel::commit_edge`] for the sampled
     /// `(register index, next value)` pairs, so the per-cycle hot path
     /// never allocates.
@@ -168,6 +176,8 @@ impl FlatModel {
             mem_names: HashMap::new(),
             signal_index: HashMap::new(),
             reset_signals: Vec::new(),
+            fault_clamps: Vec::new(),
+            fault_flips: Vec::new(),
             reg_next: Vec::new(),
         };
         for decl in netlist.signals() {
@@ -403,7 +413,7 @@ impl FlatModel {
             state: 0,
         };
         let mut scratch = Vec::new();
-        drive_fsm_outputs(&fsm, &mut self.values, &mut scratch);
+        drive_fsm_outputs(&fsm, &mut self.values, &self.fault_clamps, &mut scratch);
         self.fsms.push(fsm);
         Ok(())
     }
@@ -526,7 +536,7 @@ impl FlatModel {
             self.fsms[i].state = next_state;
             let fsm = &self.fsms[i];
             let values = &mut self.values;
-            drive_fsm_outputs(fsm, values, changed);
+            drive_fsm_outputs(fsm, values, &self.fault_clamps, changed);
             if fsm.table.states()[next_state].terminal {
                 done = true;
             }
@@ -534,6 +544,7 @@ impl FlatModel {
 
         for &(index, v) in &reg_next {
             let q = self.regs[index].q;
+            let v = clamp_with(&self.fault_clamps, q, v);
             if self.values[q] != v {
                 self.values[q] = v;
                 changed.push(q);
@@ -545,6 +556,72 @@ impl FlatModel {
             (self.values[watch.sig].try_i64() == Some(watch.value)).then(|| watch.name.clone())
         });
         Ok(EdgeEffects { done, watch })
+    }
+
+    /// Registers a stuck-at fault on one bit of a named signal. Returns
+    /// the affected slot, or `None` when the signal does not exist in
+    /// this model (the fault may live in another configuration). The
+    /// current value is clamped immediately so constants and
+    /// already-driven FSM outputs — which are never re-evaluated — honor
+    /// the fault too.
+    pub(crate) fn inject_stuck(
+        &mut self,
+        signal: &str,
+        bit: u32,
+        value: bool,
+    ) -> Result<Option<usize>, CycleSimError> {
+        let Some(&slot) = self.signal_index.get(signal) else {
+            return Ok(None);
+        };
+        let width = self.values[slot].width();
+        if bit >= width {
+            return Err(CycleSimError::Build(format!(
+                "stuck-at bit {bit} out of range for signal '{signal}' (width {width})"
+            )));
+        }
+        if self.fault_clamps.is_empty() {
+            self.fault_clamps = vec![(u64::MAX, 0); self.values.len()];
+        }
+        let mask = 1u64 << bit;
+        if value {
+            self.fault_clamps[slot].1 |= mask;
+        } else {
+            self.fault_clamps[slot].0 &= !mask;
+        }
+        self.values[slot] = clamp_with(&self.fault_clamps, slot, self.values[slot]);
+        Ok(Some(slot))
+    }
+
+    /// Registers a transient single-bit flip on a named signal at a given
+    /// clock cycle. Returns the affected slot, or `None` when the signal
+    /// does not exist in this model. The engine decides when (and
+    /// whether) to apply the pending flip — see the engine docs for the
+    /// supported fault classes.
+    pub(crate) fn inject_flip(
+        &mut self,
+        signal: &str,
+        bit: u32,
+        cycle: u64,
+    ) -> Result<Option<usize>, CycleSimError> {
+        let Some(&slot) = self.signal_index.get(signal) else {
+            return Ok(None);
+        };
+        let width = self.values[slot].width();
+        if bit >= width {
+            return Err(CycleSimError::Build(format!(
+                "bit-flip bit {bit} out of range for signal '{signal}' (width {width})"
+            )));
+        }
+        self.fault_flips.push((cycle, slot, 1u64 << bit));
+        Ok(Some(slot))
+    }
+
+    /// Applies the stuck-at clamp for `slot` to a value about to be
+    /// written there. No-op (and branch-free on the empty check) when no
+    /// faults are injected.
+    #[inline]
+    pub(crate) fn clamp_value(&self, slot: usize, value: Value) -> Value {
+        clamp_with(&self.fault_clamps, slot, value)
     }
 
     /// Renders `(instance name, output value)` pairs for a set of
@@ -581,11 +658,40 @@ fn sample_reg(reg: &RegModel, values: &[Value]) -> Option<Value> {
     enabled.then(|| values[reg.d].resize(reg.width))
 }
 
+/// Applies the stuck-at clamp for `slot` from a raw clamp table. Whole-
+/// value X passes through unchanged (the fault policy forces known bits
+/// only once the signal resolves); an empty table means no faults.
+#[inline]
+pub(crate) fn clamp_with(clamps: &[(u64, u64)], slot: usize, value: Value) -> Value {
+    if clamps.is_empty() {
+        return value;
+    }
+    let (and, or) = clamps[slot];
+    match value.try_u64() {
+        Some(bits) => {
+            let clamped = (bits & and) | or;
+            if clamped == bits {
+                value
+            } else {
+                Value::known(value.width(), clamped as i64)
+            }
+        }
+        None => value,
+    }
+}
+
 /// Drives the Moore outputs of `fsm`'s current state, appending every slot
-/// whose value actually changed to `changed`.
-pub(crate) fn drive_fsm_outputs(fsm: &FsmModel, values: &mut [Value], changed: &mut Vec<usize>) {
+/// whose value actually changed to `changed`. Output values pass through
+/// the stuck-at `clamps` table (empty when no faults are injected).
+pub(crate) fn drive_fsm_outputs(
+    fsm: &FsmModel,
+    values: &mut [Value],
+    clamps: &[(u64, u64)],
+    changed: &mut Vec<usize>,
+) {
     let state_values = &fsm.state_values[fsm.state];
     for (&signal, &value) in fsm.outputs.iter().zip(state_values) {
+        let value = clamp_with(clamps, signal, value);
         if values[signal] != value {
             values[signal] = value;
             changed.push(signal);

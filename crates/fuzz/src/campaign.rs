@@ -103,6 +103,7 @@ pub fn run_campaign(opts: &CampaignOptions) -> io::Result<CampaignReport> {
         opts.width,
         match opts.injection {
             Some(Injection::BranchPolarity) => " inject branch-polarity",
+            Some(Injection::SignalFault) => " inject signal-fault",
             None => "",
         }
     );

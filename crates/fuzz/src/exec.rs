@@ -15,9 +15,11 @@
 
 use crate::coverage::{case_coverage, CoverageMap};
 use crate::gen::Case;
+use fpgatest::faults::FaultSpec;
 use fpgatest::flow::{run_design, Engine, FlowError, FlowOptions, TestReport};
 use fpgatest::stimulus::Stimulus;
 use nenya::schedule::SchedulePolicy;
+use nenya::tac::MemRole;
 use nenya::{compile_program, CompileOptions, Design};
 
 /// A deliberately planted compiler bug, for validating that the fuzzer
@@ -27,6 +29,12 @@ pub enum Injection {
     /// Flip the polarity of the first conditional FSM transition — the
     /// classic "branch taken the wrong way" lowering bug.
     BranchPolarity,
+    /// Inject one hardware fault per case through the flow's fault
+    /// machinery: stuck-at-0 on the write-enable of a memory the design
+    /// writes, chosen deterministically from the case index. Exercises
+    /// the fault path under fuzz-generated designs; a faulted run must
+    /// never be classified as a clean pass.
+    SignalFault,
 }
 
 impl Injection {
@@ -51,8 +59,34 @@ impl Injection {
                 }
                 false
             }
+            // SignalFault does not mutate the design; the fault rides in
+            // through FlowOptions instead (see `signal_fault_for`).
+            Injection::SignalFault => false,
         }
     }
+}
+
+/// Picks the fault a [`Injection::SignalFault`] run injects: stuck-at-0
+/// on the write-enable of one memory the program writes, rotated by the
+/// case index so a campaign spreads faults across the design's
+/// memories. `None` when the design writes no memory — the case then
+/// runs unfaulted, like a `BranchPolarity` design with no conditionals.
+pub fn signal_fault_for(design: &Design, index: u64) -> Option<FaultSpec> {
+    let written: Vec<&str> = design
+        .mems
+        .iter()
+        .filter(|m| matches!(m.role, MemRole::Output | MemRole::Intermediate))
+        .map(|m| m.name.as_str())
+        .collect();
+    if written.is_empty() {
+        return None;
+    }
+    let mem = written[(index % written.len() as u64) as usize];
+    Some(FaultSpec::StuckAt {
+        signal: format!("{mem}_we"),
+        bit: 0,
+        value: false,
+    })
 }
 
 /// Executor knobs. The watchdog is far below the flow default because an
@@ -134,6 +168,10 @@ pub enum DivKind {
     /// produced different final memories, failed, or broke — a
     /// simulator-equivalence bug rather than a compiler bug.
     EngineMismatch,
+    /// A run with an injected hardware fault still passed the
+    /// differential oracle — the fault escaped detection. Reported as a
+    /// divergence so a faulted case can never read as a clean pass.
+    FaultEscape,
 }
 
 /// A detected divergence between the golden reference and the simulated
@@ -192,8 +230,15 @@ pub fn run_case(case: &Case, width: u32, opts: &ExecOptions) -> CaseOutcome {
             Ok(design) => design,
             Err(e) => return CaseOutcome::GeneratorError(format!("{variant}: compile: {e}")),
         };
-        if let Some(injection) = opts.injection {
-            injection.apply(&mut design);
+        let mut fault = None;
+        match opts.injection {
+            Some(Injection::SignalFault) => {
+                fault = signal_fault_for(&design, case.index);
+            }
+            Some(injection) => {
+                injection.apply(&mut design);
+            }
+            None => {}
         }
         let flow_options = FlowOptions {
             compile,
@@ -201,10 +246,20 @@ pub fn run_case(case: &Case, width: u32, opts: &ExecOptions) -> CaseOutcome {
             golden_step_limit: opts.golden_step_limit,
             keep_artifacts: false,
             coverage: true,
+            faults: fault.iter().cloned().collect(),
             ..FlowOptions::default()
         };
         match run_design(&design, &stimuli, &flow_options) {
             Ok(report) if report.passed => {
+                // A faulted run that sails through the oracle is a fault
+                // escape, never a clean pass.
+                if let Some(fault) = &fault {
+                    return CaseOutcome::Divergence(Divergence {
+                        variant,
+                        kind: DivKind::FaultEscape,
+                        detail: format!("injected fault '{fault}' went undetected"),
+                    });
+                }
                 coverage.merge(case_coverage(&report));
                 coverage.insert(format!("cfg:{variant}"));
                 if let Some(divergence) = check_engines(&design, &stimuli, &flow_options, &report) {

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fpgafuzz run --seed 42 --cases 500 [--width 16] [--corpus DIR]
-//!              [--inject branch-polarity] [--max-shrink-evals 500]
+//!              [--inject branch-polarity|signal-fault] [--max-shrink-evals 500]
 //! fpgafuzz gen --seed 42 --index 7 [--width 16]
 //! fpgafuzz repro --seed 42 --index 7 [--width 16] [--inject ...]
 //! ```
@@ -20,9 +20,9 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   fpgafuzz run --seed N --cases K [--width W] [--corpus DIR] \\
-               [--inject branch-polarity] [--max-shrink-evals E] [--max-ticks T]
+               [--inject branch-polarity|signal-fault] [--max-shrink-evals E] [--max-ticks T]
   fpgafuzz gen --seed N --index I [--width W]
-  fpgafuzz repro --seed N --index I [--width W] [--inject branch-polarity] [--max-ticks T]";
+  fpgafuzz repro --seed N --index I [--width W] [--inject branch-polarity|signal-fault] [--max-ticks T]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -174,8 +174,9 @@ impl Flags {
         match self.get("inject") {
             None => Ok(None),
             Some("branch-polarity") => Ok(Some(Injection::BranchPolarity)),
+            Some("signal-fault") => Ok(Some(Injection::SignalFault)),
             Some(other) => Err(format!(
-                "unknown injection '{other}' (expected branch-polarity)"
+                "unknown injection '{other}' (expected branch-polarity or signal-fault)"
             )),
         }
     }

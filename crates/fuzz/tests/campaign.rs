@@ -54,6 +54,48 @@ fn injected_branch_polarity_is_caught_and_shrunk() {
 }
 
 #[test]
+fn injected_signal_fault_is_never_a_clean_pass() {
+    use fpgafuzz::exec::{run_case, signal_fault_for, CaseOutcome, ExecOptions};
+    use fpgafuzz::gen::{generate_case, Budget};
+
+    let budget = Budget {
+        width: 16,
+        ..Budget::default()
+    };
+    let exec = ExecOptions {
+        max_ticks: 50_000,
+        injection: Some(Injection::SignalFault),
+        ..ExecOptions::default()
+    };
+    let mut faulted = 0;
+    for index in 0..8 {
+        let case = generate_case(11, index, &budget).expect("generator emits a valid case");
+        match run_case(&case, 16, &exec) {
+            // A fault-injected run must never come back as Pass; the
+            // only clean Pass allowed is a design with nothing to fault.
+            CaseOutcome::Pass { .. } => {
+                let compile = nenya::CompileOptions {
+                    width: 16,
+                    ..nenya::CompileOptions::default()
+                };
+                let name = format!("fuzz_11_{index}");
+                let design = nenya::compile_program(&name, &case.program, &compile).unwrap();
+                assert!(
+                    signal_fault_for(&design, index).is_none(),
+                    "case {index} passed despite a faultable memory"
+                );
+            }
+            CaseOutcome::Divergence(_) => faulted += 1,
+            CaseOutcome::GeneratorError(e) => panic!("case {index}: generator error: {e}"),
+        }
+    }
+    assert!(
+        faulted > 0,
+        "at least one case in the batch must carry a detected fault"
+    );
+}
+
+#[test]
 fn corpus_accumulates_coverage_across_runs() {
     let dir = std::env::temp_dir().join("fpgafuzz_campaign_corpus");
     let _ = std::fs::remove_dir_all(&dir);

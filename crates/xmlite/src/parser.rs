@@ -75,6 +75,12 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// Element-nesting ceiling. The parser recurses per element, so an
+/// adversarially nested document (`<a><a><a>…`) would otherwise overflow
+/// the stack; real interchange files nest a handful of levels. Well past
+/// any legitimate document, well short of the stack.
+const MAX_DEPTH: usize = 200;
+
 fn is_name_start(c: char) -> bool {
     c.is_alphabetic() || c == '_' || c == ':'
 }
@@ -89,7 +95,7 @@ pub(crate) fn parse_document(input: &str) -> Result<Document, ParseXmlError> {
     if cur.peek() != Some('<') {
         return Err(cur.err("expected root element"));
     }
-    let root = parse_element(&mut cur)?;
+    let root = parse_element(&mut cur, 0)?;
     skip_misc(&mut cur)?;
     if cur.peek().is_some() {
         return Err(cur.err("content after document root"));
@@ -168,7 +174,10 @@ fn parse_attr_value(cur: &mut Cursor) -> Result<String, ParseXmlError> {
     }
 }
 
-fn parse_element(cur: &mut Cursor) -> Result<Element, ParseXmlError> {
+fn parse_element(cur: &mut Cursor, depth: usize) -> Result<Element, ParseXmlError> {
+    if depth >= MAX_DEPTH {
+        return Err(cur.err(format!("elements nested deeper than {MAX_DEPTH} levels")));
+    }
     cur.expect("<")?;
     let name = parse_name(cur)?;
     let mut element = Element::new(&name);
@@ -226,7 +235,7 @@ fn parse_element(cur: &mut Cursor) -> Result<Element, ParseXmlError> {
             return Err(cur.err("processing instructions are not supported inside elements"));
         } else if cur.starts_with("<") {
             flush_text(&mut element, &mut text);
-            let child = parse_element(cur)?;
+            let child = parse_element(cur, depth + 1)?;
             element.push(child);
         } else {
             match cur.peek() {
@@ -339,6 +348,32 @@ mod tests {
     fn rejects_empty_input() {
         assert!(Document::parse("").is_err());
         assert!(Document::parse("   \n ").is_err());
+    }
+
+    #[test]
+    fn deeply_nested_document_is_rejected_not_a_stack_overflow() {
+        // 100k nesting levels would overflow the parser's stack without
+        // the depth ceiling; it must come back as an ordinary parse error.
+        let depth = 100_000;
+        let mut input = String::with_capacity(depth * 7);
+        for _ in 0..depth {
+            input.push_str("<a>");
+        }
+        for _ in 0..depth {
+            input.push_str("</a>");
+        }
+        let err = Document::parse(&input).unwrap_err();
+        assert!(err.message().contains("nested deeper"), "{err}");
+
+        // Legitimate nesting well under the ceiling still parses.
+        let mut ok = String::new();
+        for _ in 0..50 {
+            ok.push_str("<a>");
+        }
+        for _ in 0..50 {
+            ok.push_str("</a>");
+        }
+        assert!(Document::parse(&ok).is_ok());
     }
 
     #[test]

@@ -222,6 +222,6 @@ fn library_report_agrees_with_flow_results() {
         fpgatest::suite::CaseResult::Finished(r) => {
             assert_eq!(events_json, r.runs[0].summary.events);
         }
-        fpgatest::suite::CaseResult::Errored(_) => unreachable!(),
+        _ => unreachable!(),
     }
 }

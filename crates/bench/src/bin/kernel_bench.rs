@@ -17,12 +17,15 @@
 //!   speedup of the current kernel against that fixed reference.
 //!
 //! Usage: `kernel_bench [--pixels N] [--repeat R] [--metrics-out FILE]
-//! [--baseline FILE]` (`--pixels` may repeat; default 4096 and 65536).
+//! [--baseline FILE] [--ledger FILE]` (`--pixels` may repeat; default
+//! 4096 and 65536). `--ledger` appends one `fpgatest-ledger-v1` summary
+//! line per invocation, for `fpgatest trends`.
 //! Each size runs `R` times (default 3): the reported wall-clock is the
 //! best of the repeats — the standard estimator under scheduler noise —
 //! and the counters are additionally asserted identical across repeats.
 
 use bench::{fdct_flow, run_checked_recorded};
+use fpgatest::ledger::{self, LedgerEntry};
 use fpgatest::suite::{CaseResult, SuiteReport};
 use fpgatest::telemetry::{self, Json, Recorder};
 use nenya::schedule::SchedulePolicy;
@@ -71,6 +74,7 @@ fn main() -> ExitCode {
     let mut pixels: Vec<usize> = Vec::new();
     let mut repeat: usize = 3;
     let mut metrics_out = PathBuf::from("BENCH_kernel.json");
+    let mut ledger_out: Option<PathBuf> = None;
     let mut baseline_path =
         PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("baselines/kernel_counters.json");
     let mut args = std::env::args().skip(1);
@@ -93,9 +97,12 @@ fn main() -> ExitCode {
             }
             "--metrics-out" => metrics_out = PathBuf::from(value("--metrics-out")),
             "--baseline" => baseline_path = PathBuf::from(value("--baseline")),
+            "--ledger" => ledger_out = Some(PathBuf::from(value("--ledger"))),
             other => {
                 eprintln!("kernel_bench: unknown argument '{other}'");
-                eprintln!("usage: kernel_bench [--pixels N]... [--metrics-out FILE] [--baseline FILE]");
+                eprintln!(
+                    "usage: kernel_bench [--pixels N]... [--metrics-out FILE] [--baseline FILE] [--ledger FILE]"
+                );
                 return ExitCode::from(2);
             }
         }
@@ -117,6 +124,11 @@ fn main() -> ExitCode {
     let mut reports = Vec::new();
     let mut comparison_rows = Vec::new();
     let mut drift = false;
+    let mut total_wall = 0.0f64;
+    let mut total_events = 0u64;
+    let mut total_evals = 0u64;
+    let mut passed = 0u64;
+    let mut failed = 0u64;
     for &px in &pixels {
         let label = format!("fdct1_{px}px");
         // Best-of-`repeat`: minimum wall-clock, counters asserted stable.
@@ -141,6 +153,14 @@ fn main() -> ExitCode {
         let (wall, report) = best.expect("at least one repeat");
         let run = &report.runs[0];
         let stats = run.kernel;
+        total_wall += wall;
+        total_events += stats.events;
+        total_evals += stats.evals;
+        if report.passed {
+            passed += 1;
+        } else {
+            failed += 1;
+        }
         println!(
             "  {px:>7} px: {wall:>9.3} s   events={} evals={} updates={}",
             stats.events, stats.evals, stats.updates
@@ -203,11 +223,38 @@ fn main() -> ExitCode {
             ]),
         ));
     }
+    // Canonical key order, matching every other report writer: the same
+    // run serializes to byte-identical bytes every time.
+    json.sort_keys();
     if let Err(e) = std::fs::write(&metrics_out, json.emit_pretty()) {
         eprintln!("kernel_bench: writing {}: {e}", metrics_out.display());
         return ExitCode::from(2);
     }
     println!("\nwrote {}", metrics_out.display());
+
+    if let Some(path) = &ledger_out {
+        let sizes = pixels
+            .iter()
+            .map(|px| px.to_string())
+            .collect::<Vec<_>>()
+            .join("+");
+        let entry = LedgerEntry {
+            engine: "event".to_string(),
+            wall_seconds: total_wall,
+            passed,
+            failed,
+            counters: vec![
+                ("events".to_string(), total_events as f64),
+                ("evals".to_string(), total_evals as f64),
+            ],
+            ..LedgerEntry::new("bench", &format!("fdct1_{sizes}"))
+        };
+        if let Err(e) = ledger::append(path, &entry) {
+            eprintln!("kernel_bench: appending ledger {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("appended ledger entry to {}", path.display());
+    }
 
     if drift {
         eprintln!(

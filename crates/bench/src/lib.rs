@@ -99,7 +99,11 @@ pub fn write_metrics_json(
             .map(|(name, report)| (name, CaseResult::Finished(report)))
             .collect(),
     };
-    std::fs::write(path, telemetry::suite_json(&suite, recorder).emit_pretty())
+    // Canonical key order, matching the CLI: the same run serializes to
+    // byte-identical bytes every time.
+    let mut json = telemetry::suite_json(&suite, recorder);
+    json.sort_keys();
+    std::fs::write(path, json.emit_pretty())
 }
 
 /// A measured row for table/figure output: paper value vs ours.

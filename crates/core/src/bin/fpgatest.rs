@@ -38,7 +38,19 @@
 //!                           --metrics-out report (verdicts unaffected)
 //! --verbose                 print the extended Table I (golden(s),
 //!                           cycles, events)
+//! --events-out <file|->     stream fpgatest-events-v1 JSONL live
+//!                           (tail-able; `-` is stdout)
+//! --profile                 collect per-class / per-rank / per-phase
+//!                           engine timing into the metrics report
+//! --profile-folded <file>   also write flamegraph-compatible folded
+//!                           stacks (feed to flamegraph.pl / inferno)
+//! --ledger <file>           append one summary line to an append-only
+//!                           runs.jsonl for `fpgatest trends`
 //! ```
+//!
+//! `faults` also accepts `--events-out` and `--ledger`; `fpgatest
+//! trends <runs.jsonl> [--gate PCT]` renders the ledger's trajectories
+//! and exits non-zero when the latest run regresses past the gate.
 //!
 //! `test` also accepts a `.manifest` path, which runs the whole suite
 //! (equivalent to `run`) so the observability flags apply uniformly.
@@ -76,8 +88,10 @@
 //! error; 3 = a case crashed the harness (caught panic); 4 = a watchdog
 //! (tick or wall-clock) tripped.
 
+use fpgatest::events::EventSink;
 use fpgatest::faults::{campaign_json, run_campaign, CampaignOptions, FaultSpec, InjectionOutcome};
 use fpgatest::flow::{Engine, FlowOptions, TestFlow};
+use fpgatest::ledger::{self, LedgerEntry};
 use fpgatest::suite::{CaseResult, SuiteReport};
 use fpgatest::telemetry::{self, Json, Recorder};
 use fpgatest::{metrics, stimulus, suite};
@@ -85,6 +99,7 @@ use nenya::schedule::SchedulePolicy;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -92,6 +107,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("test") => cmd_test(&args[1..]),
         Some("faults") => cmd_faults(&args[1..]),
+        Some("trends") => cmd_trends(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         Some("figure1") => {
             print!("{}", fpgatest::dot::flow_diagram());
@@ -116,17 +132,21 @@ fn usage() {
 USAGE:
   fpgatest run <suite.manifest> [--jobs N] [--engine event|cycle|level]
                [--metrics-out FILE] [--trace-log FILE] [--baseline FILE]
-               [--verbose]
+               [--verbose] [--events-out FILE|-] [--profile]
+               [--profile-folded FILE] [--ledger FILE]
   fpgatest test <prog.src|suite.manifest> [--stimulus mem=file]... [--width N]
                 [--partitions K] [--policy list|one-op-per-state]
                 [--optimize] [--trace] [--artifacts DIR] [--jobs N]
                 [--engine event|cycle|level] [--fault SPEC]...
                 [--max-ticks N] [--timeout MS]
                 [--metrics-out FILE] [--trace-log FILE] [--baseline FILE]
-                [--verbose]
+                [--verbose] [--events-out FILE|-] [--profile]
+                [--profile-folded FILE] [--ledger FILE]
   fpgatest faults <suite.manifest> [--design NAME]... [--engine E] [--seed N]
                 [--sites N] [--max-ticks N] [--report FILE]
                 [--min-detected F] [--baseline FILE]
+                [--events-out FILE|-] [--ledger FILE]
+  fpgatest trends <runs.jsonl> [--gate PCT]
   fpgatest compile <prog.src> --out DIR [--width N] [--partitions K] [--optimize]
   fpgatest figure1 > figure1.dot
 
@@ -141,6 +161,10 @@ struct TelemetryArgs {
     trace_log: Option<PathBuf>,
     baseline: Option<PathBuf>,
     verbose: bool,
+    events_out: Option<String>,
+    profile: bool,
+    profile_folded: Option<PathBuf>,
+    ledger: Option<PathBuf>,
 }
 
 impl TelemetryArgs {
@@ -155,9 +179,27 @@ impl TelemetryArgs {
             "--trace-log" => self.trace_log = Some(PathBuf::from(value("--trace-log")?)),
             "--baseline" => self.baseline = Some(PathBuf::from(value("--baseline")?)),
             "--verbose" => self.verbose = true,
+            "--events-out" => self.events_out = Some(value("--events-out")?),
+            "--profile" => self.profile = true,
+            "--profile-folded" => {
+                self.profile_folded = Some(PathBuf::from(value("--profile-folded")?));
+                // Folded stacks only exist when timing is collected.
+                self.profile = true;
+            }
+            "--ledger" => self.ledger = Some(PathBuf::from(value("--ledger")?)),
             _ => return Ok(false),
         }
         Ok(true)
+    }
+
+    /// Opens the `--events-out` sink (disabled when the flag is absent).
+    fn event_sink(&self) -> Result<EventSink, String> {
+        match &self.events_out {
+            None => Ok(EventSink::disabled()),
+            Some(path) => {
+                EventSink::to_path(path).map_err(|e| format!("cannot open {path}: {e}"))
+            }
+        }
     }
 }
 
@@ -168,11 +210,20 @@ fn emit_telemetry(
     recorder: &Recorder,
     args: &TelemetryArgs,
 ) -> Result<(), String> {
-    let json = telemetry::suite_json(report, recorder);
+    // Canonical key order: serializing the same run twice (or the same
+    // run on two machines) produces byte-identical reports, so metrics
+    // files diff cleanly.
+    let mut json = telemetry::suite_json(report, recorder);
+    json.sort_keys();
     if let Some(path) = &args.metrics_out {
         std::fs::write(path, json.emit_pretty())
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         println!("metrics written to {}", path.display());
+    }
+    if let Some(path) = &args.profile_folded {
+        std::fs::write(path, folded_stacks(report))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("folded stacks written to {}", path.display());
     }
     if let Some(path) = &args.trace_log {
         let write = || -> std::io::Result<()> {
@@ -191,6 +242,75 @@ fn emit_telemetry(
         print!("{}", telemetry::render_baseline_deltas(&json, &baseline));
     }
     Ok(())
+}
+
+/// Renders every `--profile` block as flamegraph-compatible folded
+/// stacks (`frame;frame;frame count`, one line per leaf, counts in
+/// microseconds): `design;config;event;<class>`, `…;level;rank N`, and
+/// `…;cycle;<phase>` frames, ready for flamegraph.pl or inferno.
+fn folded_stacks(report: &SuiteReport) -> String {
+    let micros = |nanos: u64| (nanos / 1_000).max(1);
+    let mut out = String::new();
+    for (name, result) in &report.results {
+        let CaseResult::Finished(finished) = result else {
+            continue;
+        };
+        for run in &finished.runs {
+            let Some(profile) = &run.profile else { continue };
+            for class in &profile.classes {
+                out.push_str(&format!(
+                    "{name};{};event;{} {}\n",
+                    run.name,
+                    class.class,
+                    micros(class.nanos)
+                ));
+            }
+            for rank in &profile.ranks {
+                out.push_str(&format!(
+                    "{name};{};level;rank {} {}\n",
+                    run.name,
+                    rank.rank,
+                    micros(rank.nanos)
+                ));
+            }
+            for phase in &profile.phases {
+                out.push_str(&format!(
+                    "{name};{};cycle;{} {}\n",
+                    run.name,
+                    phase.phase,
+                    micros(phase.nanos)
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Appends one invocation summary to the `--ledger` file.
+fn append_ledger(path: &Path, entry: &LedgerEntry) -> Result<(), String> {
+    ledger::append(path, entry)
+        .map_err(|e| format!("cannot append to {}: {e}", path.display()))?;
+    println!("ledger entry appended to {}", path.display());
+    Ok(())
+}
+
+/// The suite-level counters worth trending: total kernel events and
+/// simulated cycles across every finished case.
+fn suite_counters(report: &SuiteReport) -> Vec<(String, f64)> {
+    let mut events = 0u64;
+    let mut cycles = 0u64;
+    for (_, result) in &report.results {
+        if let CaseResult::Finished(finished) = result {
+            for run in &finished.runs {
+                events += run.kernel.events;
+                cycles += run.cycles;
+            }
+        }
+    }
+    vec![
+        ("cycles".to_string(), cycles as f64),
+        ("events".to_string(), events as f64),
+    ]
 }
 
 /// Prints the (extended, under `--verbose`) Table I for finished cases.
@@ -229,13 +349,40 @@ fn run_suite(
     if let Some(engine) = engine {
         suite.set_engine(engine);
     }
+    let sink = match telemetry_args.event_sink() {
+        Ok(sink) => sink,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    suite.set_events(sink, manifest.display().to_string());
+    if telemetry_args.profile {
+        suite.set_profile(true);
+    }
     let mut recorder = Recorder::new();
+    let run_started = Instant::now();
     let report = suite.run_parallel_recorded(jobs, &mut recorder);
+    let wall_seconds = run_started.elapsed().as_secs_f64();
     print!("{}", report.render());
     print_metrics(&report, telemetry_args.verbose);
     if let Err(message) = emit_telemetry(&report, &recorder, telemetry_args) {
         eprintln!("error: {message}");
         return ExitCode::from(2);
+    }
+    if let Some(path) = &telemetry_args.ledger {
+        let entry = LedgerEntry {
+            engine: engine.unwrap_or_default().to_string(),
+            wall_seconds,
+            passed: report.passed() as u64,
+            failed: report.failed() as u64,
+            counters: suite_counters(&report),
+            ..LedgerEntry::new("run", &manifest.display().to_string())
+        };
+        if let Err(message) = append_ledger(path, &entry) {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
     }
     ExitCode::from(u8::try_from(report.exit_code()).unwrap_or(1))
 }
@@ -308,6 +455,8 @@ fn cmd_faults(args: &[String]) -> ExitCode {
     let mut report_out: Option<PathBuf> = None;
     let mut min_detected: Option<f64> = None;
     let mut baseline: Option<PathBuf> = None;
+    let mut events_out: Option<String> = None;
+    let mut ledger_out: Option<PathBuf> = None;
     let mut it = args.iter();
     let result = (|| -> Result<(), String> {
         while let Some(arg) = it.next() {
@@ -345,6 +494,8 @@ fn cmd_faults(args: &[String]) -> ExitCode {
                     );
                 }
                 "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
+                "--events-out" => events_out = Some(value("--events-out")?),
+                "--ledger" => ledger_out = Some(PathBuf::from(value("--ledger")?)),
                 other if manifest.is_none() && !other.starts_with("--") => {
                     manifest = Some(PathBuf::from(other));
                 }
@@ -378,12 +529,24 @@ fn cmd_faults(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     }
 
+    let sink = match &events_out {
+        None => EventSink::disabled(),
+        Some(path) => match EventSink::to_path(path) {
+            Ok(sink) => sink,
+            Err(e) => {
+                eprintln!("error: cannot open {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
     let options = CampaignOptions {
         seed,
         sites,
         engine,
         max_ticks,
+        events: sink,
     };
+    let campaigns_started = Instant::now();
     let mut campaigns = Vec::new();
     for case in cases {
         match run_campaign(case, &options) {
@@ -397,20 +560,53 @@ fn cmd_faults(args: &[String]) -> ExitCode {
             }
         }
     }
+    let campaigns_seconds = campaigns_started.elapsed().as_secs_f64();
 
-    let json = Json::obj([
+    let mut json = Json::obj([
         ("schema", "fpgatest-faults-v1".into()),
         (
             "campaigns",
             Json::Arr(campaigns.iter().map(campaign_json).collect()),
         ),
     ]);
+    json.sort_keys();
     if let Some(path) = &report_out {
         if let Err(e) = std::fs::write(path, json.emit_pretty()) {
             eprintln!("error: cannot write {}: {e}", path.display());
             return ExitCode::from(2);
         }
         println!("fault report written to {}", path.display());
+    }
+
+    if let Some(path) = &ledger_out {
+        let detected: usize = campaigns
+            .iter()
+            .map(|c| c.count(InjectionOutcome::Detected))
+            .sum();
+        let silent: usize = campaigns
+            .iter()
+            .map(|c| c.count(InjectionOutcome::Silent))
+            .sum();
+        let hung: usize = campaigns.iter().map(|c| c.count(InjectionOutcome::Hung)).sum();
+        let injections: usize = campaigns.iter().map(|c| c.injections.len()).sum();
+        let denom = detected + silent + hung;
+        let entry = LedgerEntry {
+            engine: engine.to_string(),
+            wall_seconds: campaigns_seconds,
+            passed: detected as u64,
+            failed: silent as u64,
+            detected_fraction: Some(if denom == 0 {
+                0.0
+            } else {
+                detected as f64 / denom as f64
+            }),
+            counters: vec![("injections".to_string(), injections as f64)],
+            ..LedgerEntry::new("faults", &manifest.display().to_string())
+        };
+        if let Err(message) = append_ledger(path, &entry) {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
     }
 
     // A crashed injection is a harness bug regardless of coverage.
@@ -444,6 +640,52 @@ fn cmd_faults(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `fpgatest trends <runs.jsonl> [--gate PCT]` — render wall-time,
+/// counter, and detected-fraction trajectories across the ledger's
+/// entries; with `--gate`, exit non-zero when the latest run regresses
+/// past the threshold against its predecessor.
+fn cmd_trends(args: &[String]) -> ExitCode {
+    let mut path = None;
+    let mut gate = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--gate" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) => gate = Some(pct),
+                None => {
+                    eprintln!("error: --gate needs a percent");
+                    return ExitCode::from(2);
+                }
+            },
+            other if path.is_none() && !other.starts_with("--") => {
+                path = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("error: unexpected argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("'trends' needs a ledger path");
+        return ExitCode::from(2);
+    };
+    let entries = match ledger::read(&path) {
+        Ok(entries) => entries,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = ledger::render_trends(&entries, gate);
+    print!("{}", report.text);
+    if report.gate_exceeded {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// Compares campaign coverage against a checked-in `fpgatest-faults-v1`
@@ -610,7 +852,16 @@ fn cmd_test(args: &[String]) -> ExitCode {
         .file_stem()
         .map(|s| s.to_string_lossy().to_string())
         .unwrap_or_else(|| "design".to_string());
-    let mut flow = TestFlow::new(&name, source).with_options(parsed.options.clone());
+    let mut options = parsed.options.clone();
+    options.profile = parsed.telemetry.profile;
+    match parsed.telemetry.event_sink() {
+        Ok(sink) => options.events = sink,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    }
+    let mut flow = TestFlow::new(&name, source).with_options(options);
     for (mem, file) in &parsed.stimuli {
         let text = match std::fs::read_to_string(file) {
             Ok(t) => t,
@@ -629,6 +880,7 @@ fn cmd_test(args: &[String]) -> ExitCode {
     }
 
     let mut recorder = Recorder::new();
+    let run_started = Instant::now();
     let report = match flow.run_recorded(&mut recorder) {
         Ok(r) => r,
         Err(e @ fpgatest::flow::FlowError::Timeout { .. }) => {
@@ -640,6 +892,7 @@ fn cmd_test(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let wall_seconds = run_started.elapsed().as_secs_f64();
     print!("{}", report.render());
     if parsed.telemetry.verbose {
         println!("{}", metrics::render_table1_ext(std::slice::from_ref(&report.metrics)));
@@ -663,6 +916,20 @@ fn cmd_test(args: &[String]) -> ExitCode {
     if let Err(message) = emit_telemetry(&suite_report, &recorder, &parsed.telemetry) {
         eprintln!("error: {message}");
         return ExitCode::from(2);
+    }
+    if let Some(path) = &parsed.telemetry.ledger {
+        let entry = LedgerEntry {
+            engine: parsed.options.engine.to_string(),
+            wall_seconds,
+            passed: u64::from(passed),
+            failed: u64::from(!passed),
+            counters: suite_counters(&suite_report),
+            ..LedgerEntry::new("test", &parsed.source.display().to_string())
+        };
+        if let Err(message) = append_ledger(path, &entry) {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
     }
     if passed {
         ExitCode::SUCCESS

@@ -218,6 +218,10 @@ pub struct CampaignOptions {
     /// Tick watchdog per faulty run; `None` derives a budget from the
     /// clean run (5× its ticks, at least 50k).
     pub max_ticks: Option<u64>,
+    /// Live `fpgatest-events-v1` stream: campaign start/finish,
+    /// per-injection inject/classify pairs, and heartbeats. Disabled by
+    /// default.
+    pub events: crate::events::EventSink,
 }
 
 impl Default for CampaignOptions {
@@ -227,6 +231,7 @@ impl Default for CampaignOptions {
             sites: 200,
             engine: Engine::default(),
             max_ticks: None,
+            events: crate::events::EventSink::disabled(),
         }
     }
 }
@@ -474,21 +479,54 @@ pub fn run_campaign(
     sites.truncate(options.sites);
 
     let max_ticks = options.max_ticks.unwrap_or((clean_ticks * 5).max(50_000));
+    let total = sites.len() as u64;
+    let mut progress = crate::events::CampaignProgress::start(
+        options.events.clone(),
+        "faults",
+        &case.name,
+        total,
+    );
     let mut injections = Vec::with_capacity(sites.len());
-    for fault in sites {
+    for (index, fault) in sites.into_iter().enumerate() {
         let mut faulty_options = clean_options.clone();
         faulty_options.max_ticks = max_ticks;
         faulty_options.faults = vec![fault.clone()];
+        if options.events.is_enabled() {
+            options.events.emit(&crate::events::Event::FaultInjected {
+                fault: fault.to_string(),
+                class: fault.class().to_string(),
+                index: index as u64,
+                total,
+            });
+        }
+        let injection_started = std::time::Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| {
             run_design(&design, &case.stimuli, &faulty_options)
         }));
         let (outcome, detail) = classify(result);
+        let wall_seconds = injection_started.elapsed().as_secs_f64();
+        if options.events.is_enabled() {
+            options.events.emit(&crate::events::Event::FaultClassified {
+                fault: fault.to_string(),
+                outcome: outcome.to_string(),
+                detail: detail.clone(),
+                wall_seconds,
+            });
+        }
+        // "Failed" for a fault campaign means the oracle missed: silent
+        // escapes, not detections.
+        progress.unit_done(
+            &fault.to_string(),
+            wall_seconds,
+            outcome == InjectionOutcome::Silent,
+        );
         injections.push(InjectionRecord {
             fault,
             outcome,
             detail,
         });
     }
+    progress.finish();
 
     Ok(CampaignReport {
         design: case.name.clone(),

@@ -12,6 +12,7 @@
 //! 6. compare final memory contents and produce a [`TestReport`].
 
 use crate::elaborate::{elaborate_config, elaborate_config_instrumented, ElaborateConfigError};
+use crate::events::{Event, EventSink};
 use crate::faults::FaultSpec;
 use crate::memcmp::{diff_images, render_mismatches, Mismatch};
 use crate::metrics::{ConfigMetrics, DesignMetrics};
@@ -109,6 +110,18 @@ pub struct FlowOptions {
     /// Wall-clock watchdog in milliseconds, enforced by the suite runner
     /// around the whole case (the flow itself only counts ticks).
     pub wall_timeout_ms: Option<u64>,
+    /// Live event stream (`fpgatest-events-v1`): stage span start/end
+    /// events are emitted here as they happen. Disabled by default —
+    /// see [`crate::events::EventSink`].
+    pub events: EventSink,
+    /// Collect an engine profile per configuration into
+    /// [`ConfigRun::profile`]: per-component-class evaluation timing on
+    /// the event kernel, per-rank settle timing and dirty-bitset hit
+    /// rates on the level engine, per-phase timing on the cycle engine.
+    /// Profiling only observes — kernel counters, cycle counts, and
+    /// verdicts are bit-identical with it on or off — and costs nothing
+    /// when off.
+    pub profile: bool,
     /// Test hook: panic at the start of the flow, exercising the suite
     /// runner's crash isolation.
     #[doc(hidden)]
@@ -192,6 +205,64 @@ impl CompiledSim {
             CompiledSim::Level(s) => s.inject_transient_flip(signal, bit, cycle),
         }
     }
+
+    fn enable_profile(&mut self) {
+        match self {
+            CompiledSim::Cycle(s) => s.enable_profile(),
+            CompiledSim::Level(s) => s.enable_profile(),
+        }
+    }
+
+    /// The engine profile accumulated since construction, translated
+    /// into the flow's [`ConfigProfile`] shape.
+    fn profile(&self) -> ConfigProfile {
+        match self {
+            CompiledSim::Cycle(s) => {
+                let phases = s
+                    .profile()
+                    .map(|p| {
+                        vec![
+                            PhaseProfile {
+                                phase: "settle".to_string(),
+                                nanos: p.settle_nanos,
+                            },
+                            PhaseProfile {
+                                phase: "commit".to_string(),
+                                nanos: p.commit_nanos,
+                            },
+                        ]
+                    })
+                    .unwrap_or_default();
+                ConfigProfile {
+                    phases,
+                    ..ConfigProfile::default()
+                }
+            }
+            CompiledSim::Level(s) => {
+                let ranks = s
+                    .profile()
+                    .map(|p| {
+                        p.ranks
+                            .iter()
+                            .enumerate()
+                            .map(|(rank, row)| RankProfile {
+                                rank,
+                                size: p.rank_sizes.get(rank).copied().unwrap_or(0),
+                                evals: row.evals,
+                                changes: row.changes,
+                                nanos: row.nanos,
+                                hit_rate: p.hit_rate(rank),
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                ConfigProfile {
+                    ranks,
+                    ..ConfigProfile::default()
+                }
+            }
+        }
+    }
 }
 
 impl Default for FlowOptions {
@@ -207,6 +278,8 @@ impl Default for FlowOptions {
             coverage: false,
             faults: Vec::new(),
             wall_timeout_ms: None,
+            events: EventSink::disabled(),
+            profile: false,
             planted_panic: false,
         }
     }
@@ -262,6 +335,62 @@ pub struct Artifacts {
     pub configs: Vec<ConfigArtifacts>,
 }
 
+/// Per-component-class evaluation timing on the event kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassProfile {
+    /// Component class (functional-unit kind like `add`/`mul`, or the
+    /// component name with its instance digits stripped: `reg`, `sram`,
+    /// `clock`, ...).
+    pub class: String,
+    /// Timed reactive evaluations of this class.
+    pub evals: u64,
+    /// Monotonic nanoseconds spent evaluating this class.
+    pub nanos: u64,
+}
+
+/// Per-rank settle timing on the level engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankProfile {
+    /// Levelization rank.
+    pub rank: usize,
+    /// Schedule positions in this rank.
+    pub size: u64,
+    /// Dirty positions actually evaluated across all settles.
+    pub evals: u64,
+    /// Evaluations whose output changed.
+    pub changes: u64,
+    /// Monotonic nanoseconds spent evaluating this rank.
+    pub nanos: u64,
+    /// Dirty-bitset hit rate: evaluated fraction of `size × settles`
+    /// (1.0 = the bitset saved nothing).
+    pub hit_rate: f64,
+}
+
+/// Per-phase timing on the cycle engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseProfile {
+    /// Phase name (`settle`, `commit`).
+    pub phase: String,
+    /// Monotonic nanoseconds spent in the phase.
+    pub nanos: u64,
+}
+
+/// Engine profile of one configuration, collected under
+/// [`FlowOptions::profile`]. Exactly one section is populated,
+/// depending on the engine that ran: `classes` (event kernel), `ranks`
+/// (level engine), or `phases` (cycle engine).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConfigProfile {
+    /// Event kernel: per-component-class evaluation timing, descending
+    /// by nanoseconds.
+    pub classes: Vec<ClassProfile>,
+    /// Level engine: per-rank settle timing and dirty-bitset hit rates,
+    /// in rank order.
+    pub ranks: Vec<RankProfile>,
+    /// Cycle engine: per-phase timing.
+    pub phases: Vec<PhaseProfile>,
+}
+
 /// Result of simulating one configuration.
 #[derive(Debug, Clone)]
 pub struct ConfigRun {
@@ -283,6 +412,8 @@ pub struct ConfigRun {
     pub probes: BTreeMap<String, Vec<(u64, Option<i64>)>>,
     /// Execution coverage, when [`FlowOptions::coverage`] was set.
     pub coverage: Option<ConfigCoverage>,
+    /// Engine profile, when [`FlowOptions::profile`] was set.
+    pub profile: Option<ConfigProfile>,
 }
 
 /// The outcome of a full test-flow run.
@@ -558,16 +689,20 @@ impl TestFlow {
     /// See [`run`](Self::run).
     pub fn run_recorded(&self, recorder: &mut Recorder) -> Result<TestReport, FlowError> {
         let span = recorder.start("flow.parse");
+        let parse_event = span_event_start(&self.options.events, "flow.parse");
         let program = nenya::lang::parse(&self.source)
             .map_err(|e| FlowError::Compile(CompileError::from(e)))?;
         recorder.attr(span, "source_lines", program.source_lines);
         recorder.end(span);
+        span_event_end(&self.options.events, "flow.parse", parse_event);
 
         let span = recorder.start("flow.lower");
+        let lower_event = span_event_start(&self.options.events, "flow.lower");
         let design = compile_program(&self.name, &program, &self.options.compile)?;
         recorder.attr(span, "configs", design.configs.len());
         recorder.attr(span, "operators", design.operator_count());
         recorder.end(span);
+        span_event_end(&self.options.events, "flow.lower", lower_event);
 
         run_design_recorded(&design, &self.stimuli, &self.options, recorder)
     }
@@ -632,6 +767,7 @@ pub fn run_design_recorded(
 
     // Golden software execution.
     let golden_span = recorder.start("flow.golden");
+    let golden_event = span_event_start(&options.events, "flow.golden");
     let golden_started = Instant::now();
     let mut golden_mems = initial.clone();
     let golden = design
@@ -640,9 +776,11 @@ pub fn run_design_recorded(
     let golden_seconds = golden_started.elapsed().as_secs_f64();
     recorder.attr(golden_span, "instructions", golden.instructions);
     recorder.end(golden_span);
+    span_event_end(&options.events, "flow.golden", golden_event);
 
     // Artifact generation (XML + stylesheet translations + metrics).
     let transform_span = recorder.start("flow.transform");
+    let transform_event = span_event_start(&options.events, "flow.transform");
     let rtg_doc = nenya::xml::emit_rtg(&design.rtg);
     let mut config_artifacts = Vec::new();
     let mut config_metrics = Vec::new();
@@ -683,6 +821,7 @@ pub fn run_design_recorded(
     }
     recorder.attr(transform_span, "configs", design.configs.len());
     recorder.end(transform_span);
+    span_event_end(&options.events, "flow.transform", transform_event);
 
     // Simulation in RTG order, SRAM contents carried across
     // reconfigurations.
@@ -736,6 +875,7 @@ pub fn run_design_recorded(
             // and FSM table against the flat model instead of elaborating
             // event-kernel components.
             let elaborate_span = recorder.start("flow.elaborate");
+            let elaborate_event = span_event_start(&options.events, "flow.elaborate");
             recorder.attr(elaborate_span, "config", config_name.as_str());
             recorder.attr(elaborate_span, "engine", options.engine.to_string());
             let netlist = eventsim::hds::parse(&config_artifacts[config].hds)
@@ -773,7 +913,11 @@ pub fn run_design_recorded(
                     fault_applied[i] = true;
                 }
             }
+            if options.profile {
+                csim.enable_profile();
+            }
             recorder.end(elaborate_span);
+            span_event_end(&options.events, "flow.elaborate", elaborate_event);
 
             // Preload SRAM contents (same contract as the event path).
             let mem_list: Vec<String> = netlist
@@ -806,6 +950,8 @@ pub fn run_design_recorded(
             }
 
             let simulate_span = recorder.start(format!("flow.simulate.{config_name}"));
+            let simulate_event =
+                span_event_start(&options.events, &format!("flow.simulate.{config_name}"));
             let max_cycles = options.max_ticks / COMPILED_CLOCK_PERIOD;
             let started = Instant::now();
             let result = csim.run(max_cycles);
@@ -848,6 +994,11 @@ pub fn run_design_recorded(
             recorder.attr(simulate_span, "cycles", cycles);
             recorder.attr(simulate_span, "comb_evals", comb_evals);
             recorder.end(simulate_span);
+            span_event_end(
+                &options.events,
+                &format!("flow.simulate.{config_name}"),
+                simulate_event,
+            );
 
             config_metrics[config].cycles = cycles;
             config_metrics[config].sim_seconds = wall_seconds;
@@ -872,6 +1023,7 @@ pub fn run_design_recorded(
                 vcd: None,
                 probes: BTreeMap::new(),
                 coverage: None,
+                profile: options.profile.then(|| csim.profile()),
             });
             if failure.is_some() {
                 break;
@@ -884,6 +1036,7 @@ pub fn run_design_recorded(
         }
 
         let elaborate_span = recorder.start("flow.elaborate");
+        let elaborate_event = span_event_start(&options.events, "flow.elaborate");
         recorder.attr(elaborate_span, "config", config_name.as_str());
         let mut cs = if options.coverage {
             elaborate_config_instrumented(dp_doc, fsm_doc, true)?
@@ -893,6 +1046,7 @@ pub fn run_design_recorded(
         recorder.attr(elaborate_span, "signals", cs.sim.signal_count());
         recorder.attr(elaborate_span, "components", cs.sim.component_count());
         recorder.end(elaborate_span);
+        span_event_end(&options.events, "flow.elaborate", elaborate_event);
 
         // Preload SRAM contents. A size disagreement between the design's
         // memory map and the elaborated netlist is itself a compiler bug
@@ -978,12 +1132,27 @@ pub fn run_design_recorded(
             }
         }
 
+        // The profiler hook is only installed on request; without it the
+        // kernel's timing branch stays a single cached bool per run.
+        let eval_profile = options.profile.then(|| {
+            let (timer, handle) = eventsim::profile::EvalTimer::new();
+            cs.sim.set_hook(Box::new(timer));
+            handle
+        });
+
         let simulate_span = recorder.start(format!("flow.simulate.{config_name}"));
+        let simulate_event =
+            span_event_start(&options.events, &format!("flow.simulate.{config_name}"));
         let summary = cs.sim.run(SimTime(options.max_ticks))?;
         recorder.attr(simulate_span, "events", summary.events);
         recorder.attr(simulate_span, "delta_cycles", summary.delta_cycles);
         recorder.attr(simulate_span, "end_time", summary.end_time.ticks());
         recorder.end(simulate_span);
+        span_event_end(
+            &options.events,
+            &format!("flow.simulate.{config_name}"),
+            simulate_event,
+        );
         match &summary.outcome {
             RunOutcome::Stopped(_) => {}
             RunOutcome::Failed(message) => {
@@ -1061,6 +1230,44 @@ pub fn run_design_recorded(
                 operator_activations,
             }
         });
+        // Fold per-component evaluation timing into per-class totals:
+        // functional units report under their datapath kind, everything
+        // else under its name with trailing instance digits stripped.
+        let profile = eval_profile.map(|handle| {
+            let kind_of: BTreeMap<&str, &str> = design.configs[config]
+                .datapath
+                .cells
+                .iter()
+                .filter(|c| FU_KINDS.contains(&c.kind.as_str()))
+                .map(|c| (c.name.as_str(), c.kind.as_str()))
+                .collect();
+            let timings = handle
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let mut by_class: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+            for (index, (evals, nanos)) in timings.components.iter().enumerate() {
+                if *evals == 0 {
+                    continue;
+                }
+                let name = cs.sim.component_name(eventsim::ComponentId::from_index(index));
+                let class = kind_of
+                    .get(name)
+                    .copied()
+                    .unwrap_or_else(|| component_class(name));
+                let slot = by_class.entry(class.to_string()).or_insert((0, 0));
+                slot.0 += evals;
+                slot.1 += nanos;
+            }
+            let mut classes: Vec<ClassProfile> = by_class
+                .into_iter()
+                .map(|(class, (evals, nanos))| ClassProfile { class, evals, nanos })
+                .collect();
+            classes.sort_by(|a, b| b.nanos.cmp(&a.nanos).then_with(|| a.class.cmp(&b.class)));
+            ConfigProfile {
+                classes,
+                ..ConfigProfile::default()
+            }
+        });
         runs.push(ConfigRun {
             name: config_name.clone(),
             summary,
@@ -1070,6 +1277,7 @@ pub fn run_design_recorded(
             vcd,
             probes,
             coverage,
+            profile,
         });
 
         if failure.is_some() {
@@ -1097,6 +1305,7 @@ pub fn run_design_recorded(
 
     // Comparison of data content.
     let compare_span = recorder.start("flow.compare");
+    let compare_event = span_event_start(&options.events, "flow.compare");
     let mut mismatches = Vec::new();
     if failure.is_none() {
         for (name, golden_image) in &golden_mems {
@@ -1106,6 +1315,7 @@ pub fn run_design_recorded(
     }
     recorder.attr(compare_span, "mismatches", mismatches.len());
     recorder.end(compare_span);
+    span_event_end(&options.events, "flow.compare", compare_event);
 
     let passed = failure.is_none() && mismatches.is_empty();
     Ok(TestReport {
@@ -1136,6 +1346,39 @@ pub fn run_design_recorded(
         golden_mems,
         fault_skips,
     })
+}
+
+/// Emits a span-start event and returns the matching wall-clock anchor;
+/// `None` when the sink is disabled, so disabled runs never sample time.
+fn span_event_start(sink: &EventSink, name: &str) -> Option<Instant> {
+    if !sink.is_enabled() {
+        return None;
+    }
+    sink.emit(&Event::SpanStart {
+        name: name.to_string(),
+    });
+    Some(Instant::now())
+}
+
+/// Closes a span opened by [`span_event_start`].
+fn span_event_end(sink: &EventSink, name: &str, started: Option<Instant>) {
+    if let Some(started) = started {
+        sink.emit(&Event::SpanEnd {
+            name: name.to_string(),
+            wall_seconds: started.elapsed().as_secs_f64(),
+        });
+    }
+}
+
+/// Profile class for components without a datapath kind: the instance
+/// name with trailing digits stripped ("mux3" → "mux", "img" → "img").
+fn component_class(name: &str) -> &str {
+    let stripped = name.trim_end_matches(|c: char| c.is_ascii_digit());
+    if stripped.is_empty() {
+        name
+    } else {
+        stripped
+    }
 }
 
 /// Rejects fault bit indices outside the target signal's width.

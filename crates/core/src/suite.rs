@@ -18,11 +18,13 @@
 //!   stimulus code code.stim
 //! ```
 
+use crate::events::{CampaignProgress, Event, EventSink};
 use crate::faults::FaultSpec;
 use crate::flow::{FlowError, FlowOptions, TestFlow, TestReport};
 use crate::stimulus::{self, Stimulus};
 use crate::telemetry::Recorder;
 use nenya::schedule::SchedulePolicy;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -30,7 +32,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One test case of a suite.
 #[derive(Debug, Clone)]
@@ -198,6 +200,8 @@ impl SuiteReport {
 #[derive(Debug, Default)]
 pub struct Suite {
     cases: Vec<TestCase>,
+    events: EventSink,
+    events_key: String,
 }
 
 impl Suite {
@@ -230,6 +234,25 @@ impl Suite {
         }
     }
 
+    /// Enables the engine profiler for every case (the CLI's `--profile`
+    /// flag); per-class / per-rank / per-phase timing lands in each
+    /// finished report's `profile` block.
+    pub fn set_profile(&mut self, enabled: bool) {
+        for case in &mut self.cases {
+            case.options.profile = enabled;
+        }
+    }
+
+    /// Streams `fpgatest-events-v1` campaign/case events to `sink` (the
+    /// CLI's `--events-out` flag); `key` labels the campaign, typically
+    /// the manifest path. Sequential runs also stream the flows' stage
+    /// spans; under `run_parallel` only campaign-level events stream, so
+    /// event order stays deterministic regardless of worker timing.
+    pub fn set_events(&mut self, sink: EventSink, key: impl Into<String>) {
+        self.events = sink;
+        self.events_key = key.into();
+    }
+
     /// Runs every case, never short-circuiting: a broken case must not
     /// hide results of the others.
     pub fn run(&self) -> SuiteReport {
@@ -239,11 +262,33 @@ impl Suite {
     /// [`run`](Self::run) with tracing: each case gets a `case.<name>`
     /// span, with the flow's stage spans nested beneath it.
     pub fn run_recorded(&self, recorder: &mut Recorder) -> SuiteReport {
-        let results = self
-            .cases
-            .iter()
-            .map(|case| (case.name.clone(), run_case(case, recorder)))
-            .collect();
+        let total = self.cases.len() as u64;
+        let mut progress =
+            CampaignProgress::start(self.events.clone(), "suite", &self.events_key, total);
+        let mut results = Vec::with_capacity(self.cases.len());
+        for (index, case) in self.cases.iter().enumerate() {
+            if self.events.is_enabled() {
+                self.events.emit(&Event::CaseStarted {
+                    case: case.name.clone(),
+                    index: index as u64,
+                    total,
+                });
+            }
+            let case_started = Instant::now();
+            let result = run_case(case, recorder, &self.events);
+            let wall_seconds = case_started.elapsed().as_secs_f64();
+            if self.events.is_enabled() {
+                self.events.emit(&Event::CaseFinished {
+                    case: case.name.clone(),
+                    index: index as u64,
+                    verdict: result.status().to_string(),
+                    wall_seconds,
+                });
+            }
+            progress.unit_done(&case.name, wall_seconds, !result.passed());
+            results.push((case.name.clone(), result));
+        }
+        progress.finish();
         SuiteReport { results }
     }
 
@@ -265,6 +310,23 @@ impl Suite {
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<(CaseResult, Recorder)>>> =
             self.cases.iter().map(|_| Mutex::new(None)).collect();
+        // Finished cases stream out in manifest order, not finish order:
+        // workers deliver into the reassembly buffer, and whoever holds
+        // the lock drains every contiguous case, so the event stream is
+        // deterministic while still advancing mid-flight.
+        let total = self.cases.len() as u64;
+        let ordered = self.events.is_enabled().then(|| {
+            Mutex::new(OrderedCaseEvents {
+                next_to_emit: 0,
+                pending: BTreeMap::new(),
+                progress: CampaignProgress::start(
+                    self.events.clone(),
+                    "suite",
+                    &self.events_key,
+                    total,
+                ),
+            })
+        });
         std::thread::scope(|scope| {
             for _ in 0..jobs {
                 scope.spawn(|| loop {
@@ -273,31 +335,88 @@ impl Suite {
                         break;
                     };
                     let mut worker_recorder = Recorder::new();
-                    let result = run_case(case, &mut worker_recorder);
+                    // Workers get no flow-level sink: concurrent stage
+                    // spans would interleave nondeterministically.
+                    let case_started = Instant::now();
+                    let result = run_case(case, &mut worker_recorder, &EventSink::disabled());
+                    let wall_seconds = case_started.elapsed().as_secs_f64();
+                    if let Some(ordered) = &ordered {
+                        ordered
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .deliver(self, index, result.status(), wall_seconds);
+                    }
                     *slots[index].lock().expect("slot poisoned") =
                         Some((result, worker_recorder));
                 });
             }
         });
         let mut results = Vec::with_capacity(self.cases.len());
-        for (case, slot) in self.cases.iter().zip(slots) {
+        for (index, (case, slot)) in self.cases.iter().zip(slots).enumerate() {
             // A slot can legitimately be empty: if a worker dies in a way
             // `run_case` cannot absorb, the suite must still report every
             // case rather than abort the whole report.
             let (result, worker_recorder) = match slot.into_inner().expect("slot poisoned") {
                 Some(filled) => filled,
-                None => (
-                    CaseResult::Crashed(format!(
-                        "worker died before reporting case '{}'",
-                        case.name
-                    )),
-                    Recorder::new(),
-                ),
+                None => {
+                    if let Some(ordered) = &ordered {
+                        ordered
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .deliver(self, index, "crash", 0.0);
+                    }
+                    (
+                        CaseResult::Crashed(format!(
+                            "worker died before reporting case '{}'",
+                            case.name
+                        )),
+                        Recorder::new(),
+                    )
+                }
             };
             recorder.absorb(worker_recorder);
             results.push((case.name.clone(), result));
         }
+        if let Some(ordered) = ordered {
+            ordered
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .progress
+                .finish();
+        }
         SuiteReport { results }
+    }
+}
+
+/// Reassembly buffer turning finish-order worker completions into
+/// manifest-order event emission (see `run_parallel_recorded`).
+struct OrderedCaseEvents {
+    next_to_emit: usize,
+    pending: BTreeMap<usize, (&'static str, f64)>,
+    progress: CampaignProgress,
+}
+
+impl OrderedCaseEvents {
+    fn deliver(&mut self, suite: &Suite, index: usize, verdict: &'static str, wall_seconds: f64) {
+        self.pending.insert(index, (verdict, wall_seconds));
+        let total = suite.cases.len() as u64;
+        while let Some((verdict, wall_seconds)) = self.pending.remove(&self.next_to_emit) {
+            let name = &suite.cases[self.next_to_emit].name;
+            suite.events.emit(&Event::CaseStarted {
+                case: name.clone(),
+                index: self.next_to_emit as u64,
+                total,
+            });
+            suite.events.emit(&Event::CaseFinished {
+                case: name.clone(),
+                index: self.next_to_emit as u64,
+                verdict: verdict.to_string(),
+                wall_seconds,
+            });
+            self.progress
+                .unit_done(name, wall_seconds, verdict != "pass");
+            self.next_to_emit += 1;
+        }
     }
 }
 
@@ -305,9 +424,9 @@ impl Suite {
 /// caught and reported as [`CaseResult::Crashed`], tick-watchdog trips
 /// become [`CaseResult::TimedOut`], and when the case carries a
 /// wall-clock budget the whole flow runs on a watchdogged thread.
-fn run_case(case: &TestCase, recorder: &mut Recorder) -> CaseResult {
+fn run_case(case: &TestCase, recorder: &mut Recorder, events: &EventSink) -> CaseResult {
     let Some(wall_ms) = case.options.wall_timeout_ms else {
-        return run_case_traced(case, recorder);
+        return run_case_traced(case, recorder, events);
     };
     // The flow holds `Rc`-based memory handles, so the case cannot be
     // abandoned mid-run from outside; instead the whole case runs on its
@@ -316,9 +435,10 @@ fn run_case(case: &TestCase, recorder: &mut Recorder) -> CaseResult {
     // `max_ticks`); its telemetry is discarded.
     let (sender, receiver) = std::sync::mpsc::channel();
     let case_owned = case.clone();
+    let events_owned = events.clone();
     std::thread::spawn(move || {
         let mut worker_recorder = Recorder::new();
-        let result = run_case_traced(&case_owned, &mut worker_recorder);
+        let result = run_case_traced(&case_owned, &mut worker_recorder, &events_owned);
         let _ = sender.send((result, worker_recorder));
     });
     match receiver.recv_timeout(Duration::from_millis(wall_ms)) {
@@ -346,10 +466,14 @@ fn run_case(case: &TestCase, recorder: &mut Recorder) -> CaseResult {
 }
 
 /// Runs one case with its `case.<name>` span on the calling thread.
-fn run_case_traced(case: &TestCase, recorder: &mut Recorder) -> CaseResult {
+fn run_case_traced(case: &TestCase, recorder: &mut Recorder, events: &EventSink) -> CaseResult {
     let span = recorder.start(format!("case.{}", case.name));
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        let mut flow = TestFlow::new(&case.name, &case.source).with_options(case.options.clone());
+        let mut options = case.options.clone();
+        if events.is_enabled() {
+            options.events = events.clone();
+        }
+        let mut flow = TestFlow::new(&case.name, &case.source).with_options(options);
         for (mem, stimulus) in &case.stimuli {
             flow = flow.stimulus(mem, stimulus.clone());
         }
@@ -633,6 +757,77 @@ case copy
         let rendered = err.to_string();
         assert!(rendered.contains("line 2"), "{rendered}");
         assert!(rendered.contains("bogus 1  # what"), "{rendered}");
+    }
+
+    #[test]
+    fn parallel_run_streams_events_in_manifest_order() {
+        use crate::events::{CapturedEvents, Event, EventSink};
+        let expect = ["a", "broken", "b", "c"];
+        let expect_verdicts = ["pass", "error", "pass", "pass"];
+        let streams: Vec<CapturedEvents> = [1, 4]
+            .iter()
+            .map(|&jobs| {
+                let (sink, captured) = EventSink::capture();
+                let mut suite = Suite::new()
+                    .with_case(passing_case("a"))
+                    .with_case(TestCase::new("broken", "void main() {"))
+                    .with_case(passing_case("b"))
+                    .with_case(passing_case("c"));
+                suite.set_events(sink, "demo");
+                suite.run_parallel(jobs);
+                captured
+            })
+            .collect();
+        for (captured, jobs) in streams.iter().zip([1, 4]) {
+            // Campaign/case event order must not depend on worker count
+            // or finish order; only wall-clock values may differ. Flow
+            // stage spans (sequential runs only) are checked separately.
+            let events: Vec<Event> = captured
+                .events()
+                .into_iter()
+                .filter(|e| !matches!(e, Event::SpanStart { .. } | Event::SpanEnd { .. }))
+                .collect();
+            assert!(
+                matches!(&events[0], Event::CampaignStarted { kind, key, total }
+                    if kind == "suite" && key == "demo" && *total == 4),
+                "jobs={jobs}: {:?}",
+                events[0]
+            );
+            let mut at = 1;
+            for (index, name) in expect.iter().enumerate() {
+                let Event::CaseStarted { case, index: i, total } = &events[at] else {
+                    panic!("jobs={jobs}: expected case-started, got {:?}", events[at]);
+                };
+                assert!(case == name && *i == index as u64 && *total == 4, "jobs={jobs}");
+                let Event::CaseFinished { case, verdict, .. } = &events[at + 1] else {
+                    panic!("jobs={jobs}: expected case-finished, got {:?}", events[at + 1]);
+                };
+                assert_eq!(case, name, "jobs={jobs}");
+                assert_eq!(verdict, expect_verdicts[index], "jobs={jobs}");
+                let Event::Heartbeat { done, total, .. } = &events[at + 2] else {
+                    panic!("jobs={jobs}: expected heartbeat, got {:?}", events[at + 2]);
+                };
+                assert!(*done == index as u64 + 1 && *total == 4, "jobs={jobs}");
+                at += 3;
+            }
+            assert!(
+                matches!(&events[at], Event::CampaignFinished { done, failed, .. }
+                    if *done == 4 && *failed == 1),
+                "jobs={jobs}: {:?}",
+                events[at]
+            );
+        }
+        // Sequential streams flow stage spans too; strip them and the
+        // two campaign/case streams must agree event for event.
+        let kinds = |captured: &CapturedEvents| -> Vec<&'static str> {
+            captured
+                .events()
+                .iter()
+                .filter(|e| !matches!(e, Event::SpanStart { .. } | Event::SpanEnd { .. }))
+                .map(Event::kind)
+                .collect()
+        };
+        assert_eq!(kinds(&streams[0]), kinds(&streams[1]));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!   fields, kernel stats, hot-component histogram, span tree) and the
 //!   timing diff printed by `--baseline`.
 
-use crate::flow::TestReport;
+use crate::flow::{ConfigProfile, TestReport};
 use crate::suite::{CaseResult, SuiteReport};
 use std::fmt;
 use std::time::Instant;
@@ -729,6 +729,9 @@ fn finished_design_json(name: &str, report: &TestReport) -> Json {
                             .collect(),
                     ),
                 ));
+                if let Some(profile) = &run.profile {
+                    members.push(("profile".to_string(), profile_json(profile)));
+                }
                 if let Some(cov) = &run.coverage {
                     members.push((
                         "coverage".to_string(),
@@ -796,6 +799,70 @@ fn finished_design_json(name: &str, report: &TestReport) -> Json {
         ("total_operators", metrics.total_operators().into()),
         ("configs", Json::Arr(configs)),
     ])
+}
+
+/// The `profile` block of one configuration: only the sections the
+/// engine actually filled in are present (classes for the event kernel,
+/// ranks for the levelized engine, phases for the cycle sweeper).
+fn profile_json(profile: &ConfigProfile) -> Json {
+    let mut members = Vec::new();
+    if !profile.classes.is_empty() {
+        members.push((
+            "classes".to_string(),
+            Json::Arr(
+                profile
+                    .classes
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("class", c.class.as_str().into()),
+                            ("evals", c.evals.into()),
+                            ("nanos", c.nanos.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    if !profile.ranks.is_empty() {
+        members.push((
+            "ranks".to_string(),
+            Json::Arr(
+                profile
+                    .ranks
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("rank", r.rank.into()),
+                            ("size", r.size.into()),
+                            ("evals", r.evals.into()),
+                            ("changes", r.changes.into()),
+                            ("nanos", r.nanos.into()),
+                            ("hit_rate", r.hit_rate.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    if !profile.phases.is_empty() {
+        members.push((
+            "phases".to_string(),
+            Json::Arr(
+                profile
+                    .phases
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("phase", p.phase.as_str().into()),
+                            ("nanos", p.nanos.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Json::Obj(members)
 }
 
 /// The full `fpgatest-metrics-v1` report for a suite run: suite verdict

@@ -25,6 +25,12 @@ impl fmt::Display for SignalId {
 pub struct ComponentId(pub(crate) usize);
 
 impl ComponentId {
+    /// Rebuilds an id from a raw index — only meaningful against the
+    /// simulator whose tables produced that index (e.g. profile rows).
+    pub fn from_index(index: usize) -> ComponentId {
+        ComponentId(index)
+    }
+
     /// The underlying index (stable for the lifetime of the simulator).
     pub fn index(&self) -> usize {
         self.0

@@ -22,6 +22,7 @@ use crate::simmodel::{eval_comb, FlatModel};
 use crate::value::Value;
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 /// How many unstable/involved instances an error message spells out before
 /// eliding the rest.
@@ -133,6 +134,23 @@ pub struct CycleSim {
     changed_scratch: Vec<usize>,
     sram_scratch: Vec<usize>,
     unstable_scratch: Vec<usize>,
+    /// Opt-in per-phase timing. `None` (the default) costs two
+    /// `is_some` branches per clock cycle — nothing per evaluation.
+    profile: Option<Box<CycleProfile>>,
+}
+
+/// Per-phase timing of the cycle engine's step loop, collected when
+/// [`CycleSim::enable_profile`] was called.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CycleProfile {
+    /// Clock cycles profiled.
+    pub cycles: u64,
+    /// Monotonic nanoseconds spent in the settle phase (the
+    /// sweep-to-fixpoint over every combinational instance).
+    pub settle_nanos: u64,
+    /// Monotonic nanoseconds spent committing the rising edge
+    /// (registers, SRAM writes, FSM transitions).
+    pub commit_nanos: u64,
 }
 
 impl CycleSim {
@@ -155,7 +173,21 @@ impl CycleSim {
             changed_scratch: Vec::new(),
             sram_scratch: Vec::new(),
             unstable_scratch: Vec::new(),
+            profile: None,
         })
+    }
+
+    /// Turns on per-phase timing. Profiling only observes: cycle and
+    /// evaluation counters, values, and outcomes are bit-identical with
+    /// it on or off.
+    pub fn enable_profile(&mut self) {
+        self.profile = Some(Box::default());
+    }
+
+    /// The accumulated profile, when [`enable_profile`](Self::enable_profile)
+    /// was called.
+    pub fn profile(&self) -> Option<&CycleProfile> {
+        self.profile.as_deref()
     }
 
     /// Attaches a behavioral control unit (same table as
@@ -296,13 +328,22 @@ impl CycleSim {
             self.model.values[y] = value;
         }
 
+        let settle_started = self.profile.is_some().then(Instant::now);
         self.settle()?;
+        if let (Some(profile), Some(started)) = (self.profile.as_mut(), settle_started) {
+            profile.settle_nanos += started.elapsed().as_nanos() as u64;
+        }
 
         self.changed_scratch.clear();
         self.sram_scratch.clear();
+        let commit_started = self.profile.is_some().then(Instant::now);
         let effects =
             self.model
                 .commit_edge(&mut self.changed_scratch, &mut self.sram_scratch, None)?;
+        if let (Some(profile), Some(started)) = (self.profile.as_mut(), commit_started) {
+            profile.commit_nanos += started.elapsed().as_nanos() as u64;
+            profile.cycles += 1;
+        }
 
         self.cycles += 1;
 

@@ -370,6 +370,21 @@ pub trait KernelHook {
     /// Called when [`Simulator::run`] returns successfully, with the
     /// summary that is about to be handed to the caller.
     fn on_run_end(&mut self, _summary: &RunSummary) {}
+
+    /// Whether the kernel should time each ungated component evaluation
+    /// and report it via [`on_eval`](Self::on_eval). Sampled once per
+    /// [`Simulator::run`], before the event loop starts, so the hot path
+    /// pays a single cached-bool branch when this returns `false` (the
+    /// default) and nothing at all when no hook is installed.
+    fn wants_evals(&self) -> bool {
+        false
+    }
+
+    /// Called after each ungated evaluation when
+    /// [`wants_evals`](Self::wants_evals) returned `true`, with the
+    /// monotonic nanoseconds the `react` call took. Timing only
+    /// observes: counters and scheduling are identical either way.
+    fn on_eval(&mut self, _component: ComponentId, _nanos: u64) {}
 }
 
 /// The event-driven simulator: signals, components, and the event queue.
@@ -628,6 +643,9 @@ impl Simulator {
             hook.on_run_start(SimTime(self.core.now));
             self.hook = Some(hook);
         }
+        // Sampled once per run: the Eval arm pays one branch on this
+        // cached bool, never a virtual call, when timing is off.
+        let timed = self.hook.as_ref().is_some_and(|hook| hook.wants_evals());
 
         if !self.initialized {
             self.initialized = true;
@@ -678,7 +696,16 @@ impl Simulator {
                         self.core.evals += 1;
                         let gate = self.gates[component.0];
                         if gate == u32::MAX || self.core.values[gate as usize].is_true() {
-                            self.call_component(component, false);
+                            if timed {
+                                let eval_started = Instant::now();
+                                self.call_component(component, false);
+                                let nanos = eval_started.elapsed().as_nanos() as u64;
+                                if let Some(hook) = self.hook.as_mut() {
+                                    hook.on_eval(component, nanos);
+                                }
+                            } else {
+                                self.call_component(component, false);
+                            }
                         } else {
                             // Gated no-op (see [`Component::eval_gate`]):
                             // counters advance exactly as if `react` had

@@ -32,6 +32,7 @@ use crate::ops::FsmTable;
 use crate::simmodel::{eval_comb, FlatModel};
 use crate::value::Value;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// One row of [`LevelSim::rank_table`]: an instance, its rank, and the
 /// combinational producers it reads (with their ranks).
@@ -75,6 +76,50 @@ pub struct LevelSim {
     comb_evals: u64,
     changed_scratch: Vec<usize>,
     sram_scratch: Vec<usize>,
+    /// Opt-in per-rank settle profiling. `None` (the default) keeps the
+    /// hot settle loop untouched: the only cost is one `is_some` branch
+    /// per settle call.
+    profile: Option<Box<LevelProfile>>,
+}
+
+/// Per-rank settle timing and dirty-bitset effectiveness, collected
+/// when [`LevelSim::enable_profile`] was called.
+#[derive(Debug, Clone, Default)]
+pub struct LevelProfile {
+    /// Settle passes executed (one per clock cycle, plus the initial
+    /// full evaluation).
+    pub settles: u64,
+    /// Number of schedule positions in each rank.
+    pub rank_sizes: Vec<u64>,
+    /// Accumulated per-rank counters, indexed by rank.
+    pub ranks: Vec<RankProfile>,
+}
+
+/// One rank's accumulated profile counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RankProfile {
+    /// Dirty positions of this rank actually evaluated.
+    pub evals: u64,
+    /// Evaluations whose output value changed.
+    pub changes: u64,
+    /// Monotonic nanoseconds spent evaluating this rank.
+    pub nanos: u64,
+}
+
+impl LevelProfile {
+    /// Fraction of rank `rank`'s positions the dirty bitset actually
+    /// evaluated, across all settles — 1.0 means no savings over
+    /// evaluate-everything, small values mean the bitset is doing its
+    /// job.
+    pub fn hit_rate(&self, rank: usize) -> f64 {
+        let visited = self.ranks.get(rank).map_or(0, |row| row.evals);
+        let possible = self.rank_sizes.get(rank).copied().unwrap_or(0) * self.settles;
+        if possible == 0 {
+            0.0
+        } else {
+            visited as f64 / possible as f64
+        }
+    }
 }
 
 impl LevelSim {
@@ -241,6 +286,7 @@ impl LevelSim {
             comb_evals: 0,
             changed_scratch: Vec::new(),
             sram_scratch: Vec::new(),
+            profile: None,
         };
         // First settle evaluates everything once, in rank order, and the
         // first edge samples every register.
@@ -415,10 +461,34 @@ impl LevelSim {
         }
     }
 
+    /// Turns on per-rank settle profiling. Profiling only observes:
+    /// cycle and evaluation counters, values, and outcomes are
+    /// bit-identical with it on or off.
+    pub fn enable_profile(&mut self) {
+        let mut rank_sizes = vec![0u64; self.rank_count];
+        for &comb in &self.order {
+            rank_sizes[self.ranks[comb as usize] as usize] += 1;
+        }
+        self.profile = Some(Box::new(LevelProfile {
+            settles: 0,
+            rank_sizes,
+            ranks: vec![RankProfile::default(); self.rank_count],
+        }));
+    }
+
+    /// The accumulated profile, when [`enable_profile`](Self::enable_profile)
+    /// was called.
+    pub fn profile(&self) -> Option<&LevelProfile> {
+        self.profile.as_deref()
+    }
+
     /// One ascending pass over the dirty bitset. Evaluating a position can
     /// only dirty strictly later positions (higher ranks), so each dirty
     /// comb is evaluated exactly once and the set is empty on return.
     fn settle(&mut self) -> Result<(), CycleSimError> {
+        if self.profile.is_some() {
+            return self.settle_profiled();
+        }
         if self.dirty_count == 0 {
             return Ok(());
         }
@@ -446,6 +516,54 @@ impl LevelSim {
         }
         debug_assert_eq!(self.dirty_count, 0);
         Ok(())
+    }
+
+    /// The profiling twin of [`settle`](Self::settle): the same pass,
+    /// additionally timing each evaluation into its rank's counters.
+    /// Kept separate so the unprofiled hot loop carries no timing code.
+    fn settle_profiled(&mut self) -> Result<(), CycleSimError> {
+        let mut profile = self.profile.take().expect("profiling enabled");
+        profile.settles += 1;
+        let result = (|| {
+            if self.dirty_count == 0 {
+                return Ok(());
+            }
+            for word in 0..self.dirty.len() {
+                // Re-fetch each iteration: evals may set higher bits in
+                // this same word, and those must be visited in this pass.
+                while self.dirty[word] != 0 {
+                    let bit = self.dirty[word].trailing_zeros() as usize;
+                    self.dirty[word] &= !(1u64 << bit);
+                    self.dirty_count -= 1;
+                    let pos = word * 64 + bit;
+                    let comb_index = self.order[pos] as usize;
+                    let rank = self.ranks[comb_index] as usize;
+                    self.comb_evals += 1;
+                    let eval_started = Instant::now();
+                    let (y, value) = eval_comb(
+                        &self.model.combs[comb_index],
+                        &self.model.values,
+                        &self.model.mems,
+                    )?;
+                    let value = self.model.clamp_value(y, value);
+                    let changed = self.model.values[y] != value;
+                    if changed {
+                        self.model.values[y] = value;
+                        self.mark_slot(y);
+                    }
+                    let row = &mut profile.ranks[rank];
+                    row.evals += 1;
+                    row.nanos += eval_started.elapsed().as_nanos() as u64;
+                    if changed {
+                        row.changes += 1;
+                    }
+                }
+            }
+            debug_assert_eq!(self.dirty_count, 0);
+            Ok(())
+        })();
+        self.profile = Some(profile);
+        result
     }
 
     /// Executes one clock cycle: settle (one levelized pass), then commit

@@ -23,6 +23,8 @@
 //! * [`levelsim`] — a levelized compiled-schedule engine: ranks the
 //!   combinational netlist at build time and evaluates each rank once per
 //!   clock phase with a dirty bitset (see `Netlist::compile_levelized`).
+//! * [`profile`] — opt-in per-component evaluation timing through
+//!   [`KernelHook`]; strictly zero cost unless installed.
 //!
 //! ## Example
 //!
@@ -54,6 +56,7 @@ mod memory;
 pub mod netlist;
 pub mod ops;
 pub mod probe;
+pub mod profile;
 mod simmodel;
 mod value;
 pub mod vcd;

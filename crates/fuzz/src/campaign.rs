@@ -34,6 +34,11 @@ pub struct CampaignOptions {
     pub max_shrink_evals: usize,
     /// Kernel-tick watchdog per configuration.
     pub max_ticks: u64,
+    /// Live `fpgatest-events-v1` stream (`--events-out`). A separate
+    /// channel from the deterministic log: events carry wall-clock
+    /// rates/ETAs and never feed back into the log text, so the
+    /// reproducibility contract holds with streaming on.
+    pub events: fpgatest::events::EventSink,
 }
 
 impl Default for CampaignOptions {
@@ -46,6 +51,7 @@ impl Default for CampaignOptions {
             injection: None,
             max_shrink_evals: 500,
             max_ticks: 5_000_000,
+            events: fpgatest::events::EventSink::disabled(),
         }
     }
 }
@@ -114,7 +120,18 @@ pub fn run_campaign(opts: &CampaignOptions) -> io::Result<CampaignReport> {
     let mut new_keys = 0usize;
     let mut saved = 0usize;
 
+    // Heartbeat every ~25 cases: fuzz cases are small and fast, so a
+    // per-case heartbeat would dominate the stream.
+    let mut progress = fpgatest::events::CampaignProgress::start(
+        opts.events.clone(),
+        "fuzz",
+        &format!("seed{}", opts.seed),
+        opts.cases,
+    )
+    .heartbeat_every(25);
+
     for index in 0..opts.cases {
+        let case_started = std::time::Instant::now();
         // Coverage feedback: bias generation toward operator kinds the
         // accumulated map has not seen activated yet.
         budget.op_bias = missing_ops(&coverage);
@@ -123,9 +140,15 @@ pub fn run_campaign(opts: &CampaignOptions) -> io::Result<CampaignReport> {
             Err(e) => {
                 generator_errors += 1;
                 let _ = writeln!(log, "case {index}: generator error: {e}");
+                progress.unit_done(
+                    &format!("case{index}"),
+                    case_started.elapsed().as_secs_f64(),
+                    false,
+                );
                 continue;
             }
         };
+        let mut diverged = false;
         match run_case(&case, opts.width, &exec) {
             CaseOutcome::Pass { coverage: seen } => {
                 let fresh: Vec<String> = seen
@@ -145,6 +168,15 @@ pub fn run_campaign(opts: &CampaignOptions) -> io::Result<CampaignReport> {
             }
             CaseOutcome::Divergence(d) => {
                 divergences += 1;
+                diverged = true;
+                if opts.events.is_enabled() {
+                    opts.events.emit(&fpgatest::events::Event::FuzzDivergence {
+                        index,
+                        variant: d.variant.to_string(),
+                        kind: format!("{:?}", d.kind),
+                        detail: d.detail.clone(),
+                    });
+                }
                 let _ = writeln!(
                     log,
                     "case {index}: DIVERGENCE [{}] {:?}: {}",
@@ -168,7 +200,13 @@ pub fn run_campaign(opts: &CampaignOptions) -> io::Result<CampaignReport> {
                 let _ = writeln!(log, "case {index}: generator error: {e}");
             }
         }
+        progress.unit_done(
+            &format!("case{index}"),
+            case_started.elapsed().as_secs_f64(),
+            diverged,
+        );
     }
+    progress.finish();
 
     if let Some(corpus) = &corpus {
         corpus.save_coverage(&coverage)?;

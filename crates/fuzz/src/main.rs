@@ -20,7 +20,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   fpgafuzz run --seed N --cases K [--width W] [--corpus DIR] \\
-               [--inject branch-polarity|signal-fault] [--max-shrink-evals E] [--max-ticks T]
+               [--inject branch-polarity|signal-fault] [--max-shrink-evals E] [--max-ticks T] \\
+               [--events-out FILE|-]
   fpgafuzz gen --seed N --index I [--width W]
   fpgafuzz repro --seed N --index I [--width W] [--inject branch-polarity|signal-fault] [--max-ticks T]";
 
@@ -48,6 +49,11 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_run(flags: &Flags) -> Result<ExitCode, String> {
+    let events = match flags.get("events-out") {
+        None => fpgatest::events::EventSink::disabled(),
+        Some(path) => fpgatest::events::EventSink::to_path(path)
+            .map_err(|e| format!("cannot open {path}: {e}"))?,
+    };
     let opts = CampaignOptions {
         seed: flags.require_u64("seed")?,
         cases: flags.require_u64("cases")?,
@@ -56,6 +62,7 @@ fn cmd_run(flags: &Flags) -> Result<ExitCode, String> {
         injection: flags.injection()?,
         max_shrink_evals: flags.u64_or("max-shrink-evals", 500)? as usize,
         max_ticks: flags.u64_or("max-ticks", 5_000_000)?,
+        events,
     };
     let report = run_campaign(&opts).map_err(|e| format!("corpus I/O: {e}"))?;
     print!("{}", report.log);

@@ -183,6 +183,7 @@ fn seeded_campaign_classifies_every_injection_without_crashing() {
         sites: 200,
         engine: Engine::Event,
         max_ticks: Some(20_000),
+        ..CampaignOptions::default()
     };
     let report = run_campaign(&case, &options).expect("campaign runs");
 
@@ -241,6 +242,7 @@ fn level_engine_reports_transient_faults_as_skips_not_passes() {
         sites: 400,
         engine: Engine::Level,
         max_ticks: Some(20_000),
+        ..CampaignOptions::default()
     };
     let campaign = run_campaign(&case, &options).expect("campaign runs");
     for record in &campaign.injections {

@@ -1,0 +1,198 @@
+//! Sustained-throughput benchmark for the serve daemon.
+//!
+//! Boots an in-process `fpgatest serve` daemon, then drives it with N
+//! concurrent clients submitting the paper's FDCT1 workload over and
+//! over — first **cold** (every job sets `no_cache`, so the daemon
+//! compiles from scratch each time), then **warm** (jobs share one
+//! cached prepared design; the daemon compiles once and only
+//! simulates). The report records cases/second for both phases and the
+//! warm/cold speedup, which is the whole point of the design cache:
+//! compile once, simulate many.
+//!
+//! Usage: `serve_bench [--pixels N] [--clients N] [--jobs N]
+//! [--metrics-out FILE] [--min-speedup F] [--ledger FILE]`
+//!
+//! Defaults: 64 pixels (one 8×8 block — compile-dominated, the cache's
+//! best case and the regime CI gates on), 4 clients, 6 jobs per client,
+//! `BENCH_serve.json`, minimum speedup 2×. Exits non-zero when any job
+//! fails or the warm phase is not at least `--min-speedup` times the
+//! cold phase.
+
+use fpgatest::ledger::{self, LedgerEntry};
+use fpgatest::serve::{Client, JobSpec, ServeOptions, Server};
+use fpgatest::stimulus::Stimulus;
+use fpgatest::telemetry::Json;
+use fpgatest::workloads;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Phase {
+    seconds: f64,
+    cases_per_sec: f64,
+    passed: usize,
+    total: usize,
+}
+
+/// Runs `clients` threads, each submitting `jobs` FDCT1 jobs and
+/// waiting for every verdict; returns the aggregate wall-clock rate.
+fn run_phase(addr: &str, clients: usize, jobs: usize, spec: &JobSpec) -> Phase {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let addr = addr.to_string();
+            let spec = spec.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect to bench daemon");
+                let mut passed = 0usize;
+                for _ in 0..jobs {
+                    let outcome = client.run_job(&spec).expect("job completes");
+                    if outcome.verdict == "pass" {
+                        passed += 1;
+                    }
+                }
+                passed
+            })
+        })
+        .collect();
+    let passed: usize = handles.into_iter().map(|h| h.join().unwrap_or(0)).sum();
+    let seconds = started.elapsed().as_secs_f64();
+    let total = clients * jobs;
+    Phase {
+        seconds,
+        cases_per_sec: total as f64 / seconds.max(1e-9),
+        passed,
+        total,
+    }
+}
+
+fn phase_json(phase: &Phase) -> Json {
+    Json::obj([
+        ("seconds", Json::from(phase.seconds)),
+        ("cases_per_sec", Json::from(phase.cases_per_sec)),
+        ("passed", Json::from(phase.passed)),
+        ("jobs", Json::from(phase.total)),
+    ])
+}
+
+fn main() -> ExitCode {
+    let mut pixels = 64usize;
+    let mut clients = 4usize;
+    let mut jobs = 6usize;
+    let mut metrics_out = PathBuf::from("BENCH_serve.json");
+    let mut min_speedup = 2.0f64;
+    let mut ledger_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| args.next().unwrap_or_else(|| panic!("{what} needs a value"));
+        match arg.as_str() {
+            "--pixels" => pixels = value("--pixels").parse().expect("--pixels: integer"),
+            "--clients" => clients = value("--clients").parse().expect("--clients: integer"),
+            "--jobs" => jobs = value("--jobs").parse().expect("--jobs: integer"),
+            "--metrics-out" => metrics_out = PathBuf::from(value("--metrics-out")),
+            "--min-speedup" => {
+                min_speedup = value("--min-speedup").parse().expect("--min-speedup: number");
+            }
+            "--ledger" => ledger_out = Some(PathBuf::from(value("--ledger"))),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: clients,
+            cache_capacity: 4,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind bench daemon");
+    let addr = server.local_addr().to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let mut spec = JobSpec::test("fdct1", &workloads::fdct_source(pixels))
+        .stimulus("img", Stimulus::from_values(workloads::test_image(pixels)));
+    spec.width = Some(32);
+    // The level engine keeps per-job simulation cheap, so the phases
+    // isolate what the cache actually removes: compile + transform.
+    spec.engine = "level".parse().expect("level engine exists");
+
+    println!("serve_bench: {clients} clients x {jobs} jobs, fdct1 @ {pixels} px, {addr}");
+
+    spec.no_cache = true;
+    let cold = run_phase(&addr, clients, jobs, &spec);
+    println!(
+        "  cold (compile every job): {:.2} cases/s ({:.3}s, {}/{} passed)",
+        cold.cases_per_sec, cold.seconds, cold.passed, cold.total
+    );
+
+    // Pre-warm so the warm phase measures pure cache hits, then measure.
+    spec.no_cache = false;
+    let mut control = Client::connect(&addr).expect("connect control client");
+    let warmup = control.run_job(&spec).expect("warm-up job");
+    assert_eq!(warmup.verdict, "pass", "warm-up job must pass");
+    let warm = run_phase(&addr, clients, jobs, &spec);
+    println!(
+        "  warm (cached design):     {:.2} cases/s ({:.3}s, {}/{} passed)",
+        warm.cases_per_sec, warm.seconds, warm.passed, warm.total
+    );
+
+    let stats = control.stats().expect("stats");
+    let cache = stats.get("cache").cloned().unwrap_or(Json::Null);
+    let _ = control.shutdown().expect("shutdown");
+    let _ = server_thread.join();
+
+    let speedup = warm.cases_per_sec / cold.cases_per_sec.max(1e-9);
+    println!("  warm/cold speedup: {speedup:.2}x (floor {min_speedup:.2}x)");
+
+    let mut report = Json::obj([
+        ("schema", Json::from("fpgatest-bench-serve-v1")),
+        ("pixels", Json::from(pixels)),
+        ("clients", Json::from(clients)),
+        ("jobs_per_client", Json::from(jobs)),
+        ("cold", phase_json(&cold)),
+        ("warm", phase_json(&warm)),
+        ("speedup", Json::from(speedup)),
+        ("min_speedup", Json::from(min_speedup)),
+        ("cache", cache),
+    ]);
+    report.sort_keys();
+    if let Err(e) = std::fs::write(&metrics_out, report.emit_pretty()) {
+        eprintln!("cannot write {}: {e}", metrics_out.display());
+        return ExitCode::from(2);
+    }
+    println!("report written to {}", metrics_out.display());
+
+    if let Some(path) = &ledger_out {
+        let mut entry = LedgerEntry::new("bench", "serve:fdct1");
+        entry.engine = "event".to_string();
+        entry.wall_seconds = cold.seconds + warm.seconds;
+        entry.passed = (cold.passed + warm.passed) as u64;
+        entry.failed = (cold.total + warm.total - cold.passed - warm.passed) as u64;
+        entry
+            .counters
+            .push(("cold_cases_per_sec".to_string(), cold.cases_per_sec));
+        entry
+            .counters
+            .push(("warm_cases_per_sec".to_string(), warm.cases_per_sec));
+        entry.counters.push(("speedup".to_string(), speedup));
+        if let Err(e) = ledger::append(path, &entry) {
+            eprintln!("cannot append {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let all_passed = cold.passed == cold.total && warm.passed == warm.total;
+    if !all_passed {
+        eprintln!("FAIL: not every job passed");
+        return ExitCode::FAILURE;
+    }
+    if speedup < min_speedup {
+        eprintln!("FAIL: warm-cache speedup {speedup:.2}x below floor {min_speedup:.2}x");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

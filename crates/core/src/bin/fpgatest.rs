@@ -4,6 +4,9 @@
 //! fpgatest run <suite.manifest> [--jobs N] run a whole suite (the ANT-build role)
 //! fpgatest test <prog.src> [options]       run one program through the flow
 //! fpgatest faults <suite.manifest>         run a fault-injection campaign
+//! fpgatest serve [--listen ADDR]           long-running job daemon (compile
+//!                                          once, simulate many)
+//! fpgatest submit <manifest> --addr ADDR   send a suite or campaign to a daemon
 //! fpgatest compile <prog.src> --out <dir>  emit XML/hds/dot/behavior artifacts
 //! fpgatest figure1                         print the infrastructure diagram (dot)
 //! ```
@@ -108,6 +111,8 @@ fn main() -> ExitCode {
         Some("test") => cmd_test(&args[1..]),
         Some("faults") => cmd_faults(&args[1..]),
         Some("trends") => cmd_trends(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some("compile") => cmd_compile(&args[1..]),
         Some("figure1") => {
             print!("{}", fpgatest::dot::flow_diagram());
@@ -147,6 +152,12 @@ USAGE:
                 [--min-detected F] [--baseline FILE]
                 [--events-out FILE|-] [--ledger FILE]
   fpgatest trends <runs.jsonl> [--gate PCT]
+  fpgatest serve [--listen ADDR] [--workers N] [--cache N] [--timeout MS]
+                [--ledger FILE]
+  fpgatest submit <suite.manifest> --addr ADDR [--design NAME]... [--engine E]
+                [--faults --seed N --sites N] [--max-ticks N] [--timeout MS]
+                [--events-out FILE|-] [--report FILE] [--no-cache]
+  fpgatest submit --addr ADDR --stats | --shutdown
   fpgatest compile <prog.src> --out DIR [--width N] [--partitions K] [--optimize]
   fpgatest figure1 > figure1.dot
 
@@ -685,6 +696,367 @@ fn cmd_trends(args: &[String]) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// SIGINT flag for `serve`: the handler only stores, a watcher thread
+/// does the actual drain (signal handlers must not take locks).
+static SERVE_SIGINT: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn serve_on_sigint(_signum: i32) {
+    SERVE_SIGINT.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Installs the SIGINT hook via libc's `signal` (std links libc; no
+/// crate needed). Unix-only; elsewhere `shutdown` requests still work.
+#[cfg(unix)]
+fn install_serve_sigint() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, serve_on_sigint as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_serve_sigint() {}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    use fpgatest::serve::{ServeOptions, Server};
+    let mut listen = "127.0.0.1:7411".to_string();
+    let mut options = ServeOptions::default();
+    let mut it = args.iter();
+    let result = (|| -> Result<(), String> {
+        while let Some(arg) = it.next() {
+            let mut value = |what: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("'{what}' needs a value"))
+            };
+            match arg.as_str() {
+                "--listen" => listen = value("--listen")?,
+                "--workers" => {
+                    options.workers = value("--workers")?
+                        .parse()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or("--workers needs an integer >= 1")?;
+                }
+                "--cache" => {
+                    options.cache_capacity = value("--cache")?
+                        .parse()
+                        .map_err(|_| "--cache needs an integer".to_string())?;
+                }
+                "--timeout" => {
+                    options.default_wall_ms = value("--timeout")?
+                        .parse()
+                        .map_err(|_| "--timeout needs milliseconds".to_string())?;
+                }
+                "--ledger" => options.ledger = Some(PathBuf::from(value("--ledger")?)),
+                other => return Err(format!("unexpected argument '{other}'")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(message) = result {
+        eprintln!("error: {message}");
+        return ExitCode::from(2);
+    }
+    let workers = options.workers;
+    let cache = options.cache_capacity;
+    let server = match Server::bind(&listen, options) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {listen}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "fpgatest serve: listening on {} ({workers} workers, cache {cache} designs)",
+        server.local_addr()
+    );
+    let _ = std::io::stdout().flush();
+    install_serve_sigint();
+    let handle = server.shutdown_handle();
+    std::thread::spawn(move || loop {
+        if SERVE_SIGINT.load(std::sync::atomic::Ordering::SeqCst) {
+            eprintln!("fpgatest serve: SIGINT — draining");
+            handle.shutdown();
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    });
+    match server.run() {
+        Ok(()) => {
+            println!("fpgatest serve: drained and stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: serve failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Builds the serve job for one manifest case, carrying the case's own
+/// compile/engine/watchdog options so served verdicts match in-process
+/// runs of the same manifest.
+fn job_from_case(
+    case: &fpgatest::suite::TestCase,
+    engine_override: Option<Engine>,
+    events: bool,
+    no_cache: bool,
+    wall_override: Option<u64>,
+) -> fpgatest::serve::JobSpec {
+    let mut spec = fpgatest::serve::JobSpec::test(&case.name, &case.source);
+    spec.stimuli = case.stimuli.clone();
+    spec.width = Some(case.options.compile.width);
+    spec.partitions = Some(case.options.compile.partitions);
+    spec.policy = Some(case.options.compile.policy);
+    spec.optimize = case.options.compile.optimize;
+    spec.engine = engine_override.unwrap_or(case.options.engine);
+    spec.max_ticks = Some(case.options.max_ticks);
+    spec.wall_ms = wall_override.or(case.options.wall_timeout_ms);
+    spec.events = events;
+    spec.no_cache = no_cache;
+    spec
+}
+
+fn cmd_submit(args: &[String]) -> ExitCode {
+    use fpgatest::serve::Client;
+    let mut addr = "127.0.0.1:7411".to_string();
+    let mut manifest: Option<PathBuf> = None;
+    let mut only: Vec<String> = Vec::new();
+    let mut engine: Option<Engine> = None;
+    let mut faults = false;
+    let mut seed = 1u64;
+    let mut sites = 200usize;
+    let mut max_ticks: Option<u64> = None;
+    let mut wall_ms: Option<u64> = None;
+    let mut events_out: Option<String> = None;
+    let mut report_out: Option<PathBuf> = None;
+    let mut no_cache = false;
+    let mut stats = false;
+    let mut shutdown = false;
+    let mut it = args.iter();
+    let result = (|| -> Result<(), String> {
+        while let Some(arg) = it.next() {
+            let mut value = |what: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("'{what}' needs a value"))
+            };
+            match arg.as_str() {
+                "--addr" => addr = value("--addr")?,
+                "--design" => only.push(value("--design")?),
+                "--engine" => engine = Some(value("--engine")?.parse()?),
+                "--faults" => faults = true,
+                "--seed" => {
+                    seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| "--seed needs an integer".to_string())?;
+                }
+                "--sites" => {
+                    sites = value("--sites")?
+                        .parse()
+                        .map_err(|_| "--sites needs an integer".to_string())?;
+                }
+                "--max-ticks" => {
+                    max_ticks = Some(
+                        value("--max-ticks")?
+                            .parse()
+                            .map_err(|_| "--max-ticks needs an integer".to_string())?,
+                    );
+                }
+                "--timeout" => {
+                    wall_ms = Some(
+                        value("--timeout")?
+                            .parse()
+                            .map_err(|_| "--timeout needs milliseconds".to_string())?,
+                    );
+                }
+                "--events-out" => events_out = Some(value("--events-out")?),
+                "--report" => report_out = Some(PathBuf::from(value("--report")?)),
+                "--no-cache" => no_cache = true,
+                "--stats" => stats = true,
+                "--shutdown" => shutdown = true,
+                other if manifest.is_none() && !other.starts_with("--") => {
+                    manifest = Some(PathBuf::from(other));
+                }
+                other => return Err(format!("unexpected argument '{other}'")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(message) = result {
+        eprintln!("error: {message}");
+        return ExitCode::from(2);
+    }
+
+    let mut client = match Client::connect(&addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Control modes need no manifest.
+    if stats || shutdown {
+        let response = if stats {
+            client.stats()
+        } else {
+            client.shutdown()
+        };
+        return match response {
+            Ok(mut json) => {
+                json.sort_keys();
+                println!("{}", json.emit_pretty());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let Some(manifest) = manifest else {
+        eprintln!("'submit' needs a manifest path (or --stats / --shutdown)");
+        return ExitCode::from(2);
+    };
+    let suite = match suite::load_manifest(&manifest) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cases: Vec<_> = suite
+        .cases()
+        .iter()
+        .filter(|c| only.is_empty() || only.iter().any(|n| n == &c.name))
+        .collect();
+    if cases.is_empty() {
+        eprintln!("error: no matching cases in {}", manifest.display());
+        return ExitCode::from(2);
+    }
+    for case in &cases {
+        if !case.options.faults.is_empty() {
+            eprintln!(
+                "warning: '{}' has fault directives; serve test jobs ignore them \
+                 (use --faults for a campaign)",
+                case.name
+            );
+        }
+    }
+
+    let events = events_out.is_some();
+    if let Some(path) = &events_out {
+        let writer: Box<dyn std::io::Write> = if path == "-" {
+            Box::new(std::io::stdout())
+        } else {
+            match std::fs::File::create(path) {
+                Ok(file) => Box::new(file),
+                Err(e) => {
+                    eprintln!("error: cannot open {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        };
+        client.stream_events_to(writer);
+    }
+
+    // Submit everything first so the daemon's worker pool runs cases in
+    // parallel, then collect verdicts in manifest order.
+    let mut submitted: Vec<(String, u64)> = Vec::new();
+    for case in &cases {
+        let spec = if faults {
+            let mut spec =
+                fpgatest::serve::JobSpec::faults(&case.name, &case.source, seed, sites);
+            spec.stimuli = case.stimuli.clone();
+            spec.width = Some(case.options.compile.width);
+            spec.partitions = Some(case.options.compile.partitions);
+            spec.policy = Some(case.options.compile.policy);
+            spec.optimize = case.options.compile.optimize;
+            spec.engine = engine.unwrap_or(case.options.engine);
+            spec.max_ticks = max_ticks;
+            spec.wall_ms = wall_ms;
+            spec.events = events;
+            spec
+        } else {
+            job_from_case(case, engine, events, no_cache, wall_ms)
+        };
+        match client.submit(&spec) {
+            Ok(id) => submitted.push((case.name.clone(), id)),
+            Err(e) => {
+                eprintln!("error: submitting '{}': {e}", case.name);
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut outcomes = Vec::new();
+    for (name, id) in &submitted {
+        match client.wait(*id) {
+            Ok(outcome) => {
+                let detail = if outcome.detail.is_empty() {
+                    String::new()
+                } else {
+                    format!(" — {}", outcome.detail)
+                };
+                println!(
+                    "{name}: {} ({:.3}s){detail}",
+                    outcome.verdict, outcome.wall_seconds
+                );
+                outcomes.push((name.clone(), outcome));
+            }
+            Err(e) => {
+                eprintln!("error: waiting for '{name}': {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(path) = &report_out {
+        let jobs: Vec<Json> = outcomes
+            .iter()
+            .map(|(name, outcome)| {
+                Json::obj([
+                    ("name", Json::from(name.as_str())),
+                    ("verdict", Json::from(outcome.verdict.as_str())),
+                    ("exit_code", Json::from(i64::from(outcome.exit_code))),
+                    ("wall_seconds", Json::from(outcome.wall_seconds)),
+                    ("detail", Json::from(outcome.detail.as_str())),
+                    ("report", outcome.report.clone()),
+                ])
+            })
+            .collect();
+        let mut json = Json::obj([
+            ("schema", Json::from("fpgatest-submit-v1")),
+            ("addr", Json::from(addr.as_str())),
+            ("jobs", Json::Arr(jobs)),
+        ]);
+        json.sort_keys();
+        if let Err(e) = std::fs::write(path, json.emit_pretty()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("report written to {}", path.display());
+    }
+
+    // Same precedence as SuiteReport::exit_code: crash > timeout > fail.
+    let verdicts: Vec<&str> = outcomes.iter().map(|(_, o)| o.verdict.as_str()).collect();
+    if verdicts.contains(&"crash") {
+        ExitCode::from(3)
+    } else if verdicts.contains(&"timeout") {
+        ExitCode::from(4)
+    } else if verdicts.iter().all(|v| *v == "pass") {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

@@ -1,0 +1,363 @@
+//! LRU cache of [`PreparedDesign`]s keyed by source content.
+//!
+//! The serve subsystem's compile-once-simulate-many core: jobs hand the
+//! cache a source program plus compile options, and get back a shared
+//! [`PreparedDesign`] — compiled, stylesheet-translated, netlist- and
+//! FSM-table-parsed — ready to simulate. The key is a 64-bit FNV-1a hash
+//! of the *whitespace-canonicalized* source and the compile options, so
+//! two submissions that differ only in indentation or line breaks share
+//! one cache entry (and one compile).
+//!
+//! Concurrency contract:
+//!
+//! - The cache is `Sync`; any number of worker threads share one
+//!   [`DesignCache`] behind an `Arc`.
+//! - Compilation runs *outside* the lock. Concurrent requests for the
+//!   same key are single-flighted: the first requester compiles, later
+//!   ones block on a condvar and reuse the result — two clients
+//!   submitting the same design cost one compile and two simulations.
+//! - Hits, misses, and evictions are counted; the serve `stats` request
+//!   and the warm/cold benchmark read them.
+
+use crate::flow::{prepare_design, FlowError, PreparedDesign};
+use nenya::{compile_program, CompileError, CompileOptions};
+use std::collections::HashSet;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Hashes a source program and its compile options into a cache key.
+///
+/// The source is canonicalized by splitting on whitespace and re-joining
+/// with single spaces, so formatting-only differences map to the same
+/// key. Every compile option that changes the generated design (width,
+/// policy, partitions, optimize) is folded in.
+pub fn content_hash(source: &str, options: &CompileOptions) -> u64 {
+    // FNV-1a, 64-bit.
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut byte = |b: u8| {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    };
+    for (i, token) in source.split_whitespace().enumerate() {
+        if i > 0 {
+            byte(b' ');
+        }
+        for b in token.bytes() {
+            byte(b);
+        }
+    }
+    byte(0);
+    for b in options.width.to_le_bytes() {
+        byte(b);
+    }
+    for b in (options.partitions as u64).to_le_bytes() {
+        byte(b);
+    }
+    for b in format!("{:?}", options.policy).bytes() {
+        byte(b);
+    }
+    byte(u8::from(options.optimize));
+    hash
+}
+
+/// Counters and occupancy of a [`DesignCache`], as one consistent
+/// snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests served from the cache (no compile).
+    pub hits: u64,
+    /// Requests that compiled (first sight of a key, or re-fetch after
+    /// eviction).
+    pub misses: u64,
+    /// Entries dropped to make room.
+    pub evictions: u64,
+    /// Prepared designs currently held.
+    pub entries: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+struct CacheInner {
+    /// `(key, prepared)` in least-recently-used → most-recently-used
+    /// order. Linear scans are fine: capacities are small (designs are
+    /// megabyte-scale prepared artifacts, not cheap rows).
+    entries: Vec<(u64, Arc<PreparedDesign>)>,
+    /// Keys currently being compiled by some thread (single-flight).
+    pending: HashSet<u64>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// The cross-thread LRU cache. See the [module docs](self).
+pub struct DesignCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    ready: Condvar,
+}
+
+impl DesignCache {
+    /// Creates a cache holding at most `capacity` prepared designs
+    /// (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        DesignCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner {
+                entries: Vec::new(),
+                pending: HashSet::new(),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Compiles + prepares `source` under `options`, or returns the
+    /// cached result for an equivalent earlier request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile and prepare errors; failures are not cached
+    /// (the next request for the same key compiles again).
+    pub fn get_or_compile(
+        &self,
+        name: &str,
+        source: &str,
+        options: &CompileOptions,
+    ) -> Result<Arc<PreparedDesign>, FlowError> {
+        let key = content_hash(source, options);
+        let name = name.to_string();
+        let source = source.to_string();
+        let options = options.clone();
+        self.get_or_prepare(key, move || {
+            let program = nenya::lang::parse(&source)
+                .map_err(|e| FlowError::Compile(CompileError::from(e)))?;
+            let design = compile_program(&name, &program, &options)?;
+            prepare_design(design)
+        })
+    }
+
+    /// The generic single-flight lookup: returns the cached design for
+    /// `key`, or runs `build` (outside the lock) and caches its result.
+    /// Concurrent callers with the same key block until the first
+    /// caller's build resolves, then reuse it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build`'s error to the caller that ran it; blocked
+    /// callers retry (at most one of them re-runs a failed build).
+    pub fn get_or_prepare<F>(&self, key: u64, build: F) -> Result<Arc<PreparedDesign>, FlowError>
+    where
+        F: FnOnce() -> Result<PreparedDesign, FlowError>,
+    {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(pos) = inner.entries.iter().position(|(k, _)| *k == key) {
+                let entry = inner.entries.remove(pos);
+                let prepared = entry.1.clone();
+                inner.entries.push(entry);
+                inner.hits += 1;
+                return Ok(prepared);
+            }
+            if !inner.pending.contains(&key) {
+                break;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|p| p.into_inner());
+        }
+        inner.pending.insert(key);
+        drop(inner);
+
+        let built = build();
+
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.pending.remove(&key);
+        self.ready.notify_all();
+        match built {
+            Ok(prepared) => {
+                let prepared = Arc::new(prepared);
+                inner.misses += 1;
+                inner.entries.push((key, prepared.clone()));
+                while inner.entries.len() > self.capacity {
+                    inner.entries.remove(0);
+                    inner.evictions += 1;
+                }
+                Ok(prepared)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Whether `key` is currently cached (does not touch recency or
+    /// counters).
+    pub fn contains(&self, key: u64) -> bool {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.entries.iter().any(|(k, _)| *k == key)
+    }
+
+    /// One consistent snapshot of the counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn cache_and_prepared_design_are_share_safe() {
+        assert_send_sync::<DesignCache>();
+        assert_send_sync::<PreparedDesign>();
+    }
+
+    fn tiny_source(constant: i64) -> String {
+        format!("mem out[1]; void main() {{ out[0] = {constant}; }}")
+    }
+
+    #[test]
+    fn hash_is_stable_across_whitespace() {
+        let opts = CompileOptions::default();
+        let a = content_hash("mem out[1];\nvoid   main() {\n  out[0] = 1;\n}", &opts);
+        let b = content_hash("mem out[1]; void main() { out[0] = 1; }", &opts);
+        let c = content_hash("  mem out[1];\t\tvoid main()\n{ out[0] = 1; }  ", &opts);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        // Content changes change the key.
+        assert_ne!(a, content_hash("mem out[1]; void main() { out[0] = 2; }", &opts));
+        // Token boundaries matter: "ab c" != "a bc".
+        assert_ne!(content_hash("ab c", &opts), content_hash("a bc", &opts));
+        // Option changes change the key.
+        let wide = CompileOptions {
+            width: 32,
+            ..CompileOptions::default()
+        };
+        assert_ne!(a, content_hash("mem out[1]; void main() { out[0] = 1; }", &wide));
+        let parts = CompileOptions {
+            partitions: 2,
+            ..CompileOptions::default()
+        };
+        assert_ne!(a, content_hash("mem out[1]; void main() { out[0] = 1; }", &parts));
+        let opt = CompileOptions {
+            optimize: true,
+            ..CompileOptions::default()
+        };
+        assert_ne!(a, content_hash("mem out[1]; void main() { out[0] = 1; }", &opt));
+    }
+
+    #[test]
+    fn whitespace_variants_share_one_entry() {
+        let cache = DesignCache::new(4);
+        let opts = CompileOptions::default();
+        cache
+            .get_or_compile("t", "mem out[1]; void main() { out[0] = 1; }", &opts)
+            .unwrap();
+        cache
+            .get_or_compile("t", "mem out[1];\n  void main() {\n    out[0] = 1;\n  }", &opts)
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let cache = DesignCache::new(2);
+        let opts = CompileOptions::default();
+        let key = |i| content_hash(&tiny_source(i), &opts);
+        cache.get_or_compile("a", &tiny_source(1), &opts).unwrap();
+        cache.get_or_compile("b", &tiny_source(2), &opts).unwrap();
+        // Touch 1 so 2 becomes the LRU entry.
+        cache.get_or_compile("a", &tiny_source(1), &opts).unwrap();
+        cache.get_or_compile("c", &tiny_source(3), &opts).unwrap();
+        assert!(cache.contains(key(1)), "recently used entry survived");
+        assert!(!cache.contains(key(2)), "LRU entry evicted");
+        assert!(cache.contains(key(3)));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn capacity_one_holds_exactly_the_last_design() {
+        let cache = DesignCache::new(1);
+        let opts = CompileOptions::default();
+        cache.get_or_compile("a", &tiny_source(1), &opts).unwrap();
+        cache.get_or_compile("a", &tiny_source(1), &opts).unwrap();
+        cache.get_or_compile("b", &tiny_source(2), &opts).unwrap();
+        cache.get_or_compile("a", &tiny_source(1), &opts).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.evictions, 2);
+        assert!(cache.contains(content_hash(&tiny_source(1), &opts)));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let cache = DesignCache::new(0);
+        assert_eq!(cache.stats().capacity, 1);
+    }
+
+    #[test]
+    fn compile_errors_propagate_and_are_not_cached() {
+        let cache = DesignCache::new(2);
+        let opts = CompileOptions::default();
+        let bad = "this is not a program";
+        assert!(cache.get_or_compile("bad", bad, &opts).is_err());
+        assert!(!cache.contains(content_hash(bad, &opts)));
+        // A later identical request compiles (and fails) again.
+        assert!(cache.get_or_compile("bad", bad, &opts).is_err());
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn concurrent_same_key_requests_compile_once() {
+        let cache = Arc::new(DesignCache::new(4));
+        let builds = Arc::new(AtomicUsize::new(0));
+        let opts = CompileOptions::default();
+        let source = tiny_source(7);
+        let key = content_hash(&source, &opts);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cache = cache.clone();
+            let builds = builds.clone();
+            let source = source.clone();
+            let opts = opts.clone();
+            handles.push(std::thread::spawn(move || {
+                cache.get_or_prepare(key, move || {
+                    builds.fetch_add(1, Ordering::SeqCst);
+                    // Slow the build down so the other threads genuinely
+                    // arrive while it is pending.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    let program = nenya::lang::parse(&source)
+                        .map_err(|e| FlowError::Compile(CompileError::from(e)))?;
+                    let design = compile_program("c", &program, &opts)?;
+                    prepare_design(design)
+                })
+            }));
+        }
+        for handle in handles {
+            assert!(handle.join().unwrap().is_ok());
+        }
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "single-flight compile");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 3);
+    }
+}

@@ -733,6 +733,26 @@ pub fn run_design_recorded(
     options: &FlowOptions,
     recorder: &mut Recorder,
 ) -> Result<TestReport, FlowError> {
+    preflight(options)?;
+    let initial = initial_images(design, stimuli)?;
+    let golden = run_golden(design, initial.clone(), options, recorder)?;
+
+    // Artifact generation (XML + stylesheet translations + metrics),
+    // plus the engine-independent parse products (netlists, FSM tables)
+    // the simulation stage consumes.
+    let transform_span = recorder.start("flow.transform");
+    let transform_event = span_event_start(&options.events, "flow.transform");
+    let parts = prepare_parts(design)?;
+    recorder.attr(transform_span, "configs", design.configs.len());
+    recorder.end(transform_span);
+    span_event_end(&options.events, "flow.transform", transform_event);
+
+    simulate_prepared(design, &parts, initial, golden, options, recorder)
+}
+
+/// Rejects option combinations the flow cannot honour, and fires the
+/// planted-panic test hook.
+fn preflight(options: &FlowOptions) -> Result<(), FlowError> {
     if options.planted_panic {
         panic!("planted panic: FlowOptions::planted_panic is set");
     }
@@ -753,8 +773,14 @@ pub fn run_design_recorded(
             });
         }
     }
+    Ok(())
+}
 
-    // Initial memory images shared by both executions.
+/// Initial memory images shared by the golden and simulated executions.
+fn initial_images(
+    design: &Design,
+    stimuli: &[(String, Stimulus)],
+) -> Result<BTreeMap<String, MemImage>, FlowError> {
     let mut initial = design.blank_images();
     for (mem, stimulus) in stimuli {
         let image = initial
@@ -764,27 +790,75 @@ pub fn run_design_recorded(
             .apply(image)
             .map_err(|m| FlowError::Stimulus(format!("memory '{mem}': {m}")))?;
     }
+    Ok(initial)
+}
 
-    // Golden software execution.
+/// Products of the golden software execution.
+struct GoldenRun {
+    stats: nenya::interp::ExecStats,
+    mems: BTreeMap<String, MemImage>,
+    seconds: f64,
+}
+
+fn run_golden(
+    design: &Design,
+    mut golden_mems: BTreeMap<String, MemImage>,
+    options: &FlowOptions,
+    recorder: &mut Recorder,
+) -> Result<GoldenRun, FlowError> {
     let golden_span = recorder.start("flow.golden");
     let golden_event = span_event_start(&options.events, "flow.golden");
     let golden_started = Instant::now();
-    let mut golden_mems = initial.clone();
-    let golden = design
+    let stats = design
         .execute_golden(&mut golden_mems, options.golden_step_limit)
         .map_err(FlowError::Golden)?;
-    let golden_seconds = golden_started.elapsed().as_secs_f64();
-    recorder.attr(golden_span, "instructions", golden.instructions);
+    let seconds = golden_started.elapsed().as_secs_f64();
+    recorder.attr(golden_span, "instructions", stats.instructions);
     recorder.end(golden_span);
     span_event_end(&options.events, "flow.golden", golden_event);
+    Ok(GoldenRun {
+        stats,
+        mems: golden_mems,
+        seconds,
+    })
+}
 
-    // Artifact generation (XML + stylesheet translations + metrics).
-    let transform_span = recorder.start("flow.transform");
-    let transform_event = span_event_start(&options.events, "flow.transform");
+/// The transform-stage products of one design, precomputed once and
+/// reusable across runs: XML documents, stylesheet translations, parsed
+/// `.hds` netlists, and validated FSM tables. Everything here is plain
+/// data (no interior mutability), so a `PreparedParts` can be shared
+/// across threads.
+struct PreparedParts {
+    rtg_doc: xmlite::Document,
+    /// `(config name, datapath.xml, fsm.xml)` in design order.
+    docs: Vec<(String, xmlite::Document, xmlite::Document)>,
+    config_artifacts: Vec<ConfigArtifacts>,
+    /// Metrics template with the per-run fields (cycles/events/seconds)
+    /// zeroed.
+    config_metrics: Vec<ConfigMetrics>,
+    /// Parsed `.hds` netlists, one per config (compiled-engine path).
+    netlists: Vec<eventsim::netlist::Netlist>,
+    /// Per-config control-unit description (compiled-engine path).
+    fsm_tables: Vec<PreparedFsm>,
+}
+
+/// One configuration's parsed control unit, ready to attach to a
+/// compiled engine.
+struct PreparedFsm {
+    name: String,
+    table: FsmTable,
+    conditions: Vec<String>,
+    /// `(output name, width)` pairs.
+    outputs: Vec<(String, u32)>,
+}
+
+fn prepare_parts(design: &Design) -> Result<PreparedParts, FlowError> {
     let rtg_doc = nenya::xml::emit_rtg(&design.rtg);
     let mut config_artifacts = Vec::new();
     let mut config_metrics = Vec::new();
     let mut docs = Vec::new();
+    let mut netlists = Vec::new();
+    let mut fsm_tables = Vec::new();
     for config in &design.configs {
         let dp_doc = nenya::xml::emit_datapath(&config.datapath);
         let fsm_doc = nenya::xml::emit_fsm(&config.fsm);
@@ -797,6 +871,18 @@ pub fn run_design_recorded(
             .map_err(|e| FlowError::Elaborate(ElaborateConfigError::Stylesheet(e.to_string())))?;
         let fsm_dot = xform::apply(&xform::stylesheets::fsm_to_dot(), fsm_doc.root())
             .map_err(|e| FlowError::Elaborate(ElaborateConfigError::Stylesheet(e.to_string())))?;
+        let netlist = eventsim::hds::parse(&hds)
+            .map_err(|e| FlowError::Elaborate(ElaborateConfigError::Hds(e.to_string())))?;
+        let fsm = nenya::xml::parse_fsm(&fsm_doc)
+            .map_err(|e| FlowError::Elaborate(ElaborateConfigError::Dialect(e.to_string())))?;
+        let (table, cond_names, out_names) = crate::elaborate::fsm_to_table(&fsm)?;
+        netlists.push(netlist);
+        fsm_tables.push(PreparedFsm {
+            name: fsm.name.clone(),
+            table,
+            conditions: cond_names,
+            outputs: out_names,
+        });
         config_metrics.push(ConfigMetrics {
             name: config.name.clone(),
             lo_xml_fsm: xmlite::loc(&fsm_doc),
@@ -819,12 +905,118 @@ pub fn run_design_recorded(
         });
         docs.push((config.name.clone(), dp_doc, fsm_doc));
     }
-    recorder.attr(transform_span, "configs", design.configs.len());
-    recorder.end(transform_span);
-    span_event_end(&options.events, "flow.transform", transform_event);
+    Ok(PreparedParts {
+        rtg_doc,
+        docs,
+        config_artifacts,
+        config_metrics,
+        netlists,
+        fsm_tables,
+    })
+}
 
+/// A compiled design with its transform-stage products precomputed, so
+/// many stimulus sets can be simulated without re-running the compiler,
+/// the stylesheets, or the netlist/FSM parsers — the compile-once,
+/// simulate-many shape the serve subsystem's design cache is built on.
+///
+/// `PreparedDesign` is `Send + Sync` (plain data throughout), unlike the
+/// built simulators themselves, so it can live in a cross-thread cache;
+/// each run still builds its own engine state from these parts.
+///
+/// ```
+/// use fpgatest::flow::{prepare_design, FlowOptions};
+/// use fpgatest::stimulus::Stimulus;
+///
+/// # fn main() -> Result<(), fpgatest::flow::FlowError> {
+/// let program = nenya::lang::parse(
+///     "mem inp[4]; mem out[4];
+///      void main() { int i; for (i = 0; i < 4; i = i + 1) { out[i] = inp[i] * 2; } }",
+/// ).map_err(nenya::CompileError::from)?;
+/// let design = nenya::compile_program("double", &program, &Default::default())?;
+/// let prepared = prepare_design(design)?;
+/// for base in [0, 10] {
+///     let stimuli = vec![("inp".to_string(), Stimulus::from_values([base + 1, base + 2, base + 3, base + 4]))];
+///     let report = prepared.run(&stimuli, &FlowOptions::default())?;
+///     assert!(report.passed);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub struct PreparedDesign {
+    design: Design,
+    parts: PreparedParts,
+}
+
+impl PreparedDesign {
+    /// The compiled design these parts were prepared from.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Runs the simulation + comparison stages against this prepared
+    /// design. Equivalent to [`run_design`] minus the (already done)
+    /// transform stage: same verdicts, same errors, same report shape.
+    ///
+    /// # Errors
+    ///
+    /// See [`TestFlow::run`].
+    pub fn run(
+        &self,
+        stimuli: &[(String, Stimulus)],
+        options: &FlowOptions,
+    ) -> Result<TestReport, FlowError> {
+        self.run_recorded(stimuli, options, &mut Recorder::new())
+    }
+
+    /// [`run`](Self::run) with stage spans traced into `recorder`
+    /// (`flow.golden`, `flow.elaborate`, `flow.simulate.<config>`,
+    /// `flow.compare` — no `flow.transform`: that work was done once at
+    /// preparation time).
+    ///
+    /// # Errors
+    ///
+    /// See [`TestFlow::run`].
+    pub fn run_recorded(
+        &self,
+        stimuli: &[(String, Stimulus)],
+        options: &FlowOptions,
+        recorder: &mut Recorder,
+    ) -> Result<TestReport, FlowError> {
+        preflight(options)?;
+        let initial = initial_images(&self.design, stimuli)?;
+        let golden = run_golden(&self.design, initial.clone(), options, recorder)?;
+        simulate_prepared(&self.design, &self.parts, initial, golden, options, recorder)
+    }
+}
+
+/// Runs the transform stage (XML emission, stylesheet translation,
+/// netlist + FSM-table parsing) once, yielding a [`PreparedDesign`] that
+/// can be simulated many times.
+///
+/// # Errors
+///
+/// Returns [`FlowError::Elaborate`] when a stylesheet or parser rejects
+/// the design's artifacts.
+pub fn prepare_design(design: Design) -> Result<PreparedDesign, FlowError> {
+    let parts = prepare_parts(&design)?;
+    Ok(PreparedDesign { design, parts })
+}
+
+/// The simulation + comparison stages, shared by [`run_design_recorded`]
+/// (which prepares parts inline) and [`PreparedDesign::run_recorded`]
+/// (which reuses cached parts).
+fn simulate_prepared(
+    design: &Design,
+    parts: &PreparedParts,
+    initial: BTreeMap<String, MemImage>,
+    golden: GoldenRun,
+    options: &FlowOptions,
+    recorder: &mut Recorder,
+) -> Result<TestReport, FlowError> {
     // Simulation in RTG order, SRAM contents carried across
     // reconfigurations.
+    let mut config_metrics = parts.config_metrics.clone();
     let mut sim_mems = initial;
     let mut runs = Vec::new();
     let mut failure = None;
@@ -868,7 +1060,7 @@ pub fn run_design_recorded(
             .iter()
             .position(|c| c.datapath.name == node.datapath)
             .ok_or_else(|| FlowError::Rtg(format!("unknown datapath '{}'", node.datapath)))?;
-        let (config_name, dp_doc, fsm_doc) = &docs[config];
+        let (config_name, dp_doc, fsm_doc) = &parts.docs[config];
 
         if options.engine != Engine::Event {
             // Compiled (cycle/level) path: interpret the same .hds netlist
@@ -878,17 +1070,14 @@ pub fn run_design_recorded(
             let elaborate_event = span_event_start(&options.events, "flow.elaborate");
             recorder.attr(elaborate_span, "config", config_name.as_str());
             recorder.attr(elaborate_span, "engine", options.engine.to_string());
-            let netlist = eventsim::hds::parse(&config_artifacts[config].hds)
-                .map_err(|e| FlowError::Elaborate(ElaborateConfigError::Hds(e.to_string())))?;
-            let mut csim = CompiledSim::build(options.engine, &netlist)
+            let netlist = &parts.netlists[config];
+            let mut csim = CompiledSim::build(options.engine, netlist)
                 .map_err(|e| FlowError::Elaborate(ElaborateConfigError::Netlist(e.to_string())))?;
-            let fsm = nenya::xml::parse_fsm(fsm_doc)
-                .map_err(|e| FlowError::Elaborate(ElaborateConfigError::Dialect(e.to_string())))?;
-            let (table, cond_names, out_names) = crate::elaborate::fsm_to_table(&fsm)?;
-            let conds: Vec<&str> = cond_names.iter().map(String::as_str).collect();
+            let fsm = &parts.fsm_tables[config];
+            let conds: Vec<&str> = fsm.conditions.iter().map(String::as_str).collect();
             let outs: Vec<(&str, u32)> =
-                out_names.iter().map(|(n, w)| (n.as_str(), *w)).collect();
-            csim.add_control_unit(&fsm.name, &conds, &outs, table)
+                fsm.outputs.iter().map(|(n, w)| (n.as_str(), *w)).collect();
+            csim.add_control_unit(&fsm.name, &conds, &outs, fsm.table.clone())
                 .map_err(|e| FlowError::Elaborate(ElaborateConfigError::Netlist(e.to_string())))?;
 
             // Inject the signal faults this configuration can host (a
@@ -1308,7 +1497,7 @@ pub fn run_design_recorded(
     let compare_event = span_event_start(&options.events, "flow.compare");
     let mut mismatches = Vec::new();
     if failure.is_none() {
-        for (name, golden_image) in &golden_mems {
+        for (name, golden_image) in &golden.mems {
             let sim_image = &sim_mems[name];
             mismatches.extend(diff_images(name, golden_image, sim_image));
         }
@@ -1323,27 +1512,27 @@ pub fn run_design_recorded(
         passed,
         failure,
         mismatches,
-        golden,
+        golden: golden.stats,
         runs,
         metrics: DesignMetrics {
             design: design.name.clone(),
             lo_java: design.source_lines,
             configs: config_metrics,
-            golden_seconds,
+            golden_seconds: golden.seconds,
         },
         artifacts: options.keep_artifacts.then(|| Artifacts {
-            rtg_xml: rtg_doc.to_pretty_string(),
-            rtg_dot: xform::apply(&xform::stylesheets::rtg_to_dot(), rtg_doc.root())
+            rtg_xml: parts.rtg_doc.to_pretty_string(),
+            rtg_dot: xform::apply(&xform::stylesheets::rtg_to_dot(), parts.rtg_doc.root())
                 .unwrap_or_default(),
             controller_src: xform::apply(
                 &xform::stylesheets::rtg_to_controller(),
-                rtg_doc.root(),
+                parts.rtg_doc.root(),
             )
             .unwrap_or_default(),
-            configs: config_artifacts,
+            configs: parts.config_artifacts.clone(),
         }),
         sim_mems,
-        golden_mems,
+        golden_mems: golden.mems,
         fault_skips,
     })
 }

@@ -184,6 +184,23 @@ impl CycleSim {
         self.profile = Some(Box::default());
     }
 
+    /// Rewinds a built (and control-unit-attached) simulator to its
+    /// pre-first-step state so it can be re-run without rebuilding: signal
+    /// values, FSM states, memories, counters, and injected faults all
+    /// reset. Attached control units stay attached. A reset simulator is
+    /// bit-identical to a freshly built one — see the `reset_reuse` tests.
+    pub fn reset_state(&mut self) {
+        self.model.reset_state();
+        self.cycles = 0;
+        self.comb_evals = 0;
+        self.changed_scratch.clear();
+        self.sram_scratch.clear();
+        self.unstable_scratch.clear();
+        if self.profile.is_some() {
+            self.profile = Some(Box::default());
+        }
+    }
+
     /// The accumulated profile, when [`enable_profile`](Self::enable_profile)
     /// was called.
     pub fn profile(&self) -> Option<&CycleProfile> {

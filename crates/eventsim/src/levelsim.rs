@@ -482,6 +482,36 @@ impl LevelSim {
         self.profile.as_deref()
     }
 
+    /// Rewinds a built (and control-unit-attached) simulator to its
+    /// pre-first-step state so it can be re-run without rebuilding: signal
+    /// values, FSM states, memories, counters, and injected faults all
+    /// reset, and the dirty bitsets are re-seeded exactly as
+    /// [`LevelSim::from_netlist`] left them (everything dirty, so the
+    /// first settle re-evaluates the whole schedule and the first edge
+    /// samples every register). Attached control units stay attached. A
+    /// reset simulator is bit-identical to a freshly built one — see the
+    /// `reset_reuse` tests.
+    pub fn reset_state(&mut self) {
+        self.model.reset_state();
+        self.dirty.iter_mut().for_each(|w| *w = 0);
+        self.dirty_count = 0;
+        let n = self.order.len();
+        for pos in 0..n {
+            self.mark_pos(pos);
+        }
+        self.reg_dirty.iter_mut().for_each(|w| *w = 0);
+        for reg in 0..self.model.regs.len() {
+            self.reg_dirty[reg / 64] |= 1u64 << (reg % 64);
+        }
+        self.cycles = 0;
+        self.comb_evals = 0;
+        self.changed_scratch.clear();
+        self.sram_scratch.clear();
+        if self.profile.is_some() {
+            self.enable_profile();
+        }
+    }
+
     /// One ascending pass over the dirty bitset. Evaluating a position can
     /// only dirty strictly later positions (higher ranks), so each dirty
     /// comb is evaluated exactly once and the set is empty on return.

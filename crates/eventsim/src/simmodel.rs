@@ -156,6 +156,11 @@ pub(crate) struct FlatModel {
     /// `(register index, next value)` pairs, so the per-cycle hot path
     /// never allocates.
     reg_next: Vec<(usize, Value)>,
+    /// Snapshot of `values` taken at the end of [`FlatModel::from_netlist`]
+    /// (constants written, everything else X, no FSM outputs yet) so
+    /// [`FlatModel::reset_state`] can rewind a cached model without a
+    /// rebuild.
+    initial_values: Vec<Value>,
 }
 
 impl FlatModel {
@@ -179,6 +184,7 @@ impl FlatModel {
             fault_clamps: Vec::new(),
             fault_flips: Vec::new(),
             reg_next: Vec::new(),
+            initial_values: Vec::new(),
         };
         for decl in netlist.signals() {
             if model.signal_index.contains_key(&decl.name) {
@@ -196,7 +202,32 @@ impl FlatModel {
         for inst in netlist.instances() {
             model.add_instance(inst)?;
         }
+        model.initial_values = model.values.clone();
         Ok(model)
+    }
+
+    /// Rewinds the model to its just-built state so a cached instance can
+    /// be re-run without rebuilding from the netlist: signal values return
+    /// to their post-construction snapshot, control units rewind to their
+    /// initial state (re-driving initial Moore outputs, as
+    /// [`FlatModel::add_control_unit`] did at registration), memories are
+    /// cleared back to X, and all injected faults are removed.
+    pub(crate) fn reset_state(&mut self) {
+        self.values.copy_from_slice(&self.initial_values);
+        for mem in &self.mems {
+            for addr in 0..mem.size() {
+                mem.clear(addr);
+            }
+        }
+        self.fault_clamps.clear();
+        self.fault_flips.clear();
+        self.reg_next.clear();
+        let mut scratch = Vec::new();
+        for fsm in &mut self.fsms {
+            fsm.state = 0;
+            scratch.clear();
+            drive_fsm_outputs(fsm, &mut self.values, &self.fault_clamps, &mut scratch);
+        }
     }
 
     fn sig(&self, inst: &Instance, port: &str) -> Result<usize, CycleSimError> {

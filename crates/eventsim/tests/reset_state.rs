@@ -1,0 +1,315 @@
+//! `reset_state` regression: a compiled-engine model that is reset and
+//! re-run must be bit-identical to a freshly built model — same signal
+//! values, same memory contents, same cycle and evaluation counters.
+//! This is the contract the design cache relies on: compile once, then
+//! simulate the same model many times without rebuilding.
+
+use eventsim::cyclesim::CycleSim;
+use eventsim::levelsim::LevelSim;
+use eventsim::netlist::{Instance, Netlist};
+use eventsim::ops::{FsmState, FsmTable, FsmTransition};
+use eventsim::{MemHandle, Value};
+use std::collections::BTreeMap;
+
+const WIDTH: u32 = 16;
+const MAX_CYCLES: u64 = 60;
+
+/// A synchronous design touching every piece of state `reset_state`
+/// must rewind: a free-running counter, combinational ripple, an
+/// enable-gated register, a written SRAM, an FSM control unit, and a
+/// watchpoint that ends the run.
+fn build_netlist() -> Netlist {
+    let mut nl = Netlist::new("reset");
+    for (name, width) in [
+        ("clk", 1),
+        ("rst", 1),
+        ("cnt", WIDTH),
+        ("addr", WIDTH),
+        ("sum", WIDTH),
+        ("prod", WIDTH),
+        ("en", 1),
+        ("held", WIDTH),
+        ("dout", WIDTH),
+        ("one", WIDTH),
+        ("three", WIDTH),
+        ("bit1", 1),
+        ("wen", 1),
+        ("fsm_out", WIDTH),
+    ] {
+        nl.add_signal(name, width);
+    }
+    nl.add_instance(
+        Instance::new("clock0", "clock")
+            .with_param("period", 10)
+            .with_conn("y", "clk"),
+    );
+    nl.add_instance(
+        Instance::new("c1", "const")
+            .with_param("width", WIDTH)
+            .with_param("value", 1)
+            .with_conn("y", "one"),
+    );
+    nl.add_instance(
+        Instance::new("c3", "const")
+            .with_param("width", WIDTH)
+            .with_param("value", 3)
+            .with_conn("y", "three"),
+    );
+    nl.add_instance(
+        Instance::new("reset0", "reset")
+            .with_conn("y", "rst"),
+    );
+    // cnt is a register counting via the sum feedback (the compiled
+    // engines have no dedicated counter component).
+    nl.add_instance(
+        Instance::new("cnt0", "reg")
+            .with_param("width", WIDTH)
+            .with_conn("clk", "clk")
+            .with_conn("d", "sum")
+            .with_conn("q", "cnt")
+            .with_conn("rst", "rst"),
+    );
+    nl.add_instance(
+        Instance::new("mask", "and")
+            .with_param("width", WIDTH)
+            .with_conn("a", "cnt")
+            .with_conn("b", "three")
+            .with_conn("y", "addr"),
+    );
+    nl.add_instance(
+        Instance::new("add0", "add")
+            .with_param("width", WIDTH)
+            .with_conn("a", "cnt")
+            .with_conn("b", "one")
+            .with_conn("y", "sum"),
+    );
+    nl.add_instance(
+        Instance::new("mul0", "mul")
+            .with_param("width", WIDTH)
+            .with_conn("a", "sum")
+            .with_conn("b", "three")
+            .with_conn("y", "prod"),
+    );
+    nl.add_instance(
+        Instance::new("lsb", "and")
+            .with_param("width", 1)
+            .with_conn("a", "cnt")
+            .with_conn("b", "one")
+            .with_conn("y", "en"),
+    );
+    nl.add_instance(
+        Instance::new("hold", "reg")
+            .with_param("width", WIDTH)
+            .with_conn("clk", "clk")
+            .with_conn("d", "prod")
+            .with_conn("q", "held")
+            .with_conn("en", "en"),
+    );
+    // Writes are held off while reset asserts (cycle 0): the counter
+    // register is still X then, and an X address is a design failure.
+    nl.add_instance(
+        Instance::new("cb1", "const")
+            .with_param("width", 1)
+            .with_param("value", 1)
+            .with_conn("y", "bit1"),
+    );
+    nl.add_instance(
+        Instance::new("notrst", "xor")
+            .with_param("width", 1)
+            .with_conn("a", "rst")
+            .with_conn("b", "bit1")
+            .with_conn("y", "wen"),
+    );
+    nl.add_instance(
+        Instance::new("m0", "sram")
+            .with_param("width", WIDTH)
+            .with_param("size", 4)
+            .with_conn("clk", "clk")
+            .with_conn("en", "one")
+            .with_conn("we", "wen")
+            .with_conn("addr", "addr")
+            .with_conn("din", "prod")
+            .with_conn("dout", "dout"),
+    );
+    nl.add_instance(
+        Instance::new("stopper", "watchpoint")
+            .with_param("value", 12)
+            .with_conn("sig", "cnt"),
+    );
+    nl
+}
+
+/// A two-state Moore controller toggling on `en`, so FSM state and FSM
+/// outputs are part of what a reset must rewind.
+fn control_table() -> FsmTable {
+    let states = vec![
+        FsmState {
+            name: "idle".to_string(),
+            outputs: vec![(0, 5)],
+            transitions: vec![
+                FsmTransition {
+                    condition: Some((0, true)),
+                    target: 1,
+                },
+                FsmTransition {
+                    condition: None,
+                    target: 0,
+                },
+            ],
+            terminal: false,
+        },
+        FsmState {
+            name: "busy".to_string(),
+            outputs: vec![(0, 9)],
+            transitions: vec![FsmTransition {
+                condition: None,
+                target: 0,
+            }],
+            terminal: false,
+        },
+    ];
+    FsmTable::new(states, 1, 1).expect("table validates")
+}
+
+/// The uniform face the test needs from both compiled engines.
+trait EngineUnderTest {
+    fn build(nl: &Netlist) -> Self;
+    fn value_of(&self, name: &str) -> Option<Value>;
+    fn mem_of(&self, name: &str) -> Option<&MemHandle>;
+    fn run_for(&mut self, max_cycles: u64);
+    fn cycles_done(&self) -> u64;
+    fn evals_done(&self) -> u64;
+    fn reset(&mut self);
+    fn attach_control(&mut self, table: FsmTable);
+}
+
+impl EngineUnderTest for CycleSim {
+    fn build(nl: &Netlist) -> Self {
+        CycleSim::from_netlist(nl).expect("netlist builds")
+    }
+    fn value_of(&self, name: &str) -> Option<Value> {
+        self.value(name)
+    }
+    fn mem_of(&self, name: &str) -> Option<&MemHandle> {
+        self.mem(name)
+    }
+    fn run_for(&mut self, max_cycles: u64) {
+        self.run(max_cycles).expect("run completes");
+    }
+    fn cycles_done(&self) -> u64 {
+        self.cycles()
+    }
+    fn evals_done(&self) -> u64 {
+        self.comb_evals()
+    }
+    fn reset(&mut self) {
+        self.reset_state();
+    }
+    fn attach_control(&mut self, table: FsmTable) {
+        self.add_control_unit("ctl", &["wen"], &[("fsm_out", WIDTH)], table)
+            .expect("control unit attaches");
+    }
+}
+
+impl EngineUnderTest for LevelSim {
+    fn build(nl: &Netlist) -> Self {
+        LevelSim::from_netlist(nl).expect("netlist builds")
+    }
+    fn value_of(&self, name: &str) -> Option<Value> {
+        self.value(name)
+    }
+    fn mem_of(&self, name: &str) -> Option<&MemHandle> {
+        self.mem(name)
+    }
+    fn run_for(&mut self, max_cycles: u64) {
+        self.run(max_cycles).expect("run completes");
+    }
+    fn cycles_done(&self) -> u64 {
+        self.cycles()
+    }
+    fn evals_done(&self) -> u64 {
+        self.comb_evals()
+    }
+    fn reset(&mut self) {
+        self.reset_state();
+    }
+    fn attach_control(&mut self, table: FsmTable) {
+        self.add_control_unit("ctl", &["wen"], &[("fsm_out", WIDTH)], table)
+            .expect("control unit attaches");
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    values: BTreeMap<String, Option<Value>>,
+    mem: Vec<Option<i64>>,
+    cycles: u64,
+    evals: u64,
+}
+
+fn prime_and_run<E: EngineUnderTest>(sim: &mut E) -> Snapshot {
+    sim.mem_of("m0").expect("sram exists").fill([7, 11, 13, 17]);
+    sim.run_for(MAX_CYCLES);
+    let names = [
+        "cnt", "addr", "sum", "prod", "en", "held", "dout", "one", "three", "fsm_out",
+    ];
+    Snapshot {
+        values: names
+            .iter()
+            .map(|name| (name.to_string(), sim.value_of(name)))
+            .collect(),
+        mem: sim.mem_of("m0").expect("sram exists").snapshot(),
+        cycles: sim.cycles_done(),
+        evals: sim.evals_done(),
+    }
+}
+
+fn check_reset_matches_fresh<E: EngineUnderTest>() {
+    let nl = build_netlist();
+
+    // Two fresh builds: the reference for what a run must look like.
+    let mut fresh_a = E::build(&nl);
+    fresh_a.attach_control(control_table());
+    let first = prime_and_run(&mut fresh_a);
+    let mut fresh_b = E::build(&nl);
+    fresh_b.attach_control(control_table());
+    let second = prime_and_run(&mut fresh_b);
+    assert_eq!(first, second, "fresh builds must agree with themselves");
+
+    // One build, run → reset → run: both runs must match the fresh pair
+    // bit for bit, counters included.
+    let mut reused = E::build(&nl);
+    reused.attach_control(control_table());
+    let run1 = prime_and_run(&mut reused);
+    assert_eq!(run1, first, "first run of the reused model");
+    reused.reset();
+    let run2 = prime_and_run(&mut reused);
+    assert_eq!(run2, first, "reset + re-run must equal a fresh compile");
+}
+
+#[test]
+fn cycle_engine_reset_matches_fresh_build() {
+    check_reset_matches_fresh::<CycleSim>();
+}
+
+#[test]
+fn level_engine_reset_matches_fresh_build() {
+    check_reset_matches_fresh::<LevelSim>();
+}
+
+#[test]
+fn reset_clears_memories_and_counters() {
+    let nl = build_netlist();
+    let mut sim = CycleSim::from_netlist(&nl).expect("netlist builds");
+    sim.mem("m0").expect("sram exists").fill([1, 2, 3, 4]);
+    sim.run(MAX_CYCLES).expect("run completes");
+    assert!(sim.cycles() > 0);
+    sim.reset_state();
+    assert_eq!(sim.cycles(), 0, "cycle counter rewinds");
+    assert_eq!(sim.comb_evals(), 0, "eval counter rewinds");
+    let snapshot = sim.mem("m0").expect("sram exists").snapshot();
+    assert!(
+        snapshot.iter().all(Option::is_none),
+        "memories return to uninitialized: {snapshot:?}"
+    );
+}

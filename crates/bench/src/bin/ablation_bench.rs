@@ -1,31 +1,56 @@
 //! Engine-ablation benchmark: event kernel vs cycle sweeper vs levelized
-//! engine on the paper's FDCT1 workload.
+//! engine vs batch engine on the paper's FDCT1 workload.
 //!
-//! Runs FDCT1 at one or more image sizes through all three simulation
-//! engines (`fpgatest --engine {event,cycle,level}`) and writes a
+//! Runs FDCT1 at one or more image sizes through all four simulation
+//! engines (`fpgatest --engine {event,cycle,level,batch}`) and writes a
 //! `fpgatest-metrics-v1` report (default `BENCH_ablation.json`, keys
 //! sorted for byte-stable diffs) extended with an `ablation_bench`
 //! comparison block: per engine wall-clock, cycles, and evaluation
 //! counts, plus the level engine's speedup over the naive cycle sweeper
 //! and its ratio to the event kernel.
 //!
-//! The run doubles as an equivalence gate: the three engines must leave
+//! A second batch column measures *effective case-throughput*: 64
+//! distinct stimulus images dispatched as lanes of one
+//! [`PreparedDesign::run_batch`] call, compared against 64 sequential
+//! level-engine runs (priced at the level row's measured per-case sim
+//! wall). Every lane must pass its golden comparison, and lane 0 — which
+//! reuses the level row's stimulus — must leave memories word-identical
+//! to the level engine's. The effective speedup is gated: at 65,536
+//! pixels the batch engine must clear 10x by default, and `--batch-floor
+//! F` applies a custom floor at every size run (CI smoke uses a small
+//! size with a CI-safe floor).
+//!
+//! The run doubles as an equivalence gate: the four engines must leave
 //! word-identical final memories, and their cycle counts may differ by
 //! at most one (the compiled engines count the cycle-0 reset step; the
 //! event path derives cycles from the stop time). Any disagreement exits
 //! non-zero — CI runs this at 4,096 pixels as `ablation-smoke`.
 //!
-//! Usage: `ablation_bench [--pixels N]... [--repeat R] [--metrics-out
-//! FILE]` (default sizes 1024, 4096, 16384, 65536; `R` defaults to 2 and
-//! the reported wall-clock is the best of the repeats).
+//! Usage: `ablation_bench [--pixels N]... [--repeat R] [--batch-floor F]
+//! [--metrics-out FILE]` (default sizes 1024, 4096, 16384, 65536; `R`
+//! defaults to 2 and the reported wall-clock is the best of the
+//! repeats).
 
 use bench::{fdct_flow, run_checked_recorded};
-use fpgatest::flow::{Engine, TestReport};
+use fpgatest::flow::{prepare_design, BatchLaneSpec, Engine, FlowOptions, TestReport};
+use fpgatest::stimulus::Stimulus;
 use fpgatest::suite::{CaseResult, SuiteReport};
 use fpgatest::telemetry::{self, Json, Recorder};
+use fpgatest::workloads;
 use nenya::schedule::SchedulePolicy;
+use nenya::CompileOptions;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Lanes per batch walk (the batch engine's fixed width).
+const BATCH_LANES: usize = 64;
+
+/// Default effective-speedup floor, enforced at [`GATED_PIXELS`] when no
+/// `--batch-floor` is given.
+const DEFAULT_BATCH_FLOOR: f64 = 10.0;
+
+/// The FDCT1-64k size the default batch gate applies to.
+const GATED_PIXELS: usize = 65536;
 
 struct EngineRow {
     engine: Engine,
@@ -38,6 +63,7 @@ struct EngineRow {
 fn main() -> ExitCode {
     let mut pixels: Vec<usize> = Vec::new();
     let mut repeat: usize = 2;
+    let mut batch_floor: Option<f64> = None;
     let mut metrics_out = PathBuf::from("BENCH_ablation.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -57,10 +83,20 @@ fn main() -> ExitCode {
                     .expect("--repeat must be an integer");
                 assert!(repeat >= 1, "--repeat must be at least 1");
             }
+            "--batch-floor" => {
+                batch_floor = Some(
+                    value("--batch-floor")
+                        .parse()
+                        .expect("--batch-floor must be a number"),
+                );
+            }
             "--metrics-out" => metrics_out = PathBuf::from(value("--metrics-out")),
             other => {
                 eprintln!("ablation_bench: unknown argument '{other}'");
-                eprintln!("usage: ablation_bench [--pixels N]... [--repeat R] [--metrics-out FILE]");
+                eprintln!(
+                    "usage: ablation_bench [--pixels N]... [--repeat R] \
+                     [--batch-floor F] [--metrics-out FILE]"
+                );
                 return ExitCode::from(2);
             }
         }
@@ -136,6 +172,82 @@ fn main() -> ExitCode {
         let level_speedup_vs_cycle = wall_of(Engine::Cycle) / wall_of(Engine::Level);
         let level_ratio_vs_event = wall_of(Engine::Level) / wall_of(Engine::Event);
 
+        // Batch throughput column: 64 distinct stimulus images as lanes
+        // of one run_batch call. Lane 0 reuses the sequential rows'
+        // stimulus so its final memories can be compared word for word
+        // against the level engine's; the other lanes are perturbed
+        // images verified against their own golden runs.
+        let design = nenya::compile(
+            "fdct1",
+            &workloads::fdct_source(px),
+            &CompileOptions {
+                width: 32,
+                policy: SchedulePolicy::List,
+                partitions: 1,
+                ..CompileOptions::default()
+            },
+        )
+        .expect("FDCT compiles");
+        let prepared = prepare_design(design).expect("FDCT elaborates");
+        let base = workloads::test_image(px);
+        let specs: Vec<BatchLaneSpec> = (0..BATCH_LANES)
+            .map(|lane| {
+                let image: Vec<i64> = if lane == 0 {
+                    base.clone()
+                } else {
+                    base.iter()
+                        .enumerate()
+                        .map(|(j, &p)| (p + 7 * lane as i64 + (j % 11) as i64) & 0xFF)
+                        .collect()
+                };
+                BatchLaneSpec {
+                    stimuli: vec![("img".to_string(), Stimulus::from_values(image))],
+                    faults: Vec::new(),
+                }
+            })
+            .collect();
+        // Best-of-`repeat` sim wall, like the sequential rows; lane
+        // verdicts and memories are identical across repeats.
+        let mut batch_report = prepared
+            .run_batch(&specs, &FlowOptions::default())
+            .unwrap_or_else(|e| panic!("batch run at {px} px: {e}"));
+        for _ in 1..repeat {
+            let again = prepared
+                .run_batch(&specs, &FlowOptions::default())
+                .unwrap_or_else(|e| panic!("batch run at {px} px: {e}"));
+            if again.sim_wall_seconds < batch_report.sim_wall_seconds {
+                batch_report = again;
+            }
+        }
+        for (lane, report) in batch_report.lanes.iter().enumerate() {
+            if !report.passed {
+                eprintln!(
+                    "ablation_bench: BATCH LANE FAILURE at {px} px: lane {lane}: {}",
+                    report
+                        .failure
+                        .as_deref()
+                        .or(report.timed_out.as_deref())
+                        .or(report.flow_error.as_deref())
+                        .unwrap_or("golden mismatch")
+                );
+                disagreement = true;
+            }
+        }
+        let level_row = rows
+            .iter()
+            .find(|r| r.engine == Engine::Level)
+            .expect("all engines ran");
+        if batch_report.lanes[0].sim_mems != level_row.report.sim_mems {
+            eprintln!(
+                "ablation_bench: ENGINE DISAGREEMENT at {px} px: batch lane 0 \
+                 final memories differ from the level engine"
+            );
+            disagreement = true;
+        }
+        let batch_sim_wall = batch_report.sim_wall_seconds;
+        let batch_effective_speedup =
+            BATCH_LANES as f64 * wall_of(Engine::Level) / batch_sim_wall;
+
         println!("  {px:>7} px:");
         for row in &rows {
             println!(
@@ -150,6 +262,24 @@ fn main() -> ExitCode {
             "    level vs cycle: {level_speedup_vs_cycle:.2}x faster;  \
              level/event wall ratio: {level_ratio_vs_event:.2}"
         );
+        println!(
+            "    batch: {BATCH_LANES} lanes in {batch_sim_wall:.3} s  \
+             (effective {batch_effective_speedup:.1}x case-throughput vs level)"
+        );
+        let floor = match batch_floor {
+            Some(f) => Some(f),
+            None if px == GATED_PIXELS => Some(DEFAULT_BATCH_FLOOR),
+            None => None,
+        };
+        if let Some(floor) = floor {
+            if batch_effective_speedup < floor {
+                eprintln!(
+                    "ablation_bench: BATCH THROUGHPUT GATE at {px} px: effective \
+                     speedup {batch_effective_speedup:.2}x is below the {floor:.2}x floor"
+                );
+                disagreement = true;
+            }
+        }
 
         let engine_rows: Vec<Json> = rows
             .iter()
@@ -167,6 +297,12 @@ fn main() -> ExitCode {
             ("engines", Json::Arr(engine_rows)),
             ("level_speedup_vs_cycle", Json::from(level_speedup_vs_cycle)),
             ("level_ratio_vs_event", Json::from(level_ratio_vs_event)),
+            ("batch_lanes", Json::from(BATCH_LANES as f64)),
+            ("batch_sim_wall_seconds", Json::from(batch_sim_wall)),
+            (
+                "batch_effective_speedup_vs_level",
+                Json::from(batch_effective_speedup),
+            ),
         ]));
         for row in rows {
             reports.push((format!("fdct1_{px}px_{}", row.engine), row.report));

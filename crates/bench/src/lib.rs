@@ -169,7 +169,7 @@ mod tests {
         ];
         for (name, flow) in workloads {
             let event = run_checked(&flow.clone().with_engine(Engine::Event));
-            for engine in [Engine::Cycle, Engine::Level] {
+            for engine in [Engine::Cycle, Engine::Level, Engine::Batch] {
                 let compiled = run_checked(&flow.clone().with_engine(engine));
                 assert_eq!(
                     compiled.sim_mems, event.sim_mems,

@@ -21,7 +21,7 @@
 //! --optimize                enable the compiler's TAC optimizations
 //! --trace                   print where the VCD of each configuration went
 //! --artifacts <dir>         write XML/hds/dot/behavior/VCD files
-//! --engine <event|cycle|level>
+//! --engine <event|cycle|level|batch>
 //!                           simulation engine (default event; see
 //!                           DESIGN.md's engine-selection matrix)
 //! ```
@@ -74,7 +74,7 @@
 //!
 //! ```text
 //! --design <name>           campaign only this case (repeatable)
-//! --engine <event|cycle|level>
+//! --engine <event|cycle|level|batch>
 //! --seed <n>                site-sampling seed (default 1)
 //! --sites <n>               injections per case (default 200)
 //! --max-ticks <n>           per-injection tick watchdog (default: 5x the
@@ -135,14 +135,14 @@ fn usage() {
         "fpgatest — functional testing of compiler-generated FPGA designs
 
 USAGE:
-  fpgatest run <suite.manifest> [--jobs N] [--engine event|cycle|level]
+  fpgatest run <suite.manifest> [--jobs N] [--engine event|cycle|level|batch]
                [--metrics-out FILE] [--trace-log FILE] [--baseline FILE]
                [--verbose] [--events-out FILE|-] [--profile]
                [--profile-folded FILE] [--ledger FILE]
   fpgatest test <prog.src|suite.manifest> [--stimulus mem=file]... [--width N]
                 [--partitions K] [--policy list|one-op-per-state]
                 [--optimize] [--trace] [--artifacts DIR] [--jobs N]
-                [--engine event|cycle|level] [--fault SPEC]...
+                [--engine event|cycle|level|batch] [--fault SPEC]...
                 [--max-ticks N] [--timeout MS]
                 [--metrics-out FILE] [--trace-log FILE] [--baseline FILE]
                 [--verbose] [--events-out FILE|-] [--profile]

@@ -20,16 +20,35 @@
 //!   and the warm/cold benchmark read them.
 
 use crate::flow::{prepare_design, FlowError, PreparedDesign};
+use nenya::schedule::SchedulePolicy;
 use nenya::{compile_program, CompileError, CompileOptions};
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Version of the key encoding below. Bump whenever the field layout
+/// changes so old and new keys can never alias.
+const KEY_ENCODING_VERSION: u8 = 1;
+
+/// Field-id tags for the key encoding: every field is preceded by its
+/// tag byte, so adjacent fields can never alias (e.g. a policy-name
+/// suffix flowing into the optimize byte) and adding a field is a
+/// guaranteed key change.
+const FIELD_SOURCE: u8 = 1;
+const FIELD_WIDTH: u8 = 2;
+const FIELD_PARTITIONS: u8 = 3;
+const FIELD_POLICY: u8 = 4;
+const FIELD_OPTIMIZE: u8 = 5;
 
 /// Hashes a source program and its compile options into a cache key.
 ///
 /// The source is canonicalized by splitting on whitespace and re-joining
 /// with single spaces, so formatting-only differences map to the same
 /// key. Every compile option that changes the generated design (width,
-/// policy, partitions, optimize) is folded in.
+/// policy, partitions, optimize) is folded in as a *tagged, versioned*
+/// encoding: a version byte, then each field as a field-id byte followed
+/// by a fixed-width or length-prefixed value. Option names come from an
+/// exhaustive `match`, never `Debug` formatting, so a rendering change
+/// cannot silently re-key the cache.
 pub fn content_hash(source: &str, options: &CompileOptions) -> u64 {
     // FNV-1a, 64-bit.
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -39,6 +58,15 @@ pub fn content_hash(source: &str, options: &CompileOptions) -> u64 {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(PRIME);
     };
+    byte(KEY_ENCODING_VERSION);
+    // The canonicalized source, length-prefixed by token count so a
+    // source that happens to end in option-like bytes cannot alias an
+    // option field.
+    byte(FIELD_SOURCE);
+    let token_count = source.split_whitespace().count() as u64;
+    for b in token_count.to_le_bytes() {
+        byte(b);
+    }
     for (i, token) in source.split_whitespace().enumerate() {
         if i > 0 {
             byte(b' ');
@@ -47,16 +75,28 @@ pub fn content_hash(source: &str, options: &CompileOptions) -> u64 {
             byte(b);
         }
     }
-    byte(0);
+    byte(FIELD_WIDTH);
     for b in options.width.to_le_bytes() {
         byte(b);
     }
+    byte(FIELD_PARTITIONS);
     for b in (options.partitions as u64).to_le_bytes() {
         byte(b);
     }
-    for b in format!("{:?}", options.policy).bytes() {
+    byte(FIELD_POLICY);
+    // Stable names via exhaustive match: adding a policy variant is a
+    // compile error here until it gets its own spelling.
+    let policy_name: &str = match options.policy {
+        SchedulePolicy::OneOpPerState => "one-op-per-state",
+        SchedulePolicy::List => "list",
+    };
+    for b in (policy_name.len() as u32).to_le_bytes() {
         byte(b);
     }
+    for b in policy_name.bytes() {
+        byte(b);
+    }
+    byte(FIELD_OPTIMIZE);
     byte(u8::from(options.optimize));
     hash
 }
@@ -78,13 +118,31 @@ pub struct CacheStats {
     pub capacity: usize,
 }
 
+/// One in-flight build (single-flight slot). The builder deposits the
+/// finished design *here* as well as in the LRU list, so a waiter that
+/// loses the wake-up race to an eviction still receives the build it
+/// waited for — it must never become a second builder for the same
+/// request, and its hit/miss accounting must not depend on LRU timing.
+struct Pending {
+    /// Distinguishes this build from a later one for the same key: a
+    /// waiter that registered with generation *g* must not consume (or
+    /// decrement the waiter count of) a successor slot.
+    generation: u64,
+    /// Threads blocked on the condvar waiting for this build.
+    waiters: usize,
+    /// Set by the builder on success; the slot stays in the map until
+    /// every registered waiter has claimed it.
+    result: Option<Arc<PreparedDesign>>,
+}
+
 struct CacheInner {
     /// `(key, prepared)` in least-recently-used → most-recently-used
     /// order. Linear scans are fine: capacities are small (designs are
     /// megabyte-scale prepared artifacts, not cheap rows).
     entries: Vec<(u64, Arc<PreparedDesign>)>,
     /// Keys currently being compiled by some thread (single-flight).
-    pending: HashSet<u64>,
+    pending: HashMap<u64, Pending>,
+    next_generation: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -105,7 +163,8 @@ impl DesignCache {
             capacity: capacity.max(1),
             inner: Mutex::new(CacheInner {
                 entries: Vec::new(),
-                pending: HashSet::new(),
+                pending: HashMap::new(),
+                next_generation: 0,
                 hits: 0,
                 misses: 0,
                 evictions: 0,
@@ -144,6 +203,14 @@ impl DesignCache {
     /// Concurrent callers with the same key block until the first
     /// caller's build resolves, then reuse it.
     ///
+    /// Accounting contract (locked in by the racer test below): one
+    /// build is exactly one miss, and every waiter that reuses it is
+    /// exactly one hit — even when the freshly built entry is evicted
+    /// from the LRU list before a waiter wakes up. Waiters are handed
+    /// the built design through the pending slot, never by re-probing
+    /// the LRU list, so an eviction race can neither trigger a second
+    /// compile nor skew the counters.
+    ///
     /// # Errors
     ///
     /// Propagates `build`'s error to the caller that ran it; blocked
@@ -153,7 +220,7 @@ impl DesignCache {
         F: FnOnce() -> Result<PreparedDesign, FlowError>,
     {
         let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
-        loop {
+        let generation = 'probe: loop {
             if let Some(pos) = inner.entries.iter().position(|(k, _)| *k == key) {
                 let entry = inner.entries.remove(pos);
                 let prepared = entry.1.clone();
@@ -161,19 +228,61 @@ impl DesignCache {
                 inner.hits += 1;
                 return Ok(prepared);
             }
-            if !inner.pending.contains(&key) {
-                break;
+            let Some(pending) = inner.pending.get_mut(&key) else {
+                // Nobody is building this key: become the builder.
+                let generation = inner.next_generation;
+                inner.next_generation += 1;
+                inner.pending.insert(
+                    key,
+                    Pending {
+                        generation,
+                        waiters: 0,
+                        result: None,
+                    },
+                );
+                break 'probe generation;
+            };
+            // A finished build still being drained by its waiters is as
+            // good as a cache entry: claim it without registering (no
+            // further notification is coming for this slot).
+            if let Some(prepared) = pending.result.clone() {
+                inner.hits += 1;
+                return Ok(prepared);
             }
-            inner = self.ready.wait(inner).unwrap_or_else(|p| p.into_inner());
-        }
-        inner.pending.insert(key);
+            // Register with *this* build and wait for its outcome.
+            let registered = pending.generation;
+            pending.waiters += 1;
+            loop {
+                inner = self.ready.wait(inner).unwrap_or_else(|p| p.into_inner());
+                match inner.pending.get_mut(&key) {
+                    // Same build, still running.
+                    Some(p) if p.generation == registered && p.result.is_none() => {}
+                    // Same build, finished: claim the deposited design
+                    // directly — it may already be evicted from the LRU
+                    // list, which must not change the outcome.
+                    Some(p) if p.generation == registered => {
+                        let prepared = p.result.clone().expect("checked above");
+                        p.waiters -= 1;
+                        let drained = p.waiters == 0;
+                        inner.hits += 1;
+                        if drained {
+                            inner.pending.remove(&key);
+                        }
+                        return Ok(prepared);
+                    }
+                    // The build we registered with failed (its slot was
+                    // torn down, possibly replaced by a newer build):
+                    // our registration is gone, so start over from the
+                    // top of the probe loop.
+                    _ => continue 'probe,
+                }
+            }
+        };
         drop(inner);
 
         let built = build();
 
         let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
-        inner.pending.remove(&key);
-        self.ready.notify_all();
         match built {
             Ok(prepared) => {
                 let prepared = Arc::new(prepared);
@@ -183,9 +292,29 @@ impl DesignCache {
                     inner.entries.remove(0);
                     inner.evictions += 1;
                 }
+                // Deliver to waiters through the slot; it outlives any
+                // eviction of the LRU entry above.
+                let pending = inner
+                    .pending
+                    .get_mut(&key)
+                    .expect("builder's pending slot is only removed by the builder");
+                debug_assert_eq!(pending.generation, generation);
+                if pending.waiters == 0 {
+                    inner.pending.remove(&key);
+                } else {
+                    pending.result = Some(prepared.clone());
+                }
+                self.ready.notify_all();
                 Ok(prepared)
             }
-            Err(e) => Err(e),
+            Err(e) => {
+                // Failures are not cached; tearing the slot down sends
+                // every waiter back to the probe loop, where exactly one
+                // becomes the next builder.
+                inner.pending.remove(&key);
+                self.ready.notify_all();
+                Err(e)
+            }
         }
     }
 
@@ -254,6 +383,46 @@ mod tests {
             ..CompileOptions::default()
         };
         assert_ne!(a, content_hash("mem out[1]; void main() { out[0] = 1; }", &opt));
+    }
+
+    #[test]
+    fn every_distinct_option_combination_gets_a_distinct_key() {
+        // The full grid of compile options that change the generated
+        // design. Any two distinct combinations must produce distinct
+        // keys — the tagged encoding makes adjacent-field aliasing
+        // (e.g. a policy-name suffix bleeding into the optimize byte)
+        // impossible by construction, and this locks it in.
+        let source = "mem out[1]; void main() { out[0] = 1; }";
+        let mut grid = Vec::new();
+        for width in [8u32, 16, 24, 32] {
+            for policy in [SchedulePolicy::List, SchedulePolicy::OneOpPerState] {
+                for partitions in [1usize, 2, 3] {
+                    for optimize in [false, true] {
+                        grid.push(CompileOptions {
+                            width,
+                            policy,
+                            partitions,
+                            optimize,
+                        });
+                    }
+                }
+            }
+        }
+        for i in 0..grid.len() {
+            for j in (i + 1)..grid.len() {
+                assert_ne!(
+                    content_hash(source, &grid[i]),
+                    content_hash(source, &grid[j]),
+                    "distinct options collide: {:?} vs {:?}",
+                    grid[i],
+                    grid[j]
+                );
+            }
+        }
+        // The same grid point always re-keys identically.
+        for opts in &grid {
+            assert_eq!(content_hash(source, opts), content_hash(source, opts));
+        }
     }
 
     #[test]
@@ -359,5 +528,103 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 3);
+    }
+
+    /// The eviction-race accounting contract: N racers on one slow key
+    /// produce exactly 1 miss and N−1 hits, and every racer receives the
+    /// *same* prepared design — even when LRU pressure evicts the fresh
+    /// entry before the waiters wake up. Pressure threads hammer a
+    /// capacity-1 cache with distinct keys for the whole build window,
+    /// so any wake-up ordering that re-probed the LRU list (the old
+    /// implementation) would recompile and double-count.
+    #[test]
+    fn racers_survive_eviction_with_one_miss_and_n_minus_one_hits() {
+        const RACERS: usize = 8;
+        let cache = Arc::new(DesignCache::new(1));
+        let opts = CompileOptions::default();
+        let source = tiny_source(9);
+        let key = content_hash(&source, &opts);
+        let builds = Arc::new(AtomicUsize::new(0));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let pressure_builds = Arc::new(AtomicUsize::new(0));
+
+        // Distinct-key pressure: every build is its own miss and evicts
+        // whatever the capacity-1 cache holds, including the racers'
+        // freshly deposited entry.
+        let mut pressure = Vec::new();
+        for t in 0..3usize {
+            let cache = cache.clone();
+            let stop = stop.clone();
+            let pressure_builds = pressure_builds.clone();
+            let opts = opts.clone();
+            pressure.push(std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let constant = 1000 + (t as i64) * 1_000_000 + i as i64;
+                    let source = tiny_source(constant);
+                    let pkey = content_hash(&source, &opts);
+                    let opts = opts.clone();
+                    let pressure_builds = pressure_builds.clone();
+                    cache
+                        .get_or_prepare(pkey, move || {
+                            pressure_builds.fetch_add(1, Ordering::SeqCst);
+                            let program = nenya::lang::parse(&source)
+                                .map_err(|e| FlowError::Compile(CompileError::from(e)))?;
+                            let design = compile_program("p", &program, &opts)?;
+                            prepare_design(design)
+                        })
+                        .unwrap();
+                    i += 1;
+                }
+            }));
+        }
+
+        let mut racers = Vec::new();
+        for _ in 0..RACERS {
+            let cache = cache.clone();
+            let builds = builds.clone();
+            let source = source.clone();
+            let opts = opts.clone();
+            racers.push(std::thread::spawn(move || {
+                cache
+                    .get_or_prepare(key, move || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        // A wide window so the waiters and the pressure
+                        // threads are all genuinely in flight.
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                        let program = nenya::lang::parse(&source)
+                            .map_err(|e| FlowError::Compile(CompileError::from(e)))?;
+                        let design = compile_program("r", &program, &opts)?;
+                        prepare_design(design)
+                    })
+                    .unwrap()
+            }));
+        }
+        let results: Vec<Arc<PreparedDesign>> =
+            racers.into_iter().map(|h| h.join().unwrap()).collect();
+        stop.store(true, Ordering::SeqCst);
+        for handle in pressure {
+            handle.join().unwrap();
+        }
+
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "racer key compiled once");
+        for r in &results[1..] {
+            assert!(
+                Arc::ptr_eq(&results[0], r),
+                "every racer shares the single build"
+            );
+        }
+        let stats = cache.stats();
+        let pressure_misses = pressure_builds.load(Ordering::SeqCst) as u64;
+        assert_eq!(
+            stats.misses,
+            1 + pressure_misses,
+            "one miss for the racer key, one per distinct pressure key"
+        );
+        assert_eq!(
+            stats.hits,
+            (RACERS - 1) as u64,
+            "all pressure keys are distinct, so every hit is a racer"
+        );
     }
 }

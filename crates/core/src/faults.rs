@@ -487,6 +487,93 @@ pub fn run_campaign(
         total,
     );
     let mut injections = Vec::with_capacity(sites.len());
+
+    // Batch engine: pack up to 64 fault sites into one lane-parallel
+    // walk per chunk — one transform, one golden run, and one schedule
+    // walk amortized over the whole chunk. Verdict strings are identical
+    // to the per-site path (the engine's per-lane bit-identity
+    // contract); a panicking chunk falls back to one-at-a-time injection
+    // so `Crashed` stays attributed to a single site.
+    if options.engine == Engine::Batch {
+        let prepared = crate::flow::prepare_design(design)?;
+        let mut faulty_options = clean_options.clone();
+        faulty_options.max_ticks = max_ticks;
+        let mut index = 0u64;
+        for chunk in sites.chunks(eventsim::batchsim::LANES) {
+            let specs: Vec<crate::flow::BatchLaneSpec> = chunk
+                .iter()
+                .map(|fault| crate::flow::BatchLaneSpec {
+                    stimuli: case.stimuli.clone(),
+                    faults: vec![fault.clone()],
+                })
+                .collect();
+            let chunk_started = std::time::Instant::now();
+            let result =
+                catch_unwind(AssertUnwindSafe(|| prepared.run_batch(&specs, &faulty_options)));
+            let chunk_wall = chunk_started.elapsed().as_secs_f64();
+            let lane_reports = match result {
+                Ok(Ok(report)) => Some(report.lanes),
+                // Design-scoped error or panic: retry the chunk's sites
+                // individually through the sequential classifier.
+                Ok(Err(_)) | Err(_) => None,
+            };
+            for (lane, fault) in chunk.iter().enumerate() {
+                if options.events.is_enabled() {
+                    options.events.emit(&crate::events::Event::FaultInjected {
+                        fault: fault.to_string(),
+                        class: fault.class().to_string(),
+                        index,
+                        total,
+                    });
+                }
+                let (outcome, detail, wall_seconds) = match &lane_reports {
+                    Some(lanes) => {
+                        let (outcome, detail) = classify_lane(&lanes[lane]);
+                        (outcome, detail, chunk_wall / chunk.len() as f64)
+                    }
+                    None => {
+                        let mut site_options = faulty_options.clone();
+                        site_options.faults = vec![fault.clone()];
+                        let started = std::time::Instant::now();
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            run_design(prepared.design(), &case.stimuli, &site_options)
+                        }));
+                        let (outcome, detail) = classify(result);
+                        (outcome, detail, started.elapsed().as_secs_f64())
+                    }
+                };
+                if options.events.is_enabled() {
+                    options.events.emit(&crate::events::Event::FaultClassified {
+                        fault: fault.to_string(),
+                        outcome: outcome.to_string(),
+                        detail: detail.clone(),
+                        wall_seconds,
+                    });
+                }
+                progress.unit_done(
+                    &fault.to_string(),
+                    wall_seconds,
+                    outcome == InjectionOutcome::Silent,
+                );
+                injections.push(InjectionRecord {
+                    fault: fault.clone(),
+                    outcome,
+                    detail,
+                });
+                index += 1;
+            }
+        }
+        progress.finish();
+        return Ok(CampaignReport {
+            design: case.name.clone(),
+            engine: options.engine,
+            seed: options.seed,
+            site_pool,
+            clean_cycles,
+            injections,
+        });
+    }
+
     for (index, fault) in sites.into_iter().enumerate() {
         let mut faulty_options = clean_options.clone();
         faulty_options.max_ticks = max_ticks;
@@ -570,6 +657,32 @@ fn classify(
                 (InjectionOutcome::Silent, "verdict PASS".to_string())
             }
         }
+    }
+}
+
+/// Maps one batch lane's verdict onto an [`InjectionOutcome`], with the
+/// same detail strings [`classify`] derives from a sequential run.
+fn classify_lane(lane: &crate::flow::LaneReport) -> (InjectionOutcome, String) {
+    if let Some(detail) = &lane.timed_out {
+        (InjectionOutcome::Hung, detail.clone())
+    } else if let Some(e) = &lane.flow_error {
+        (InjectionOutcome::Detected, format!("flow error: {e}"))
+    } else if let Some(failure) = &lane.failure {
+        (InjectionOutcome::Detected, failure.clone())
+    } else if let Some(first) = lane.mismatches.first() {
+        (
+            InjectionOutcome::Detected,
+            format!(
+                "{} mismatches, first {}[{}] golden {:?} sim {:?}",
+                lane.mismatches.len(),
+                first.mem,
+                first.addr,
+                first.expected,
+                first.got
+            ),
+        )
+    } else {
+        (InjectionOutcome::Silent, "verdict PASS".to_string())
     }
 }
 

@@ -18,6 +18,7 @@ use crate::memcmp::{diff_images, render_mismatches, Mismatch};
 use crate::metrics::{ConfigMetrics, DesignMetrics};
 use crate::stimulus::{MemImage, Stimulus};
 use crate::telemetry::Recorder;
+use eventsim::batchsim::{BatchSim, LaneOutcome, LANES};
 use eventsim::cyclesim::{CycleOutcome, CycleSim, CycleSimError, CycleSummary};
 use eventsim::levelsim::LevelSim;
 use eventsim::ops::FsmTable;
@@ -32,7 +33,7 @@ use std::time::Instant;
 
 /// Which simulation engine executes the elaborated configurations.
 ///
-/// All three engines interpret the same netlist + FSM-table vocabulary and
+/// All four engines interpret the same netlist + FSM-table vocabulary and
 /// must produce word-identical final memories (`fpgafuzz` enforces this on
 /// every generated program). See DESIGN.md's engine-selection matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -46,11 +47,16 @@ pub enum Engine {
     /// The levelized compiled-schedule engine — fastest on dense
     /// datapaths; no probe/trace/coverage support.
     Level,
+    /// The bytecode-compiled batch engine — the level schedule flattened
+    /// into a linear opcode buffer and executed over 64 stimulus lanes
+    /// per walk; fastest when many independent vectors or fault sites
+    /// share one design. No probe/trace/coverage support.
+    Batch,
 }
 
 impl Engine {
     /// All engines, in documentation order.
-    pub const ALL: [Engine; 3] = [Engine::Event, Engine::Cycle, Engine::Level];
+    pub const ALL: [Engine; 4] = [Engine::Event, Engine::Cycle, Engine::Level, Engine::Batch];
 }
 
 impl fmt::Display for Engine {
@@ -59,6 +65,7 @@ impl fmt::Display for Engine {
             Engine::Event => "event",
             Engine::Cycle => "cycle",
             Engine::Level => "level",
+            Engine::Batch => "batch",
         })
     }
 }
@@ -71,8 +78,9 @@ impl std::str::FromStr for Engine {
             "event" => Ok(Engine::Event),
             "cycle" => Ok(Engine::Cycle),
             "level" => Ok(Engine::Level),
+            "batch" => Ok(Engine::Batch),
             other => Err(format!(
-                "unknown engine '{other}' (expected event, cycle, or level)"
+                "unknown engine '{other}' (expected event, cycle, level, or batch)"
             )),
         }
     }
@@ -136,10 +144,15 @@ const HOT_COMPONENT_LIMIT: usize = 10;
 /// to convert the tick watchdog into a cycle budget and back.
 const COMPILED_CLOCK_PERIOD: u64 = 10;
 
-/// Uniform front for the two compiled (non-event) engines.
+/// Uniform front for the compiled (non-event) engines.
 enum CompiledSim {
     Cycle(CycleSim),
     Level(LevelSim),
+    /// The 64-lane batch engine restricted to lane 0, so the
+    /// single-stimulus flow path reads one lane and stays report-
+    /// compatible with the sequential engines. The full lane fan-out is
+    /// exposed by [`PreparedDesign::run_batch`].
+    Batch(BatchSim),
 }
 
 impl CompiledSim {
@@ -147,6 +160,10 @@ impl CompiledSim {
         match engine {
             Engine::Cycle => CycleSim::from_netlist(netlist).map(CompiledSim::Cycle),
             Engine::Level => netlist.compile_levelized().map(CompiledSim::Level),
+            Engine::Batch => BatchSim::from_netlist(netlist).map(|mut s| {
+                s.set_active(1);
+                CompiledSim::Batch(s)
+            }),
             Engine::Event => unreachable!("event engine does not use CompiledSim"),
         }
     }
@@ -161,13 +178,50 @@ impl CompiledSim {
         match self {
             CompiledSim::Cycle(s) => s.add_control_unit(name, conditions, outputs, table),
             CompiledSim::Level(s) => s.add_control_unit(name, conditions, outputs, table),
+            CompiledSim::Batch(s) => s.add_control_unit(name, conditions, outputs, table),
         }
     }
 
-    fn mem(&self, name: &str) -> Option<&MemHandle> {
+    /// The `MemHandle` view shared by the sequential compiled engines;
+    /// `None` for the lane-struct-of-arrays batch engine, whose memory
+    /// access goes through the lane-aware methods below.
+    fn handle_of(&self, name: &str) -> Option<&MemHandle> {
         match self {
             CompiledSim::Cycle(s) => s.mem(name),
             CompiledSim::Level(s) => s.mem(name),
+            CompiledSim::Batch(_) => None,
+        }
+    }
+
+    fn mem_size(&self, name: &str) -> Option<usize> {
+        match self {
+            CompiledSim::Batch(s) => s.mem_size(name),
+            _ => self.handle_of(name).map(MemHandle::size),
+        }
+    }
+
+    /// Preloads defined words of `image` into the named memory (lane 0
+    /// on the batch engine).
+    fn load_mem(&mut self, name: &str, image: &[Option<i64>]) -> bool {
+        if let CompiledSim::Batch(s) = self {
+            return s.load_mem(name, 0, image);
+        }
+        let Some(handle) = self.handle_of(name) else {
+            return false;
+        };
+        for (addr, word) in image.iter().enumerate() {
+            if let Some(v) = word {
+                handle.store(addr, *v);
+            }
+        }
+        true
+    }
+
+    /// Final image of the named memory (lane 0 on the batch engine).
+    fn snapshot_mem(&self, name: &str) -> Option<Vec<Option<i64>>> {
+        match self {
+            CompiledSim::Batch(s) => s.snapshot_mem(name, 0),
+            _ => self.handle_of(name).map(MemHandle::snapshot),
         }
     }
 
@@ -175,6 +229,7 @@ impl CompiledSim {
         match self {
             CompiledSim::Cycle(s) => s.run(max_cycles),
             CompiledSim::Level(s) => s.run(max_cycles),
+            CompiledSim::Batch(s) => s.run(max_cycles),
         }
     }
 
@@ -182,6 +237,7 @@ impl CompiledSim {
         match self {
             CompiledSim::Cycle(s) => s.cycles(),
             CompiledSim::Level(s) => s.cycles(),
+            CompiledSim::Batch(s) => s.cycles(),
         }
     }
 
@@ -189,6 +245,7 @@ impl CompiledSim {
         match self {
             CompiledSim::Cycle(s) => s.comb_evals(),
             CompiledSim::Level(s) => s.comb_evals(),
+            CompiledSim::Batch(s) => s.comb_evals(),
         }
     }
 
@@ -196,6 +253,7 @@ impl CompiledSim {
         match self {
             CompiledSim::Cycle(s) => s.inject_stuck_at(signal, bit, value),
             CompiledSim::Level(s) => s.inject_stuck_at(signal, bit, value),
+            CompiledSim::Batch(s) => s.inject_stuck_at(signal, bit, value),
         }
     }
 
@@ -203,6 +261,7 @@ impl CompiledSim {
         match self {
             CompiledSim::Cycle(s) => s.inject_transient_flip(signal, bit, cycle),
             CompiledSim::Level(s) => s.inject_transient_flip(signal, bit, cycle),
+            CompiledSim::Batch(s) => s.inject_transient_flip(signal, bit, cycle),
         }
     }
 
@@ -210,6 +269,7 @@ impl CompiledSim {
         match self {
             CompiledSim::Cycle(s) => s.enable_profile(),
             CompiledSim::Level(s) => s.enable_profile(),
+            CompiledSim::Batch(s) => s.enable_profile(),
         }
     }
 
@@ -261,6 +321,9 @@ impl CompiledSim {
                     ..ConfigProfile::default()
                 }
             }
+            // The batch engine has no per-rank or per-phase profile:
+            // the bytecode walk is one undifferentiated loop.
+            CompiledSim::Batch(_) => ConfigProfile::default(),
         }
     }
 }
@@ -988,6 +1051,368 @@ impl PreparedDesign {
         let golden = run_golden(&self.design, initial.clone(), options, recorder)?;
         simulate_prepared(&self.design, &self.parts, initial, golden, options, recorder)
     }
+
+    /// Runs up to [`LANES`] independent lane configurations — each with
+    /// its own stimuli and its own fault list — through **one** batch-
+    /// engine walk of every configuration, instead of one full flow per
+    /// lane. Each lane's verdict, failure strings, cycle counts, and
+    /// final memories are bit-identical to running that lane alone with
+    /// `--engine level` (the per-lane bit-identity contract; see
+    /// DESIGN.md). Golden reference executions are deduplicated across
+    /// lanes with equal initial images, so a 64-site fault campaign
+    /// pays for one golden run and one schedule walk.
+    ///
+    /// `options.faults` must be empty — faults are per lane here.
+    /// Lane-scoped problems (bad stimulus, fault out of range, timeout,
+    /// design failure) land in that lane's [`LaneReport`]; only design-
+    /// scoped problems (RTG errors, netlist rejection, feature
+    /// preflight) abort the whole call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError`] for design-scoped problems as above.
+    pub fn run_batch(
+        &self,
+        lanes: &[BatchLaneSpec],
+        options: &FlowOptions,
+    ) -> Result<BatchRunReport, FlowError> {
+        let mut batch_options = options.clone();
+        batch_options.engine = Engine::Batch;
+        preflight(&batch_options)?;
+        if !options.faults.is_empty() {
+            return Err(FlowError::Fault(
+                "batch lane runs inject faults per lane; FlowOptions::faults must be empty"
+                    .to_string(),
+            ));
+        }
+        if lanes.is_empty() || lanes.len() > LANES {
+            return Err(FlowError::Stimulus(format!(
+                "batch run needs 1..={LANES} lanes, got {}",
+                lanes.len()
+            )));
+        }
+        let design = &self.design;
+        let parts = &self.parts;
+        let mut recorder = Recorder::new();
+
+        struct LaneState {
+            sim_mems: BTreeMap<String, MemImage>,
+            golden: Option<usize>,
+            fault_applied: Vec<bool>,
+            failure: Option<String>,
+            timed_out: Option<String>,
+            flow_error: Option<String>,
+            cycles: u64,
+            live: bool,
+        }
+
+        // Per-lane setup: initial images, deduplicated golden runs, and
+        // the one-time SRAM-corruption edits (mirroring the sequential
+        // flow, which edits images once before the first configuration).
+        let mut golden_runs: Vec<(BTreeMap<String, MemImage>, BTreeMap<String, MemImage>)> =
+            Vec::new();
+        let mut states: Vec<LaneState> = Vec::new();
+        for spec in lanes {
+            let mut state = LaneState {
+                sim_mems: BTreeMap::new(),
+                golden: None,
+                fault_applied: vec![false; spec.faults.len()],
+                failure: None,
+                timed_out: None,
+                flow_error: None,
+                cycles: 0,
+                live: true,
+            };
+            let initial = match initial_images(design, &spec.stimuli) {
+                Ok(initial) => initial,
+                Err(e) => {
+                    state.flow_error = Some(e.to_string());
+                    state.live = false;
+                    states.push(state);
+                    continue;
+                }
+            };
+            let golden = golden_runs.iter().position(|(key, _)| *key == initial);
+            let golden = match golden {
+                Some(index) => index,
+                None => match run_golden(design, initial.clone(), options, &mut recorder) {
+                    Ok(run) => {
+                        golden_runs.push((initial.clone(), run.mems));
+                        golden_runs.len() - 1
+                    }
+                    Err(e) => {
+                        state.flow_error = Some(e.to_string());
+                        state.live = false;
+                        states.push(state);
+                        continue;
+                    }
+                },
+            };
+            state.golden = Some(golden);
+            state.sim_mems = initial;
+            for (i, fault) in spec.faults.iter().enumerate() {
+                if let FaultSpec::SramCorrupt { mem, addr, bit } = fault {
+                    if let Some(image) = state.sim_mems.get_mut(mem) {
+                        if *addr >= image.len() || *bit >= design.width {
+                            state.flow_error = Some(
+                                FlowError::Fault(format!(
+                                    "{fault}: address or bit out of range for '{mem}' ({} words of width {})",
+                                    image.len(),
+                                    design.width
+                                ))
+                                .to_string(),
+                            );
+                            state.live = false;
+                            break;
+                        }
+                        image[*addr] = Some(image[*addr].unwrap_or(0) ^ (1i64 << bit));
+                        state.fault_applied[i] = true;
+                    }
+                }
+            }
+            states.push(state);
+        }
+
+        // Configuration loop: one fresh batch engine per configuration,
+        // all live lanes walking together, SRAM contents carried across
+        // reconfigurations per lane.
+        let max_cycles = options.max_ticks / COMPILED_CLOCK_PERIOD;
+        let mut sim_wall_seconds = 0.0f64;
+        let order = design
+            .rtg
+            .execution_order()
+            .map_err(|e| FlowError::Rtg(e.to_string()))?;
+        for node in order {
+            let config = design
+                .configs
+                .iter()
+                .position(|c| c.datapath.name == node.datapath)
+                .ok_or_else(|| FlowError::Rtg(format!("unknown datapath '{}'", node.datapath)))?;
+            let (config_name, _, _) = &parts.docs[config];
+            let netlist = &parts.netlists[config];
+            let mut sim = BatchSim::from_netlist(netlist)
+                .map_err(|e| FlowError::Elaborate(ElaborateConfigError::Netlist(e.to_string())))?;
+            let fsm = &parts.fsm_tables[config];
+            let conds: Vec<&str> = fsm.conditions.iter().map(String::as_str).collect();
+            let outs: Vec<(&str, u32)> =
+                fsm.outputs.iter().map(|(n, w)| (n.as_str(), *w)).collect();
+            sim.add_control_unit(fsm.name.as_str(), &conds, &outs, fsm.table.clone())
+                .map_err(|e| FlowError::Elaborate(ElaborateConfigError::Netlist(e.to_string())))?;
+
+            // Per-lane signal-fault injection (a signal may exist in
+            // several configurations; the fault lands in all of them).
+            for (lane, spec) in lanes.iter().enumerate() {
+                if !states[lane].live {
+                    continue;
+                }
+                for (i, fault) in spec.faults.iter().enumerate() {
+                    let injected = match fault {
+                        FaultSpec::StuckAt { signal, bit, value } => {
+                            sim.inject_stuck_at_lane(signal, *bit, *value, lane)
+                        }
+                        FaultSpec::BitFlip { signal, bit, cycle }
+                        | FaultSpec::SeuReg { signal, bit, cycle } => {
+                            sim.inject_transient_flip_lane(signal, *bit, *cycle, lane)
+                        }
+                        FaultSpec::SramCorrupt { .. } => continue, // image edit above
+                    };
+                    match injected {
+                        Ok(true) => states[lane].fault_applied[i] = true,
+                        Ok(false) => {}
+                        Err(e) => {
+                            states[lane].flow_error =
+                                Some(FlowError::Fault(format!("{fault}: {e}")).to_string());
+                            states[lane].live = false;
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // Preload SRAM contents per lane (same contract as the
+            // sequential compiled path).
+            let mem_list: Vec<String> = netlist
+                .instances()
+                .iter()
+                .filter(|i| i.kind == "sram")
+                .map(|i| i.name.clone())
+                .collect();
+            for (lane, state) in states.iter_mut().enumerate() {
+                if !state.live {
+                    continue;
+                }
+                for mem_name in &mem_list {
+                    let size = sim.mem_size(mem_name).expect("sram instances have handles");
+                    let Some(image) = state.sim_mems.get(mem_name) else {
+                        state.flow_error = Some(
+                            FlowError::Stimulus(format!(
+                                "memory '{mem_name}' missing from design"
+                            ))
+                            .to_string(),
+                        );
+                        state.live = false;
+                        break;
+                    };
+                    if image.len() != size {
+                        state.failure = Some(format!(
+                            "configuration '{config_name}': memory '{mem_name}' has {size} words in the netlist but {} in the design",
+                            image.len()
+                        ));
+                        state.live = false;
+                        break;
+                    }
+                    sim.load_mem(mem_name, lane, image);
+                }
+            }
+
+            let live_mask: u64 = states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.live)
+                .fold(0u64, |m, (lane, _)| m | (1u64 << lane));
+            if live_mask == 0 {
+                break;
+            }
+            sim.set_active(live_mask);
+            let sim_started = Instant::now();
+            let summary = sim.run_batch(max_cycles);
+            sim_wall_seconds += sim_started.elapsed().as_secs_f64();
+
+            for (lane, state) in states.iter_mut().enumerate() {
+                if live_mask & (1u64 << lane) == 0 {
+                    continue;
+                }
+                let result = summary.lanes[lane].as_ref().expect("lane was active");
+                state.cycles += result.cycles;
+                match &result.outcome {
+                    LaneOutcome::Done | LaneOutcome::Watchpoint(_) => {
+                        for mem_name in &mem_list {
+                            let snapshot = sim
+                                .snapshot_mem(mem_name, lane)
+                                .expect("sram instances have handles");
+                            state.sim_mems.insert(mem_name.clone(), snapshot);
+                        }
+                    }
+                    LaneOutcome::CycleLimit => {
+                        state.timed_out = Some(
+                            FlowError::Timeout {
+                                config: config_name.clone(),
+                                max_ticks: options.max_ticks,
+                            }
+                            .to_string(),
+                        );
+                        state.live = false;
+                    }
+                    LaneOutcome::Failed(m) => {
+                        state.failure = Some(format!(
+                            "configuration '{config_name}': {}",
+                            CycleSimError::Failed(m.clone())
+                        ));
+                        state.live = false;
+                    }
+                }
+            }
+        }
+
+        // Verdict synthesis per lane, mirroring the sequential tail:
+        // unapplied faults only matter when every configuration ran,
+        // comparison only happens on clean completion.
+        let reports = states
+            .into_iter()
+            .zip(lanes)
+            .map(|(mut state, spec)| {
+                if state.failure.is_none()
+                    && state.timed_out.is_none()
+                    && state.flow_error.is_none()
+                {
+                    for (i, fault) in spec.faults.iter().enumerate() {
+                        if !state.fault_applied[i] {
+                            state.flow_error = Some(
+                                FlowError::Fault(format!(
+                                    "'{fault}' matched no signal or memory in any executed configuration"
+                                ))
+                                .to_string(),
+                            );
+                            break;
+                        }
+                    }
+                }
+                let mut mismatches = Vec::new();
+                if state.failure.is_none()
+                    && state.timed_out.is_none()
+                    && state.flow_error.is_none()
+                {
+                    let golden = &golden_runs[state.golden.expect("clean lanes ran golden")].1;
+                    for (name, golden_image) in golden {
+                        mismatches.extend(diff_images(name, golden_image, &state.sim_mems[name]));
+                    }
+                }
+                let passed = state.failure.is_none()
+                    && state.timed_out.is_none()
+                    && state.flow_error.is_none()
+                    && mismatches.is_empty();
+                LaneReport {
+                    passed,
+                    failure: state.failure,
+                    timed_out: state.timed_out,
+                    flow_error: state.flow_error,
+                    mismatches,
+                    sim_mems: state.sim_mems,
+                    cycles: state.cycles,
+                }
+            })
+            .collect();
+        Ok(BatchRunReport {
+            lanes: reports,
+            sim_wall_seconds,
+        })
+    }
+}
+
+/// One lane of a [`PreparedDesign::run_batch`] call: its stimuli and the
+/// faults to inject into that lane only.
+#[derive(Debug, Clone, Default)]
+pub struct BatchLaneSpec {
+    /// `(memory name, stimulus)` pairs, as in [`PreparedDesign::run`].
+    pub stimuli: Vec<(String, Stimulus)>,
+    /// Faults scoped to this lane (any [`FaultSpec`] class).
+    pub faults: Vec<FaultSpec>,
+}
+
+/// One lane's verdict from [`PreparedDesign::run_batch`], carrying the
+/// same strings a sequential [`TestReport`] / [`FlowError`] would.
+#[derive(Debug, Clone)]
+pub struct LaneReport {
+    /// Clean completion with golden-identical memories.
+    pub passed: bool,
+    /// Design failure, as [`TestReport::failure`] would render it.
+    pub failure: Option<String>,
+    /// Tick-budget exhaustion, as [`FlowError::Timeout`] renders it.
+    pub timed_out: Option<String>,
+    /// Any other per-lane flow error (bad stimulus, fault out of range,
+    /// golden failure, fault matching nothing), rendered via
+    /// [`FlowError`]'s `Display`.
+    pub flow_error: Option<String>,
+    /// Final-memory divergences vs this lane's golden run.
+    pub mismatches: Vec<Mismatch>,
+    /// Final simulated memories (state before the failing configuration
+    /// when the lane failed, like the sequential report).
+    pub sim_mems: BTreeMap<String, MemImage>,
+    /// Cycles executed, summed across configurations.
+    pub cycles: u64,
+}
+
+/// Result of [`PreparedDesign::run_batch`]: one report per requested
+/// lane, in request order.
+#[derive(Debug, Clone)]
+pub struct BatchRunReport {
+    /// Per-lane verdicts.
+    pub lanes: Vec<LaneReport>,
+    /// Wall-clock seconds spent inside the batch engine's schedule
+    /// walks, summed across configurations — comparable to a sequential
+    /// run's `summary.wall_seconds` (golden execution, elaboration, and
+    /// comparison are excluded on both sides).
+    pub sim_wall_seconds: f64,
 }
 
 /// Runs the transform stage (XML emission, stylesheet translation,
@@ -1027,15 +1452,10 @@ fn simulate_prepared(
     // configuration preloads them (the flipped word must not re-flip at
     // later reconfigurations).
     let mut fault_applied = vec![false; options.faults.len()];
-    let mut fault_skips = Vec::new();
+    // Every engine now expresses every fault class; the skip channel
+    // stays for future inexpressible classes and for report parity.
+    let fault_skips: Vec<String> = Vec::new();
     for (i, fault) in options.faults.iter().enumerate() {
-        if options.engine == Engine::Level && fault.is_transient() {
-            fault_skips.push(format!(
-                "{fault}: the level engine cannot express transient faults"
-            ));
-            fault_applied[i] = true;
-            continue;
-        }
         if let FaultSpec::SramCorrupt { mem, addr, bit } = fault {
             if let Some(image) = sim_mems.get_mut(mem) {
                 if *addr >= image.len() || *bit >= design.width {
@@ -1089,13 +1509,9 @@ fn simulate_prepared(
                         .inject_stuck(signal, *bit, *value)
                         .map_err(|e| FlowError::Fault(format!("{fault}: {e}")))?,
                     FaultSpec::BitFlip { signal, bit, cycle }
-                    | FaultSpec::SeuReg { signal, bit, cycle } => {
-                        if options.engine == Engine::Level {
-                            continue; // already recorded in fault_skips
-                        }
-                        csim.inject_flip(signal, *bit, *cycle)
-                            .map_err(|e| FlowError::Fault(format!("{fault}: {e}")))?
-                    }
+                    | FaultSpec::SeuReg { signal, bit, cycle } => csim
+                        .inject_flip(signal, *bit, *cycle)
+                        .map_err(|e| FlowError::Fault(format!("{fault}: {e}")))?,
                     FaultSpec::SramCorrupt { .. } => continue, // image edit above
                 };
                 if injected {
@@ -1116,23 +1532,18 @@ fn simulate_prepared(
                 .map(|i| i.name.clone())
                 .collect();
             for mem_name in &mem_list {
-                let handle = csim.mem(mem_name).expect("sram instances have handles");
+                let size = csim.mem_size(mem_name).expect("sram instances have handles");
                 let image = sim_mems.get(mem_name).ok_or_else(|| {
                     FlowError::Stimulus(format!("memory '{mem_name}' missing from design"))
                 })?;
-                if image.len() != handle.size() {
+                if image.len() != size {
                     failure = Some(format!(
-                        "configuration '{config_name}': memory '{mem_name}' has {} words in the netlist but {} in the design",
-                        handle.size(),
+                        "configuration '{config_name}': memory '{mem_name}' has {size} words in the netlist but {} in the design",
                         image.len()
                     ));
                     break;
                 }
-                for (addr, word) in image.iter().enumerate() {
-                    if let Some(v) = word {
-                        handle.store(addr, *v);
-                    }
-                }
+                csim.load_mem(mem_name, image);
             }
             if failure.is_some() {
                 break;
@@ -1218,8 +1629,10 @@ fn simulate_prepared(
                 break;
             }
             for mem_name in &mem_list {
-                let handle = csim.mem(mem_name).expect("sram instances have handles");
-                sim_mems.insert(mem_name.clone(), handle.snapshot());
+                let snapshot = csim
+                    .snapshot_mem(mem_name)
+                    .expect("sram instances have handles");
+                sim_mems.insert(mem_name.clone(), snapshot);
             }
             continue;
         }

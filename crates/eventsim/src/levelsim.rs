@@ -63,6 +63,11 @@ pub struct LevelSim {
     /// `model.srams`: a committed write dirties the read path even though
     /// no signal changed.
     sram_read_pos: Vec<u32>,
+    /// Schedule position of the comb driving each value slot
+    /// (`u32::MAX` for sequential/constant slots with no comb producer).
+    /// A transient flip re-dirties the producer so the settle recomputes
+    /// it away, matching the cycle sweeper's fixpoint semantics.
+    producer_pos: Vec<u32>,
     /// Dirty bitset over schedule positions.
     dirty: Vec<u64>,
     dirty_count: usize,
@@ -223,6 +228,11 @@ impl LevelSim {
             }
         }
 
+        let mut producer_pos = vec![u32::MAX; model.values.len()];
+        for (i, comb) in model.combs.iter().enumerate() {
+            producer_pos[comb.y()] = pos_of[i];
+        }
+
         let sram_read_pos = model
             .srams
             .iter()
@@ -277,6 +287,7 @@ impl LevelSim {
             fanout_starts,
             fanout,
             sram_read_pos,
+            producer_pos,
             dirty: vec![0u64; words],
             dirty_count: 0,
             reg_fanout_starts,
@@ -359,24 +370,29 @@ impl LevelSim {
         }
     }
 
-    /// Transient faults are **not** expressible on this engine: the
-    /// incremental schedule cannot cheaply restore a flipped value and
-    /// re-dirty its producers mid-run, so the method always fails. The
-    /// flow layer reports this fault class as skipped-with-reason for the
-    /// level engine instead of calling here.
+    /// Schedules a one-cycle transient flip: at the start of the walk
+    /// whose cycle number matches, the bit is XORed into the slot's
+    /// value before the reset drive and the settle — the same timing as
+    /// [`CycleSim`](crate::cyclesim::CycleSim). The flipped slot's
+    /// producer (when comb-driven) and readers are re-dirtied so the
+    /// incremental settle reaches the exact fixpoint the full sweep
+    /// would: comb-driven flips are recomputed away, flips on
+    /// sequential outputs (register `q`, FSM outputs, constants)
+    /// persist for that one walk and propagate.
+    ///
+    /// Returns `false` when no such signal exists in this model.
     ///
     /// # Errors
     ///
-    /// Always returns [`CycleSimError::Build`].
+    /// Returns [`CycleSimError::Build`] when `bit` is out of range for
+    /// the signal's width.
     pub fn inject_transient_flip(
         &mut self,
         signal: &str,
-        _bit: u32,
-        _cycle: u64,
+        bit: u32,
+        cycle: u64,
     ) -> Result<bool, CycleSimError> {
-        Err(CycleSimError::Build(format!(
-            "the level engine cannot express a transient flip on '{signal}'"
-        )))
+        Ok(self.model.inject_flip(signal, bit, cycle)?.is_some())
     }
 
     /// Cycles executed so far.
@@ -480,6 +496,14 @@ impl LevelSim {
     /// was called.
     pub fn profile(&self) -> Option<&LevelProfile> {
         self.profile.as_deref()
+    }
+
+    /// Decomposes the engine into the flat model and the compiled rank
+    /// schedule (comb indices in evaluation order). The batch engine
+    /// flattens both into its lane-parallel bytecode instead of walking
+    /// the CSR tables.
+    pub(crate) fn into_parts(self) -> (FlatModel, Vec<u32>) {
+        (self.model, self.order)
     }
 
     /// Rewinds a built (and control-unit-attached) simulator to its
@@ -605,6 +629,30 @@ impl LevelSim {
     ///
     /// Propagates design failures ([`CycleSimError::Failed`]).
     pub fn step(&mut self) -> Result<Option<CycleOutcome>, CycleSimError> {
+        // Transient fault flips scheduled for this cycle apply before
+        // the reset drive and the settle, with the cycle sweeper's
+        // timing. Re-dirtying the producer position makes the settle
+        // erase comb-driven flips (the sweeper's fixpoint does this
+        // implicitly); re-dirtying the readers propagates surviving
+        // flips on sequential outputs.
+        if !self.model.fault_flips.is_empty() {
+            for i in 0..self.model.fault_flips.len() {
+                let (cycle, slot, mask) = self.model.fault_flips[i];
+                if cycle == self.cycles {
+                    let v = self.model.values[slot];
+                    if let Some(bits) = v.try_u64() {
+                        self.model.values[slot] =
+                            Value::known(v.width(), (bits ^ mask) as i64);
+                        let producer = self.producer_pos[slot];
+                        if producer != u32::MAX {
+                            self.mark_pos(producer as usize);
+                        }
+                        self.mark_slot(slot);
+                    }
+                }
+            }
+        }
+
         // Reset generators assert during cycle 0.
         let reset_active = self.cycles == 0;
         for i in 0..self.model.reset_signals.len() {

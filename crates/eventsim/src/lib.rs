@@ -46,6 +46,7 @@
 //! ```
 
 mod component;
+pub mod batchsim;
 pub mod cyclesim;
 pub mod cpu;
 pub mod faults;

@@ -1,0 +1,479 @@
+//! Batch-engine lane bit-identity: every lane of a `BatchSim` walk must
+//! match a fresh sequential `LevelSim` run of that lane's configuration
+//! — same signal values, same memory images, same cycle counts, same
+//! outcomes and failure messages. Lanes differ by per-lane fault
+//! injections (the fault-campaign batching contract: 64 sites per
+//! walk), so the parity check covers clean lanes, stuck-at clamps,
+//! transient flips on both sequential and combinational signals,
+//! design failures, and cycle-limit exhaustion in one run.
+
+use eventsim::batchsim::{BatchSim, LaneOutcome, LANES};
+use eventsim::cyclesim::CycleOutcome;
+use eventsim::levelsim::LevelSim;
+use eventsim::netlist::{Instance, Netlist};
+use eventsim::ops::{FsmState, FsmTable, FsmTransition};
+use eventsim::Value;
+use std::collections::BTreeMap;
+
+const WIDTH: u32 = 16;
+const MAX_CYCLES: u64 = 60;
+
+/// The `reset_state` integration design: counter, ripple arithmetic,
+/// enable-gated register, written SRAM, FSM control unit, watchpoint.
+fn build_netlist() -> Netlist {
+    let mut nl = Netlist::new("batch");
+    for (name, width) in [
+        ("clk", 1),
+        ("rst", 1),
+        ("cnt", WIDTH),
+        ("addr", WIDTH),
+        ("sum", WIDTH),
+        ("prod", WIDTH),
+        ("en", 1),
+        ("held", WIDTH),
+        ("dout", WIDTH),
+        ("one", WIDTH),
+        ("three", WIDTH),
+        ("bit1", 1),
+        ("wen", 1),
+        ("fsm_out", WIDTH),
+    ] {
+        nl.add_signal(name, width);
+    }
+    nl.add_instance(
+        Instance::new("clock0", "clock")
+            .with_param("period", 10)
+            .with_conn("y", "clk"),
+    );
+    nl.add_instance(
+        Instance::new("c1", "const")
+            .with_param("width", WIDTH)
+            .with_param("value", 1)
+            .with_conn("y", "one"),
+    );
+    nl.add_instance(
+        Instance::new("c3", "const")
+            .with_param("width", WIDTH)
+            .with_param("value", 3)
+            .with_conn("y", "three"),
+    );
+    nl.add_instance(Instance::new("reset0", "reset").with_conn("y", "rst"));
+    nl.add_instance(
+        Instance::new("cnt0", "reg")
+            .with_param("width", WIDTH)
+            .with_conn("clk", "clk")
+            .with_conn("d", "sum")
+            .with_conn("q", "cnt")
+            .with_conn("rst", "rst"),
+    );
+    nl.add_instance(
+        Instance::new("mask", "and")
+            .with_param("width", WIDTH)
+            .with_conn("a", "cnt")
+            .with_conn("b", "three")
+            .with_conn("y", "addr"),
+    );
+    nl.add_instance(
+        Instance::new("add0", "add")
+            .with_param("width", WIDTH)
+            .with_conn("a", "cnt")
+            .with_conn("b", "one")
+            .with_conn("y", "sum"),
+    );
+    nl.add_instance(
+        Instance::new("mul0", "mul")
+            .with_param("width", WIDTH)
+            .with_conn("a", "sum")
+            .with_conn("b", "three")
+            .with_conn("y", "prod"),
+    );
+    nl.add_instance(
+        Instance::new("lsb", "and")
+            .with_param("width", 1)
+            .with_conn("a", "cnt")
+            .with_conn("b", "one")
+            .with_conn("y", "en"),
+    );
+    nl.add_instance(
+        Instance::new("hold", "reg")
+            .with_param("width", WIDTH)
+            .with_conn("clk", "clk")
+            .with_conn("d", "prod")
+            .with_conn("q", "held")
+            .with_conn("en", "en"),
+    );
+    nl.add_instance(
+        Instance::new("cb1", "const")
+            .with_param("width", 1)
+            .with_param("value", 1)
+            .with_conn("y", "bit1"),
+    );
+    nl.add_instance(
+        Instance::new("notrst", "xor")
+            .with_param("width", 1)
+            .with_conn("a", "rst")
+            .with_conn("b", "bit1")
+            .with_conn("y", "wen"),
+    );
+    nl.add_instance(
+        Instance::new("m0", "sram")
+            .with_param("width", WIDTH)
+            .with_param("size", 4)
+            .with_conn("clk", "clk")
+            .with_conn("en", "one")
+            .with_conn("we", "wen")
+            .with_conn("addr", "addr")
+            .with_conn("din", "prod")
+            .with_conn("dout", "dout"),
+    );
+    nl.add_instance(
+        Instance::new("stopper", "watchpoint")
+            .with_param("value", 12)
+            .with_conn("sig", "cnt"),
+    );
+    nl
+}
+
+fn control_table() -> FsmTable {
+    let states = vec![
+        FsmState {
+            name: "idle".to_string(),
+            outputs: vec![(0, 5)],
+            transitions: vec![
+                FsmTransition {
+                    condition: Some((0, true)),
+                    target: 1,
+                },
+                FsmTransition {
+                    condition: None,
+                    target: 0,
+                },
+            ],
+            terminal: false,
+        },
+        FsmState {
+            name: "busy".to_string(),
+            outputs: vec![(0, 9)],
+            transitions: vec![FsmTransition {
+                condition: None,
+                target: 0,
+            }],
+            terminal: false,
+        },
+    ];
+    FsmTable::new(states, 1, 1).expect("table validates")
+}
+
+const PROBES: [&str; 10] = [
+    "cnt", "addr", "sum", "prod", "en", "held", "dout", "one", "three", "fsm_out",
+];
+
+const PRELOAD: [i64; 4] = [7, 11, 13, 17];
+
+/// One lane's fault configuration, appliable to either engine.
+#[derive(Debug, Clone, Copy)]
+enum Fault {
+    None,
+    Stuck(&'static str, u32, bool),
+    Flip(&'static str, u32, u64),
+}
+
+/// The per-lane fault plan: clean lanes, clamps that change control
+/// flow, clamps that fail the design, flips on sequential and
+/// combinational signals. Lanes past the list run clean.
+fn fault_plan() -> Vec<Fault> {
+    vec![
+        Fault::None,
+        // Counter LSB stuck high: cnt can never equal 12, so the
+        // watchpoint never fires and the lane exhausts the budget.
+        Fault::Stuck("cnt", 0, true),
+        // Write-enable stuck high: the cycle-0 write sees the X counter
+        // address — a design failure.
+        Fault::Stuck("wen", 0, true),
+        Fault::Stuck("sum", 1, false),
+        // Flip on a register output persists for one walk.
+        Fault::Flip("cnt", 2, 3),
+        // Flip on a comb output is recomputed away by the settle.
+        Fault::Flip("sum", 0, 4),
+        Fault::Stuck("fsm_out", 3, true),
+        Fault::Stuck("en", 0, false),
+        Fault::Stuck("addr", 1, true),
+        Fault::Flip("held", 3, 5),
+    ]
+}
+
+#[derive(Debug, PartialEq)]
+struct LaneSnapshot {
+    outcome: LaneOutcome,
+    cycles: u64,
+    values: BTreeMap<String, Option<Value>>,
+    mem: Vec<Option<i64>>,
+}
+
+/// Runs one configuration through a fresh sequential level engine.
+fn level_reference(nl: &Netlist, fault: Fault) -> LaneSnapshot {
+    let mut sim = LevelSim::from_netlist(nl).expect("netlist builds");
+    sim.add_control_unit("ctl", &["wen"], &[("fsm_out", WIDTH)], control_table())
+        .expect("control unit attaches");
+    match fault {
+        Fault::None => {}
+        Fault::Stuck(signal, bit, value) => {
+            assert!(sim.inject_stuck_at(signal, bit, value).expect("injects"));
+        }
+        Fault::Flip(signal, bit, cycle) => {
+            assert!(sim
+                .inject_transient_flip(signal, bit, cycle)
+                .expect("injects"));
+        }
+    }
+    sim.mem("m0").expect("sram exists").fill(PRELOAD);
+    let (outcome, cycles) = match sim.run(MAX_CYCLES) {
+        Ok(summary) => (
+            match summary.outcome {
+                CycleOutcome::Done => LaneOutcome::Done,
+                CycleOutcome::Watchpoint(name) => LaneOutcome::Watchpoint(name),
+                CycleOutcome::CycleLimit => LaneOutcome::CycleLimit,
+            },
+            summary.cycles,
+        ),
+        Err(eventsim::cyclesim::CycleSimError::Failed(m)) => {
+            (LaneOutcome::Failed(m), sim.cycles())
+        }
+        Err(e) => panic!("unexpected level-engine error: {e}"),
+    };
+    LaneSnapshot {
+        outcome,
+        cycles,
+        values: PROBES
+            .iter()
+            .map(|name| (name.to_string(), sim.value(name)))
+            .collect(),
+        mem: sim.mem("m0").expect("sram exists").snapshot(),
+    }
+}
+
+fn batch_snapshot(sim: &BatchSim, lane: usize, result: &eventsim::batchsim::LaneResult) -> LaneSnapshot {
+    LaneSnapshot {
+        outcome: result.outcome.clone(),
+        cycles: result.cycles,
+        values: PROBES
+            .iter()
+            .map(|name| (name.to_string(), sim.value_lane(name, lane)))
+            .collect(),
+        mem: sim.snapshot_mem("m0", lane).expect("sram exists"),
+    }
+}
+
+/// The headline contract: all 64 lanes of one batch walk, with per-lane
+/// faults, against 64 fresh sequential runs.
+#[test]
+fn every_lane_matches_a_fresh_sequential_run() {
+    let nl = build_netlist();
+    let plan = fault_plan();
+
+    let mut batch = BatchSim::from_netlist(&nl).expect("netlist builds");
+    batch
+        .add_control_unit("ctl", &["wen"], &[("fsm_out", WIDTH)], control_table())
+        .expect("control unit attaches");
+    for lane in 0..LANES {
+        match plan.get(lane).copied().unwrap_or(Fault::None) {
+            Fault::None => {}
+            Fault::Stuck(signal, bit, value) => {
+                assert!(batch
+                    .inject_stuck_at_lane(signal, bit, value, lane)
+                    .expect("injects"));
+            }
+            Fault::Flip(signal, bit, cycle) => {
+                assert!(batch
+                    .inject_transient_flip_lane(signal, bit, cycle, lane)
+                    .expect("injects"));
+            }
+        }
+    }
+    let preload: Vec<Option<i64>> = PRELOAD.iter().copied().map(Some).collect();
+    assert!(batch.load_mem_all("m0", &preload));
+    let summary = batch.run_batch(MAX_CYCLES);
+
+    let clean = level_reference(&nl, Fault::None);
+    for lane in 0..LANES {
+        let fault = plan.get(lane).copied().unwrap_or(Fault::None);
+        let result = summary.lanes[lane].as_ref().expect("lane is active");
+        let got = batch_snapshot(&batch, lane, result);
+        let want = if matches!(fault, Fault::None) && lane > 0 {
+            // Clean lanes share the single reference run.
+            LaneSnapshot {
+                outcome: clean.outcome.clone(),
+                cycles: clean.cycles,
+                values: clean.values.clone(),
+                mem: clean.mem.clone(),
+            }
+        } else {
+            level_reference(&nl, fault)
+        };
+        assert_eq!(got, want, "lane {lane} (fault {fault:?}) diverges");
+    }
+}
+
+/// Division and remainder by zero must fail the precise lanes at the
+/// precise cycle, with the sequential engine's message, while other
+/// lanes walk on.
+#[test]
+fn division_by_zero_fails_per_lane_like_sequential() {
+    let mut nl = Netlist::new("divzero");
+    for (name, width) in [
+        ("clk", 1),
+        ("rst", 1),
+        ("cnt", 8),
+        ("sum", 8),
+        ("one", 8),
+        ("five", 8),
+        ("quot", 8),
+    ] {
+        nl.add_signal(name, width);
+    }
+    nl.add_instance(
+        Instance::new("clock0", "clock")
+            .with_param("period", 10)
+            .with_conn("y", "clk"),
+    );
+    nl.add_instance(Instance::new("reset0", "reset").with_conn("y", "rst"));
+    nl.add_instance(
+        Instance::new("c1", "const")
+            .with_param("width", 8)
+            .with_param("value", 1)
+            .with_conn("y", "one"),
+    );
+    nl.add_instance(
+        Instance::new("c5", "const")
+            .with_param("width", 8)
+            .with_param("value", 5)
+            .with_conn("y", "five"),
+    );
+    nl.add_instance(
+        Instance::new("cnt0", "reg")
+            .with_param("width", 8)
+            .with_conn("clk", "clk")
+            .with_conn("d", "sum")
+            .with_conn("q", "cnt")
+            .with_conn("rst", "rst"),
+    );
+    nl.add_instance(
+        Instance::new("add0", "add")
+            .with_param("width", 8)
+            .with_conn("a", "cnt")
+            .with_conn("b", "one")
+            .with_conn("y", "sum"),
+    );
+    // cnt is 0 during cycle 1 (reset commit), so the divide fails then.
+    nl.add_instance(
+        Instance::new("div0", "div")
+            .with_param("width", 8)
+            .with_conn("a", "five")
+            .with_conn("b", "cnt")
+            .with_conn("y", "quot"),
+    );
+
+    let mut level = LevelSim::from_netlist(&nl).expect("netlist builds");
+    let err = level.run(10).expect_err("divide by zero fails");
+    let eventsim::cyclesim::CycleSimError::Failed(want_msg) = err else {
+        panic!("unexpected error kind: {err}");
+    };
+    assert_eq!(want_msg, "div0: division by zero");
+    let want_cycles = level.cycles();
+
+    let mut batch = BatchSim::from_netlist(&nl).expect("netlist builds");
+    let summary = batch.run_batch(10);
+    for lane in 0..LANES {
+        let result = summary.lanes[lane].as_ref().expect("lane is active");
+        assert_eq!(
+            result.outcome,
+            LaneOutcome::Failed(want_msg.clone()),
+            "lane {lane}"
+        );
+        assert_eq!(result.cycles, want_cycles, "lane {lane}");
+    }
+}
+
+/// `set_active` scopes a run to a lane subset: excluded lanes report
+/// `None` and never advance.
+#[test]
+fn inactive_lanes_stay_untouched() {
+    let nl = build_netlist();
+    let mut batch = BatchSim::from_netlist(&nl).expect("netlist builds");
+    batch.set_active(0b101);
+    let summary = batch.run_batch(MAX_CYCLES);
+    for lane in 0..LANES {
+        match lane {
+            0 | 2 => assert!(summary.lanes[lane].is_some(), "lane {lane} ran"),
+            _ => assert!(summary.lanes[lane].is_none(), "lane {lane} excluded"),
+        }
+    }
+}
+
+/// `reset_state` parity: run → reset → run must equal a fresh build on
+/// every lane, faults and memories cleared, counters rewound — the
+/// serve-cache reuse contract, same as the sequential engines.
+#[test]
+fn reset_matches_fresh_build() {
+    let nl = build_netlist();
+
+    let run_once = |sim: &mut BatchSim| {
+        let preload: Vec<Option<i64>> = PRELOAD.iter().copied().map(Some).collect();
+        assert!(sim.load_mem_all("m0", &preload));
+        let summary = sim.run_batch(MAX_CYCLES);
+        let evals = sim.comb_evals();
+        (summary, evals)
+    };
+
+    let mut fresh = BatchSim::from_netlist(&nl).expect("netlist builds");
+    fresh
+        .add_control_unit("ctl", &["wen"], &[("fsm_out", WIDTH)], control_table())
+        .expect("control unit attaches");
+    let (fresh_summary, fresh_evals) = run_once(&mut fresh);
+    let fresh_lane0 = batch_snapshot(&fresh, 0, fresh_summary.lanes[0].as_ref().unwrap());
+
+    let mut reused = BatchSim::from_netlist(&nl).expect("netlist builds");
+    reused
+        .add_control_unit("ctl", &["wen"], &[("fsm_out", WIDTH)], control_table())
+        .expect("control unit attaches");
+    reused
+        .inject_stuck_at_lane("cnt", 0, true, 7)
+        .expect("injects")
+        .then_some(())
+        .expect("signal exists");
+    let _ = run_once(&mut reused);
+    reused.reset_state();
+    assert_eq!(reused.cycles(), 0, "cycle counter rewinds");
+    assert_eq!(reused.comb_evals(), 0, "eval counter rewinds");
+    assert!(
+        reused
+            .snapshot_mem("m0", 7)
+            .expect("sram exists")
+            .iter()
+            .all(Option::is_none),
+        "memories return to uninitialized"
+    );
+    let (again_summary, again_evals) = run_once(&mut reused);
+    let again_lane0 = batch_snapshot(&reused, 0, again_summary.lanes[0].as_ref().unwrap());
+    assert_eq!(again_lane0, fresh_lane0, "reset + re-run equals fresh");
+    assert_eq!(again_evals, fresh_evals, "eval counters agree");
+    // The lane-7 stuck-at was cleared by the reset: lane 7 now matches
+    // the clean lane 0.
+    let lane7 = batch_snapshot(&reused, 7, again_summary.lanes[7].as_ref().unwrap());
+    assert_eq!(lane7, fresh_lane0, "reset cleared the lane fault");
+}
+
+/// The sequential-compatible `run` wrapper reports lane 0 in the
+/// `CycleSummary` shape the engine interface expects.
+#[test]
+fn run_wrapper_matches_level_summary() {
+    let nl = build_netlist();
+    let mut level = LevelSim::from_netlist(&nl).expect("netlist builds");
+    let want = level.run(MAX_CYCLES).expect("level run completes");
+
+    let mut batch = BatchSim::from_netlist(&nl).expect("netlist builds");
+    let got = batch.run(MAX_CYCLES).expect("batch run completes");
+    assert_eq!(got.outcome, want.outcome);
+    assert_eq!(got.cycles, want.cycles);
+    assert_eq!(batch.cycles(), level.cycles());
+}

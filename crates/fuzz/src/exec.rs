@@ -319,7 +319,7 @@ pub fn run_case(case: &Case, width: u32, opts: &ExecOptions) -> CaseOutcome {
 
 /// The cross-engine leg of the differential matrix: once the event
 /// kernel passes a variant, the same design re-runs on the compiled
-/// cycle and level engines and the final memories must be
+/// cycle, level, and batch engines and the final memories must be
 /// word-identical to the event kernel's. Coverage stays off on these
 /// runs — the compiled engines reject observability features, and the
 /// pass-side coverage keys must not change just because extra engines
@@ -332,7 +332,7 @@ fn check_engines(
     event_options: &FlowOptions,
     event_report: &TestReport,
 ) -> Option<Divergence> {
-    for engine in [Engine::Cycle, Engine::Level] {
+    for engine in [Engine::Cycle, Engine::Level, Engine::Batch] {
         let options = FlowOptions {
             engine,
             coverage: false,

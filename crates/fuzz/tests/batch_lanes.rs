@@ -1,0 +1,154 @@
+//! The batch engine's lane-equivalence property, fuzzed.
+//!
+//! For random generated programs and 64 random stimulus vectors, lane
+//! `k` of one [`PreparedDesign::run_batch`] walk must be
+//! indistinguishable from a fresh sequential `--engine level` run of
+//! vector `k` alone: same verdict, same failure/timeout strings, same
+//! final memories, same cycle counts. This is the correctness bar of
+//! the batch engine — packing 64 stimuli into one schedule walk is an
+//! implementation detail no observer may detect.
+
+use fpgafuzz::gen::{generate_case, Budget, Case};
+use fpgatest::flow::{
+    prepare_design, run_design, BatchLaneSpec, Engine, FlowError, FlowOptions,
+};
+use fpgatest::stimulus::Stimulus;
+use nenya::{compile_program, CompileOptions};
+use proptest::prelude::*;
+
+const WIDTH: u32 = 16;
+const LANES: usize = 64;
+
+fn regenerate(seed: u64, index: u64) -> Case {
+    let budget = Budget {
+        width: WIDTH,
+        ..Budget::default()
+    };
+    generate_case(seed, index, &budget).expect("generator emits valid programs")
+}
+
+/// Deterministic value stream for lane stimuli (splitmix64).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// 64 independent stimulus vectors with the same memory shapes as the
+/// generated case, each lane's values drawn from its own seeded stream.
+fn lane_stimuli(case: &Case, lane_seed: u64) -> Vec<Vec<(String, Stimulus)>> {
+    (0..LANES)
+        .map(|lane| {
+            let mut state = lane_seed ^ (lane as u64).wrapping_mul(0xa076_1d64_78bd_642f);
+            case.stimuli
+                .iter()
+                .map(|(mem, values)| {
+                    let fresh: Vec<i64> = values
+                        .iter()
+                        .map(|_| (splitmix64(&mut state) & 0xFFFF) as i64)
+                        .collect();
+                    (mem.clone(), Stimulus::from_values(fresh))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Batch lane `k` ≡ fresh sequential level run of vector `k`.
+    #[test]
+    fn batch_lanes_match_fresh_sequential_level_runs(
+        seed in any::<u64>(),
+        index in 0u64..1024,
+        lane_seed in any::<u64>(),
+    ) {
+        let case = regenerate(seed, index);
+        let options = CompileOptions {
+            width: WIDTH,
+            ..CompileOptions::default()
+        };
+        let design = compile_program("gen", &case.program, &options)
+            .expect("generator emits valid programs");
+        let stimuli = lane_stimuli(&case, lane_seed);
+
+        let flow_options = FlowOptions {
+            max_ticks: 200_000,
+            ..FlowOptions::default()
+        };
+        let prepared = prepare_design(design.clone()).expect("prepared design");
+        let specs: Vec<BatchLaneSpec> = stimuli
+            .iter()
+            .map(|lane| BatchLaneSpec {
+                stimuli: lane.clone(),
+                faults: Vec::new(),
+            })
+            .collect();
+        let batch = prepared
+            .run_batch(&specs, &flow_options)
+            .expect("batch run on a valid generated design");
+        prop_assert_eq!(batch.lanes.len(), LANES);
+
+        for (k, lane) in batch.lanes.iter().enumerate() {
+            let sequential_options = FlowOptions {
+                engine: Engine::Level,
+                ..flow_options.clone()
+            };
+            match run_design(&design, &stimuli[k], &sequential_options) {
+                Ok(report) => {
+                    prop_assert_eq!(
+                        lane.flow_error.as_deref(), None,
+                        "lane {}: unexpected flow error", k
+                    );
+                    prop_assert_eq!(
+                        lane.timed_out.as_deref(), None,
+                        "lane {}: batch timed out, sequential did not", k
+                    );
+                    prop_assert_eq!(
+                        lane.passed, report.passed,
+                        "lane {}: verdicts disagree", k
+                    );
+                    prop_assert_eq!(
+                        &lane.failure, &report.failure,
+                        "lane {}: failure strings disagree", k
+                    );
+                    prop_assert_eq!(
+                        &lane.mismatches, &report.mismatches,
+                        "lane {}: golden mismatches disagree", k
+                    );
+                    prop_assert_eq!(
+                        &lane.sim_mems, &report.sim_mems,
+                        "lane {}: final memories disagree", k
+                    );
+                    let sequential_cycles: u64 =
+                        report.runs.iter().map(|r| r.cycles).sum();
+                    prop_assert_eq!(
+                        lane.cycles, sequential_cycles,
+                        "lane {}: cycle counts disagree", k
+                    );
+                }
+                Err(FlowError::Timeout { .. }) => {
+                    let rendered = run_design(&design, &stimuli[k], &sequential_options)
+                        .unwrap_err()
+                        .to_string();
+                    prop_assert_eq!(
+                        lane.timed_out.as_deref(),
+                        Some(rendered.as_str()),
+                        "lane {}: timeout strings disagree", k
+                    );
+                }
+                Err(e) => {
+                    let rendered = e.to_string();
+                    prop_assert_eq!(
+                        lane.flow_error.as_deref(),
+                        Some(rendered.as_str()),
+                        "lane {}: flow errors disagree", k
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,9 +1,9 @@
 //! Cross-engine equivalence over the checked-in corpus, plus the
 //! levelization-order property.
 //!
-//! The event kernel is the reference semantics; the compiled cycle and
-//! level engines must leave *word-identical* final memories on every
-//! corpus case. A second, structural property checks the level engine's
+//! The event kernel is the reference semantics; the compiled cycle,
+//! level, and batch engines must leave *word-identical* final memories
+//! on every corpus case. A second, structural property checks the level engine's
 //! schedule itself: in the rank table of every generated netlist, each
 //! combinational instance is ranked strictly after all of its producers,
 //! so a single ascending pass per clock phase is sufficient.
@@ -56,7 +56,7 @@ fn flow(case: &Case, engine: Engine) -> TestFlow {
     flow
 }
 
-/// Every corpus case, replayed on all three engines: all must pass the
+/// Every corpus case, replayed on all four engines: all must pass the
 /// golden comparison *and* agree with each other word for word.
 #[test]
 fn corpus_final_memories_identical_across_engines() {
@@ -70,7 +70,7 @@ fn corpus_final_memories_identical_across_engines() {
             "case {seed}/{index} fails on the event kernel:\n{}",
             event.render()
         );
-        for engine in [Engine::Cycle, Engine::Level] {
+        for engine in [Engine::Cycle, Engine::Level, Engine::Batch] {
             let compiled = flow(&case, engine)
                 .run()
                 .unwrap_or_else(|e| panic!("case {seed}/{index}: {engine} flow: {e}"));

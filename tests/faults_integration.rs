@@ -212,8 +212,44 @@ fn seeded_campaign_classifies_every_injection_without_crashing() {
 }
 
 #[test]
-fn level_engine_reports_transient_faults_as_skips_not_passes() {
-    let case = passing_case("transient_on_level");
+fn batch_campaign_matches_level_campaign_classification() {
+    // The batch engine dispatches 64 fault sites per walk; every lane's
+    // verdict (outcome and detail string) must be identical to what a
+    // sequential level-engine campaign over the same seeded site list
+    // produces.
+    let case = passing_case("batch_parity");
+    let mut reports = Vec::new();
+    for engine in [Engine::Level, Engine::Batch] {
+        let options = CampaignOptions {
+            seed: 7,
+            sites: 150,
+            engine,
+            max_ticks: Some(20_000),
+            ..CampaignOptions::default()
+        };
+        reports.push(run_campaign(&case, &options).expect("campaign runs"));
+    }
+    let (level, batch) = (&reports[0], &reports[1]);
+    assert_eq!(level.injections.len(), batch.injections.len());
+    for (l, b) in level.injections.iter().zip(&batch.injections) {
+        assert_eq!(l.fault, b.fault, "seeded site lists diverged");
+        assert_eq!(
+            (&l.outcome, &l.detail),
+            (&b.outcome, &b.detail),
+            "batch lane disagrees with sequential level run on {}",
+            l.fault
+        );
+    }
+    assert!(level.count(InjectionOutcome::Detected) > 0);
+}
+
+#[test]
+fn no_engine_reports_transient_skips() {
+    // Transient faults (flip/seu) are now expressible on every engine:
+    // a single-fault flow run on the level engine injects instead of
+    // skipping, and a full campaign on each engine classifies every
+    // transient site as something other than Skipped.
+    let case = passing_case("transient_everywhere");
     let flow = TestFlow::new(&case.name, &case.source)
         .stimulus("inp", stimulus())
         .with_options(FlowOptions {
@@ -227,35 +263,68 @@ fn level_engine_reports_transient_faults_as_skips_not_passes() {
         });
     let report = flow.run().expect("flow runs");
     assert!(
-        !report.fault_skips.is_empty(),
-        "the level engine cannot express transients and must say so"
-    );
-    assert!(
-        report.fault_skips[0].contains("level"),
-        "{:?}",
+        report.fault_skips.is_empty(),
+        "the level engine must inject transients, not skip them: {:?}",
         report.fault_skips
     );
 
-    // The campaign layer turns that into Skipped, never Silent.
-    let options = CampaignOptions {
-        seed: 3,
-        sites: 400,
-        engine: Engine::Level,
-        max_ticks: Some(20_000),
-        ..CampaignOptions::default()
-    };
-    let campaign = run_campaign(&case, &options).expect("campaign runs");
-    for record in &campaign.injections {
-        if record.fault.is_transient() {
-            assert_eq!(
+    for engine in Engine::ALL {
+        let options = CampaignOptions {
+            seed: 3,
+            sites: 120,
+            engine,
+            max_ticks: Some(20_000),
+            ..CampaignOptions::default()
+        };
+        let campaign = run_campaign(&case, &options).expect("campaign runs");
+        assert!(
+            campaign.injections.iter().any(|r| r.fault.is_transient()),
+            "engine {engine}: the sampled campaign must include transient sites"
+        );
+        for record in &campaign.injections {
+            assert_ne!(
                 record.outcome,
                 InjectionOutcome::Skipped,
-                "{} must be skipped on the level engine, got {}: {}",
+                "engine {engine}: {} must classify, got Skipped: {}",
                 record.fault,
-                record.outcome,
                 record.detail
             );
         }
+    }
+}
+
+#[test]
+fn transient_faults_agree_across_cycle_and_level_engines() {
+    // The same scheduled flip must produce the same verdict and the
+    // same final memories on both compiled engines — the level engine's
+    // incremental settle reaches the sweeper's fixpoint exactly.
+    let signal = loop_condition_signal(PROGRAM);
+    for cycle in [1u64, 2, 3, 5, 8] {
+        let fault = FaultSpec::BitFlip {
+            signal: signal.clone(),
+            bit: 0,
+            cycle,
+        };
+        let mut reports = Vec::new();
+        for engine in [Engine::Cycle, Engine::Level] {
+            let flow = TestFlow::new("transient_xengine", PROGRAM)
+                .stimulus("inp", stimulus())
+                .with_options(FlowOptions {
+                    engine,
+                    faults: vec![fault.clone()],
+                    max_ticks: 20_000,
+                    ..FlowOptions::default()
+                });
+            match flow.run() {
+                Ok(report) => reports.push(Some((report.passed, report.sim_mems))),
+                Err(fpgatest::flow::FlowError::Timeout { .. }) => reports.push(None),
+                Err(e) => panic!("engine {engine}, cycle {cycle}: unexpected error: {e}"),
+            }
+        }
+        assert_eq!(
+            reports[0], reports[1],
+            "cycle and level engines disagree on {fault}"
+        );
     }
 }
 

@@ -84,7 +84,19 @@
 //!                           this fraction
 //! --baseline <file>         fail if coverage regressed vs a previous
 //!                           --report file
+//! --shards <n>              spread injections over N work-stealing
+//!                           worker shards (one --design at a time;
+//!                           verdicts and events stay bit-identical to
+//!                           --shards 1)
+//! --checkpoint <file>       write fpgatest-checkpoint-v1 snapshots of
+//!                           the completed prefix while running
+//! --checkpoint-every <k>    merged injections between snapshots
+//! --resume <file>           skip the ranges a checkpoint already holds
 //! ```
+//!
+//! A sharded campaign interrupted by SIGINT exits 130 after saving a
+//! final checkpoint; `--resume` continues it to the same bytes an
+//! uninterrupted run produces.
 //!
 //! Exit codes: 0 = everything passed; 1 = verification failed (or fault
 //! coverage below the requested floor/baseline); 2 = usage or flow
@@ -151,12 +163,14 @@ USAGE:
                 [--sites N] [--max-ticks N] [--report FILE]
                 [--min-detected F] [--baseline FILE]
                 [--events-out FILE|-] [--ledger FILE]
+                [--shards N] [--checkpoint FILE] [--checkpoint-every K]
+                [--resume FILE]
   fpgatest trends <runs.jsonl> [--gate PCT]
   fpgatest serve [--listen ADDR] [--workers N] [--cache N] [--timeout MS]
                 [--ledger FILE]
   fpgatest submit <suite.manifest> --addr ADDR [--design NAME]... [--engine E]
-                [--faults --seed N --sites N] [--max-ticks N] [--timeout MS]
-                [--events-out FILE|-] [--report FILE] [--no-cache]
+                [--faults --seed N --sites N [--shards N]] [--max-ticks N]
+                [--timeout MS] [--events-out FILE|-] [--report FILE] [--no-cache]
   fpgatest submit --addr ADDR --stats | --shutdown
   fpgatest compile <prog.src> --out DIR [--width N] [--partitions K] [--optimize]
   fpgatest figure1 > figure1.dot
@@ -468,6 +482,10 @@ fn cmd_faults(args: &[String]) -> ExitCode {
     let mut baseline: Option<PathBuf> = None;
     let mut events_out: Option<String> = None;
     let mut ledger_out: Option<PathBuf> = None;
+    let mut shards: Option<usize> = None;
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut checkpoint_every = 0u64;
+    let mut resume: Option<PathBuf> = None;
     let mut it = args.iter();
     let result = (|| -> Result<(), String> {
         while let Some(arg) = it.next() {
@@ -507,6 +525,20 @@ fn cmd_faults(args: &[String]) -> ExitCode {
                 "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
                 "--events-out" => events_out = Some(value("--events-out")?),
                 "--ledger" => ledger_out = Some(PathBuf::from(value("--ledger")?)),
+                "--shards" => {
+                    shards = Some(
+                        value("--shards")?
+                            .parse()
+                            .map_err(|_| "--shards needs an integer".to_string())?,
+                    );
+                }
+                "--checkpoint" => checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+                "--checkpoint-every" => {
+                    checkpoint_every = value("--checkpoint-every")?
+                        .parse()
+                        .map_err(|_| "--checkpoint-every needs an integer".to_string())?;
+                }
+                "--resume" => resume = Some(PathBuf::from(value("--resume")?)),
                 other if manifest.is_none() && !other.starts_with("--") => {
                     manifest = Some(PathBuf::from(other));
                 }
@@ -557,17 +589,54 @@ fn cmd_faults(args: &[String]) -> ExitCode {
         max_ticks,
         events: sink,
     };
+    let sharded = shards.is_some() || checkpoint.is_some() || resume.is_some();
     let campaigns_started = Instant::now();
     let mut campaigns = Vec::new();
-    for case in cases {
-        match run_campaign(case, &options) {
-            Ok(report) => {
-                print!("{}", report.render());
-                campaigns.push(report);
+    if sharded {
+        if cases.len() != 1 {
+            eprintln!(
+                "error: sharded campaigns run one design at a time; narrow with --design \
+                 ({} cases matched)",
+                cases.len()
+            );
+            return ExitCode::from(2);
+        }
+        fpgatest::campaign::install_sigint();
+        let shard = fpgatest::faults::ShardedCampaignOptions {
+            shards: shards.unwrap_or(1),
+            checkpoint,
+            checkpoint_every,
+            resume,
+            stop: None,
+            sigint: true,
+        };
+        match fpgatest::faults::run_campaign_sharded(cases[0], &options, &shard) {
+            Ok(outcome) => {
+                if outcome.interrupted {
+                    eprintln!(
+                        "fpgatest: interrupted; checkpoint holds the completed prefix"
+                    );
+                    return ExitCode::from(130);
+                }
+                print!("{}", outcome.report.render());
+                campaigns.push(outcome.report);
             }
             Err(e) => {
-                eprintln!("error: campaign '{}': {e}", case.name);
+                eprintln!("error: campaign '{}': {e}", cases[0].name);
                 return ExitCode::from(2);
+            }
+        }
+    } else {
+        for case in cases {
+            match run_campaign(case, &options) {
+                Ok(report) => {
+                    print!("{}", report.render());
+                    campaigns.push(report);
+                }
+                Err(e) => {
+                    eprintln!("error: campaign '{}': {e}", case.name);
+                    return ExitCode::from(2);
+                }
             }
         }
     }
@@ -601,6 +670,18 @@ fn cmd_faults(args: &[String]) -> ExitCode {
         let hung: usize = campaigns.iter().map(|c| c.count(InjectionOutcome::Hung)).sum();
         let injections: usize = campaigns.iter().map(|c| c.injections.len()).sum();
         let denom = detected + silent + hung;
+        let mut counters = vec![("injections".to_string(), injections as f64)];
+        if sharded {
+            counters.push(("shards".to_string(), shards.unwrap_or(1).max(1) as f64));
+            counters.push((
+                "sites_per_sec".to_string(),
+                if campaigns_seconds > 0.0 {
+                    injections as f64 / campaigns_seconds
+                } else {
+                    0.0
+                },
+            ));
+        }
         let entry = LedgerEntry {
             engine: engine.to_string(),
             wall_seconds: campaigns_seconds,
@@ -611,7 +692,7 @@ fn cmd_faults(args: &[String]) -> ExitCode {
             } else {
                 detected as f64 / denom as f64
             }),
-            counters: vec![("injections".to_string(), injections as f64)],
+            counters,
             ..LedgerEntry::new("faults", &manifest.display().to_string())
         };
         if let Err(message) = append_ledger(path, &entry) {
@@ -833,6 +914,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     let mut faults = false;
     let mut seed = 1u64;
     let mut sites = 200usize;
+    let mut shards = 0usize;
     let mut max_ticks: Option<u64> = None;
     let mut wall_ms: Option<u64> = None;
     let mut events_out: Option<String> = None;
@@ -862,6 +944,11 @@ fn cmd_submit(args: &[String]) -> ExitCode {
                     sites = value("--sites")?
                         .parse()
                         .map_err(|_| "--sites needs an integer".to_string())?;
+                }
+                "--shards" => {
+                    shards = value("--shards")?
+                        .parse()
+                        .map_err(|_| "--shards needs an integer".to_string())?;
                 }
                 "--max-ticks" => {
                     max_ticks = Some(
@@ -985,6 +1072,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             spec.max_ticks = max_ticks;
             spec.wall_ms = wall_ms;
             spec.events = events;
+            spec.shards = shards;
             spec
         } else {
             job_from_case(case, engine, events, no_cache, wall_ms)

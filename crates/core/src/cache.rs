@@ -627,4 +627,77 @@ mod tests {
             "all pressure keys are distinct, so every hit is a racer"
         );
     }
+
+    /// Campaign-shard contention: N worker threads loop over a small key
+    /// set (larger than the capacity, so evictions churn constantly) for
+    /// many iterations. Whatever interleaving the scheduler produces,
+    /// the accounting identity must hold exactly: every request is one
+    /// hit or one miss, and every miss is one real build — same-design
+    /// shards must ride the single-flight path, never compile twice for
+    /// one miss, and never lose a counter update to a race.
+    #[test]
+    fn sharded_hammer_keeps_stats_exact() {
+        const THREADS: usize = 8;
+        const ITERS: usize = 40;
+        const KEYS: usize = 5;
+        let cache = Arc::new(DesignCache::new(2));
+        let opts = CompileOptions::default();
+        let builds = Arc::new(AtomicUsize::new(0));
+
+        let mut workers = Vec::new();
+        for t in 0..THREADS {
+            let cache = cache.clone();
+            let builds = builds.clone();
+            let opts = opts.clone();
+            workers.push(std::thread::spawn(move || {
+                for i in 0..ITERS {
+                    // Stride by a thread-dependent step so the threads
+                    // disagree about which keys are hot at any moment.
+                    let which = (i * (t + 1)) % KEYS;
+                    let source = tiny_source(which as i64);
+                    let key = content_hash(&source, &opts);
+                    let builds = builds.clone();
+                    let opts = opts.clone();
+                    let prepared = cache
+                        .get_or_prepare(key, move || {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            let program = nenya::lang::parse(&source)
+                                .map_err(|e| FlowError::Compile(CompileError::from(e)))?;
+                            let design = compile_program("h", &program, &opts)?;
+                            prepare_design(design)
+                        })
+                        .unwrap();
+                    // Each key's program stores a distinct constant, so a
+                    // cross-wired single-flight handoff would be visible.
+                    assert_eq!(prepared.design().name, "h");
+                }
+            }));
+        }
+        for worker in workers {
+            worker.join().unwrap();
+        }
+
+        let stats = cache.stats();
+        let requests = (THREADS * ITERS) as u64;
+        assert_eq!(
+            stats.hits + stats.misses,
+            requests,
+            "every request is exactly one hit or one miss"
+        );
+        assert_eq!(
+            stats.misses,
+            builds.load(Ordering::SeqCst) as u64,
+            "every miss is exactly one build (single-flight under churn)"
+        );
+        assert!(
+            stats.misses >= KEYS as u64,
+            "each distinct key compiled at least once"
+        );
+        assert_eq!(stats.entries, 2);
+        assert_eq!(
+            stats.evictions,
+            stats.misses - stats.entries as u64,
+            "every completed build beyond capacity evicted exactly one entry"
+        );
+    }
 }

@@ -193,6 +193,24 @@ impl fmt::Display for InjectionOutcome {
     }
 }
 
+impl InjectionOutcome {
+    /// Parses the [`fmt::Display`] form back (checkpoint resume).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown outcome name.
+    pub fn parse(text: &str) -> Result<InjectionOutcome, String> {
+        match text {
+            "detected" => Ok(InjectionOutcome::Detected),
+            "silent" => Ok(InjectionOutcome::Silent),
+            "hung" => Ok(InjectionOutcome::Hung),
+            "skipped" => Ok(InjectionOutcome::Skipped),
+            "crashed" => Ok(InjectionOutcome::Crashed),
+            other => Err(format!("unknown injection outcome '{other}'")),
+        }
+    }
+}
+
 /// One classified injection.
 #[derive(Debug, Clone)]
 pub struct InjectionRecord {
@@ -539,6 +557,7 @@ pub fn run_campaign(
                             run_design(prepared.design(), &case.stimuli, &site_options)
                         }));
                         let (outcome, detail) = classify(result);
+                        let detail = lane_tagged(outcome, detail, lane);
                         (outcome, detail, started.elapsed().as_secs_f64())
                     }
                 };
@@ -623,6 +642,428 @@ pub fn run_campaign(
         clean_cycles,
         injections,
     })
+}
+
+/// When a batch chunk panics and its sites rerun one at a time, a site
+/// that *still* crashes carries its lane slot in the detail so sharded
+/// reassembly (and a human) can see which lane of the packed walk blew
+/// up. The slot is the site's position in a full chunk — `index %
+/// LANES` — which is stable across shard counts and resume boundaries.
+fn lane_tagged(outcome: InjectionOutcome, detail: String, lane: usize) -> String {
+    if outcome == InjectionOutcome::Crashed {
+        format!("[lane {lane}] {detail}")
+    } else {
+        detail
+    }
+}
+
+/// Knobs for [`run_campaign_sharded`] beyond the base
+/// [`CampaignOptions`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardedCampaignOptions {
+    /// Worker-shard count (clamped to at least 1).
+    pub shards: usize,
+    /// Where to write `fpgatest-checkpoint-v1` snapshots (`None` = no
+    /// checkpointing).
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Merged injections between snapshots (0 = a sensible default).
+    pub checkpoint_every: u64,
+    /// Resume from this checkpoint file: its completed prefix is
+    /// re-merged (and its events re-emitted) without re-running.
+    pub resume: Option<std::path::PathBuf>,
+    /// Cooperative stop flag (tests; SIGINT uses
+    /// [`crate::campaign::install_sigint`]).
+    pub stop: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// Stop when the process-wide SIGINT flag fires.
+    pub sigint: bool,
+}
+
+/// What [`run_campaign_sharded`] produced.
+#[derive(Debug)]
+pub struct ShardedCampaignOutcome {
+    /// The (possibly partial, when interrupted) campaign report; the
+    /// injections are always a prefix of the canonical site order.
+    pub report: CampaignReport,
+    /// Whether the run stopped early (stop flag / SIGINT). The
+    /// checkpoint file, if any, holds everything merged so far.
+    pub interrupted: bool,
+    /// Injections skipped thanks to the resume checkpoint.
+    pub resumed: u64,
+}
+
+/// [`run_campaign`] across N work-stealing worker shards, with
+/// checkpoint/resume. Per-site verdicts are bit-identical to the
+/// sequential path; the merged record order is the canonical sampled
+/// site order at any shard count.
+///
+/// Perf shape: the transform stage runs **once** ([`crate::flow::prepare_design`])
+/// and the golden reference runs **once**
+/// ([`crate::flow::PreparedDesign::prepare_golden`]), then every
+/// injection replays only the simulation + comparison stages — unlike
+/// the sequential non-batch path, which pays transform + golden per
+/// site. The batch engine packs chunks of [`eventsim::batchsim::LANES`]
+/// sites into single schedule walks exactly like the sequential batch
+/// path (chunks are cut at absolute 64-site boundaries, so packing is
+/// shard-count-independent).
+///
+/// Events: with a live sink, the stream is emitted in merge order with
+/// wall-clock fields zeroed (`wall_seconds`, `rate`, `eta_seconds`,
+/// `slowest*`), so `--events-out` bytes are identical across
+/// `--shards 1..N` and across a killed-then-resumed run (resume
+/// re-emits the completed prefix from the checkpoint).
+///
+/// # Errors
+///
+/// Everything [`run_campaign`] errors on, plus checkpoint I/O or
+/// identity mismatches (wrapped as [`FlowError::Fault`]).
+pub fn run_campaign_sharded(
+    case: &TestCase,
+    options: &CampaignOptions,
+    shard: &ShardedCampaignOptions,
+) -> Result<ShardedCampaignOutcome, FlowError> {
+    use crate::campaign::{Checkpoint, RangeSet, ShardOptions};
+    use std::cell::RefCell;
+
+    let program = nenya::lang::parse(&case.source)
+        .map_err(|e| FlowError::Compile(nenya::CompileError::from(e)))?;
+    let design = nenya::compile_program(&case.name, &program, &case.options.compile)?;
+
+    let mut clean_options = case.options.clone();
+    clean_options.engine = options.engine;
+    clean_options.keep_artifacts = false;
+    clean_options.faults.clear();
+    clean_options.events = crate::events::EventSink::disabled();
+    let prepared = crate::flow::prepare_design(design)?;
+    let clean = prepared.run(&case.stimuli, &clean_options)?;
+    if !clean.passed {
+        return Err(FlowError::Fault(format!(
+            "clean run of '{}' fails ({}); cannot classify faults",
+            case.name,
+            clean
+                .failure
+                .clone()
+                .unwrap_or_else(|| format!("{} mismatches", clean.mismatches.len()))
+        )));
+    }
+    let clean_cycles = clean.runs.iter().map(|r| r.cycles).max().unwrap_or(0);
+    let clean_ticks: u64 = clean.runs.iter().map(|r| r.cycles * 10).sum();
+
+    let mut sites = enumerate_sites(prepared.design(), clean_cycles, options.seed)
+        .map_err(FlowError::Fault)?;
+    let site_pool = sites.len();
+    let mut rng = SplitMix64(options.seed);
+    for i in (1..sites.len()).rev() {
+        sites.swap(i, rng.below(i as u64 + 1) as usize);
+    }
+    sites.truncate(options.sites);
+    let total = sites.len() as u64;
+
+    let max_ticks = options.max_ticks.unwrap_or((clean_ticks * 5).max(50_000));
+    let mut faulty_options = clean_options.clone();
+    faulty_options.max_ticks = max_ticks;
+    let golden = prepared.prepare_golden(&case.stimuli, &faulty_options)?;
+
+    // Resume: validate identity, preload the record prefix.
+    let mut skip = RangeSet::new();
+    let mut records: Vec<InjectionRecord> = Vec::new();
+    if let Some(path) = &shard.resume {
+        let checkpoint = Checkpoint::load(path).map_err(FlowError::Fault)?;
+        let bad = |what: &str| {
+            FlowError::Fault(format!(
+                "checkpoint {}: {what} does not match this campaign",
+                path.display()
+            ))
+        };
+        if checkpoint.kind != "faults" {
+            return Err(bad("kind"));
+        }
+        if checkpoint.key != case.name {
+            return Err(bad("design"));
+        }
+        if checkpoint.total != total {
+            return Err(bad("total"));
+        }
+        let state = &checkpoint.state;
+        let field = |key: &str| state.get(key).and_then(crate::telemetry::Json::as_str);
+        if field("engine") != Some(options.engine.to_string().as_str()) {
+            return Err(bad("engine"));
+        }
+        if state.get("seed").and_then(crate::telemetry::Json::as_u64) != Some(options.seed) {
+            return Err(bad("seed"));
+        }
+        let ranges = checkpoint.completed.ranges();
+        if ranges.len() > 1 || ranges.first().is_some_and(|&(s, _)| s != 0) {
+            return Err(FlowError::Fault(format!(
+                "checkpoint {}: completed set is not a prefix",
+                path.display()
+            )));
+        }
+        let list = state
+            .get("records")
+            .and_then(crate::telemetry::Json::as_array)
+            .ok_or_else(|| bad("records"))?;
+        if list.len() as u64 != checkpoint.completed.covered() {
+            return Err(bad("record count"));
+        }
+        for entry in list {
+            let get = |key: &str| {
+                entry
+                    .get(key)
+                    .and_then(crate::telemetry::Json::as_str)
+                    .ok_or_else(|| bad(key))
+            };
+            records.push(InjectionRecord {
+                fault: FaultSpec::parse(get("fault")?).map_err(FlowError::Fault)?,
+                outcome: InjectionOutcome::parse(get("outcome")?).map_err(FlowError::Fault)?,
+                detail: get("detail")?.to_string(),
+            });
+        }
+        // The stored faults must be the ones this invocation sampled.
+        for (record, fault) in records.iter().zip(&sites) {
+            if record.fault != *fault {
+                return Err(bad("sampled site order"));
+            }
+        }
+        skip = checkpoint.completed.clone();
+    }
+    let resumed = records.len() as u64;
+
+    // Deterministic event stream: indices, outcomes, and order only —
+    // wall-clock fields zeroed so shard count and resume cannot leak in.
+    let events = options.events.clone();
+    let emit_unit = |index: u64, record: &InjectionRecord| {
+        if !events.is_enabled() {
+            return;
+        }
+        events.emit(&crate::events::Event::FaultInjected {
+            fault: record.fault.to_string(),
+            class: record.fault.class().to_string(),
+            index,
+            total,
+        });
+        events.emit(&crate::events::Event::FaultClassified {
+            fault: record.fault.to_string(),
+            outcome: record.outcome.to_string(),
+            detail: record.detail.clone(),
+            wall_seconds: 0.0,
+        });
+        events.emit(&crate::events::Event::Heartbeat {
+            done: index + 1,
+            total,
+            rate: 0.0,
+            eta_seconds: 0.0,
+            slowest: String::new(),
+            slowest_seconds: 0.0,
+        });
+    };
+    events.emit(&crate::events::Event::CampaignStarted {
+        kind: "faults".to_string(),
+        key: case.name.clone(),
+        total,
+    });
+    for (index, record) in records.iter().enumerate() {
+        emit_unit(index as u64, record);
+    }
+
+    let engine_is_batch = options.engine == Engine::Batch;
+    let chunk = if engine_is_batch {
+        eventsim::batchsim::LANES as u64
+    } else {
+        8
+    };
+    let sites = &sites;
+    let prepared = &prepared;
+    let golden = &golden;
+    let faulty_options = &faulty_options;
+    let run_site = |index: u64, fault: &FaultSpec| -> (InjectionOutcome, String) {
+        let mut site_options = faulty_options.clone();
+        site_options.faults = vec![fault.clone()];
+        let result =
+            catch_unwind(AssertUnwindSafe(|| prepared.run_with_golden(golden, &site_options)));
+        classify_with_lane(result, engine_is_batch, index)
+    };
+    let worker = move |start: u64, end: u64| -> Vec<(InjectionOutcome, String)> {
+        let chunk_sites = &sites[start as usize..end as usize];
+        if engine_is_batch {
+            let specs: Vec<crate::flow::BatchLaneSpec> = chunk_sites
+                .iter()
+                .map(|fault| crate::flow::BatchLaneSpec {
+                    stimuli: case.stimuli.clone(),
+                    faults: vec![fault.clone()],
+                })
+                .collect();
+            let result =
+                catch_unwind(AssertUnwindSafe(|| prepared.run_batch(&specs, faulty_options)));
+            match result {
+                Ok(Ok(report)) => report.lanes.iter().map(classify_lane).collect(),
+                // Design-scoped error or panic: rerun the chunk's sites
+                // one at a time so a crash stays attributed to one lane.
+                Ok(Err(_)) | Err(_) => chunk_sites
+                    .iter()
+                    .enumerate()
+                    .map(|(i, fault)| run_site(start + i as u64, fault))
+                    .collect(),
+            }
+        } else {
+            chunk_sites
+                .iter()
+                .enumerate()
+                .map(|(i, fault)| run_site(start + i as u64, fault))
+                .collect()
+        }
+    };
+
+    let merged = RefCell::new(records);
+    let save_error = RefCell::new(None::<String>);
+    let outcome = crate::campaign::run_sharded(
+        total,
+        &skip,
+        &ShardOptions {
+            shards: shard.shards.max(1),
+            chunk,
+            checkpoint_every: if shard.checkpoint.is_some() {
+                if shard.checkpoint_every == 0 {
+                    chunk
+                } else {
+                    shard.checkpoint_every
+                }
+            } else {
+                0
+            },
+            stop: shard.stop.clone(),
+            sigint: shard.sigint,
+        },
+        worker,
+        |index, (outcome, detail)| {
+            let record = InjectionRecord {
+                fault: sites[index as usize].clone(),
+                outcome,
+                detail,
+            };
+            emit_unit(index, &record);
+            merged.borrow_mut().push(record);
+        },
+        |completed| {
+            let Some(path) = &shard.checkpoint else { return };
+            let checkpoint = faults_checkpoint(
+                case,
+                options,
+                total,
+                site_pool,
+                clean_cycles,
+                completed,
+                &merged.borrow(),
+            );
+            if let Err(e) = checkpoint.save(path) {
+                *save_error.borrow_mut() = Some(format!("cannot save {}: {e}", path.display()));
+            }
+        },
+    );
+    if let Some(message) = save_error.into_inner() {
+        return Err(FlowError::Fault(message));
+    }
+    let injections = merged.into_inner();
+
+    if !outcome.interrupted {
+        let silent = injections
+            .iter()
+            .filter(|r| r.outcome == InjectionOutcome::Silent)
+            .count() as u64;
+        events.emit(&crate::events::Event::CampaignFinished {
+            kind: "faults".to_string(),
+            key: case.name.clone(),
+            done: total,
+            failed: silent,
+            wall_seconds: 0.0,
+        });
+        if let Some(path) = &shard.checkpoint {
+            let checkpoint = faults_checkpoint(
+                case,
+                options,
+                total,
+                site_pool,
+                clean_cycles,
+                &outcome.completed,
+                &injections,
+            );
+            checkpoint
+                .save(path)
+                .map_err(|e| FlowError::Fault(format!("cannot save {}: {e}", path.display())))?;
+        }
+    }
+
+    Ok(ShardedCampaignOutcome {
+        report: CampaignReport {
+            design: case.name.clone(),
+            engine: options.engine,
+            seed: options.seed,
+            site_pool,
+            clean_cycles,
+            injections,
+        },
+        interrupted: outcome.interrupted,
+        resumed,
+    })
+}
+
+/// Builds the faults checkpoint document from merged state.
+fn faults_checkpoint(
+    case: &TestCase,
+    options: &CampaignOptions,
+    total: u64,
+    site_pool: usize,
+    clean_cycles: u64,
+    completed: &crate::campaign::RangeSet,
+    records: &[InjectionRecord],
+) -> crate::campaign::Checkpoint {
+    use crate::telemetry::Json;
+    crate::campaign::Checkpoint {
+        kind: "faults".to_string(),
+        key: case.name.clone(),
+        total,
+        completed: completed.clone(),
+        state: Json::obj([
+            ("engine", options.engine.to_string().into()),
+            ("seed", options.seed.into()),
+            ("requested_sites", options.sites.into()),
+            ("site_pool", site_pool.into()),
+            ("clean_cycles", clean_cycles.into()),
+            (
+                "records",
+                Json::Arr(
+                    records
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("fault", r.fault.to_string().into()),
+                                ("outcome", r.outcome.to_string().into()),
+                                ("detail", r.detail.as_str().into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+/// [`classify`] plus the batch fallback's lane tag (see [`lane_tagged`]).
+fn classify_with_lane(
+    result: std::thread::Result<Result<crate::flow::TestReport, FlowError>>,
+    batch_fallback: bool,
+    index: u64,
+) -> (InjectionOutcome, String) {
+    let (outcome, detail) = classify(result);
+    let detail = if batch_fallback {
+        lane_tagged(
+            outcome,
+            detail,
+            (index % eventsim::batchsim::LANES as u64) as usize,
+        )
+    } else {
+        detail
+    };
+    (outcome, detail)
 }
 
 /// Maps one faulty-run result onto an [`InjectionOutcome`].
@@ -745,6 +1186,31 @@ mod tests {
         );
         assert!(FaultSpec::parse("melt:everything").is_err());
         assert!(FaultSpec::parse("flip:sig.1").is_err(), "flip needs @cycle");
+    }
+
+    #[test]
+    fn lane_tag_marks_only_crashes() {
+        let tagged = lane_tagged(InjectionOutcome::Crashed, "boom".to_string(), 17);
+        assert_eq!(tagged, "[lane 17] boom");
+        let silent = lane_tagged(InjectionOutcome::Silent, "verdict PASS".to_string(), 17);
+        assert_eq!(silent, "verdict PASS");
+    }
+
+    #[test]
+    fn injection_outcomes_round_trip_through_parse() {
+        for outcome in [
+            InjectionOutcome::Detected,
+            InjectionOutcome::Silent,
+            InjectionOutcome::Hung,
+            InjectionOutcome::Skipped,
+            InjectionOutcome::Crashed,
+        ] {
+            assert_eq!(
+                InjectionOutcome::parse(&outcome.to_string()).unwrap(),
+                outcome
+            );
+        }
+        assert!(InjectionOutcome::parse("shrugged").is_err());
     }
 
     #[test]

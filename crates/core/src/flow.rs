@@ -1011,6 +1011,16 @@ pub struct PreparedDesign {
     parts: PreparedParts,
 }
 
+/// The golden software reference's products for one `(design, stimuli)`
+/// pair, captured by [`PreparedDesign::prepare_golden`] and replayed by
+/// [`PreparedDesign::run_with_golden`]. Plain data (`Send + Sync`), so a
+/// campaign's worker shards can share one.
+pub struct PreparedGolden {
+    initial: BTreeMap<String, MemImage>,
+    stats: nenya::interp::ExecStats,
+    mems: BTreeMap<String, MemImage>,
+}
+
 impl PreparedDesign {
     /// The compiled design these parts were prepared from.
     pub fn design(&self) -> &Design {
@@ -1050,6 +1060,60 @@ impl PreparedDesign {
         let initial = initial_images(&self.design, stimuli)?;
         let golden = run_golden(&self.design, initial.clone(), options, recorder)?;
         simulate_prepared(&self.design, &self.parts, initial, golden, options, recorder)
+    }
+
+    /// Runs the golden software reference once for a fixed stimulus set
+    /// and captures its products, so many subsequent simulations of the
+    /// same prepared design (fault campaigns especially) skip it. The
+    /// stimuli are bound in: a [`PreparedGolden`] only ever replays
+    /// against the inputs it was computed from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Stimulus`] for a bad stimulus and
+    /// [`FlowError::Golden`] when the reference itself fails.
+    pub fn prepare_golden(
+        &self,
+        stimuli: &[(String, Stimulus)],
+        options: &FlowOptions,
+    ) -> Result<PreparedGolden, FlowError> {
+        let initial = initial_images(&self.design, stimuli)?;
+        let golden = run_golden(&self.design, initial.clone(), options, &mut Recorder::new())?;
+        Ok(PreparedGolden {
+            initial,
+            stats: golden.stats,
+            mems: golden.mems,
+        })
+    }
+
+    /// Runs the simulation + comparison stages against a precomputed
+    /// [`PreparedGolden`]: same verdicts, failure strings, and mismatch
+    /// reports as [`run`](Self::run), minus the per-run golden
+    /// execution. The report's `golden_seconds` is 0 (nothing ran).
+    /// Faults in `options.faults` apply normally — SRAM corruptions edit
+    /// a private clone of the captured initial images.
+    ///
+    /// # Errors
+    ///
+    /// See [`TestFlow::run`].
+    pub fn run_with_golden(
+        &self,
+        golden: &PreparedGolden,
+        options: &FlowOptions,
+    ) -> Result<TestReport, FlowError> {
+        preflight(options)?;
+        simulate_prepared(
+            &self.design,
+            &self.parts,
+            golden.initial.clone(),
+            GoldenRun {
+                stats: golden.stats,
+                mems: golden.mems.clone(),
+                seconds: 0.0,
+            },
+            options,
+            &mut Recorder::new(),
+        )
     }
 
     /// Runs up to [`LANES`] independent lane configurations — each with

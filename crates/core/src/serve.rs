@@ -145,6 +145,10 @@ pub struct JobSpec {
     pub seed: u64,
     /// Fault campaigns: number of injections.
     pub sites: usize,
+    /// Fault campaigns: worker-shard count (0/1 = the sequential path;
+    /// larger values run the work-stealing sharded runtime with
+    /// bit-identical verdicts).
+    pub shards: usize,
     /// Test hook: panic inside the flow (exercises crash isolation).
     pub planted_panic: bool,
     /// Bypass the design cache (cold-path; used by benchmarks).
@@ -169,6 +173,7 @@ impl JobSpec {
             events: false,
             seed: 1,
             sites: 50,
+            shards: 0,
             planted_panic: false,
             no_cache: false,
         }
@@ -223,6 +228,7 @@ impl JobSpec {
             ("events", Json::from(self.events)),
             ("seed", Json::from(self.seed)),
             ("sites", Json::from(self.sites)),
+            ("shards", Json::from(self.shards)),
             ("planted_panic", Json::from(self.planted_panic)),
             ("no_cache", Json::from(self.no_cache)),
         ];
@@ -315,6 +321,9 @@ impl JobSpec {
         }
         if let Some(sites) = json.get("sites").and_then(Json::as_u64) {
             spec.sites = sites as usize;
+        }
+        if let Some(shards) = json.get("shards").and_then(Json::as_u64) {
+            spec.shards = shards as usize;
         }
         if let Some(planted) = json.get("planted_panic").and_then(Json::as_bool) {
             spec.planted_panic = planted;
@@ -1086,7 +1095,20 @@ fn execute_job(state: &ServerState, spec: &JobSpec, sink: &EventSink) -> (String
                 max_ticks: spec.max_ticks,
                 events: sink.clone(),
             };
-            match run_campaign(&case, &campaign) {
+            let result = if spec.shards > 1 {
+                crate::faults::run_campaign_sharded(
+                    &case,
+                    &campaign,
+                    &crate::faults::ShardedCampaignOptions {
+                        shards: spec.shards,
+                        ..Default::default()
+                    },
+                )
+                .map(|outcome| outcome.report)
+            } else {
+                run_campaign(&case, &campaign)
+            };
+            match result {
                 Ok(report) => {
                     let crashed = report.count(InjectionOutcome::Crashed);
                     let detail = format!(

@@ -79,33 +79,54 @@ impl CoverageMap {
     }
 }
 
+/// The functional-unit kind ↔ AST operator correspondence used by both
+/// the `op:*` coverage keys and the generation bias.
+const KIND_OPS: &[(&str, BinaryOp)] = &[
+    ("add", BinaryOp::Add),
+    ("sub", BinaryOp::Sub),
+    ("mul", BinaryOp::Mul),
+    ("div", BinaryOp::Div),
+    ("rem", BinaryOp::Rem),
+    ("and", BinaryOp::BitAnd),
+    ("or", BinaryOp::BitOr),
+    ("xor", BinaryOp::BitXor),
+    ("shl", BinaryOp::Shl),
+    ("shr", BinaryOp::Shr),
+    ("ushr", BinaryOp::Ushr),
+    ("eq", BinaryOp::Eq),
+    ("ne", BinaryOp::Ne),
+    ("lt", BinaryOp::Lt),
+    ("le", BinaryOp::Le),
+    ("gt", BinaryOp::Gt),
+    ("ge", BinaryOp::Ge),
+];
+
 /// Operator kinds the map has not seen activated, mapped back to the
 /// AST operators whose lowering instantiates them — the generation bias.
 pub fn missing_ops(coverage: &CoverageMap) -> Vec<BinaryOp> {
-    const KIND_OPS: &[(&str, BinaryOp)] = &[
-        ("add", BinaryOp::Add),
-        ("sub", BinaryOp::Sub),
-        ("mul", BinaryOp::Mul),
-        ("div", BinaryOp::Div),
-        ("rem", BinaryOp::Rem),
-        ("and", BinaryOp::BitAnd),
-        ("or", BinaryOp::BitOr),
-        ("xor", BinaryOp::BitXor),
-        ("shl", BinaryOp::Shl),
-        ("shr", BinaryOp::Shr),
-        ("ushr", BinaryOp::Ushr),
-        ("eq", BinaryOp::Eq),
-        ("ne", BinaryOp::Ne),
-        ("lt", BinaryOp::Lt),
-        ("le", BinaryOp::Le),
-        ("gt", BinaryOp::Gt),
-        ("ge", BinaryOp::Ge),
-    ];
     KIND_OPS
         .iter()
         .filter(|(kind, _)| !coverage.contains(&format!("op:{kind}")))
         .map(|(_, op)| *op)
         .collect()
+}
+
+/// The functional-unit kind name for an operator (`add`, `shl`, …), or
+/// `None` for operators no coverage key tracks. Checkpoints persist a
+/// frozen bias as these names.
+pub fn op_kind_name(op: BinaryOp) -> Option<&'static str> {
+    KIND_OPS
+        .iter()
+        .find(|(_, candidate)| *candidate == op)
+        .map(|(kind, _)| *kind)
+}
+
+/// Inverse of [`op_kind_name`] (checkpoint resume).
+pub fn op_from_kind_name(kind: &str) -> Option<BinaryOp> {
+    KIND_OPS
+        .iter()
+        .find(|(candidate, _)| *candidate == kind)
+        .map(|(_, op)| *op)
 }
 
 /// Structural coverage of the program itself.

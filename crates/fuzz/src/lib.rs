@@ -17,8 +17,12 @@
 //!   future generation;
 //! * [`shrink`] deterministically minimizes a failing case while
 //!   preserving how it fails;
+//! * [`distill`] greedily minimizes a grown corpus while preserving its
+//!   coverage union;
 //! * [`campaign`] ties it all together into the reproducible loop behind
-//!   the `fpgafuzz` CLI.
+//!   the `fpgafuzz` CLI — single-threaded, or sharded across a
+//!   work-stealing worker pool with checkpoint/resume
+//!   ([`campaign::run_campaign_sharded`]).
 //!
 //! Everything is reproducible from a single `u64` seed ([`rng`]): no
 //! wall-clock, no OS randomness, no hash-order iteration anywhere in the
@@ -27,6 +31,7 @@
 pub mod campaign;
 pub mod corpus;
 pub mod coverage;
+pub mod distill;
 pub mod exec;
 pub mod gen;
 pub mod rng;

@@ -11,7 +11,10 @@
 //! generator error. Output is deterministic for a fresh run: same seed,
 //! same cases, bit-identical bytes.
 
-use fpgafuzz::campaign::{run_campaign, CampaignOptions};
+use fpgafuzz::campaign::{
+    run_campaign, run_campaign_sharded, CampaignOptions, ShardedCampaignOptions,
+};
+use fpgafuzz::distill::{distill, DistillOptions};
 use fpgafuzz::exec::{run_case, CaseOutcome, ExecOptions, Injection};
 use fpgafuzz::gen::{generate_case, Budget};
 use fpgafuzz::shrink::{line_count, shrink};
@@ -21,7 +24,9 @@ use std::process::ExitCode;
 const USAGE: &str = "usage:
   fpgafuzz run --seed N --cases K [--width W] [--corpus DIR] \\
                [--inject branch-polarity|signal-fault] [--max-shrink-evals E] [--max-ticks T] \\
-               [--events-out FILE|-]
+               [--events-out FILE|-] [--shards N] [--checkpoint FILE] \\
+               [--checkpoint-every K] [--resume FILE] [--ledger FILE]
+  fpgafuzz distill --corpus DIR [--width W] [--out DIR] [--max-ticks T]
   fpgafuzz gen --seed N --index I [--width W]
   fpgafuzz repro --seed N --index I [--width W] [--inject branch-polarity|signal-fault] [--max-ticks T]";
 
@@ -42,6 +47,7 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags::parse(rest)?;
     match command.as_str() {
         "run" => cmd_run(&flags),
+        "distill" => cmd_distill(&flags),
         "gen" => cmd_gen(&flags),
         "repro" => cmd_repro(&flags),
         other => Err(format!("unknown command '{other}'")),
@@ -64,8 +70,57 @@ fn cmd_run(flags: &Flags) -> Result<ExitCode, String> {
         max_ticks: flags.u64_or("max-ticks", 5_000_000)?,
         events,
     };
-    let report = run_campaign(&opts).map_err(|e| format!("corpus I/O: {e}"))?;
+    let sharded = ["shards", "checkpoint", "checkpoint-every", "resume"]
+        .iter()
+        .any(|flag| flags.get(flag).is_some());
+    let started = std::time::Instant::now();
+    let (report, interrupted, shards) = if sharded {
+        let shard = ShardedCampaignOptions {
+            shards: flags.u64_or("shards", 1)? as usize,
+            checkpoint: flags.get("checkpoint").map(PathBuf::from),
+            checkpoint_every: flags.u64_or("checkpoint-every", 0)?,
+            resume: flags.get("resume").map(PathBuf::from),
+            stop: None,
+            sigint: true,
+        };
+        fpgatest::campaign::install_sigint();
+        let outcome = run_campaign_sharded(&opts, &shard).map_err(|e| format!("campaign: {e}"))?;
+        (outcome.report, outcome.interrupted, shard.shards.max(1))
+    } else {
+        (
+            run_campaign(&opts).map_err(|e| format!("corpus I/O: {e}"))?,
+            false,
+            1,
+        )
+    };
     print!("{}", report.log);
+    if interrupted {
+        eprintln!("fpgafuzz: interrupted; checkpoint holds the completed prefix");
+        return Ok(ExitCode::from(130));
+    }
+    if let Some(path) = flags.get("ledger") {
+        let wall = started.elapsed().as_secs_f64();
+        let cases_per_sec = if wall > 0.0 {
+            opts.cases as f64 / wall
+        } else {
+            0.0
+        };
+        let entry = fpgatest::ledger::LedgerEntry {
+            engine: "fuzz".to_string(),
+            wall_seconds: wall,
+            passed: opts.cases - report.divergences as u64,
+            failed: report.divergences as u64,
+            counters: vec![
+                ("shards".to_string(), shards as f64),
+                ("cases_per_sec".to_string(), cases_per_sec),
+                ("new_keys".to_string(), report.new_keys as f64),
+            ],
+            ..fpgatest::ledger::LedgerEntry::new("fuzz", &format!("seed{}", opts.seed))
+        };
+        fpgatest::ledger::append(std::path::Path::new(path), &entry)
+            .map_err(|e| format!("cannot append to {path}: {e}"))?;
+        eprintln!("ledger entry appended to {path}");
+    }
     if report.divergences > 0 {
         Ok(ExitCode::from(1))
     } else if report.generator_errors > 0 {
@@ -73,6 +128,21 @@ fn cmd_run(flags: &Flags) -> Result<ExitCode, String> {
     } else {
         Ok(ExitCode::SUCCESS)
     }
+}
+
+fn cmd_distill(flags: &Flags) -> Result<ExitCode, String> {
+    let corpus = flags
+        .get("corpus")
+        .ok_or("--corpus is required for distill")?;
+    let report = distill(&DistillOptions {
+        corpus_dir: PathBuf::from(corpus),
+        width: flags.u64_or("width", 16)? as u32,
+        out_dir: flags.get("out").map(PathBuf::from),
+        max_ticks: flags.u64_or("max-ticks", 5_000_000)?,
+    })
+    .map_err(|e| format!("distill: {e}"))?;
+    print!("{}", report.log);
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_gen(flags: &Flags) -> Result<ExitCode, String> {

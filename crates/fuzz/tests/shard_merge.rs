@@ -1,0 +1,317 @@
+//! Property tests of the sharded fuzz-campaign runtime: the merged
+//! result is bit-identical at every shard count, a stop-flag interrupt
+//! plus `--resume` reproduces the uninterrupted run exactly (log,
+//! coverage, corpus, events), and a SIGKILLed CLI campaign resumes from
+//! its checkpoint to the same bytes.
+
+use fpgafuzz::campaign::{
+    run_campaign_sharded, CampaignOptions, ShardedCampaignOptions,
+};
+use fpgafuzz::exec::Injection;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fpgafuzz_shard_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn opts(seed: u64, cases: u64, events: fpgatest::events::EventSink) -> CampaignOptions {
+    CampaignOptions {
+        seed,
+        cases,
+        max_ticks: 50_000,
+        // Keep shrinking cheap: these tests are about merging, not
+        // minimization quality.
+        max_shrink_evals: 60,
+        events,
+        ..CampaignOptions::default()
+    }
+}
+
+/// `(log, coverage render, event bytes, corpus files)` of one run.
+type RunSnapshot = (String, String, String, Vec<(String, String)>);
+
+/// All corpus files of a directory as sorted `(name, contents)` pairs.
+fn corpus_snapshot(dir: &Path) -> Vec<(String, String)> {
+    let mut files: Vec<(String, String)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|entry| {
+            let path = entry.unwrap().path();
+            (
+                path.file_name().unwrap().to_str().unwrap().to_string(),
+                std::fs::read_to_string(&path).unwrap(),
+            )
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn merge_of_shard_parts_equals_the_single_shard_run() {
+    let base = temp_dir("counts");
+    let mut reference: Option<RunSnapshot> = None;
+    for shards in [1usize, 2, 3, 7] {
+        let corpus = base.join(format!("corpus{shards}"));
+        let (sink, captured) = fpgatest::events::EventSink::capture();
+        let outcome = run_campaign_sharded(
+            &CampaignOptions {
+                corpus_dir: Some(corpus.clone()),
+                injection: Some(Injection::BranchPolarity),
+                ..opts(42, 30, sink)
+            },
+            &ShardedCampaignOptions {
+                shards,
+                ..ShardedCampaignOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!outcome.interrupted);
+        assert_eq!(outcome.resumed, 0);
+        let snapshot = (
+            outcome.report.log.clone(),
+            outcome.report.coverage.render(),
+            captured.text(),
+            corpus_snapshot(&corpus),
+        );
+        assert!(
+            outcome.report.divergences > 0,
+            "the planted bug must surface for the merge to be interesting:\n{}",
+            outcome.report.log
+        );
+        match &reference {
+            None => reference = Some(snapshot),
+            Some(reference) => {
+                assert_eq!(reference.0, snapshot.0, "log differs at {shards} shards");
+                assert_eq!(
+                    reference.1, snapshot.1,
+                    "coverage differs at {shards} shards"
+                );
+                assert_eq!(
+                    reference.2, snapshot.2,
+                    "event stream differs at {shards} shards"
+                );
+                assert_eq!(
+                    reference.3, snapshot.3,
+                    "corpus differs at {shards} shards"
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn stop_flag_interrupt_then_resume_reproduces_the_uninterrupted_run() {
+    let base = temp_dir("resume");
+    let (sink, reference_events) = fpgatest::events::EventSink::capture();
+    let reference = run_campaign_sharded(
+        &CampaignOptions {
+            corpus_dir: Some(base.join("ref")),
+            ..opts(7, 40, sink)
+        },
+        &ShardedCampaignOptions {
+            shards: 2,
+            ..ShardedCampaignOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(!reference.interrupted);
+
+    // Interrupted run: a timer trips the stop flag mid-campaign. The
+    // exact cut point is scheduling-dependent; every cut point must
+    // resume to the same final bytes (and if the timer loses the race
+    // entirely, the equality still holds with nothing to resume).
+    let checkpoint = base.join("campaign.ckpt");
+    let stop = Arc::new(AtomicBool::new(false));
+    let timer = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            stop.store(true, Ordering::SeqCst);
+        })
+    };
+    let first = run_campaign_sharded(
+        &CampaignOptions {
+            corpus_dir: Some(base.join("cut")),
+            ..opts(7, 40, fpgatest::events::EventSink::disabled())
+        },
+        &ShardedCampaignOptions {
+            shards: 2,
+            checkpoint: Some(checkpoint.clone()),
+            checkpoint_every: 1,
+            stop: Some(stop),
+            ..ShardedCampaignOptions::default()
+        },
+    )
+    .unwrap();
+    timer.join().unwrap();
+
+    let (final_log, final_events) = if first.interrupted {
+        assert!(checkpoint.is_file(), "interrupt leaves a checkpoint");
+        let text = std::fs::read_to_string(&checkpoint).unwrap();
+        assert!(
+            text.contains("fpgatest-checkpoint-v1"),
+            "checkpoint carries its schema tag"
+        );
+        let (sink, resumed_events) = fpgatest::events::EventSink::capture();
+        let resumed = run_campaign_sharded(
+            &CampaignOptions {
+                corpus_dir: Some(base.join("cut")),
+                ..opts(7, 40, sink)
+            },
+            &ShardedCampaignOptions {
+                shards: 2,
+                resume: Some(checkpoint.clone()),
+                ..ShardedCampaignOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!resumed.interrupted);
+        assert!(
+            resumed.resumed > 0,
+            "the checkpoint held at least one completed case"
+        );
+        (resumed.report.log, resumed_events.text())
+    } else {
+        // The campaign outran the timer — it is itself the comparison.
+        let (sink, events) = fpgatest::events::EventSink::capture();
+        let rerun = run_campaign_sharded(
+            &CampaignOptions {
+                corpus_dir: Some(base.join("cut")),
+                ..opts(7, 40, sink)
+            },
+            &ShardedCampaignOptions {
+                shards: 2,
+                ..ShardedCampaignOptions::default()
+            },
+        )
+        .unwrap();
+        (rerun.report.log, events.text())
+    };
+    assert_eq!(reference.report.log, final_log);
+    assert_eq!(reference_events.text(), final_events);
+    assert_eq!(
+        corpus_snapshot(&base.join("ref")),
+        corpus_snapshot(&base.join("cut")),
+        "the resumed corpus matches the uninterrupted one"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn resume_rejects_a_mismatched_checkpoint() {
+    let base = temp_dir("mismatch");
+    let checkpoint = base.join("cp.json");
+    let stop = Arc::new(AtomicBool::new(true));
+    // Seed a checkpoint by running one campaign to completion.
+    let done = run_campaign_sharded(
+        &opts(3, 10, fpgatest::events::EventSink::disabled()),
+        &ShardedCampaignOptions {
+            shards: 2,
+            checkpoint: Some(checkpoint.clone()),
+            ..ShardedCampaignOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(!done.interrupted);
+    drop(stop);
+    // Same checkpoint, different seed: the identity check must refuse.
+    let err = run_campaign_sharded(
+        &opts(4, 10, fpgatest::events::EventSink::disabled()),
+        &ShardedCampaignOptions {
+            shards: 2,
+            resume: Some(checkpoint),
+            ..ShardedCampaignOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn sigkilled_cli_campaign_resumes_to_identical_bytes() {
+    let exe = env!("CARGO_BIN_EXE_fpgafuzz");
+    let base = temp_dir("sigkill");
+    let reference_events = base.join("reference.events");
+    let killed_events = base.join("killed.events");
+    let checkpoint = base.join("killed.ckpt");
+
+    let run = |extra: &[&str]| {
+        let mut cmd = std::process::Command::new(exe);
+        cmd.args(["run", "--seed", "11", "--cases", "40", "--shards", "2"])
+            .args(extra)
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped());
+        cmd
+    };
+
+    let reference = run(&["--events-out", reference_events.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        reference.status.success(),
+        "reference run failed: {}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+
+    let mut victim = run(&[
+        "--events-out",
+        killed_events.to_str().unwrap(),
+        "--checkpoint",
+        checkpoint.to_str().unwrap(),
+        "--checkpoint-every",
+        "1",
+    ])
+    .spawn()
+    .unwrap();
+    // SIGKILL as soon as the first snapshot lands — no signal handler
+    // runs, so only the checkpoint discipline protects the campaign.
+    let mut killed_mid_run = true;
+    loop {
+        if checkpoint.is_file() {
+            victim.kill().ok();
+            break;
+        }
+        if let Some(status) = victim.try_wait().unwrap() {
+            // Outran the poller: the campaign completed uninterrupted.
+            assert!(status.success());
+            killed_mid_run = false;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    victim.wait().unwrap();
+
+    if killed_mid_run {
+        let resumed = run(&[
+            "--events-out",
+            killed_events.to_str().unwrap(),
+            "--resume",
+            checkpoint.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+        assert!(
+            resumed.status.success(),
+            "resume failed: {}",
+            String::from_utf8_lossy(&resumed.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&reference.stdout),
+            String::from_utf8_lossy(&resumed.stdout),
+            "resumed log differs from the uninterrupted run"
+        );
+    }
+    assert_eq!(
+        std::fs::read_to_string(&reference_events).unwrap(),
+        std::fs::read_to_string(&killed_events).unwrap(),
+        "event stream bytes differ after kill-and-resume"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -167,11 +167,13 @@ USAGE:
                 [--resume FILE]
   fpgatest trends <runs.jsonl> [--gate PCT]
   fpgatest serve [--listen ADDR] [--workers N] [--cache N] [--timeout MS]
-                [--ledger FILE]
+                [--ledger FILE] [--retries N] [--backoff MS] [--max-queue N]
+                [--max-line BYTES] [--read-deadline MS] [--idle-timeout MS]
+                [--chaos SEED]
   fpgatest submit <suite.manifest> --addr ADDR [--design NAME]... [--engine E]
                 [--faults --seed N --sites N [--shards N]] [--max-ticks N]
                 [--timeout MS] [--events-out FILE|-] [--report FILE] [--no-cache]
-  fpgatest submit --addr ADDR --stats | --shutdown
+  fpgatest submit --addr ADDR --stats | --shutdown | --shed
   fpgatest compile <prog.src> --out DIR [--width N] [--partitions K] [--optimize]
   fpgatest figure1 > figure1.dot
 
@@ -612,6 +614,9 @@ fn cmd_faults(args: &[String]) -> ExitCode {
         };
         match fpgatest::faults::run_campaign_sharded(cases[0], &options, &shard) {
             Ok(outcome) => {
+                if let Some(note) = &outcome.salvage {
+                    eprintln!("fpgatest: {note}");
+                }
                 if outcome.interrupted {
                     eprintln!(
                         "fpgatest: interrupted; checkpoint holds the completed prefix"
@@ -836,6 +841,43 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                         .map_err(|_| "--timeout needs milliseconds".to_string())?;
                 }
                 "--ledger" => options.ledger = Some(PathBuf::from(value("--ledger")?)),
+                "--retries" => {
+                    options.retries = value("--retries")?
+                        .parse()
+                        .map_err(|_| "--retries needs an integer".to_string())?;
+                }
+                "--backoff" => {
+                    options.backoff_base_ms = value("--backoff")?
+                        .parse()
+                        .map_err(|_| "--backoff needs milliseconds".to_string())?;
+                }
+                "--max-queue" => {
+                    options.max_queue = value("--max-queue")?
+                        .parse()
+                        .map_err(|_| "--max-queue needs an integer (0 = unbounded)".to_string())?;
+                }
+                "--max-line" => {
+                    options.max_line_len = value("--max-line")?
+                        .parse()
+                        .map_err(|_| "--max-line needs bytes".to_string())?;
+                }
+                "--read-deadline" => {
+                    options.read_deadline_ms = value("--read-deadline")?
+                        .parse()
+                        .map_err(|_| "--read-deadline needs milliseconds".to_string())?;
+                }
+                "--idle-timeout" => {
+                    options.idle_ms = value("--idle-timeout")?
+                        .parse()
+                        .map_err(|_| "--idle-timeout needs milliseconds".to_string())?;
+                }
+                "--chaos" => {
+                    options.chaos = Some(
+                        value("--chaos")?
+                            .parse()
+                            .map_err(|_| "--chaos needs a seed integer".to_string())?,
+                    );
+                }
                 other => return Err(format!("unexpected argument '{other}'")),
             }
         }
@@ -847,6 +889,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     }
     let workers = options.workers;
     let cache = options.cache_capacity;
+    let chaos = options.chaos;
     let server = match Server::bind(&listen, options) {
         Ok(server) => server,
         Err(e) => {
@@ -858,6 +901,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         "fpgatest serve: listening on {} ({workers} workers, cache {cache} designs)",
         server.local_addr()
     );
+    if let Some(seed) = chaos {
+        eprintln!("fpgatest serve: CHAOS MODE — workers will be killed deterministically (seed {seed})");
+    }
     let _ = std::io::stdout().flush();
     install_serve_sigint();
     let handle = server.shutdown_handle();
@@ -922,6 +968,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     let mut no_cache = false;
     let mut stats = false;
     let mut shutdown = false;
+    let mut shed = false;
     let mut it = args.iter();
     let result = (|| -> Result<(), String> {
         while let Some(arg) = it.next() {
@@ -969,6 +1016,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
                 "--no-cache" => no_cache = true,
                 "--stats" => stats = true,
                 "--shutdown" => shutdown = true,
+                "--shed" => shed = true,
                 other if manifest.is_none() && !other.starts_with("--") => {
                     manifest = Some(PathBuf::from(other));
                 }
@@ -994,6 +1042,8 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     if stats || shutdown {
         let response = if stats {
             client.stats()
+        } else if shed {
+            client.shutdown_shed()
         } else {
             client.shutdown()
         };
@@ -1057,8 +1107,10 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     }
 
     // Submit everything first so the daemon's worker pool runs cases in
-    // parallel, then collect verdicts in manifest order.
-    let mut submitted: Vec<(String, u64)> = Vec::new();
+    // parallel, then collect verdicts in manifest order. Specs are kept
+    // so a lost daemon can be survived: reconnect, resume by id, or
+    // resubmit when the restarted daemon no longer knows the id.
+    let mut submitted: Vec<(String, u64, fpgatest::serve::JobSpec)> = Vec::new();
     for case in &cases {
         let spec = if faults {
             let mut spec =
@@ -1078,7 +1130,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
             job_from_case(case, engine, events, no_cache, wall_ms)
         };
         match client.submit(&spec) {
-            Ok(id) => submitted.push((case.name.clone(), id)),
+            Ok(id) => submitted.push((case.name.clone(), id, spec)),
             Err(e) => {
                 eprintln!("error: submitting '{}': {e}", case.name);
                 return ExitCode::from(2);
@@ -1087,16 +1139,21 @@ fn cmd_submit(args: &[String]) -> ExitCode {
     }
 
     let mut outcomes = Vec::new();
-    for (name, id) in &submitted {
-        match client.wait(*id) {
+    for (name, id, spec) in &submitted {
+        match client.wait_or_resubmit(*id, spec) {
             Ok(outcome) => {
                 let detail = if outcome.detail.is_empty() {
                     String::new()
                 } else {
                     format!(" — {}", outcome.detail)
                 };
+                let attempts = if outcome.attempts > 1 {
+                    format!(", {} attempts", outcome.attempts)
+                } else {
+                    String::new()
+                };
                 println!(
-                    "{name}: {} ({:.3}s){detail}",
+                    "{name}: {} ({:.3}s{attempts}){detail}",
                     outcome.verdict, outcome.wall_seconds
                 );
                 outcomes.push((name.clone(), outcome));
@@ -1117,6 +1174,7 @@ fn cmd_submit(args: &[String]) -> ExitCode {
                     ("verdict", Json::from(outcome.verdict.as_str())),
                     ("exit_code", Json::from(i64::from(outcome.exit_code))),
                     ("wall_seconds", Json::from(outcome.wall_seconds)),
+                    ("attempts", Json::from(outcome.attempts)),
                     ("detail", Json::from(outcome.detail.as_str())),
                     ("report", outcome.report.clone()),
                 ])

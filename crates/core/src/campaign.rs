@@ -19,8 +19,11 @@
 //! * [`Checkpoint`] — the `fpgatest-checkpoint-v1` JSON document:
 //!   campaign identity, the completed [`RangeSet`], and a
 //!   campaign-specific `state` object (merged coverage, records, log).
-//!   Saved atomically (write-temp-then-rename), so a kill mid-write
-//!   never leaves a torn file behind.
+//!   Saved atomically (write-temp-then-rename) with a one-deep
+//!   generation history (generation N on disk, N-1 kept as `.prev`), and
+//!   recovered by [`Checkpoint::load_salvage`], which tolerates trailing
+//!   garbage and falls back to the `.tmp`/`.prev` generation — so a torn
+//!   write costs at most one checkpoint interval, never the campaign.
 //!
 //! Only the contiguous in-order-merged prefix is ever checkpointed:
 //! results a worker produced out of order are discarded on interrupt and
@@ -232,9 +235,12 @@ impl Checkpoint {
         })
     }
 
-    /// Writes the checkpoint atomically: serialize to `<path>.tmp`, then
-    /// rename over `path`. A kill mid-save leaves either the old
-    /// checkpoint or the new one, never a torn file.
+    /// Writes the checkpoint atomically: serialize to `<path>.tmp`,
+    /// demote the current generation to `<path>.prev`, then rename the
+    /// temp file over `path` ("write N, keep N-1"). Each rename is
+    /// atomic, so a kill at any instant leaves at least one complete
+    /// generation on disk for [`Checkpoint::load_salvage`]: the old file,
+    /// the new file, or a finished `.tmp` alongside the `.prev`.
     ///
     /// # Errors
     ///
@@ -242,10 +248,15 @@ impl Checkpoint {
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let tmp = path.with_extension("tmp");
         std::fs::write(&tmp, self.to_json().emit_pretty())?;
+        if path.exists() {
+            let _ = std::fs::rename(path, path.with_extension("prev"));
+        }
         std::fs::rename(&tmp, path)
     }
 
-    /// Loads and validates a checkpoint file.
+    /// Loads and validates a checkpoint file, strictly: any I/O, JSON,
+    /// or schema problem is an error. Resumption paths use
+    /// [`Checkpoint::load_salvage`] instead, which degrades gracefully.
     ///
     /// # Errors
     ///
@@ -257,6 +268,117 @@ impl Checkpoint {
             Json::parse(&text).map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
         Checkpoint::from_json(&json).map_err(|e| format!("checkpoint {}: {e}", path.display()))
     }
+
+    /// Loads a checkpoint, salvaging what it can from torn writes.
+    ///
+    /// Tried in order, best surviving generation wins (most covered
+    /// units; ties go to the earlier candidate):
+    ///
+    /// 1. `path` parsed strictly — the normal case, short-circuits;
+    /// 2. `path` parsed tolerantly (first complete JSON value, trailing
+    ///    garbage ignored);
+    /// 3. `<path>.tmp` — a save killed between write and rename leaves a
+    ///    complete *newer* generation here;
+    /// 4. `<path>.prev` — the N-1 generation [`Checkpoint::save`] keeps.
+    ///
+    /// A truncated primary therefore costs at most one checkpoint
+    /// interval of repeated work, never the whole campaign. The caller
+    /// still owns identity validation (kind/key/total); salvage only
+    /// finds a structurally sound document.
+    ///
+    /// # Errors
+    ///
+    /// Returns the strict-load error for `path`, annotated with the
+    /// failed fallbacks, when no generation yields a valid document.
+    pub fn load_salvage(path: &Path) -> Result<SalvagedCheckpoint, String> {
+        let primary_err = match Checkpoint::load(path) {
+            Ok(checkpoint) => {
+                return Ok(SalvagedCheckpoint {
+                    checkpoint,
+                    source: SalvageSource::Primary,
+                    note: None,
+                })
+            }
+            Err(e) => e,
+        };
+        let mut candidates: Vec<(Checkpoint, SalvageSource, String)> = Vec::new();
+        if let Some(checkpoint) = load_tolerant(path) {
+            let note = format!(
+                "salvaged {} ({} units) ignoring trailing garbage",
+                path.display(),
+                checkpoint.completed.covered()
+            );
+            candidates.push((checkpoint, SalvageSource::TrailingGarbage, note));
+        }
+        for (extension, source) in [("tmp", SalvageSource::Tmp), ("prev", SalvageSource::Previous)]
+        {
+            let alt = path.with_extension(extension);
+            let loaded = Checkpoint::load(&alt).ok().or_else(|| load_tolerant(&alt));
+            if let Some(checkpoint) = loaded {
+                let note = format!(
+                    "salvaged generation {} ({} units)",
+                    alt.display(),
+                    checkpoint.completed.covered()
+                );
+                candidates.push((checkpoint, source, note));
+            }
+        }
+        let mut best: Option<(Checkpoint, SalvageSource, String)> = None;
+        for candidate in candidates {
+            let better = best
+                .as_ref()
+                .is_none_or(|(b, _, _)| candidate.0.completed.covered() > b.completed.covered());
+            if better {
+                best = Some(candidate);
+            }
+        }
+        match best {
+            Some((checkpoint, source, note)) => Ok(SalvagedCheckpoint {
+                checkpoint,
+                source,
+                note: Some(note),
+            }),
+            None => Err(format!("{primary_err}; no salvageable generation found")),
+        }
+    }
+}
+
+/// Which generation [`Checkpoint::load_salvage`] recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SalvageSource {
+    /// The primary file, intact — nothing was salvaged.
+    Primary,
+    /// The primary file, with trailing garbage after the document
+    /// ignored.
+    TrailingGarbage,
+    /// The in-flight `.tmp` file (a save was killed between write and
+    /// rename).
+    Tmp,
+    /// The previous generation kept as `.prev`.
+    Previous,
+}
+
+/// A checkpoint recovered by [`Checkpoint::load_salvage`], with
+/// provenance for operator-facing logs.
+#[derive(Debug, Clone)]
+pub struct SalvagedCheckpoint {
+    /// The recovered document.
+    pub checkpoint: Checkpoint,
+    /// Which generation it came from.
+    pub source: SalvageSource,
+    /// Human-readable salvage description; `None` when the primary file
+    /// was intact.
+    pub note: Option<String>,
+}
+
+/// Best-effort tolerant load: first complete JSON value of the file
+/// (invalid UTF-8 replaced, trailing bytes ignored), if it is a valid
+/// checkpoint document.
+fn load_tolerant(path: &Path) -> Option<Checkpoint> {
+    let bytes = std::fs::read(path).ok()?;
+    let text = String::from_utf8_lossy(&bytes);
+    let (json, _consumed) = Json::parse_prefix(&text).ok()?;
+    Checkpoint::from_json(&json).ok()
 }
 
 /// Knobs for [`run_sharded`].
@@ -577,6 +699,112 @@ mod tests {
         // Wrong schema is rejected.
         std::fs::write(&path, "{\"schema\":\"nope\"}").unwrap();
         assert!(Checkpoint::load(&path).is_err());
+    }
+
+    fn checkpoint_covering(units: u64) -> Checkpoint {
+        let mut completed = RangeSet::new();
+        completed.insert_range(0, units);
+        Checkpoint {
+            kind: "faults".to_string(),
+            key: "fdct1".to_string(),
+            total: 100,
+            completed,
+            state: Json::obj([("records", Json::Arr(vec![Json::from(units)]))]),
+        }
+    }
+
+    fn fresh_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn save_keeps_the_previous_generation() {
+        let dir = fresh_dir("fpgatest_checkpoint_generations");
+        let path = dir.join("campaign.checkpoint");
+        checkpoint_covering(10).save(&path).unwrap();
+        assert!(!path.with_extension("prev").exists(), "first save has no N-1");
+        checkpoint_covering(20).save(&path).unwrap();
+        assert!(!path.with_extension("tmp").exists(), "temp renamed away");
+        let current = Checkpoint::load(&path).unwrap();
+        let previous = Checkpoint::load(&path.with_extension("prev")).unwrap();
+        assert_eq!(current.completed.covered(), 20);
+        assert_eq!(previous.completed.covered(), 10, ".prev holds generation N-1");
+    }
+
+    #[test]
+    fn salvage_ignores_trailing_garbage() {
+        let dir = fresh_dir("fpgatest_checkpoint_salvage_garbage");
+        let path = dir.join("campaign.checkpoint");
+        checkpoint_covering(42).save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"\x00\xffgarbage after the document");
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(Checkpoint::load(&path).is_err(), "strict load refuses");
+        let salvaged = Checkpoint::load_salvage(&path).unwrap();
+        assert_eq!(salvaged.source, SalvageSource::TrailingGarbage);
+        assert_eq!(salvaged.checkpoint.completed.covered(), 42);
+        assert!(salvaged.note.is_some());
+    }
+
+    #[test]
+    fn salvage_falls_back_to_tmp_then_prev() {
+        let dir = fresh_dir("fpgatest_checkpoint_salvage_fallback");
+        let path = dir.join("campaign.checkpoint");
+        // A save killed between write and rename: torn primary, complete
+        // newer .tmp, intact .prev.
+        checkpoint_covering(10).save(&path).unwrap();
+        std::fs::rename(&path, path.with_extension("prev")).unwrap();
+        std::fs::write(
+            path.with_extension("tmp"),
+            checkpoint_covering(30).to_json().emit_pretty(),
+        )
+        .unwrap();
+        std::fs::write(&path, "{\"schema\": \"fpgatest-checkp").unwrap();
+        let salvaged = Checkpoint::load_salvage(&path).unwrap();
+        assert_eq!(salvaged.source, SalvageSource::Tmp);
+        assert_eq!(salvaged.checkpoint.completed.covered(), 30);
+        // Without the .tmp, the previous generation wins.
+        std::fs::remove_file(path.with_extension("tmp")).unwrap();
+        let salvaged = Checkpoint::load_salvage(&path).unwrap();
+        assert_eq!(salvaged.source, SalvageSource::Previous);
+        assert_eq!(salvaged.checkpoint.completed.covered(), 10);
+        // With nothing valid anywhere, salvage reports the strict error.
+        std::fs::remove_file(path.with_extension("prev")).unwrap();
+        let err = Checkpoint::load_salvage(&path).unwrap_err();
+        assert!(err.contains("no salvageable generation"), "{err}");
+    }
+
+    #[test]
+    fn salvage_survives_truncation_at_every_byte() {
+        let dir = fresh_dir("fpgatest_checkpoint_salvage_truncation");
+        let path = dir.join("campaign.checkpoint");
+        checkpoint_covering(10).save(&path).unwrap();
+        checkpoint_covering(20).save(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for cut in 0..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let salvaged = Checkpoint::load_salvage(&path)
+                .unwrap_or_else(|e| panic!("cut at byte {cut}: {e}"));
+            let covered = salvaged.checkpoint.completed.covered();
+            // Either the full newest generation (only possible when the
+            // document survived the cut) or the intact N-1 fallback —
+            // never a refusal, never a bogus document.
+            assert!(
+                covered == 20 || covered == 10,
+                "cut at byte {cut} recovered {covered} units"
+            );
+            assert!(
+                salvaged.checkpoint.completed.ranges().len() == 1
+                    && salvaged.checkpoint.completed.ranges()[0].0 == 0,
+                "recovered set is a prefix"
+            );
+            if covered == 10 {
+                assert_eq!(salvaged.source, SalvageSource::Previous, "cut {cut}");
+            }
+        }
     }
 
     /// The worker squares indices; the merged sequence must be the

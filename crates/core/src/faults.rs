@@ -689,6 +689,11 @@ pub struct ShardedCampaignOutcome {
     pub interrupted: bool,
     /// Injections skipped thanks to the resume checkpoint.
     pub resumed: u64,
+    /// When the resume checkpoint was torn and
+    /// [`crate::campaign::Checkpoint::load_salvage`] fell back to another
+    /// generation: a human-readable note saying which (for the CLI to
+    /// surface on stderr).
+    pub salvage: Option<String>,
 }
 
 /// [`run_campaign`] across N work-stealing worker shards, with
@@ -763,11 +768,16 @@ pub fn run_campaign_sharded(
     faulty_options.max_ticks = max_ticks;
     let golden = prepared.prepare_golden(&case.stimuli, &faulty_options)?;
 
-    // Resume: validate identity, preload the record prefix.
+    // Resume: salvage what survives on disk, validate identity, preload
+    // the record prefix. Salvage only relaxes *structural* damage (torn
+    // writes); an identity mismatch below still refuses outright.
     let mut skip = RangeSet::new();
     let mut records: Vec<InjectionRecord> = Vec::new();
+    let mut salvage = None;
     if let Some(path) = &shard.resume {
-        let checkpoint = Checkpoint::load(path).map_err(FlowError::Fault)?;
+        let salvaged = Checkpoint::load_salvage(path).map_err(FlowError::Fault)?;
+        let checkpoint = salvaged.checkpoint;
+        salvage = salvaged.note;
         let bad = |what: &str| {
             FlowError::Fault(format!(
                 "checkpoint {}: {what} does not match this campaign",
@@ -1003,6 +1013,7 @@ pub fn run_campaign_sharded(
         },
         interrupted: outcome.interrupted,
         resumed,
+        salvage,
     })
 }
 

@@ -17,9 +17,13 @@
 //! per line.
 //!
 //! Requests (`type` field): `submit` (with a `job` object), `status`,
-//! `cancel`, `stats`, `shutdown`. Responses: `job-accepted`,
-//! `job-finished`, `status`, `stats`, `shutdown-ack`, `error` (with a
-//! machine-readable `code`: `bad-request`, `draining`, `unknown-job`).
+//! `result` (replay a finished job's `job-finished` line — how a
+//! reconnecting client resumes by id), `cancel`, `stats`, `shutdown`
+//! (optionally `"shed":true` to cancel the queue instead of draining
+//! it). Responses: `job-accepted`, `job-finished`, `status`, `stats`,
+//! `shutdown-ack`, `error` (with a machine-readable `code`:
+//! `bad-request`, `draining`, `overloaded`, `frame-too-long`,
+//! `deadline`, `unknown-job`).
 //!
 //! ```text
 //! → {"type":"submit","job":{"kind":"test","name":"scale","source":"...","events":true}}
@@ -43,7 +47,40 @@
 //!
 //! Verdicts and exit codes match the in-process suite runner exactly:
 //! `pass`→0, `fail`→1, `error`→2, `crash`→3, `timeout`→4 (and
-//! `cancelled`→2 for jobs cancelled while queued).
+//! `cancelled`→2 for jobs cancelled while queued or shed while
+//! draining). With retries enabled, a job that exhausts its attempts on
+//! `crash`/`timeout` reports the distinct `quarantined` verdict (last
+//! failure's exit code) so poison jobs are visible instead of looping.
+//!
+//! ## Fault tolerance
+//!
+//! The daemon assumes its parts fail routinely and contains each blast
+//! radius:
+//!
+//! * a **supervisor** thread watches the worker pool; a worker that
+//!   dies mid-job (a panic that somehow escapes both shields — or the
+//!   `--chaos` hook below) has its job requeued at the front (the death
+//!   charged as one attempt) and a replacement worker spawned, so every
+//!   accepted job still reaches exactly one terminal outcome;
+//! * **retries**: `crash`/`timeout` outcomes rerun up to
+//!   [`ServeOptions::retries`] times with bounded exponential backoff
+//!   plus deterministic jitter; the attempt count rides on
+//!   `job-finished` and the ledger line, and a job that exhausts its
+//!   budget is **quarantined** (typed verdict, listed in `stats`);
+//! * **backpressure**: the admission queue is bounded
+//!   ([`ServeOptions::max_queue`]); beyond it submissions get a typed
+//!   `overloaded` rejection immediately instead of queueing without
+//!   bound;
+//! * **deadlines**: a connection with a half-read request line older
+//!   than [`ServeOptions::read_deadline_ms`] gets a typed `deadline`
+//!   error and is closed (slow-loris); a line longer than
+//!   [`ServeOptions::max_line_len`] gets `frame-too-long` (OOM guard);
+//!   a connection idle past [`ServeOptions::idle_ms`] with no pending
+//!   jobs is closed silently;
+//! * **chaos hook**: [`ServeOptions::chaos`] seeds a deterministic
+//!   worker-killer (a fraction of dequeues panic the worker before the
+//!   job's own shields arm) so the supervisor/retry machinery is
+//!   testable end to end.
 //!
 //! ## Shutdown
 //!
@@ -52,10 +89,13 @@
 //! `draining` error, queued and in-flight jobs run to completion
 //! (bounded by their watchdogs), every event-streaming connection gets
 //! its final `campaign-finished`, and only then is `shutdown-ack` sent
-//! and the listener closed.
+//! and the listener closed. `{"type":"shutdown","shed":true}` is the
+//! load-shedding variant: queued-but-not-started jobs are *cancelled*
+//! (each still gets its terminal `job-finished`, verdict `cancelled`)
+//! and only the in-flight remainder is awaited.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -375,6 +415,10 @@ pub struct JobOutcome {
     pub exit_code: i32,
     /// Wall-clock seconds from dequeue to verdict.
     pub wall_seconds: f64,
+    /// Execution attempts charged to the job: 1 for the common case,
+    /// more when retries or worker deaths reran it, 0 for jobs that
+    /// never started (cancelled while queued / shed).
+    pub attempts: u64,
     /// Failure detail (empty on pass).
     pub detail: String,
     /// Job-kind-specific report: a test summary, or the full
@@ -392,6 +436,7 @@ impl JobOutcome {
             ("verdict", Json::from(self.verdict.as_str())),
             ("exit_code", Json::from(i64::from(self.exit_code))),
             ("wall_seconds", Json::from(self.wall_seconds)),
+            ("attempts", Json::from(self.attempts)),
             ("detail", Json::from(self.detail.as_str())),
             ("report", self.report.clone()),
         ])
@@ -413,6 +458,7 @@ impl JobOutcome {
                 .get("wall_seconds")
                 .and_then(Json::as_f64)
                 .unwrap_or(0.0),
+            attempts: json.get("attempts").and_then(Json::as_u64).unwrap_or(1),
             detail: json
                 .get("detail")
                 .and_then(Json::as_str)
@@ -430,9 +476,16 @@ impl JobOutcome {
 enum Request {
     Submit(Box<JobSpec>),
     Status(u64),
+    /// Replay a finished job's `job-finished` line (or its current
+    /// status when not finished) — the resume-by-id path a reconnecting
+    /// client uses after losing its connection mid-wait.
+    Result(u64),
     Cancel(u64),
     Stats,
-    Shutdown,
+    Shutdown {
+        /// Load-shedding drain: cancel the queue instead of running it.
+        shed: bool,
+    },
 }
 
 fn parse_request(json: &Json) -> Result<Request, String> {
@@ -442,11 +495,14 @@ fn parse_request(json: &Json) -> Result<Request, String> {
             Ok(Request::Submit(Box::new(JobSpec::from_json(job)?)))
         }
         "status" => Ok(Request::Status(request_id(json)?)),
+        "result" => Ok(Request::Result(request_id(json)?)),
         "cancel" => Ok(Request::Cancel(request_id(json)?)),
         "stats" => Ok(Request::Stats),
-        "shutdown" => Ok(Request::Shutdown),
+        "shutdown" => Ok(Request::Shutdown {
+            shed: json.get("shed").and_then(Json::as_bool).unwrap_or(false),
+        }),
         other => Err(format!(
-            "unknown request type '{other}' (want submit|status|cancel|stats|shutdown)"
+            "unknown request type '{other}' (want submit|status|result|cancel|stats|shutdown)"
         )),
     }
 }
@@ -473,8 +529,8 @@ fn resp_status(id: u64, state: &JobState) -> Json {
         ("id", Json::from(id)),
         ("state", Json::from(state.as_str())),
     ];
-    if let JobState::Finished { verdict } = state {
-        pairs.push(("verdict", Json::from(verdict.as_str())));
+    if let JobState::Finished { outcome } = state {
+        pairs.push(("verdict", Json::from(outcome.verdict.as_str())));
     }
     Json::obj(pairs)
 }
@@ -489,22 +545,38 @@ fn resp_status(id: u64, state: &JobState) -> Json {
 #[derive(Clone)]
 struct LineSender {
     stream: Arc<Mutex<TcpStream>>,
+    /// Set on the first write failure (client hung up / EPIPE). Once
+    /// dead, further sends are dropped without touching the socket, so
+    /// an event-streaming job whose client vanished finishes normally
+    /// instead of burning syscalls per event line.
+    dead: Arc<AtomicBool>,
 }
 
 impl LineSender {
     fn new(stream: TcpStream) -> LineSender {
         LineSender {
             stream: Arc::new(Mutex::new(stream)),
+            dead: Arc::new(AtomicBool::new(false)),
         }
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
     }
 
     /// Writes `line` plus a newline under the connection lock. Errors
     /// are swallowed: a vanished client must never take a worker down.
     fn send_line(&self, line: &[u8]) {
+        if self.is_dead() {
+            return;
+        }
         let mut guard = self.stream.lock().unwrap_or_else(|p| p.into_inner());
-        let _ = guard.write_all(line);
-        let _ = guard.write_all(b"\n");
-        let _ = guard.flush();
+        let failed = guard.write_all(line).is_err()
+            || guard.write_all(b"\n").is_err()
+            || guard.flush().is_err();
+        if failed {
+            self.dead.store(true, Ordering::SeqCst);
+        }
     }
 
     fn send_json(&self, json: &Json) {
@@ -556,7 +628,33 @@ pub struct ServeOptions {
     pub default_wall_ms: u64,
     /// Append one `fpgatest-ledger-v1` line per completed job here.
     pub ledger: Option<PathBuf>,
+    /// Reruns granted to a job whose attempt ends in `crash` or
+    /// `timeout` (0 = report the first failure as-is; N = up to N+1
+    /// attempts, then the `quarantined` verdict).
+    pub retries: u32,
+    /// First retry backoff in milliseconds; doubles per attempt, capped
+    /// at [`BACKOFF_CAP_MS`], plus up to 50% deterministic jitter.
+    pub backoff_base_ms: u64,
+    /// Admission-queue bound: submissions past this many *queued* jobs
+    /// get a typed `overloaded` rejection (0 = unbounded).
+    pub max_queue: usize,
+    /// Longest request line accepted before the typed `frame-too-long`
+    /// error closes the connection.
+    pub max_line_len: usize,
+    /// How long a connection may sit on a *partial* request line before
+    /// the typed `deadline` error closes it (slow-loris guard).
+    pub read_deadline_ms: u64,
+    /// How long a connection with no buffered bytes and no pending jobs
+    /// may idle before being closed silently.
+    pub idle_ms: u64,
+    /// Chaos-test hook: deterministic seed for the worker-killer (a
+    /// fraction of job dequeues panic the worker thread before the
+    /// job's own shields arm). `None` in production.
+    pub chaos: Option<u64>,
 }
+
+/// Retry backoff ceiling — exponential growth stops here.
+pub const BACKOFF_CAP_MS: u64 = 2_000;
 
 impl Default for ServeOptions {
     fn default() -> Self {
@@ -565,17 +663,26 @@ impl Default for ServeOptions {
             cache_capacity: 8,
             default_wall_ms: 120_000,
             ledger: None,
+            retries: 0,
+            backoff_base_ms: 50,
+            max_queue: 1024,
+            max_line_len: 8 * 1024 * 1024,
+            read_deadline_ms: 10_000,
+            idle_ms: 600_000,
+            chaos: None,
         }
     }
 }
 
-/// Lifecycle of one job, as reported by `status`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Lifecycle of one job, as reported by `status`. Finished jobs keep
+/// their full outcome so a `result` request can replay the
+/// `job-finished` line to a client that reconnected.
+#[derive(Debug, Clone)]
 enum JobState {
     Queued,
     Running,
     Cancelled,
-    Finished { verdict: String },
+    Finished { outcome: Box<JobOutcome> },
 }
 
 impl JobState {
@@ -589,10 +696,18 @@ impl JobState {
     }
 }
 
+#[derive(Clone)]
 struct QueuedJob {
     id: u64,
     spec: JobSpec,
     sender: LineSender,
+    /// Attempts already charged to this job (worker deaths requeue with
+    /// the death counted, so a poison job cannot crash workers forever).
+    attempt: u32,
+    /// The submitting connection's accepted-but-unfinished job count —
+    /// the idle-deadline must not close a connection still owed a
+    /// `job-finished` line.
+    conn_pending: Arc<AtomicU64>,
 }
 
 /// Queue + drain bookkeeping, all transitions under one lock so a
@@ -619,6 +734,18 @@ struct ServerState {
     submitted: AtomicU64,
     finished: AtomicU64,
     rejected: AtomicU64,
+    /// Submissions bounced by the admission-queue bound.
+    overloaded: AtomicU64,
+    /// Queued jobs cancelled by a shedding shutdown.
+    shed: AtomicU64,
+    /// Retry attempts executed (not counting each job's first).
+    retried: AtomicU64,
+    /// Workers respawned by the supervisor.
+    restarts: AtomicU64,
+    /// `(id, kind:name)` of jobs quarantined after exhausting retries.
+    quarantined: Mutex<Vec<(u64, String)>>,
+    /// Position in the chaos worker-killer's deterministic stream.
+    chaos_ticks: AtomicU64,
     /// Serializes ledger appends across workers.
     ledger_lock: Mutex<()>,
 }
@@ -631,6 +758,10 @@ impl ServerState {
     fn lock_jobs(&self) -> std::sync::MutexGuard<'_, HashMap<u64, JobState>> {
         self.jobs.lock().unwrap_or_else(|p| p.into_inner())
     }
+
+    fn lock_quarantined(&self) -> std::sync::MutexGuard<'_, Vec<(u64, String)>> {
+        self.quarantined.lock().unwrap_or_else(|p| p.into_inner())
+    }
 }
 
 /// The bound daemon. [`Server::run`] blocks until a shutdown request
@@ -638,7 +769,9 @@ impl ServerState {
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServerState>,
-    workers: Vec<JoinHandle<()>>,
+    /// The supervisor owns the worker pool (spawning, death detection,
+    /// respawn); the server only joins the supervisor.
+    supervisor: JoinHandle<()>,
 }
 
 impl Server {
@@ -669,21 +802,25 @@ impl Server {
             submitted: AtomicU64::new(0),
             finished: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            quarantined: Mutex::new(Vec::new()),
+            chaos_ticks: AtomicU64::new(0),
             ledger_lock: Mutex::new(()),
         });
-        let workers = (0..state.options.workers.max(1))
-            .map(|index| {
-                let state = Arc::clone(&state);
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{index}"))
-                    .spawn(move || worker_loop(&state))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let supervisor = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("serve-supervisor".to_string())
+                .spawn(move || supervisor_loop(&state))
+                .expect("spawn supervisor thread")
+        };
         Ok(Server {
             listener,
             state,
-            workers,
+            supervisor,
         })
     }
 
@@ -720,9 +857,7 @@ impl Server {
                 .spawn(move || handle_connection(&state, stream));
         }
         self.state.queue_signal.notify_all();
-        for worker in self.workers {
-            let _ = worker.join();
-        }
+        let _ = self.supervisor.join();
         Ok(())
     }
 }
@@ -758,69 +893,227 @@ fn finish_stop(state: &ServerState) {
     let _ = TcpStream::connect(state.addr);
 }
 
+/// Poll interval for the connection read loop — short enough that
+/// deadline bookkeeping and the server-stopped check stay responsive,
+/// long enough to cost nothing.
+const READ_POLL_MS: u64 = 100;
+
 fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
     // The protocol is request/response over tiny lines; Nagle + delayed
     // ACK would add ~40ms to every exchange.
     let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
+    // Reads poll instead of blocking forever, so a silent client cannot
+    // pin this thread past its deadlines (slow-loris guard).
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(READ_POLL_MS)));
+    let Ok(mut read_half) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(read_half);
     let sender = LineSender::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+    let conn_pending = Arc::new(AtomicU64::new(0));
+    let max_len = state.options.max_line_len.max(1);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    // When the current (incomplete) request line started arriving.
+    let mut partial_since: Option<Instant> = None;
+    let mut idle_since = Instant::now();
+    'conn: loop {
+        if state.stopped.load(Ordering::SeqCst) || sender.is_dead() {
+            break;
         }
-        let request = match Json::parse(&line) {
-            Ok(json) => parse_request(&json),
-            Err(e) => Err(format!("unparseable request: {e}")),
-        };
-        match request {
-            Err(message) => sender.send_json(&resp_error("bad-request", &message)),
-            Ok(Request::Submit(spec)) => submit_job(state, *spec, &sender),
-            Ok(Request::Status(id)) => {
-                let jobs = state.lock_jobs();
-                match jobs.get(&id) {
-                    Some(job_state) => sender.send_json(&resp_status(id, job_state)),
-                    None => sender.send_json(&resp_error("unknown-job", &format!("no job {id}"))),
+        match read_half.read(&mut chunk) {
+            Ok(0) => break, // client closed
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                idle_since = Instant::now();
+                if partial_since.is_none() {
+                    partial_since = Some(Instant::now());
                 }
-            }
-            Ok(Request::Cancel(id)) => {
-                let mut jobs = state.lock_jobs();
-                match jobs.get_mut(&id) {
-                    // Only queued jobs can be cancelled; the worker
-                    // notices the flag at dequeue and reports the
-                    // `cancelled` verdict. Running/finished jobs just
-                    // report their current state.
-                    Some(job_state) => {
-                        if *job_state == JobState::Queued {
-                            *job_state = JobState::Cancelled;
-                        }
-                        let snapshot = job_state.clone();
-                        drop(jobs);
-                        sender.send_json(&resp_status(id, &snapshot));
+                while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                    if pos > max_len {
+                        sender.send_json(&resp_error(
+                            "frame-too-long",
+                            &format!("request line exceeds {max_len} bytes"),
+                        ));
+                        break 'conn;
                     }
-                    None => sender.send_json(&resp_error("unknown-job", &format!("no job {id}"))),
+                    let line: Vec<u8> = buf.drain(..=pos).collect();
+                    partial_since = (!buf.is_empty()).then(Instant::now);
+                    let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    if !dispatch_request(state, &line, &sender, &conn_pending) {
+                        break 'conn;
+                    }
+                }
+                // No complete line and the buffer already too big: the
+                // client is streaming a newline-free frame; refuse it
+                // before it grows without bound.
+                if buf.len() > max_len {
+                    sender.send_json(&resp_error(
+                        "frame-too-long",
+                        &format!("request line exceeds {max_len} bytes"),
+                    ));
+                    break;
                 }
             }
-            Ok(Request::Stats) => sender.send_json(&stats_json(state)),
-            Ok(Request::Shutdown) => {
-                drain(state);
-                sender.send_json(&Json::obj([
-                    ("schema", Json::from(SERVE_SCHEMA)),
-                    ("type", Json::from("shutdown-ack")),
-                    ("finished", Json::from(state.finished.load(Ordering::SeqCst))),
-                    ("rejected", Json::from(state.rejected.load(Ordering::SeqCst))),
-                ]));
-                finish_stop(state);
-                break;
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if buf.is_empty() {
+                    // Fully idle connection: close silently once it has
+                    // no pending jobs and outlived the idle deadline.
+                    if conn_pending.load(Ordering::SeqCst) == 0
+                        && idle_since.elapsed() >= Duration::from_millis(state.options.idle_ms)
+                    {
+                        break;
+                    }
+                } else if partial_since.is_some_and(|since| {
+                    since.elapsed() >= Duration::from_millis(state.options.read_deadline_ms)
+                }) {
+                    sender.send_json(&resp_error(
+                        "deadline",
+                        &format!(
+                            "request line stalled past {} ms",
+                            state.options.read_deadline_ms
+                        ),
+                    ));
+                    break;
+                }
             }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
         }
     }
 }
 
-fn submit_job(state: &Arc<ServerState>, spec: JobSpec, sender: &LineSender) {
+/// Handles one request line; returns `false` when the connection should
+/// close (shutdown handled).
+fn dispatch_request(
+    state: &Arc<ServerState>,
+    line: &str,
+    sender: &LineSender,
+    conn_pending: &Arc<AtomicU64>,
+) -> bool {
+    let request = match Json::parse(line) {
+        Ok(json) => parse_request(&json),
+        Err(e) => Err(format!("unparseable request: {e}")),
+    };
+    match request {
+        Err(message) => sender.send_json(&resp_error("bad-request", &message)),
+        Ok(Request::Submit(spec)) => submit_job(state, *spec, sender, conn_pending),
+        Ok(Request::Status(id)) => {
+            let jobs = state.lock_jobs();
+            match jobs.get(&id) {
+                Some(job_state) => sender.send_json(&resp_status(id, job_state)),
+                None => sender.send_json(&resp_error("unknown-job", &format!("no job {id}"))),
+            }
+        }
+        Ok(Request::Result(id)) => {
+            let jobs = state.lock_jobs();
+            match jobs.get(&id) {
+                // Replay the terminal line; a reconnected client
+                // resumes exactly where its old connection died.
+                Some(JobState::Finished { outcome }) => {
+                    let json = outcome.to_json();
+                    drop(jobs);
+                    sender.send_json(&json);
+                }
+                Some(job_state) => sender.send_json(&resp_status(id, job_state)),
+                None => sender.send_json(&resp_error("unknown-job", &format!("no job {id}"))),
+            }
+        }
+        Ok(Request::Cancel(id)) => {
+            let mut jobs = state.lock_jobs();
+            match jobs.get_mut(&id) {
+                // Only queued jobs can be cancelled; the worker
+                // notices the flag at dequeue and reports the
+                // `cancelled` verdict. Running/finished jobs just
+                // report their current state.
+                Some(job_state) => {
+                    if matches!(job_state, JobState::Queued) {
+                        *job_state = JobState::Cancelled;
+                    }
+                    let snapshot = job_state.clone();
+                    drop(jobs);
+                    sender.send_json(&resp_status(id, &snapshot));
+                }
+                None => sender.send_json(&resp_error("unknown-job", &format!("no job {id}"))),
+            }
+        }
+        Ok(Request::Stats) => sender.send_json(&stats_json(state)),
+        Ok(Request::Shutdown { shed }) => {
+            if shed {
+                shed_queue(state);
+            }
+            drain(state);
+            sender.send_json(&Json::obj([
+                ("schema", Json::from(SERVE_SCHEMA)),
+                ("type", Json::from("shutdown-ack")),
+                ("finished", Json::from(state.finished.load(Ordering::SeqCst))),
+                ("rejected", Json::from(state.rejected.load(Ordering::SeqCst))),
+                ("shed", Json::from(state.shed.load(Ordering::SeqCst))),
+            ]));
+            finish_stop(state);
+            return false;
+        }
+    }
+    true
+}
+
+/// Load-shedding drain: flips draining on and cancels every job still
+/// queued. Each shed job gets its terminal `job-finished` line (verdict
+/// `cancelled`, 0 attempts) so the accepted-implies-terminal-outcome
+/// invariant holds; in-flight jobs are untouched (the follow-up
+/// [`drain`] waits for them).
+fn shed_queue(state: &ServerState) {
+    let taken: Vec<QueuedJob> = {
+        let mut work = state.lock_work();
+        work.draining = true;
+        work.queue.drain(..).collect()
+    };
+    for job in taken {
+        let outcome = JobOutcome {
+            id: job.id,
+            verdict: "cancelled".to_string(),
+            exit_code: 2,
+            wall_seconds: 0.0,
+            attempts: 0,
+            detail: "shed: server draining under load".to_string(),
+            report: Json::Null,
+        };
+        // Terminal state before notification, as in `run_one_job`.
+        state.lock_jobs().insert(
+            job.id,
+            JobState::Finished {
+                outcome: Box::new(outcome.clone()),
+            },
+        );
+        state.finished.fetch_add(1, Ordering::SeqCst);
+        state.shed.fetch_add(1, Ordering::SeqCst);
+        release_inflight(state);
+        job.sender.send_json(&outcome.to_json());
+        job.conn_pending.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Drops one unit of the drain count and wakes shutdown waiters. Part
+/// of a job's terminal bookkeeping, so it must run *before* the
+/// `job-finished` line goes out — a client reacting instantly to that
+/// line must already see the job gone from `inflight`. Saturating so
+/// the worker loop's panic-path fallback can never underflow.
+fn release_inflight(state: &ServerState) {
+    let mut work = state.lock_work();
+    work.inflight = work.inflight.saturating_sub(1);
+    if work.inflight == 0 {
+        state.idle.notify_all();
+    }
+}
+
+fn submit_job(
+    state: &Arc<ServerState>,
+    spec: JobSpec,
+    sender: &LineSender,
+    conn_pending: &Arc<AtomicU64>,
+) {
     let id = {
         let mut work = state.lock_work();
         if work.draining {
@@ -832,13 +1125,31 @@ fn submit_job(state: &Arc<ServerState>, spec: JobSpec, sender: &LineSender) {
             ));
             return;
         }
+        // Backpressure: beyond the admission bound the client gets a
+        // typed rejection *now* rather than an unbounded queue later.
+        if state.options.max_queue > 0 && work.queue.len() >= state.options.max_queue {
+            drop(work);
+            state.rejected.fetch_add(1, Ordering::SeqCst);
+            state.overloaded.fetch_add(1, Ordering::SeqCst);
+            sender.send_json(&resp_error(
+                "overloaded",
+                &format!(
+                    "admission queue full ({} jobs queued); retry later",
+                    state.options.max_queue
+                ),
+            ));
+            return;
+        }
         let id = state.next_id.fetch_add(1, Ordering::SeqCst);
         state.lock_jobs().insert(id, JobState::Queued);
         work.inflight += 1;
+        conn_pending.fetch_add(1, Ordering::SeqCst);
         work.queue.push_back(QueuedJob {
             id,
             spec,
             sender: sender.clone(),
+            attempt: 0,
+            conn_pending: Arc::clone(conn_pending),
         });
         state.queue_signal.notify_one();
         id
@@ -857,12 +1168,27 @@ fn stats_json(state: &ServerState) -> Json {
         let work = state.lock_work();
         (work.queue.len(), work.inflight, work.draining)
     };
+    let quarantined: Vec<Json> = state
+        .lock_quarantined()
+        .iter()
+        .map(|(id, name)| {
+            Json::obj([
+                ("id", Json::from(*id)),
+                ("job", Json::from(name.as_str())),
+            ])
+        })
+        .collect();
     Json::obj([
         ("schema", Json::from(SERVE_SCHEMA)),
         ("type", Json::from("stats")),
         ("submitted", Json::from(state.submitted.load(Ordering::SeqCst))),
         ("finished", Json::from(state.finished.load(Ordering::SeqCst))),
         ("rejected", Json::from(state.rejected.load(Ordering::SeqCst))),
+        ("overloaded", Json::from(state.overloaded.load(Ordering::SeqCst))),
+        ("shed", Json::from(state.shed.load(Ordering::SeqCst))),
+        ("retried", Json::from(state.retried.load(Ordering::SeqCst))),
+        ("worker_restarts", Json::from(state.restarts.load(Ordering::SeqCst))),
+        ("quarantined", Json::Arr(quarantined)),
         ("queued", Json::from(queued)),
         ("inflight", Json::from(inflight)),
         ("draining", Json::from(draining)),
@@ -884,7 +1210,98 @@ fn stats_json(state: &ServerState) -> Json {
 // Workers
 // ---------------------------------------------------------------------------
 
-fn worker_loop(state: &Arc<ServerState>) {
+/// A worker's "currently running" slot, shared with the supervisor. A
+/// worker parks its job here before executing; a worker that dies
+/// mid-job leaves the slot occupied, which is how the supervisor knows
+/// what to requeue.
+type WorkerSlot = Arc<Mutex<Option<QueuedJob>>>;
+
+/// How often the supervisor sweeps the pool for dead workers.
+const SUPERVISE_POLL_MS: u64 = 20;
+
+fn spawn_worker(state: &Arc<ServerState>, index: usize, slot: &WorkerSlot) -> JoinHandle<()> {
+    let state = Arc::clone(state);
+    let slot = Arc::clone(slot);
+    std::thread::Builder::new()
+        .name(format!("serve-worker-{index}"))
+        .spawn(move || worker_loop(&state, &slot))
+        .expect("spawn worker thread")
+}
+
+/// Owns the worker pool: spawns it, sweeps for dead workers, requeues
+/// the job a dead worker was holding (front of queue, death charged as
+/// an attempt), and respawns replacements. Returns once every worker
+/// exits naturally at the end of a drain.
+fn supervisor_loop(state: &Arc<ServerState>) {
+    let mut next_index = state.options.workers.max(1);
+    let mut pool: Vec<(JoinHandle<()>, WorkerSlot)> = (0..next_index)
+        .map(|index| {
+            let slot: WorkerSlot = Arc::new(Mutex::new(None));
+            (spawn_worker(state, index, &slot), slot)
+        })
+        .collect();
+    loop {
+        std::thread::sleep(Duration::from_millis(SUPERVISE_POLL_MS));
+        let mut alive: Vec<(JoinHandle<()>, WorkerSlot)> = Vec::with_capacity(pool.len());
+        for (handle, slot) in pool {
+            if !handle.is_finished() {
+                alive.push((handle, slot));
+                continue;
+            }
+            let _ = handle.join();
+            let died_holding = slot.lock().unwrap_or_else(|p| p.into_inner()).take();
+            let draining = state.lock_work().draining;
+            if let Some(mut job) = died_holding {
+                // Abnormal death mid-job: charge the death as one
+                // attempt and requeue at the *front* (the job was next
+                // in line; starving it would break FIFO fairness and
+                // the exactly-once terminal-outcome invariant).
+                // `inflight` is untouched — the job never finished.
+                job.attempt = job.attempt.saturating_add(1);
+                state.lock_jobs().insert(job.id, JobState::Queued);
+                state.lock_work().queue.push_front(job);
+                state.queue_signal.notify_one();
+                state.restarts.fetch_add(1, Ordering::SeqCst);
+                let slot: WorkerSlot = Arc::new(Mutex::new(None));
+                alive.push((spawn_worker(state, next_index, &slot), slot));
+                next_index += 1;
+            } else if !draining {
+                // Died between jobs (shouldn't happen, but a supervisor
+                // that assumes that would be pointless): keep the pool
+                // at strength.
+                state.restarts.fetch_add(1, Ordering::SeqCst);
+                let slot: WorkerSlot = Arc::new(Mutex::new(None));
+                alive.push((spawn_worker(state, next_index, &slot), slot));
+                next_index += 1;
+            }
+            // Drained worker with an empty slot: natural exit, let it go.
+        }
+        pool = alive;
+        if pool.is_empty() {
+            return;
+        }
+    }
+}
+
+/// Deterministic chaos: when [`ServeOptions::chaos`] is set, roughly a
+/// quarter of job dequeues kill the worker thread via panic *before*
+/// the job's own isolation arms — exactly the failure the supervisor
+/// exists for. SplitMix64 over (seed, tick) keeps runs reproducible.
+fn chaos_maybe_kill_worker(state: &ServerState) {
+    let Some(seed) = state.options.chaos else { return };
+    let tick = state.chaos_ticks.fetch_add(1, Ordering::SeqCst);
+    let mut z = seed
+        .wrapping_add(tick.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    if z % 4 == 0 {
+        panic!("chaos: worker killed mid-job (seed {seed}, tick {tick})");
+    }
+}
+
+fn worker_loop(state: &Arc<ServerState>, slot: &WorkerSlot) {
     loop {
         let job = {
             let mut work = state.lock_work();
@@ -901,19 +1318,51 @@ fn worker_loop(state: &Arc<ServerState>) {
                     .unwrap_or_else(|p| p.into_inner());
             }
         };
+        // Park the job in the supervisor-visible slot before anything
+        // can go wrong; clear it only after the bookkeeping below, so a
+        // death anywhere in between leaves the job recoverable.
+        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(job.clone());
+        chaos_maybe_kill_worker(state);
         // run_one_job already isolates the flow; this outer shield only
         // guards serve's own bookkeeping so the drain count never leaks.
-        let _ = catch_unwind(AssertUnwindSafe(|| run_one_job(state, job)));
-        let mut work = state.lock_work();
-        work.inflight -= 1;
-        if work.inflight == 0 {
-            state.idle.notify_all();
+        let finished = catch_unwind(AssertUnwindSafe(|| run_one_job(state, job)));
+        *slot.lock().unwrap_or_else(|p| p.into_inner()) = None;
+        if finished.is_err() {
+            // run_one_job normally releases the drain count itself as
+            // part of terminal bookkeeping; if it panicked before
+            // getting there, keep the daemon drainable anyway.
+            release_inflight(state);
         }
     }
 }
 
+/// Backoff before retry `attempt` (1-based count of attempts already
+/// made): exponential from [`ServeOptions::backoff_base_ms`], capped at
+/// [`BACKOFF_CAP_MS`], plus up to 50% jitter derived deterministically
+/// from `(job_id, attempt)` so co-failing jobs decorrelate without the
+/// daemon needing a randomness source.
+fn backoff_delay(base_ms: u64, attempt: u64, job_id: u64) -> Duration {
+    let base = base_ms.max(1);
+    let exp = base
+        .saturating_mul(1u64 << attempt.saturating_sub(1).min(16))
+        .min(BACKOFF_CAP_MS);
+    let mut z = job_id
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(attempt);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 31;
+    let jitter = z % (exp / 2 + 1);
+    Duration::from_millis(exp + jitter)
+}
+
 fn run_one_job(state: &Arc<ServerState>, job: QueuedJob) {
-    let QueuedJob { id, spec, sender } = job;
+    let QueuedJob {
+        id,
+        spec,
+        sender,
+        attempt: prior_attempts,
+        conn_pending,
+    } = job;
     let started = Instant::now();
     let cancelled = {
         let mut jobs = state.lock_jobs();
@@ -935,7 +1384,12 @@ fn run_one_job(state: &Arc<ServerState>, job: QueuedJob) {
     } else {
         EventSink::disabled()
     };
-    let (verdict, exit_code, detail, report) = if cancelled {
+    // Worker deaths already charged attempts; the retry budget is
+    // shared between deaths and executed failures, so a job that kills
+    // every worker it touches still terminates (quarantined).
+    let max_attempts = u64::from(state.options.retries) + 1;
+    let mut attempts = u64::from(prior_attempts);
+    let (mut verdict, exit_code, mut detail, report) = if cancelled {
         (
             "cancelled".to_string(),
             2,
@@ -943,8 +1397,35 @@ fn run_one_job(state: &Arc<ServerState>, job: QueuedJob) {
             Json::Null,
         )
     } else {
-        execute_with_watchdog(state, &spec, &sink)
+        loop {
+            attempts += 1;
+            let result = execute_with_watchdog(state, &spec, &sink);
+            let retryable = result.0 == "crash" || result.0 == "timeout";
+            if retryable && attempts < max_attempts {
+                state.retried.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(backoff_delay(
+                    state.options.backoff_base_ms,
+                    attempts,
+                    id,
+                ));
+                continue;
+            }
+            break result;
+        }
     };
+    if (verdict == "crash" || verdict == "timeout")
+        && max_attempts > 1
+        && attempts >= max_attempts
+    {
+        // Retries were granted and all exhausted: poison. The typed
+        // verdict keeps it out of pass/fail statistics and the stats
+        // listing makes it visible to operators.
+        detail = format!("quarantined after {attempts} attempts; last failure: {verdict} ({detail})");
+        verdict = "quarantined".to_string();
+        state
+            .lock_quarantined()
+            .push((id, format!("{}:{}", spec.kind.as_str(), spec.name)));
+    }
     let wall_seconds = started.elapsed().as_secs_f64();
     if sink.is_enabled() {
         // The stream contract: every event-streaming job ends with a
@@ -963,17 +1444,24 @@ fn run_one_job(state: &Arc<ServerState>, job: QueuedJob) {
         verdict: verdict.clone(),
         exit_code,
         wall_seconds,
+        attempts,
         detail,
         report,
     };
-    sender.send_json(&outcome.to_json());
+    // Record the terminal state *before* notifying the client: a client
+    // reacting instantly to the job-finished line (a stats query, a
+    // status poll) must already see the job finished, counted, and out
+    // of the inflight drain count.
     state.lock_jobs().insert(
         id,
         JobState::Finished {
-            verdict: verdict.clone(),
+            outcome: Box::new(outcome.clone()),
         },
     );
     state.finished.fetch_add(1, Ordering::SeqCst);
+    release_inflight(state);
+    sender.send_json(&outcome.to_json());
+    conn_pending.fetch_sub(1, Ordering::SeqCst);
     if let Some(path) = &state.options.ledger {
         let mut entry = LedgerEntry::new("serve", &format!("{}:{}", spec.kind.as_str(), spec.name));
         entry.engine = spec.engine.to_string();
@@ -986,6 +1474,7 @@ fn run_one_job(state: &Arc<ServerState>, job: QueuedJob) {
         entry
             .counters
             .push(("exit_code".to_string(), f64::from(exit_code)));
+        entry.counters.push(("attempts".to_string(), attempts as f64));
         let _guard = state.ledger_lock.lock().unwrap_or_else(|p| p.into_inner());
         let _ = ledger::append(path, &entry);
     }
@@ -1192,12 +1681,21 @@ fn test_report_json(report: &TestReport) -> Json {
 pub enum ClientError {
     /// Socket trouble.
     Io(io::Error),
+    /// The connection to the daemon was lost (EOF or a mid-read error).
+    /// Distinct from [`ClientError::Io`] so resilient callers know a
+    /// reconnect-and-resume is worth trying.
+    Disconnected(String),
+    /// The server sent a line longer than the client's frame cap.
+    FrameTooLong {
+        /// The cap that was exceeded, in bytes.
+        limit: usize,
+    },
     /// The server said something the protocol does not allow.
     Protocol(String),
     /// The server answered with a typed `error` line.
     Rejected {
         /// Machine-readable code (`bad-request`, `draining`,
-        /// `unknown-job`).
+        /// `overloaded`, `frame-too-long`, `deadline`, `unknown-job`).
         code: String,
         /// Human-readable message.
         message: String,
@@ -1208,6 +1706,10 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "serve i/o error: {e}"),
+            ClientError::Disconnected(m) => write!(f, "serve connection lost: {m}"),
+            ClientError::FrameTooLong { limit } => {
+                write!(f, "server line exceeds the {limit}-byte frame cap")
+            }
             ClientError::Protocol(m) => write!(f, "serve protocol error: {m}"),
             ClientError::Rejected { code, message } => {
                 write!(f, "server rejected request ({code}): {message}")
@@ -1224,11 +1726,19 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// Default client-side frame cap, matching the daemon's default.
+const CLIENT_MAX_LINE: usize = 8 * 1024 * 1024;
+
+/// Reconnect attempts [`Client::wait_or_resubmit`] makes before giving
+/// up on a lost daemon.
+const RECONNECT_ATTEMPTS: u32 = 10;
+
 /// One connection to a serve daemon. Submissions, status polls, and
 /// event streams all share the connection; the client demultiplexes
 /// per line and buffers `job-finished` responses that arrive while it
 /// waits for something else.
 pub struct Client {
+    addr: String,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     finished: HashMap<u64, JobOutcome>,
@@ -1246,6 +1756,7 @@ impl Client {
         writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client {
+            addr: addr.to_string(),
             reader,
             writer,
             finished: HashMap::new(),
@@ -1266,17 +1777,95 @@ impl Client {
         Ok(())
     }
 
+    /// Replaces the dead socket with a fresh connection to the same
+    /// address, with bounded exponential backoff. Buffered finished
+    /// outcomes survive; the event stream resumes on the new socket.
+    ///
+    /// # Errors
+    ///
+    /// The last connect failure once the attempts run out.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let mut delay = Duration::from_millis(50);
+        let mut last: Option<io::Error> = None;
+        for _ in 0..RECONNECT_ATTEMPTS {
+            match TcpStream::connect(&self.addr) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    self.reader = BufReader::new(stream.try_clone()?);
+                    self.writer = stream;
+                    return Ok(());
+                }
+                Err(e) => last = Some(e),
+            }
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(Duration::from_millis(1_000));
+        }
+        Err(ClientError::Io(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::ConnectionRefused, "reconnect failed")
+        })))
+    }
+
+    /// Kills the underlying socket without telling the daemon — the
+    /// next read observes a lost connection. A chaos-test hook for
+    /// exercising the [`reconnect`](Client::reconnect) /
+    /// [`wait_or_resubmit`](Client::wait_or_resubmit) recovery paths;
+    /// production code has no reason to call it.
+    pub fn sever(&mut self) {
+        let _ = self.writer.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Reads one newline-terminated line, refusing to buffer more than
+    /// [`CLIENT_MAX_LINE`] bytes. Returns `None` on clean EOF.
+    fn read_line_capped(&mut self) -> Result<Option<String>, ClientError> {
+        let mut buf: Vec<u8> = Vec::new();
+        loop {
+            let available = self
+                .reader
+                .fill_buf()
+                .map_err(|e| ClientError::Disconnected(e.to_string()))?;
+            if available.is_empty() {
+                return if buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(ClientError::Disconnected(
+                        "connection closed mid-line".to_string(),
+                    ))
+                };
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    buf.extend_from_slice(&available[..pos]);
+                    self.reader.consume(pos + 1);
+                    if buf.len() > CLIENT_MAX_LINE {
+                        return Err(ClientError::FrameTooLong {
+                            limit: CLIENT_MAX_LINE,
+                        });
+                    }
+                    return Ok(Some(String::from_utf8_lossy(&buf).into_owned()));
+                }
+                None => {
+                    let n = available.len();
+                    buf.extend_from_slice(available);
+                    self.reader.consume(n);
+                    if buf.len() > CLIENT_MAX_LINE {
+                        return Err(ClientError::FrameTooLong {
+                            limit: CLIENT_MAX_LINE,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     /// Reads the next serve-schema line, routing event lines to the
     /// event writer along the way.
     fn next_response(&mut self) -> Result<Json, ClientError> {
         loop {
-            let mut line = String::new();
-            let n = self.reader.read_line(&mut line)?;
-            if n == 0 {
-                return Err(ClientError::Protocol(
+            let Some(line) = self.read_line_capped()? else {
+                return Err(ClientError::Disconnected(
                     "connection closed by server".to_string(),
                 ));
-            }
+            };
             let trimmed = line.trim();
             if trimmed.is_empty() {
                 continue;
@@ -1385,6 +1974,90 @@ impl Client {
         self.wait(id)
     }
 
+    /// Asks the server to replay job `id`'s terminal outcome. Returns
+    /// `Ok(Some(outcome))` when finished, `Ok(None)` when the job is
+    /// still queued/running.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] with code `unknown-job` for an id this
+    /// daemon never issued (e.g. it restarted and lost its state).
+    pub fn result(&mut self, id: u64) -> Result<Option<JobOutcome>, ClientError> {
+        if let Some(outcome) = self.finished.remove(&id) {
+            return Ok(Some(outcome));
+        }
+        self.send(&Json::obj([
+            ("schema", Json::from(SERVE_SCHEMA)),
+            ("type", Json::from("result")),
+            ("id", Json::from(id)),
+        ]))?;
+        loop {
+            let json = self.next_response()?;
+            match json.get("type").and_then(Json::as_str) {
+                Some("job-finished") => {
+                    let outcome = JobOutcome::from_json(&json).map_err(ClientError::Protocol)?;
+                    if outcome.id == id {
+                        return Ok(Some(outcome));
+                    }
+                    self.finished.insert(outcome.id, outcome);
+                }
+                Some("status") => return Ok(None),
+                Some("error") => return Err(Self::take_error(&json)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected response type {other:?} while polling result of job {id}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// [`wait`](Client::wait), hardened against losing the daemon
+    /// mid-stream: on disconnect it reconnects with backoff and resumes
+    /// by id via the `result` request; if the daemon restarted and no
+    /// longer knows the id (`unknown-job`), the job is resubmitted from
+    /// `spec`. Interleaved events that were in flight when the
+    /// connection died are lost — the terminal outcome is not.
+    ///
+    /// # Errors
+    ///
+    /// Non-recoverable failures only: typed rejections other than
+    /// `unknown-job`, protocol violations, or running out of reconnect
+    /// attempts.
+    pub fn wait_or_resubmit(
+        &mut self,
+        id: u64,
+        spec: &JobSpec,
+    ) -> Result<JobOutcome, ClientError> {
+        let mut id = id;
+        'wait: loop {
+            match self.wait(id) {
+                Ok(outcome) => return Ok(outcome),
+                Err(ClientError::Disconnected(_)) => {}
+                Err(other) => return Err(other),
+            }
+            self.reconnect()?;
+            loop {
+                match self.result(id) {
+                    Ok(Some(outcome)) => return Ok(outcome),
+                    // Still queued/running. The push notification went
+                    // to the connection that died, so a blocking wait
+                    // on this one would hang forever: poll instead.
+                    Ok(None) => std::thread::sleep(Duration::from_millis(200)),
+                    Err(ClientError::Rejected { code, .. }) if code == "unknown-job" => {
+                        // The daemon restarted and lost the job. The
+                        // spec is idempotent (same design, same seed):
+                        // resubmit and wait on the fresh id.
+                        id = self.submit(spec)?;
+                        continue 'wait;
+                    }
+                    Err(ClientError::Disconnected(_)) => self.reconnect()?,
+                    Err(other) => return Err(other),
+                }
+            }
+        }
+    }
+
     /// Fetches the server's `stats` object (job counters, queue depth,
     /// cache hit/miss/eviction counts).
     ///
@@ -1438,6 +2111,22 @@ impl Client {
         self.send(&Json::obj([
             ("schema", Json::from(SERVE_SCHEMA)),
             ("type", Json::from("shutdown")),
+        ]))?;
+        self.response_of_type("shutdown-ack")
+    }
+
+    /// The load-shedding shutdown: queued jobs are cancelled (each
+    /// still reported with a terminal `cancelled` outcome), only
+    /// in-flight jobs are awaited. Blocks until the ack.
+    ///
+    /// # Errors
+    ///
+    /// Protocol/i-o failures.
+    pub fn shutdown_shed(&mut self) -> Result<Json, ClientError> {
+        self.send(&Json::obj([
+            ("schema", Json::from(SERVE_SCHEMA)),
+            ("type", Json::from("shutdown")),
+            ("shed", Json::from(true)),
         ]))?;
         self.response_of_type("shutdown-ack")
     }
@@ -1539,6 +2228,7 @@ mod tests {
             verdict: "timeout".to_string(),
             exit_code: 4,
             wall_seconds: 1.5,
+            attempts: 3,
             detail: "wall clock exceeded 10 ms".to_string(),
             report: Json::Null,
         };
@@ -1551,6 +2241,52 @@ mod tests {
         assert_eq!(back.id, 12);
         assert_eq!(back.verdict, "timeout");
         assert_eq!(back.exit_code, 4);
+        assert_eq!(back.attempts, 3);
         assert_eq!(back.detail, outcome.detail);
+        // Outcomes from older daemons (no attempts field) default to 1.
+        let legacy = Json::parse(r#"{"type":"job-finished","id":5,"verdict":"pass","exit_code":0}"#)
+            .expect("parses");
+        assert_eq!(JobOutcome::from_json(&legacy).expect("converts").attempts, 1);
+    }
+
+    #[test]
+    fn result_and_shed_requests_parse() {
+        let ok = Json::parse(r#"{"type":"result","id":9}"#).expect("parses");
+        assert!(matches!(parse_request(&ok), Ok(Request::Result(9))));
+        let plain = Json::parse(r#"{"type":"shutdown"}"#).expect("parses");
+        assert!(matches!(
+            parse_request(&plain),
+            Ok(Request::Shutdown { shed: false })
+        ));
+        let shed = Json::parse(r#"{"type":"shutdown","shed":true}"#).expect("parses");
+        assert!(matches!(
+            parse_request(&shed),
+            Ok(Request::Shutdown { shed: true })
+        ));
+        let bad = Json::parse(r#"{"type":"result"}"#).expect("parses");
+        assert!(parse_request(&bad).is_err());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_stays_bounded() {
+        // Deterministic: same (base, attempt, id) → same delay.
+        assert_eq!(backoff_delay(50, 1, 7), backoff_delay(50, 1, 7));
+        for attempt in 1..=12u64 {
+            for id in [1u64, 2, 99] {
+                let delay = backoff_delay(50, attempt, id).as_millis() as u64;
+                let exp = 50u64.saturating_mul(1 << (attempt - 1).min(16)).min(BACKOFF_CAP_MS);
+                assert!(delay >= exp, "attempt {attempt}: {delay} < floor {exp}");
+                assert!(
+                    delay <= exp + exp / 2,
+                    "attempt {attempt}: {delay} > {exp} + 50% jitter"
+                );
+                assert!(delay <= BACKOFF_CAP_MS * 3 / 2, "cap holds");
+            }
+        }
+        // Jitter decorrelates different jobs at the same attempt.
+        let spread: std::collections::HashSet<u128> = (0..16)
+            .map(|id| backoff_delay(50, 4, id).as_millis())
+            .collect();
+        assert!(spread.len() > 1, "jitter varies by job id");
     }
 }

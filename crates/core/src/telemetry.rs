@@ -249,6 +249,22 @@ impl Json {
         }
         Ok(value)
     }
+
+    /// Parses the first complete JSON value of `text` and returns it
+    /// with the byte offset one past its end, ignoring whatever follows.
+    /// This is the trailing-garbage-tolerant entry point checkpoint
+    /// salvage uses: a torn write that appended junk after a complete
+    /// document still yields the document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonParseError`] when no complete value starts the text.
+    pub fn parse_prefix(text: &str) -> Result<(Json, usize), JsonParseError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        Ok((value, pos))
+    }
 }
 
 fn format_number(n: f64) -> String {

@@ -262,6 +262,9 @@ pub struct ShardedCampaignOutcome {
     pub interrupted: bool,
     /// Cases skipped thanks to the resume checkpoint.
     pub resumed: u64,
+    /// Salvage note when the resume checkpoint was torn and another
+    /// generation was recovered (surfaced on stderr by the CLI).
+    pub salvage: Option<String>,
 }
 
 /// Everything one executed case contributes to the merge, independent of
@@ -365,8 +368,13 @@ pub fn run_campaign_sharded(
     };
     let bias;
     let mut skip = RangeSet::new();
+    let mut salvage = None;
     if let Some(path) = &shard.resume {
-        let checkpoint = Checkpoint::load(path).map_err(invalid)?;
+        // Salvage tolerates torn writes (falling back to the `.tmp` or
+        // `.prev` generation); identity mismatches below still refuse.
+        let salvaged = Checkpoint::load_salvage(path).map_err(invalid)?;
+        let checkpoint = salvaged.checkpoint;
+        salvage = salvaged.note;
         let bad = |what: &str| {
             invalid(format!(
                 "checkpoint {}: {what} does not match this campaign",
@@ -733,5 +741,6 @@ pub fn run_campaign_sharded(
         },
         interrupted: outcome.interrupted,
         resumed,
+        salvage,
     })
 }

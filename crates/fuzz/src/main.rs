@@ -85,6 +85,9 @@ fn cmd_run(flags: &Flags) -> Result<ExitCode, String> {
         };
         fpgatest::campaign::install_sigint();
         let outcome = run_campaign_sharded(&opts, &shard).map_err(|e| format!("campaign: {e}"))?;
+        if let Some(note) = &outcome.salvage {
+            eprintln!("fpgafuzz: {note}");
+        }
         (outcome.report, outcome.interrupted, shard.shards.max(1))
     } else {
         (
